@@ -1,0 +1,480 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artefact; see DESIGN.md for the index),
+// the ablations of the design choices, and micro-benchmarks of the
+// tracer and analysis hot paths.
+//
+// The table/figure benchmarks report artefact-specific metrics (noise
+// shares, event frequencies, slowdowns) via b.ReportMetric, so a bench
+// run doubles as a reproduction run.
+package osnoise_test
+
+import (
+	"fmt"
+	"testing"
+
+	"osnoise/internal/cluster"
+	"osnoise/internal/experiments"
+	"osnoise/internal/ftq"
+	"osnoise/internal/inject"
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+	"osnoise/internal/workload"
+)
+
+// benchDur keeps per-iteration virtual time moderate; the cmd/noisebench
+// binary runs the full 20 s versions.
+const benchDur = 3 * sim.Second
+
+func benchCtx() *experiments.Context {
+	c := experiments.NewContext(benchDur, 2011)
+	c.FTQDuration = benchDur
+	return c
+}
+
+// BenchmarkFig1_FTQ regenerates Figure 1: FTQ vs the synthetic noise
+// chart for the same run, reporting the FTQ/tracer agreement ratio.
+func BenchmarkFig1_FTQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := ftq.DefaultConfig(2011)
+		cfg.Duration = benchDur
+		res := ftq.Execute(cfg)
+		rep := noise.Analyze(res.Trace, res.Run.AnalysisOptions())
+		ratio := float64(res.TotalMissingNS()) / float64(rep.TotalNoiseNS)
+		b.ReportMetric(ratio, "ftq/tracer")
+	}
+}
+
+// BenchmarkFig2_Trace regenerates Figure 2: the FTQ execution trace and
+// its zoom into one interruption.
+func BenchmarkFig2_Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2(benchCtx())
+		if len(r.Text) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig3_Breakdown regenerates Figure 3, reporting each
+// application's dominant-category share.
+func BenchmarkFig3_Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCtx()
+		for _, name := range experiments.AppNames {
+			_, rep := c.App(name)
+			var maxShare float64
+			for cat := noise.CatPeriodic; cat <= noise.CatIO; cat++ {
+				if s := rep.CategoryFraction(cat); s > maxShare {
+					maxShare = s
+				}
+			}
+			b.ReportMetric(maxShare, name+"-domshare")
+		}
+	}
+}
+
+// statBench runs one of the Tables I–VI and reports AMG's frequency for
+// the measured key.
+func statBench(b *testing.B, key noise.Key, fn func(*experiments.Context) *experiments.Result) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		c := benchCtx()
+		r := fn(c)
+		if len(r.Data) != 5 {
+			b.Fatalf("%s rows = %d", r.ID, len(r.Data))
+		}
+		_, rep := c.App("AMG")
+		b.ReportMetric(rep.Stats(key).Freq(rep.Seconds, rep.CPUs), "AMG-ev/s")
+	}
+}
+
+// BenchmarkTable1_PageFaults regenerates Table I.
+func BenchmarkTable1_PageFaults(b *testing.B) {
+	statBench(b, noise.KeyPageFault, experiments.Table1)
+}
+
+// BenchmarkTable2_NetIRQ regenerates Table II.
+func BenchmarkTable2_NetIRQ(b *testing.B) {
+	statBench(b, noise.KeyNetIRQ, experiments.Table2)
+}
+
+// BenchmarkTable3_NetRx regenerates Table III.
+func BenchmarkTable3_NetRx(b *testing.B) {
+	statBench(b, noise.KeyNetRx, experiments.Table3)
+}
+
+// BenchmarkTable4_NetTx regenerates Table IV.
+func BenchmarkTable4_NetTx(b *testing.B) {
+	statBench(b, noise.KeyNetTx, experiments.Table4)
+}
+
+// BenchmarkTable5_TimerIRQ regenerates Table V.
+func BenchmarkTable5_TimerIRQ(b *testing.B) {
+	statBench(b, noise.KeyTimerIRQ, experiments.Table5)
+}
+
+// BenchmarkTable6_TimerSoftirq regenerates Table VI.
+func BenchmarkTable6_TimerSoftirq(b *testing.B) {
+	statBench(b, noise.KeyTimerSoftIRQ, experiments.Table6)
+}
+
+// BenchmarkFig4_PFHist regenerates Figure 4 and reports the AMG
+// page-fault histogram's mode count (2 = bimodal).
+func BenchmarkFig4_PFHist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCtx()
+		_, rep := c.App("AMG")
+		h := rep.Stats(noise.KeyPageFault).HistogramP99(40)
+		modes := h.Modes(0.45, 4)
+		b.ReportMetric(float64(len(modes)), "AMG-modes")
+	}
+}
+
+// BenchmarkFig5_PFTrace regenerates Figure 5 and reports the share of
+// LAMMPS faults in the middle half of the run (low = edge-concentrated).
+func BenchmarkFig5_PFTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCtx()
+		_, rep := c.App("LAMMPS")
+		lo, hi := int64(float64(benchDur)*0.25), int64(float64(benchDur)*0.75)
+		var mid, total int
+		for _, s := range rep.Spans {
+			if s.Key != noise.KeyPageFault {
+				continue
+			}
+			total++
+			if s.Start >= lo && s.Start <= hi {
+				mid++
+			}
+		}
+		b.ReportMetric(float64(mid)/float64(total), "LAMMPS-midshare")
+	}
+}
+
+// BenchmarkFig6_Rebalance regenerates Figure 6, reporting the
+// UMT-vs-IRS rebalance stddev ratio (>1 = UMT wider, as in the paper).
+func BenchmarkFig6_Rebalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCtx()
+		_, irs := c.App("IRS")
+		_, umt := c.App("UMT")
+		ratio := umt.Stats(noise.KeyRebalance).Summary.StdDev() /
+			irs.Stats(noise.KeyRebalance).Summary.StdDev()
+		b.ReportMetric(ratio, "UMT/IRS-stddev")
+	}
+}
+
+// BenchmarkFig7_Preemption regenerates Figure 7, reporting LAMMPS's
+// preemption share of total noise.
+func BenchmarkFig7_Preemption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCtx()
+		_, rep := c.App("LAMMPS")
+		b.ReportMetric(rep.CategoryFraction(noise.CatPreemption), "preempt-share")
+	}
+}
+
+// BenchmarkFig8_TimerSoftirq regenerates Figure 8, reporting the AMG
+// run_timer_softirq p99/median tail ratio.
+func BenchmarkFig8_TimerSoftirq(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCtx()
+		_, rep := c.App("AMG")
+		ks := rep.Stats(noise.KeyTimerSoftIRQ)
+		durs := make([]int64, len(ks.Durations))
+		copy(durs, ks.Durations)
+		var median, p99 float64
+		if len(durs) > 0 {
+			median = percentile(durs, 0.5)
+			p99 = percentile(durs, 0.99)
+		}
+		b.ReportMetric(p99/median, "p99/median")
+	}
+}
+
+func percentile(v []int64, q float64) float64 {
+	vv := make([]int64, len(v))
+	copy(vv, v)
+	// simple selection via sort in stats package equivalence
+	for i := 1; i < len(vv); i++ {
+		for j := i; j > 0 && vv[j-1] > vv[j]; j-- {
+			vv[j-1], vv[j] = vv[j], vv[j-1]
+		}
+	}
+	idx := int(q * float64(len(vv)-1))
+	return float64(vv[idx])
+}
+
+// BenchmarkFig9_Disambiguation regenerates Figure 9 (composite FTQ
+// quantum separated by the tracer).
+func BenchmarkFig9_Disambiguation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(benchCtx())
+		if len(r.Text) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig10_AMGChart regenerates Figure 10 (equal-duration page
+// fault vs tick pair in the AMG synthetic chart).
+func BenchmarkFig10_AMGChart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(benchCtx())
+		if len(r.Text) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkOverhead regenerates the §III-A instrumentation-overhead
+// measurement, reporting the average fraction.
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Overhead(benchCtx())
+		var sum float64
+		for _, rows := range r.Data {
+			sum += rows[0][0]
+		}
+		b.ReportMetric(sum/float64(len(r.Data)), "overhead-frac")
+	}
+}
+
+// BenchmarkExt1_Scaling regenerates the noise-at-scale extension,
+// reporting the slowdown at the largest node count.
+func BenchmarkExt1_Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ext1(benchCtx())
+		rows := r.Data["scaling"]
+		b.ReportMetric(rows[len(rows)-1][1], "slowdown@1024")
+	}
+}
+
+// ---- Ablations (design choices called out in DESIGN.md §5) ----
+
+// nestHeavyTrace builds a trace with deep nesting for the attribution
+// ablation.
+func nestHeavyTrace() *trace.Trace {
+	run := workload.New(workload.UMT(), workload.Options{Duration: sim.Second, Seed: 5})
+	return run.Execute()
+}
+
+// BenchmarkAblationNesting compares total noise with and without
+// nested-event attribution: disabling it double counts nested time.
+func BenchmarkAblationNesting(b *testing.B) {
+	tr := nestHeavyTrace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		on := noise.DefaultOptions()
+		r1 := noise.Analyze(tr, on)
+		off := noise.DefaultOptions()
+		off.AttributeNesting = false
+		r2 := noise.Analyze(tr, off)
+		b.ReportMetric(float64(r2.TotalNoiseNS)/float64(r1.TotalNoiseNS), "overcount")
+	}
+}
+
+// BenchmarkAblationRunnableFilter compares noise with and without the
+// runnable-only accounting rule.
+func BenchmarkAblationRunnableFilter(b *testing.B) {
+	run := workload.New(workload.LAMMPS(), workload.Options{Duration: sim.Second, Seed: 5})
+	tr := run.Execute()
+	pids := run.AppPIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		on := noise.DefaultOptions()
+		on.AppPIDs = pids
+		r1 := noise.Analyze(tr, on)
+		off := on
+		off.RunnableFilter = false
+		r2 := noise.Analyze(tr, off)
+		b.ReportMetric(float64(r2.TotalNoiseNS)/float64(r1.TotalNoiseNS), "overcount")
+	}
+}
+
+// BenchmarkAblationGap sweeps the interruption merge gap, reporting the
+// interruption count at each setting.
+func BenchmarkAblationGap(b *testing.B) {
+	run := workload.New(workload.AMG(), workload.Options{Duration: sim.Second, Seed: 5})
+	tr := run.Execute()
+	pids := run.AppPIDs()
+	for _, gap := range []int64{0, 1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("gap=%dns", gap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := noise.DefaultOptions()
+				opts.AppPIDs = pids
+				opts.GapNS = gap
+				r := noise.Analyze(tr, opts)
+				b.ReportMetric(float64(len(r.Interruptions)), "interruptions")
+			}
+		})
+	}
+}
+
+// ---- Hot-path micro-benchmarks ----
+
+// BenchmarkRingBufferWrite measures the lock-free reserve/commit path.
+func BenchmarkRingBufferWrite(b *testing.B) {
+	r := trace.NewRing(16, 4096, trace.Overwrite)
+	ev := trace.Event{TS: 1, ID: trace.EvIRQEntry}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Write(ev)
+	}
+}
+
+// BenchmarkRingBufferWriteMutex is the mutex baseline for the ablation.
+func BenchmarkRingBufferWriteMutex(b *testing.B) {
+	r := trace.NewMutexRing(1 << 30)
+	ev := trace.Event{TS: 1, ID: trace.EvIRQEntry}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Write(ev)
+	}
+}
+
+// BenchmarkRingBufferWriteParallel measures contended lock-free writes.
+func BenchmarkRingBufferWriteParallel(b *testing.B) {
+	r := trace.NewRing(16, 4096, trace.Overwrite)
+	b.RunParallel(func(pb *testing.PB) {
+		ev := trace.Event{TS: 1, ID: trace.EvIRQEntry}
+		for pb.Next() {
+			r.Write(ev)
+		}
+	})
+}
+
+// BenchmarkAnalyze measures analysis throughput in events/op.
+func BenchmarkAnalyze(b *testing.B) {
+	run := workload.New(workload.AMG(), workload.Options{Duration: sim.Second, Seed: 6})
+	tr := run.Execute()
+	pids := run.AppPIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := noise.DefaultOptions()
+		opts.AppPIDs = pids
+		opts.KeepDurations = false
+		noise.Analyze(tr, opts)
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events")
+}
+
+// BenchmarkSimulate measures full node-simulation throughput.
+func BenchmarkSimulate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := workload.New(workload.SPHOT(), workload.Options{Duration: sim.Second, Seed: uint64(i)})
+		run.Execute()
+	}
+}
+
+// BenchmarkCodec measures trace encode+decode throughput.
+func BenchmarkCodec(b *testing.B) {
+	run := workload.New(workload.SPHOT(), workload.Options{Duration: sim.Second, Seed: 7})
+	tr := run.Execute()
+	b.SetBytes(int64(len(tr.Events) * trace.EventSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := trace.Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type writeCounter struct{ n int }
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkClusterRun measures the parallel cluster simulation.
+func BenchmarkClusterRun(b *testing.B) {
+	model := cluster.NoiseModel{RatePerSec: 100, Durations: []int64{10_000, 50_000, 500_000}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.Run(cluster.Config{
+			Nodes: 256, RanksPerNode: 8,
+			Granularity: sim.Millisecond, Iterations: 100,
+			Seed: uint64(i), Model: model,
+		})
+	}
+}
+
+// BenchmarkExt2_CNK regenerates the Linux-vs-lightweight-kernel
+// comparison, reporting the AMG noise ratio.
+func BenchmarkExt2_CNK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ext2CNK(benchCtx())
+		row := r.Data["AMG"][0]
+		b.ReportMetric(row[0]/row[1], "linux/cnk")
+	}
+}
+
+// BenchmarkExt3_Mitigation regenerates the priority-alternation
+// mitigation, reporting the preemption-noise reduction factor.
+func BenchmarkExt3_Mitigation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ext3Mitigation(benchCtx())
+		pre := r.Data["preemption"][0]
+		b.ReportMetric(pre[0]/pre[1], "reduction")
+	}
+}
+
+// BenchmarkExt4_Resonance regenerates the resonance sweep, reporting
+// the fine-grained HF/LF excess ratio.
+func BenchmarkExt4_Resonance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ext4Resonance(benchCtx())
+		b.ReportMetric(r.Data["resonance"][0][3], "hf/lf@fine")
+	}
+}
+
+// BenchmarkInjectionValidation runs the ground-truth injection check:
+// the analyzer must recover injected noise exactly.
+func BenchmarkInjectionValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := inject.Run([]inject.Spec{
+			{Kind: inject.PageFault, Start: sim.Millisecond, Period: 2 * sim.Millisecond, Dur: 3000, Count: 400},
+		}, inject.Options{Duration: sim.Second, Seed: uint64(i)})
+		r := res.Analyze()
+		got := int64(r.Stats(noise.KeyPageFault).Summary.Sum)
+		if got != res.Truths[0].TotalNS {
+			b.Fatalf("ground truth mismatch: %d vs %d", got, res.Truths[0].TotalNS)
+		}
+		b.ReportMetric(1, "exact")
+	}
+}
+
+// BenchmarkExt5_MitigationMatrix regenerates the mitigation comparison,
+// reporting the spare-core noise reduction vs plain.
+func BenchmarkExt5_MitigationMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ext5MitigationMatrix(benchCtx())
+		plain := r.Data["plain"][0][0]
+		spare := r.Data["spare-core"][0][0]
+		b.ReportMetric(plain/spare, "plain/spare")
+	}
+}
+
+// BenchmarkExt6_Collectives regenerates the allreduce-tree experiment,
+// reporting the noise share of collective time at the largest scale.
+func BenchmarkExt6_Collectives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ext6Collectives(benchCtx())
+		rows := r.Data["collectives"]
+		b.ReportMetric(rows[len(rows)-1][3], "noise-share@4096")
+	}
+}
+
+// BenchmarkExt7_SoftwareTLB regenerates the Shmueli-style TLB
+// comparison, reporting the 4K-vs-HugeTLB noise ratio.
+func BenchmarkExt7_SoftwareTLB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ext7SoftwareTLB(benchCtx())
+		b.ReportMetric(r.Data["linux-4K"][0][0]/r.Data["linux-huge"][0][0], "4K/huge")
+	}
+}

@@ -1,0 +1,82 @@
+// Command ftq runs the Fixed Time Quantum micro-benchmark, either
+// natively on the host machine (measuring the host OS's real noise) or
+// on the simulated compute node (deterministic; comparable against the
+// tracer).
+//
+// Usage:
+//
+//	ftq -mode native -quantum 1ms -duration 2s -csv out.csv
+//	ftq -mode sim -duration 5s -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"osnoise/internal/chart"
+	"osnoise/internal/ftq"
+	"osnoise/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ftq: ")
+	var (
+		mode     = flag.String("mode", "native", "native (host) or sim (simulated node)")
+		quantum  = flag.Duration("quantum", time.Millisecond, "FTQ time quantum")
+		duration = flag.Duration("duration", 2*time.Second, "run length")
+		seed     = flag.Uint64("seed", 1, "simulation seed (sim mode)")
+		csvPath  = flag.String("csv", "", "write per-quantum samples to this CSV file")
+		width    = flag.Int("width", 100, "spike chart width")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "native":
+		runNative(*quantum, *duration, *csvPath, *width)
+	case "sim":
+		runSim(*quantum, *duration, *seed, *width)
+	default:
+		log.Fatalf("unknown mode %q (want native or sim)", *mode)
+	}
+}
+
+func runNative(quantum, duration time.Duration, csvPath string, width int) {
+	fmt.Printf("native FTQ: quantum %v, duration %v\n", quantum, duration)
+	res := ftq.RunNative(ftq.NativeConfig{Quantum: quantum, Duration: duration})
+	fmt.Printf("calibrated Nmax = %d ops/quantum (%.2f ns/op)\n", res.Nmax, res.OpNanos)
+	series := make([][]float64, len(res.Samples))
+	var totalMissing float64
+	for i, s := range res.Samples {
+		missNS := float64(s.Missing) * res.OpNanos
+		series[i] = []float64{s.Start.Seconds(), missNS}
+		totalMissing += missNS
+	}
+	fmt.Print(chart.Spikes(series, width, 10, "ns"))
+	fmt.Printf("total missing work: %.3f ms over %v (%.4f%%)\n",
+		totalMissing/1e6, res.Duration, totalMissing/float64(res.Duration.Nanoseconds())*100)
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := res.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("samples written to %s\n", csvPath)
+	}
+}
+
+func runSim(quantum, duration time.Duration, seed uint64, width int) {
+	cfg := ftq.DefaultConfig(seed)
+	cfg.Quantum = sim.Duration(quantum.Nanoseconds())
+	cfg.Duration = sim.Duration(duration.Nanoseconds())
+	fmt.Printf("simulated FTQ: quantum %v, duration %v, seed %d\n", quantum, duration, seed)
+	res := ftq.Execute(cfg)
+	fmt.Print(res.String())
+	fmt.Print(chart.Spikes(res.Series(), width, 10, "ns"))
+}

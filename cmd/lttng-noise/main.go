@@ -1,0 +1,115 @@
+// Command lttng-noise traces a workload on the simulated compute node
+// and produces the paper's artefacts for that run: the quantitative
+// noise report, per-event statistics, the synthetic OS noise chart, a
+// Paraver trace (.prv/.pcf/.row) and the raw binary trace.
+//
+// Usage:
+//
+//	lttng-noise -app AMG -duration 10s -seed 42 \
+//	    -trace amg.lttn -paraver amg -report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"osnoise/internal/chart"
+	"osnoise/internal/chrometrace"
+	"osnoise/internal/export"
+	"osnoise/internal/noise"
+	"osnoise/internal/paraver"
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+	"osnoise/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lttng-noise: ")
+	var (
+		app      = flag.String("app", "AMG", "workload: AMG, IRS, LAMMPS, SPHOT, UMT or FTQ")
+		duration = flag.Duration("duration", 10*time.Second, "virtual run length")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		tracOut  = flag.String("trace", "", "write the raw binary trace here")
+		compress = flag.Bool("compress", false, "use the varint-compressed trace format")
+		paraver  = flag.String("paraver", "", "write <prefix>.prv/.pcf/.row Paraver trace")
+		chrome   = flag.String("chrome", "", "write a Chrome/Perfetto trace JSON here")
+		csvOut   = flag.String("csv", "", "write the synthetic noise chart series (CSV)")
+		report   = flag.Bool("report", true, "print the noise report")
+		timeline = flag.Bool("timeline", false, "print an execution-trace timeline")
+	)
+	flag.Parse()
+
+	prof := workload.ByName(*app)
+	if prof == nil {
+		log.Fatalf("unknown application %q", *app)
+	}
+	dur := sim.Duration((*duration).Nanoseconds())
+	fmt.Printf("tracing %s for %v (seed %d)...\n", prof.Name, *duration, *seed)
+	run := workload.New(prof, workload.Options{Duration: dur, Seed: *seed})
+	tr := run.Execute()
+	fmt.Printf("collected %d events (%d lost)\n", len(tr.Events), tr.Lost)
+
+	rep := noise.Analyze(tr, run.AnalysisOptions())
+	if *report {
+		fmt.Println()
+		fmt.Print(rep.BreakdownString())
+		fmt.Println()
+		for _, k := range []noise.Key{
+			noise.KeyTimerIRQ, noise.KeyTimerSoftIRQ, noise.KeyPageFault,
+			noise.KeySchedule, noise.KeyRCU, noise.KeyRebalance,
+			noise.KeyNetIRQ, noise.KeyNetRx, noise.KeyNetTx,
+			noise.KeyPreemption, noise.KeySyscall,
+		} {
+			fmt.Println(rep.TableRow(k))
+		}
+	}
+	if *timeline {
+		fmt.Println()
+		fmt.Print(chart.Timeline(rep, 0, int64(dur), 110))
+		fmt.Print(chart.Legend())
+	}
+	if *tracOut != "" {
+		enc := trace.Write
+		if *compress {
+			enc = trace.WriteCompressed
+		}
+		writeFile(*tracOut, func(f *os.File) error { return enc(f, tr) })
+		fmt.Printf("binary trace written to %s\n", *tracOut)
+	}
+	if *chrome != "" {
+		writeFile(*chrome, func(f *os.File) error { return chrometrace.Export(f, rep) })
+		fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev)\n", *chrome)
+	}
+	if *paraver != "" {
+		writeParaver(*paraver, rep, int64(dur))
+	}
+	if *csvOut != "" {
+		writeFile(*csvOut, func(f *os.File) error {
+			return export.WriteCSV(f, []string{"seconds", "interruption_ns"},
+				export.InterruptionSeries(rep, 0))
+		})
+		fmt.Printf("synthetic chart series written to %s\n", *csvOut)
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeParaver(prefix string, rep *noise.Report, durNS int64) {
+	writeFile(prefix+".prv", func(f *os.File) error { return paraver.Export(f, rep, durNS) })
+	writeFile(prefix+".pcf", func(f *os.File) error { return paraver.ExportPCF(f) })
+	writeFile(prefix+".row", func(f *os.File) error { return paraver.ExportROW(f, rep.CPUs) })
+	fmt.Printf("paraver trace written to %s.{prv,pcf,row}\n", prefix)
+}

@@ -1,0 +1,110 @@
+// Command noisebench regenerates the paper's evaluation: every table
+// (I–VI) and figure (1–10), the tracer-overhead measurement and the
+// noise-at-scale extension.
+//
+// Usage:
+//
+//	noisebench                         # run everything (20 s virtual runs)
+//	noisebench -exp table1,fig4        # selected experiments
+//	noisebench -duration 60s -seed 7   # longer runs, different seed
+//	noisebench -data out/              # also dump CSV series per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"osnoise/internal/experiments"
+	"osnoise/internal/export"
+	"osnoise/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noisebench: ")
+	var (
+		exps     = flag.String("exp", "all", "comma-separated experiment ids, or all: "+strings.Join(experiments.IDs(), ","))
+		duration = flag.Duration("duration", 20*time.Second, "virtual run length per application")
+		ftqDur   = flag.Duration("ftq-duration", 5*time.Second, "virtual FTQ run length")
+		seed     = flag.Uint64("seed", 2011, "simulation seed")
+		dataDir  = flag.String("data", "", "directory for CSV data dumps")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ctx := experiments.NewContext(sim.Duration((*duration).Nanoseconds()), *seed)
+	ctx.FTQDuration = sim.Duration((*ftqDur).Nanoseconds())
+
+	var results []*experiments.Result
+	if *exps == "all" {
+		results = experiments.All(ctx)
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			r := experiments.ByID(ctx, id)
+			if r == nil {
+				log.Fatalf("unknown experiment %q (use -list)", id)
+			}
+			results = append(results, r)
+		}
+	}
+
+	for _, r := range results {
+		fmt.Printf("==== %s — %s ====\n\n", r.ID, r.Title)
+		fmt.Println(r.Text)
+		if *dataDir != "" && len(r.Data) > 0 {
+			if err := dumpData(*dataDir, r); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *dataDir != "" {
+		fmt.Printf("data series written under %s\n", *dataDir)
+	}
+}
+
+func dumpData(dir string, r *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(r.Data))
+	for name := range r.Data {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", r.ID, strings.ToLower(name)))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		rows := r.Data[name]
+		header := make([]string, 0)
+		if len(rows) > 0 {
+			for i := range rows[0] {
+				header = append(header, fmt.Sprintf("c%d", i))
+			}
+		}
+		err = export.WriteCSV(f, header, rows)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

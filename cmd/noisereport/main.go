@@ -1,0 +1,173 @@
+// Command noisereport analyses a saved binary trace (produced by
+// lttng-noise -trace) offline: the noise breakdown, per-event tables,
+// top interruptions, and optional exports — the offline half of the
+// LTTNG-NOISE pipeline, usable on traces from other sessions.
+//
+// Usage:
+//
+//	noisereport trace.lttn
+//	noisereport -top 20 -timeline -paraver out trace.lttn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"osnoise/internal/chart"
+	"osnoise/internal/chrometrace"
+	"osnoise/internal/export"
+	"osnoise/internal/noise"
+	"osnoise/internal/paraver"
+	"osnoise/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noisereport: ")
+	var (
+		top       = flag.Int("top", 10, "show the N largest interruptions")
+		timeline  = flag.Bool("timeline", false, "print the execution-trace timeline")
+		prvPrefix = flag.String("paraver", "", "write <prefix>.prv/.pcf/.row")
+		nesting   = flag.Bool("nesting", true, "attribute nested events (disable for ablation)")
+		runnable  = flag.Bool("runnable-filter", true, "count noise only while an app is runnable")
+		gap       = flag.Int64("gap", 1000, "interruption merge gap in ns")
+		fromNS    = flag.Int64("from", 0, "analyse only events at/after this ns timestamp")
+		toNS      = flag.Int64("to", 0, "analyse only events at/before this ns timestamp (0 = end)")
+		perCPU    = flag.Bool("per-cpu", false, "print per-CPU noise totals")
+		chrome    = flag.String("chrome", "", "write a Chrome/Perfetto trace JSON here")
+		periods   = flag.Bool("periods", false, "detect periodic noise sources per CPU")
+		comps     = flag.Bool("compositions", false, "summarise interruptions by composition")
+		jsonOut   = flag.String("json", "", "write the analysis summary as JSON here")
+		compare   = flag.String("compare", "", "second trace: print a before/after noise diff")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: noisereport [flags] <trace file>")
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.ReadAny(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d events on %d CPUs, %.3f s, %d lost\n",
+		len(tr.Events), tr.CPUs, tr.DurationSeconds(), tr.Lost)
+
+	opts := noise.DefaultOptions()
+	opts.AttributeNesting = *nesting
+	opts.RunnableFilter = *runnable
+	opts.GapNS = *gap
+	opts.FromNS = *fromNS
+	opts.ToNS = *toNS
+	rep := noise.Analyze(tr, opts)
+
+	fmt.Println()
+	fmt.Print(rep.BreakdownString())
+	fmt.Println()
+	for k := noise.Key(0); k < noise.NumKeys; k++ {
+		if rep.Stats(k).Summary.Count > 0 {
+			fmt.Println(rep.TableRow(k))
+		}
+	}
+	if rep.Dropped > 0 {
+		fmt.Printf("(%d spans dropped at trace boundaries)\n", rep.Dropped)
+	}
+
+	if *comps {
+		fmt.Println("\ninterruption compositions (by total noise):")
+		for i, cs := range rep.Compositions() {
+			if i >= 12 {
+				break
+			}
+			fmt.Printf("  %-55s n=%-7d total=%9.3fms  [%d..%d ns]\n",
+				cs.Signature, cs.Count, float64(cs.TotalNS)/1e6, cs.MinNS, cs.MaxNS)
+		}
+	}
+	if *periods {
+		fmt.Println("\ndetected periodic noise sources:")
+		for cpu := int32(0); cpu < int32(rep.CPUs); cpu++ {
+			cands := noise.DetectPeriods(rep, cpu, 1_000_000, 100_000_000, 3)
+			for _, cand := range cands {
+				fmt.Printf("  cpu%-2d period %8.3f ms  score %.2f  (~%d events)\n",
+					cpu, float64(cand.PeriodNS)/1e6, cand.Score, cand.Count)
+			}
+		}
+	}
+	if *perCPU {
+		fmt.Println("\nper-CPU noise:")
+		for cpu, ns := range rep.PerCPUNoise() {
+			fmt.Printf("  cpu%-2d %12.3f ms\n", cpu, float64(ns)/1e6)
+		}
+	}
+	if *top > 0 {
+		fmt.Printf("\ntop %d interruptions:\n", *top)
+		for _, in := range rep.TopInterruptions(*top) {
+			fmt.Printf("  cpu%d @ %12.6f s: %s\n", in.CPU, float64(in.Start)/1e9, in.Describe())
+		}
+	}
+	if *timeline {
+		first, last := tr.Span()
+		fmt.Println()
+		fmt.Print(chart.Timeline(rep, first, last, 110))
+		fmt.Print(chart.Legend())
+	}
+	if *compare != "" {
+		f2, err := os.Open(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr2, err := trace.ReadAny(f2)
+		f2.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep2 := noise.Analyze(tr2, opts)
+		fmt.Printf("\ndiff vs %s:\n", *compare)
+		fmt.Print(noise.DiffString(rep, rep2))
+	}
+	if *jsonOut != "" {
+		out, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := export.WriteReportJSON(out, rep); err != nil {
+			log.Fatal(err)
+		}
+		out.Close()
+		fmt.Printf("json summary written to %s\n", *jsonOut)
+	}
+	if *chrome != "" {
+		out, err := os.Create(*chrome)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := chrometrace.Export(out, rep); err != nil {
+			log.Fatal(err)
+		}
+		out.Close()
+		fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev)\n", *chrome)
+	}
+	if *prvPrefix != "" {
+		_, last := tr.Span()
+		write := func(path string, fn func(*os.File) error) {
+			out, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer out.Close()
+			if err := fn(out); err != nil {
+				log.Fatal(err)
+			}
+		}
+		write(*prvPrefix+".prv", func(o *os.File) error { return paraver.Export(o, rep, last) })
+		write(*prvPrefix+".pcf", func(o *os.File) error { return paraver.ExportPCF(o) })
+		write(*prvPrefix+".row", func(o *os.File) error { return paraver.ExportROW(o, rep.CPUs) })
+		fmt.Printf("paraver trace written to %s.{prv,pcf,row}\n", *prvPrefix)
+	}
+}

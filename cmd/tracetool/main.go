@@ -1,0 +1,142 @@
+// Command tracetool manipulates LTTNG-NOISE trace files, in the spirit
+// of babeltrace: textual dumps, filtering, format conversion, merging
+// of per-node traces and quick statistics.
+//
+// Usage:
+//
+//	tracetool dump  [-limit N] trace.lttn
+//	tracetool stat  trace.lttn
+//	tracetool filter -cpu 0 -from 1000000 -to 2000000 -events irq_entry,irq_exit -o out.lttn trace.lttn
+//	tracetool convert -compress -o out.lttnz trace.lttn
+//	tracetool merge -o merged.lttn node0.lttn node1.lttn ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"osnoise/internal/trace"
+	"osnoise/internal/tracetool"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracetool: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: tracetool <dump|stat|filter|convert|merge> [flags] <trace...>")
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "dump":
+		fs := flag.NewFlagSet("dump", flag.ExitOnError)
+		limit := fs.Int("limit", 0, "maximum lines (0 = all)")
+		parse(fs, args, 1)
+		tr := load(fs.Arg(0))
+		if err := tracetool.Dump(os.Stdout, tr, *limit); err != nil {
+			log.Fatal(err)
+		}
+	case "stat":
+		fs := flag.NewFlagSet("stat", flag.ExitOnError)
+		parse(fs, args, 1)
+		if err := tracetool.Stat(load(fs.Arg(0))).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "filter":
+		fs := flag.NewFlagSet("filter", flag.ExitOnError)
+		cpu := fs.Int("cpu", -1, "keep only this CPU (-1 = all)")
+		from := fs.Int64("from", 0, "start of the kept window (ns)")
+		to := fs.Int64("to", 0, "end of the kept window (ns, 0 = end)")
+		events := fs.String("events", "", "comma-separated tracepoint names to keep")
+		out := fs.String("o", "", "output file (required)")
+		parse(fs, args, 1)
+		if *out == "" {
+			log.Fatal("filter: -o required")
+		}
+		f := tracetool.Filter{CPU: int32(*cpu), FromNS: *from, ToNS: *to}
+		if *events != "" {
+			f.Names = splitComma(*events)
+		}
+		save(*out, f.Apply(load(fs.Arg(0))), false)
+	case "convert":
+		fs := flag.NewFlagSet("convert", flag.ExitOnError)
+		compress := fs.Bool("compress", false, "write the varint-compressed format")
+		out := fs.String("o", "", "output file (required)")
+		parse(fs, args, 1)
+		if *out == "" {
+			log.Fatal("convert: -o required")
+		}
+		save(*out, load(fs.Arg(0)), *compress)
+	case "merge":
+		fs := flag.NewFlagSet("merge", flag.ExitOnError)
+		out := fs.String("o", "", "output file (required)")
+		if err := fs.Parse(args); err != nil {
+			log.Fatal(err)
+		}
+		if *out == "" || fs.NArg() == 0 {
+			log.Fatal("merge: -o and at least one input required")
+		}
+		traces := make([]*trace.Trace, 0, fs.NArg())
+		for _, path := range fs.Args() {
+			traces = append(traces, load(path))
+		}
+		merged := tracetool.Merge(traces...)
+		save(*out, merged, false)
+		fmt.Printf("merged %d traces: %d events on %d CPUs\n",
+			len(traces), len(merged.Events), merged.CPUs)
+	default:
+		log.Fatalf("unknown subcommand %q", cmd)
+	}
+}
+
+func parse(fs *flag.FlagSet, args []string, positional int) {
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	if fs.NArg() != positional {
+		log.Fatalf("%s: expected %d trace file argument(s)", fs.Name(), positional)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func load(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadAny(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return tr
+}
+
+func save(path string, tr *trace.Trace, compress bool) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	enc := trace.Write
+	if compress {
+		enc = trace.WriteCompressed
+	}
+	if err := enc(f, tr); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package osnoise_test
+
+import (
+	"fmt"
+
+	"osnoise"
+)
+
+// ExampleAnalyze traces a short SPHOT run and prints its timer-tick
+// statistics — the Table V workflow.
+func ExampleAnalyze() {
+	run := osnoise.NewRun(osnoise.SPHOT(), osnoise.RunOptions{
+		Duration: osnoise.Second,
+		Seed:     2011,
+	})
+	tr := run.Execute()
+	report := osnoise.Analyze(tr, run.AnalysisOptions())
+	ks := report.Stats(osnoise.KeyTimerIRQ)
+	fmt.Printf("timer interrupts: %.0f ev/s per CPU\n", ks.Freq(report.Seconds, report.CPUs))
+	fmt.Printf("page faults seen: %v\n", report.Stats(osnoise.KeyPageFault).Summary.Count > 0)
+}
+
+// ExampleInterruption_Describe shows the per-spike composition that
+// enables the paper's noise disambiguation.
+func ExampleInterruption_Describe() {
+	in := osnoise.Interruption{
+		Total: 2902,
+		Components: []osnoise.Component{
+			{Key: osnoise.KeyTimerIRQ, Own: 2648},
+			{Key: osnoise.KeyTimerSoftIRQ, Own: 254},
+		},
+	}
+	fmt.Println(in.Describe())
+	// Output: timer_interrupt (2648ns) + run_timer_softirq (254ns) = 2902ns
+}
+
+// ExampleRunCluster scales a synthetic noise model to 64 nodes.
+func ExampleRunCluster() {
+	res := osnoise.RunCluster(osnoise.ClusterConfig{
+		Nodes: 64, RanksPerNode: 8,
+		Granularity: osnoise.Millisecond,
+		Iterations:  100, Seed: 1,
+		Model: osnoise.NoiseModel{RatePerSec: 100, Durations: []int64{50_000}},
+	})
+	fmt.Printf("slowdown at 64 nodes: %.2f\n", res.Slowdown())
+	// Output: slowdown at 64 nodes: 1.10
+}

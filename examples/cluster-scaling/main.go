@@ -1,0 +1,47 @@
+// Cluster scaling (extension): feed the single-node noise measurement
+// into a bulk-synchronous cluster model and watch sub-1% noise inflate
+// with node count — then recover it by moving daemon/interrupt work off
+// the compute cores, the mitigation Petrini et al. measured at 1.87x.
+package main
+
+import (
+	"fmt"
+
+	"osnoise"
+)
+
+func main() {
+	// Measure LAMMPS noise on one node (preemption-dominated: the worst
+	// case for bulk-synchronous scaling).
+	run := osnoise.NewRun(osnoise.LAMMPS(), osnoise.RunOptions{
+		Duration: 5 * osnoise.Second,
+		Seed:     2011,
+	})
+	tr := run.Execute()
+	report := osnoise.Analyze(tr, run.AnalysisOptions())
+	fmt.Printf("single-node noise: %.3f%% of CPU time, %.1f%% of it preemption\n\n",
+		100*report.NoiseFraction(), 100*report.CategoryFraction(osnoise.CatPreemption))
+
+	full := osnoise.NoiseModelFromReport(report)
+	mitigated := osnoise.NoiseModelExcluding(report, osnoise.CatPreemption, osnoise.CatIO)
+
+	fmt.Println("allreduce at 1 ms granularity, 8 ranks/node:")
+	fmt.Printf("%8s %12s %12s %12s\n", "nodes", "slowdown", "mitigated", "gain")
+	for _, nodes := range []int{1, 4, 16, 64, 256, 1024} {
+		base := osnoise.ClusterConfig{
+			Nodes: nodes, RanksPerNode: 8,
+			Granularity: osnoise.Millisecond,
+			Iterations:  400, Seed: 9,
+		}
+		cfgF := base
+		cfgF.Model = full
+		cfgM := base
+		cfgM.Model = mitigated
+		rf := osnoise.RunCluster(cfgF)
+		rm := osnoise.RunCluster(cfgM)
+		fmt.Printf("%8d %12.3f %12.3f %11.2fx\n",
+			nodes, rf.Slowdown(), rm.Slowdown(), rf.Slowdown()/rm.Slowdown())
+	}
+	fmt.Println("\nthe same noise that costs <1% on one node dominates at scale;")
+	fmt.Println("isolating system activity recovers most of the loss.")
+}

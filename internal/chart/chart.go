@@ -1,0 +1,179 @@
+// Package chart renders the paper's figures as deterministic ASCII art:
+// spike series (the FTQ output and the synthetic OS noise chart of
+// Fig. 1/9), execution-trace timelines (Figs. 2, 5, 7), and duration
+// histograms (Figs. 4, 6, 8) via stats.Histogram.Render.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"osnoise/internal/noise"
+)
+
+// Spikes renders a (seconds, value) series as a vertical-spike chart:
+// time flows left to right over width columns; each column shows the
+// maximum value falling into it, scaled to height rows. It is the ASCII
+// equivalent of the paper's FTQ / synthetic-noise charts.
+func Spikes(series [][]float64, width, height int, unit string) string {
+	if len(series) == 0 {
+		return "(empty series)\n"
+	}
+	t0 := series[0][0]
+	t1 := series[len(series)-1][0]
+	if t1 <= t0 {
+		t1 = t0 + 1e-9
+	}
+	cols := make([]float64, width)
+	for _, p := range series {
+		c := int((p[0] - t0) / (t1 - t0) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		if p[1] > cols[c] {
+			cols[c] = p[1]
+		}
+	}
+	var max float64
+	for _, v := range cols {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var sb strings.Builder
+	for row := height; row >= 1; row-- {
+		thresh := float64(row-1) / float64(height) * max
+		fmt.Fprintf(&sb, "%10.1f |", max*float64(row)/float64(height))
+		for _, v := range cols {
+			if v > thresh && v > 0 {
+				sb.WriteString("|")
+			} else {
+				sb.WriteString(" ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%10s +%s\n", unit, strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%10s  %-*.3fs%*.3fs\n", "", width/2, t0, width-width/2-1, t1)
+	return sb.String()
+}
+
+// timelineGlyphs maps activity keys to single characters for trace
+// timelines, echoing the paper's colour legend (timer black, page fault
+// red, preemption green, schedule orange).
+var timelineGlyphs = map[noise.Key]byte{
+	noise.KeyTimerIRQ:     'T',
+	noise.KeyTimerSoftIRQ: 't',
+	noise.KeyPageFault:    'F',
+	noise.KeySchedule:     's',
+	noise.KeyPreemption:   'P',
+	noise.KeyNetIRQ:       'N',
+	noise.KeyNetRx:        'r',
+	noise.KeyNetTx:        'x',
+	noise.KeyRCU:          'c',
+	noise.KeyRebalance:    'b',
+	noise.KeySyscall:      'y',
+}
+
+// GlyphOf returns the timeline character for a key ('?' if unmapped).
+func GlyphOf(k noise.Key) byte {
+	if g, ok := timelineGlyphs[k]; ok {
+		return g
+	}
+	return '?'
+}
+
+// Legend lists the timeline glyphs.
+func Legend() string {
+	var sb strings.Builder
+	order := []noise.Key{
+		noise.KeyTimerIRQ, noise.KeyTimerSoftIRQ, noise.KeyPageFault,
+		noise.KeySchedule, noise.KeyPreemption, noise.KeyNetIRQ,
+		noise.KeyNetRx, noise.KeyNetTx, noise.KeyRCU, noise.KeyRebalance,
+		noise.KeySyscall,
+	}
+	for _, k := range order {
+		fmt.Fprintf(&sb, "  %c = %s\n", GlyphOf(k), k)
+	}
+	return sb.String()
+}
+
+// Timeline renders the spans of a report within [fromNS, toNS] as one
+// row per CPU, width columns wide — the execution-trace view of
+// Figs. 2, 5 and 7. A column shows the glyph of the longest activity
+// overlapping it ('.' = application running). keys, when non-empty,
+// filters to those activity types (the paper's event filters).
+func Timeline(r *noise.Report, fromNS, toNS int64, width int, keys ...noise.Key) string {
+	if toNS <= fromNS || width <= 0 {
+		return "(empty timeline)\n"
+	}
+	keep := map[noise.Key]bool{}
+	for _, k := range keys {
+		keep[k] = true
+	}
+	type cell struct {
+		glyph byte
+		wall  int64
+	}
+	rows := make([][]cell, r.CPUs)
+	for i := range rows {
+		rows[i] = make([]cell, width)
+	}
+	span := float64(toNS - fromNS)
+	for _, s := range r.Spans {
+		if len(keep) > 0 && !keep[s.Key] {
+			continue
+		}
+		end := s.Start + s.Wall
+		if end < fromNS || s.Start > toNS || int(s.CPU) >= r.CPUs {
+			continue
+		}
+		c0 := int(math.Floor(float64(s.Start-fromNS) / span * float64(width)))
+		c1 := int(math.Floor(float64(end-fromNS) / span * float64(width)))
+		if c0 < 0 {
+			c0 = 0
+		}
+		if c1 >= width {
+			c1 = width - 1
+		}
+		for c := c0; c <= c1; c++ {
+			if s.Wall > rows[s.CPU][c].wall {
+				rows[s.CPU][c] = cell{GlyphOf(s.Key), s.Wall}
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %.3fms..%.3fms (%c per activity, . = user code)\n",
+		float64(fromNS)/1e6, float64(toNS)/1e6, '#')
+	for cpu, row := range rows {
+		fmt.Fprintf(&sb, "cpu%-2d |", cpu)
+		for _, c := range row {
+			if c.glyph == 0 {
+				sb.WriteByte('.')
+			} else {
+				sb.WriteByte(c.glyph)
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// Breakdown renders the per-category noise shares as a horizontal bar
+// chart — the ASCII analogue of the paper's Figure 3.
+func Breakdown(r *noise.Report, width int) string {
+	var sb strings.Builder
+	for c := noise.CatPeriodic; c <= noise.CatIO; c++ {
+		frac := r.CategoryFraction(c)
+		bar := int(math.Round(frac * float64(width)))
+		fmt.Fprintf(&sb, "%-12s %6.1f%% |%-*s|\n", c.String(), 100*frac, width, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

@@ -1,0 +1,105 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+
+	"osnoise/internal/noise"
+)
+
+func TestSpikes(t *testing.T) {
+	series := [][]float64{{0, 0}, {1, 5000}, {2, 0}, {3, 8000}, {4, 0}}
+	out := Spikes(series, 40, 6, "ns")
+	if !strings.Contains(out, "|") {
+		t.Fatalf("no spikes rendered:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 { // 6 rows + axis + labels
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSpikesEmpty(t *testing.T) {
+	if out := Spikes(nil, 10, 4, "ns"); !strings.Contains(out, "empty") {
+		t.Fatalf("empty series output %q", out)
+	}
+}
+
+func TestSpikesSinglePoint(t *testing.T) {
+	out := Spikes([][]float64{{1.0, 42}}, 10, 3, "ns")
+	if !strings.Contains(out, "|") {
+		t.Fatalf("single point lost:\n%s", out)
+	}
+}
+
+func sampleReport() *noise.Report {
+	r := &noise.Report{CPUs: 2, Seconds: 0.001}
+	r.Spans = []noise.Span{
+		{Key: noise.KeyTimerIRQ, CPU: 0, Start: 100_000, Wall: 50_000, Own: 50_000, Noise: true},
+		{Key: noise.KeyPageFault, CPU: 1, Start: 400_000, Wall: 80_000, Own: 80_000, Noise: true},
+		{Key: noise.KeyPreemption, CPU: 0, Start: 700_000, Wall: 100_000, Own: 100_000, Noise: true},
+	}
+	r.TotalNoiseNS = 230_000
+	r.Breakdown[noise.CatPeriodic] = 50_000
+	r.Breakdown[noise.CatPageFault] = 80_000
+	r.Breakdown[noise.CatPreemption] = 100_000
+	return r
+}
+
+func TestTimeline(t *testing.T) {
+	r := sampleReport()
+	out := Timeline(r, 0, 1_000_000, 50)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 cpus
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "T") || !strings.Contains(lines[1], "P") {
+		t.Fatalf("cpu0 row missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "F") {
+		t.Fatalf("cpu1 row missing page fault:\n%s", out)
+	}
+}
+
+func TestTimelineFilter(t *testing.T) {
+	r := sampleReport()
+	out := Timeline(r, 0, 1_000_000, 50, noise.KeyPageFault)
+	if strings.Contains(out, "T") || strings.Contains(out, "P") {
+		t.Fatalf("filter leaked other keys:\n%s", out)
+	}
+	if !strings.Contains(out, "F") {
+		t.Fatalf("filtered key missing:\n%s", out)
+	}
+}
+
+func TestTimelineEmptyRange(t *testing.T) {
+	if out := Timeline(sampleReport(), 100, 100, 10); !strings.Contains(out, "empty") {
+		t.Fatalf("bad-range output %q", out)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	out := Breakdown(sampleReport(), 30)
+	if !strings.Contains(out, "page fault") || !strings.Contains(out, "#") {
+		t.Fatalf("breakdown malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "43.5%") { // 100000/230000
+		t.Fatalf("preemption share wrong:\n%s", out)
+	}
+}
+
+func TestGlyphsDistinct(t *testing.T) {
+	seen := map[byte]noise.Key{}
+	for k, g := range timelineGlyphs {
+		if prev, dup := seen[g]; dup {
+			t.Fatalf("glyph %c shared by %v and %v", g, prev, k)
+		}
+		seen[g] = k
+	}
+	if GlyphOf(noise.KeyOther) != '?' {
+		t.Fatal("unmapped key should render '?'")
+	}
+	if !strings.Contains(Legend(), "page_fault") {
+		t.Fatal("legend incomplete")
+	}
+}

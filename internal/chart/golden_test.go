@@ -1,0 +1,81 @@
+package chart
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"osnoise/internal/noise"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against the named golden file, rewriting it when
+// -update is passed. Figure rendering is deterministic, so any diff is
+// an (intentional or not) rendering change.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s: rendering changed.\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+	}
+}
+
+func goldenSeries() [][]float64 {
+	s := make([][]float64, 0, 50)
+	for i := 0; i < 50; i++ {
+		v := 0.0
+		if i%10 == 0 {
+			v = 4000 + float64(i)*10
+		}
+		if i == 25 {
+			v = 9000
+		}
+		s = append(s, []float64{float64(i) * 0.001, v})
+	}
+	return s
+}
+
+func goldenReport() *noise.Report {
+	r := &noise.Report{CPUs: 2, Seconds: 0.001}
+	r.Spans = []noise.Span{
+		{Key: noise.KeyTimerIRQ, CPU: 0, Start: 100_000, Wall: 40_000, Own: 40_000, Noise: true},
+		{Key: noise.KeyTimerSoftIRQ, CPU: 0, Start: 140_000, Wall: 30_000, Own: 30_000, Noise: true},
+		{Key: noise.KeyPageFault, CPU: 1, Start: 300_000, Wall: 80_000, Own: 80_000, Noise: true},
+		{Key: noise.KeyPreemption, CPU: 0, Start: 600_000, Wall: 150_000, Own: 150_000, Noise: true},
+		{Key: noise.KeyNetRx, CPU: 1, Start: 800_000, Wall: 60_000, Own: 60_000, Noise: true},
+	}
+	r.TotalNoiseNS = 360_000
+	r.Breakdown[noise.CatPeriodic] = 70_000
+	r.Breakdown[noise.CatPageFault] = 80_000
+	r.Breakdown[noise.CatPreemption] = 150_000
+	r.Breakdown[noise.CatIO] = 60_000
+	return r
+}
+
+func TestGoldenSpikes(t *testing.T) {
+	golden(t, "spikes.golden", Spikes(goldenSeries(), 60, 6, "ns"))
+}
+
+func TestGoldenTimeline(t *testing.T) {
+	golden(t, "timeline.golden", Timeline(goldenReport(), 0, 1_000_000, 60))
+}
+
+func TestGoldenBreakdown(t *testing.T) {
+	golden(t, "breakdown.golden", Breakdown(goldenReport(), 30))
+}
+
+func TestGoldenLegend(t *testing.T) {
+	golden(t, "legend.golden", Legend())
+}

@@ -1,0 +1,105 @@
+// Package chrometrace exports OS-noise analyses in the Chrome Trace
+// Event Format (the JSON array consumed by chrome://tracing and
+// Perfetto), as a modern complement to the Paraver export: every kernel
+// activity span becomes a complete event ("ph":"X") on its CPU's track,
+// with the noise category as the colour-determining event category.
+package chrometrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"osnoise/internal/noise"
+)
+
+// event is one Trace Event Format record. Durations and timestamps are
+// microseconds (floats), per the format specification.
+type event struct {
+	Name     string         `json:"name"`
+	Category string         `json:"cat"`
+	Phase    string         `json:"ph"`
+	TS       float64        `json:"ts"`
+	Dur      float64        `json:"dur,omitempty"`
+	PID      int            `json:"pid"`
+	TID      int            `json:"tid"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// Export writes the report's spans as a Chrome trace. Each CPU is a
+// thread (tid) of a single "node" process; interruption totals are
+// attached as counter events for a noise-over-time track.
+func Export(w io.Writer, r *noise.Report) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	events := make([]event, 0, len(r.Spans)+len(r.Interruptions)+r.CPUs)
+
+	for cpu := 0; cpu < r.CPUs; cpu++ {
+		events = append(events, event{
+			Name: "thread_name", Phase: "M", PID: 1, TID: cpu,
+			Args: map[string]any{"name": fmt.Sprintf("cpu%d", cpu)},
+		})
+	}
+	for _, s := range r.Spans {
+		events = append(events, event{
+			Name:     s.Key.String(),
+			Category: noise.CategoryOf(s.Key).String(),
+			Phase:    "X",
+			TS:       float64(s.Start) / 1e3,
+			Dur:      float64(s.Wall) / 1e3,
+			PID:      1,
+			TID:      int(s.CPU),
+			Args: map[string]any{
+				"own_ns": s.Own,
+				"noise":  s.Noise,
+			},
+		})
+	}
+	for _, in := range r.Interruptions {
+		events = append(events, event{
+			Name:     "interruption",
+			Category: "noise",
+			Phase:    "C",
+			TS:       float64(in.Start) / 1e3,
+			PID:      1,
+			TID:      int(in.CPU),
+			Args:     map[string]any{"total_ns": in.Total},
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		// Encode without the trailing newline json.Encoder adds.
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(raw); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Parse decodes an exported Chrome trace back into its events, for
+// round-trip verification.
+func Parse(r io.Reader) ([]map[string]any, error) {
+	var out []map[string]any
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("chrometrace: %w", err)
+	}
+	return out, nil
+}

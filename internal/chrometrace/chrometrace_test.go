@@ -1,0 +1,85 @@
+package chrometrace
+
+import (
+	"bytes"
+	"testing"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+	"osnoise/internal/workload"
+)
+
+func TestExportParse(t *testing.T) {
+	r := &noise.Report{CPUs: 2}
+	r.Spans = []noise.Span{
+		{Key: noise.KeyTimerIRQ, CPU: 0, Start: 1000, Wall: 2178, Own: 2178, Noise: true},
+		{Key: noise.KeyPageFault, CPU: 1, Start: 5000, Wall: 2913, Own: 2913, Noise: true},
+	}
+	r.Interruptions = []noise.Interruption{{CPU: 0, Start: 1000, End: 3178, Total: 2178}}
+	var buf bytes.Buffer
+	if err := Export(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 metadata + 2 spans + 1 counter.
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+	var sawTimer, sawCounter, sawMeta bool
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			if ev["name"] == "timer_interrupt" {
+				sawTimer = true
+				if ev["dur"].(float64) != 2.178 {
+					t.Fatalf("timer dur %v µs, want 2.178", ev["dur"])
+				}
+				if ev["cat"] != "periodic" {
+					t.Fatalf("timer cat %v", ev["cat"])
+				}
+			}
+		case "C":
+			sawCounter = true
+		case "M":
+			sawMeta = true
+		}
+	}
+	if !sawTimer || !sawCounter || !sawMeta {
+		t.Fatalf("missing record kinds: timer=%v counter=%v meta=%v", sawTimer, sawCounter, sawMeta)
+	}
+}
+
+func TestExportFullWorkload(t *testing.T) {
+	run := workload.New(workload.SPHOT(), workload.Options{Duration: 300 * sim.Millisecond, Seed: 9})
+	tr := run.Execute()
+	rep := noise.Analyze(tr, run.AnalysisOptions())
+	var buf bytes.Buffer
+	if err := Export(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 100 {
+		t.Fatalf("only %d events exported", len(events))
+	}
+	// Timestamps must be sorted.
+	prev := -1.0
+	for _, ev := range events {
+		ts := ev["ts"].(float64)
+		if ts < prev {
+			t.Fatal("events not time-sorted")
+		}
+		prev = ts
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}

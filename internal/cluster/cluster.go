@@ -1,0 +1,305 @@
+// Package cluster scales the single-node noise measurements up to a
+// cluster: a bulk-synchronous (allreduce-style) application where every
+// rank computes for a fixed granularity and then synchronises, so one
+// delayed rank delays everyone. This is the phenomenon that motivates
+// the paper (Petrini et al.'s missing supercomputer performance): noise
+// that costs well under 1 % on one node inflates dramatically at scale
+// because each iteration runs at the *maximum* per-rank delay.
+//
+// The per-rank noise model is sampled from a single-node analysis
+// (noise.Report) — interruption rate and duration distribution — so the
+// cluster experiment consumes exactly what LTTNG-NOISE measures. Rank
+// simulation is embarrassingly parallel and runs on all cores.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+)
+
+// NoiseModel samples the aggregate noise a rank suffers during one
+// compute window.
+type NoiseModel struct {
+	// RatePerSec is the interruption arrival rate per rank.
+	RatePerSec float64
+	// Durations is the empirical interruption-duration population
+	// (nanoseconds), sampled uniformly.
+	Durations []int64
+}
+
+// FromReport builds the noise model from a single-node analysis: the
+// interruption rate per CPU and the empirical interruption totals. If
+// categories is non-empty, only interruptions containing at least one
+// component of those categories are kept (used by the mitigation
+// experiment to strip daemon preemption noise).
+func FromReport(r *noise.Report, categories ...noise.Category) NoiseModel {
+	keep := map[noise.Category]bool{}
+	for _, c := range categories {
+		keep[c] = true
+	}
+	var durations []int64
+	for _, in := range r.Interruptions {
+		if len(keep) > 0 {
+			found := false
+			for _, comp := range in.Components {
+				if keep[noise.CategoryOf(comp.Key)] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		durations = append(durations, in.Total)
+	}
+	rate := 0.0
+	if r.Seconds > 0 && r.CPUs > 0 {
+		rate = float64(len(durations)) / r.Seconds / float64(r.CPUs)
+	}
+	return NoiseModel{RatePerSec: rate, Durations: durations}
+}
+
+// FromReportExcluding builds the model from interruptions that contain
+// NO component of the given categories — e.g. excluding CatPreemption
+// and CatIO models the paper-cited mitigation of dedicating a spare
+// core to daemons and interrupt handling.
+func FromReportExcluding(r *noise.Report, excluded ...noise.Category) NoiseModel {
+	drop := map[noise.Category]bool{}
+	for _, c := range excluded {
+		drop[c] = true
+	}
+	var durations []int64
+	for _, in := range r.Interruptions {
+		bad := false
+		for _, comp := range in.Components {
+			if drop[noise.CategoryOf(comp.Key)] {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			durations = append(durations, in.Total)
+		}
+	}
+	rate := 0.0
+	if r.Seconds > 0 && r.CPUs > 0 {
+		rate = float64(len(durations)) / r.Seconds / float64(r.CPUs)
+	}
+	return NoiseModel{RatePerSec: rate, Durations: durations}
+}
+
+// Sample returns the total noise suffered in one compute window of
+// length c: a Poisson number of interruptions, each with an empirical
+// duration.
+func (m *NoiseModel) Sample(rng *sim.RNG, c sim.Duration) int64 {
+	if m.RatePerSec <= 0 || len(m.Durations) == 0 {
+		return 0
+	}
+	mean := m.RatePerSec * float64(c) / 1e9
+	// Poisson count via exponential gaps (mean is small; cap defensively).
+	var count int
+	acc := rng.ExpFloat64()
+	for acc < mean && count < 10000 {
+		count++
+		acc += rng.ExpFloat64()
+	}
+	var total int64
+	for i := 0; i < count; i++ {
+		total += m.Durations[rng.Intn(len(m.Durations))]
+	}
+	return total
+}
+
+// Config describes a cluster run.
+type Config struct {
+	Nodes        int
+	RanksPerNode int
+	// Granularity is each iteration's per-rank compute time. Fine
+	// granularity (sub-ms) resonates with high-frequency noise.
+	Granularity sim.Duration
+	Iterations  int
+	Seed        uint64
+	Model       NoiseModel
+	// Workers bounds simulation parallelism (default NumCPU).
+	Workers int
+	// Synchronized models gang-scheduled / co-scheduled noise (Terry,
+	// Shan and Huttunen, paper ref [25]): periodic system activity is
+	// aligned across all ranks, so every rank pays the noise at the
+	// same moment and the per-iteration maximum equals the per-rank
+	// noise instead of the order statistic over all ranks.
+	Synchronized bool
+}
+
+// Result summarises a cluster run.
+type Result struct {
+	Config Config
+	// IdealNS is the noise-free runtime (Granularity × Iterations).
+	IdealNS int64
+	// ActualNS is the runtime with per-iteration max-of-ranks noise.
+	ActualNS int64
+	// NoiseShareSingleRank is the mean per-rank noise fraction, i.e.
+	// what a single-node measurement would report.
+	NoiseShareSingleRank float64
+	// MaxIterDelayNS is the largest single-iteration delay.
+	MaxIterDelayNS int64
+}
+
+// Slowdown returns ActualNS / IdealNS.
+func (r *Result) Slowdown() float64 {
+	if r.IdealNS == 0 {
+		return 0
+	}
+	return float64(r.ActualNS) / float64(r.IdealNS)
+}
+
+// Efficiency returns IdealNS / ActualNS.
+func (r *Result) Efficiency() float64 {
+	if r.ActualNS == 0 {
+		return 0
+	}
+	return float64(r.IdealNS) / float64(r.ActualNS)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%d nodes × %d ranks, %v granularity: slowdown %.3f (single-rank noise %.3f%%)",
+		r.Config.Nodes, r.Config.RanksPerNode, r.Config.Granularity,
+		r.Slowdown(), 100*r.NoiseShareSingleRank)
+}
+
+// Run simulates the bulk-synchronous application. Ranks are partitioned
+// across workers; each worker produces the per-iteration maximum delay
+// over its ranks, and the partial maxima are folded. Deterministic for
+// a given (Config.Seed, rank count, iteration count) regardless of
+// worker count.
+func Run(cfg Config) *Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	ranks := cfg.Nodes * cfg.RanksPerNode
+	if ranks <= 0 {
+		panic("cluster: no ranks")
+	}
+	res := &Result{
+		Config:  cfg,
+		IdealNS: int64(cfg.Granularity) * int64(cfg.Iterations),
+	}
+
+	workers := cfg.Workers
+	if workers > ranks {
+		workers = ranks
+	}
+	partialMax := make([][]int64, workers)
+	partialSum := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			maxes := make([]int64, cfg.Iterations)
+			var sum int64
+			for rank := w; rank < ranks; rank += workers {
+				// Per-rank deterministic stream independent of worker
+				// partitioning. Synchronized noise gives every rank the
+				// SAME stream: all ranks are interrupted together.
+				streamID := uint64(rank + 1)
+				if cfg.Synchronized {
+					streamID = 1
+				}
+				rng := sim.NewRNG(cfg.Seed ^ (0x9e3779b97f4a7c15 * streamID))
+				for it := 0; it < cfg.Iterations; it++ {
+					d := cfg.Model.Sample(rng, cfg.Granularity)
+					sum += d
+					if d > maxes[it] {
+						maxes[it] = d
+					}
+				}
+			}
+			partialMax[w] = maxes
+			partialSum[w] = sum
+		}()
+	}
+	wg.Wait()
+
+	var total, rankNoise int64
+	var maxDelay int64
+	for it := 0; it < cfg.Iterations; it++ {
+		var m int64
+		for w := 0; w < workers; w++ {
+			if partialMax[w][it] > m {
+				m = partialMax[w][it]
+			}
+		}
+		total += int64(cfg.Granularity) + m
+		if m > maxDelay {
+			maxDelay = m
+		}
+	}
+	for _, s := range partialSum {
+		rankNoise += s
+	}
+	res.ActualNS = total
+	res.MaxIterDelayNS = maxDelay
+	if res.IdealNS > 0 && ranks > 0 {
+		res.NoiseShareSingleRank = float64(rankNoise) / float64(ranks) / float64(res.IdealNS)
+	}
+	return res
+}
+
+// ScalingPoint is one point of a slowdown-vs-scale curve.
+type ScalingPoint struct {
+	Nodes    int
+	Slowdown float64
+}
+
+// ScalingCurve runs the experiment across node counts.
+func ScalingCurve(base Config, nodeCounts []int) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		cfg := base
+		cfg.Nodes = n
+		r := Run(cfg)
+		out = append(out, ScalingPoint{Nodes: n, Slowdown: r.Slowdown()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Nodes < out[j].Nodes })
+	return out
+}
+
+// ExpectedMaxFactor estimates how the expected per-iteration maximum
+// noise grows with the number of ranks for a given model — the analytic
+// intuition behind the measured curve (extreme-value growth ~ log N for
+// light tails, polynomial for heavy tails).
+func ExpectedMaxFactor(m NoiseModel, granularity sim.Duration, ranksA, ranksB int, seed uint64, trials int) float64 {
+	if trials <= 0 {
+		trials = 200
+	}
+	mean := func(ranks int) float64 {
+		rng := sim.NewRNG(seed)
+		var sum float64
+		for t := 0; t < trials; t++ {
+			var max int64
+			for r := 0; r < ranks; r++ {
+				if d := m.Sample(rng, granularity); d > max {
+					max = d
+				}
+			}
+			sum += float64(max)
+		}
+		return sum / float64(trials)
+	}
+	a, b := mean(ranksA), mean(ranksB)
+	if a == 0 {
+		return math.Inf(1)
+	}
+	return b / a
+}

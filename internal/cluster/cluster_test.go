@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"testing"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+	"osnoise/internal/workload"
+)
+
+// testModel is a synthetic noise model: 100 interruptions/s of 50 µs.
+func testModel() NoiseModel {
+	return NoiseModel{RatePerSec: 100, Durations: []int64{50_000}}
+}
+
+func TestRunBasics(t *testing.T) {
+	r := Run(Config{
+		Nodes: 16, RanksPerNode: 8,
+		Granularity: sim.Millisecond, Iterations: 200,
+		Seed: 1, Model: testModel(),
+	})
+	if r.IdealNS != int64(200*sim.Millisecond) {
+		t.Fatalf("ideal %d", r.IdealNS)
+	}
+	if r.ActualNS <= r.IdealNS {
+		t.Fatal("noise did not slow the application")
+	}
+	if r.Slowdown() <= 1 || r.Efficiency() >= 1 {
+		t.Fatalf("slowdown %.3f efficiency %.3f", r.Slowdown(), r.Efficiency())
+	}
+	// Single-rank noise share should be ~ rate × duration = 0.5 %.
+	if s := r.NoiseShareSingleRank; s < 0.002 || s > 0.012 {
+		t.Fatalf("single-rank noise share %.4f, want ~0.005", s)
+	}
+}
+
+// The headline phenomenon: slowdown grows with scale even though the
+// per-rank noise share is constant.
+func TestSlowdownGrowsWithScale(t *testing.T) {
+	base := Config{
+		RanksPerNode: 8, Granularity: sim.Millisecond,
+		Iterations: 300, Seed: 2,
+		Model: NoiseModel{RatePerSec: 20, Durations: []int64{20_000, 50_000, 400_000, 2_000_000}},
+	}
+	curve := ScalingCurve(base, []int{1, 8, 64, 512})
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Slowdown < curve[i-1].Slowdown {
+			t.Fatalf("slowdown not monotone: %+v", curve)
+		}
+	}
+	if curve[len(curve)-1].Slowdown < 1.05*curve[0].Slowdown {
+		t.Fatalf("no amplification at scale: %+v", curve)
+	}
+}
+
+// Determinism must be independent of worker count (the partition of
+// ranks across goroutines).
+func TestWorkerCountInvariance(t *testing.T) {
+	mk := func(workers int) *Result {
+		return Run(Config{
+			Nodes: 32, RanksPerNode: 4,
+			Granularity: 500 * sim.Microsecond, Iterations: 100,
+			Seed: 3, Model: testModel(), Workers: workers,
+		})
+	}
+	a, b, c := mk(1), mk(4), mk(13)
+	if a.ActualNS != b.ActualNS || b.ActualNS != c.ActualNS {
+		t.Fatalf("worker count changed the result: %d / %d / %d",
+			a.ActualNS, b.ActualNS, c.ActualNS)
+	}
+}
+
+func TestFromReport(t *testing.T) {
+	run := workload.New(workload.LAMMPS(), workload.Options{Duration: 2 * sim.Second, Seed: 4})
+	tr := run.Execute()
+	rep := noise.Analyze(tr, run.AnalysisOptions())
+	m := FromReport(rep)
+	if m.RatePerSec <= 0 || len(m.Durations) == 0 {
+		t.Fatalf("empty model from report: %+v", m.RatePerSec)
+	}
+	// Category filter keeps only preemption-bearing interruptions.
+	mp := FromReport(rep, noise.CatPreemption)
+	if len(mp.Durations) == 0 || len(mp.Durations) >= len(m.Durations) {
+		t.Fatalf("category filter wrong: %d vs %d", len(mp.Durations), len(m.Durations))
+	}
+}
+
+// Mitigation: stripping preemption noise (the idle-core trick of
+// Petrini et al.) must improve runtime at scale for a
+// preemption-dominated workload.
+func TestMitigationImproves(t *testing.T) {
+	run := workload.New(workload.LAMMPS(), workload.Options{Duration: 3 * sim.Second, Seed: 5})
+	tr := run.Execute()
+	rep := noise.Analyze(tr, run.AnalysisOptions())
+	full := FromReport(rep)
+	// Without preemption and I/O noise (moved to the spare core).
+	reduced := FromReportExcluding(rep, noise.CatPreemption, noise.CatIO)
+	base := Config{
+		Nodes: 256, RanksPerNode: 8,
+		Granularity: sim.Millisecond, Iterations: 200, Seed: 6,
+	}
+	cfgFull := base
+	cfgFull.Model = full
+	cfgRed := base
+	cfgRed.Model = reduced
+	rf, rr := Run(cfgFull), Run(cfgRed)
+	improvement := float64(rf.ActualNS) / float64(rr.ActualNS)
+	if improvement <= 1.05 {
+		t.Fatalf("mitigation improvement %.3f, want > 1.05 (full %.3f, reduced %.3f)",
+			improvement, rf.Slowdown(), rr.Slowdown())
+	}
+}
+
+func TestExpectedMaxFactorGrows(t *testing.T) {
+	m := NoiseModel{RatePerSec: 50, Durations: []int64{10_000, 100_000, 1_000_000}}
+	f := ExpectedMaxFactor(m, sim.Millisecond, 8, 4096, 7, 100)
+	if f <= 1 {
+		t.Fatalf("expected-max factor %.3f, want > 1", f)
+	}
+}
+
+func TestRunPanicsWithoutRanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero ranks")
+		}
+	}()
+	Run(Config{Granularity: sim.Millisecond, Iterations: 1, Model: testModel()})
+}
+
+func TestZeroNoiseModel(t *testing.T) {
+	r := Run(Config{
+		Nodes: 4, RanksPerNode: 2,
+		Granularity: sim.Millisecond, Iterations: 50,
+		Seed: 8, Model: NoiseModel{},
+	})
+	if r.ActualNS != r.IdealNS {
+		t.Fatalf("noise-free run slowed down: %d vs %d", r.ActualNS, r.IdealNS)
+	}
+	if r.Slowdown() != 1 {
+		t.Fatalf("slowdown %.3f", r.Slowdown())
+	}
+}
+
+// Co-scheduled (synchronized) noise removes the order-statistic
+// amplification: the slowdown at scale collapses to the single-rank
+// noise share (Terry et al., paper ref [25]).
+func TestSynchronizedNoiseRemovesAmplification(t *testing.T) {
+	base := Config{
+		Nodes: 512, RanksPerNode: 8,
+		Granularity: sim.Millisecond, Iterations: 200, Seed: 10,
+		Model: NoiseModel{RatePerSec: 50, Durations: []int64{20_000, 200_000}},
+	}
+	unsync := Run(base)
+	syncCfg := base
+	syncCfg.Synchronized = true
+	synced := Run(syncCfg)
+	if synced.Slowdown() >= unsync.Slowdown() {
+		t.Fatalf("synchronization did not help: %.3f vs %.3f",
+			synced.Slowdown(), unsync.Slowdown())
+	}
+	// Synchronized slowdown ≈ 1 + single-rank noise share.
+	want := 1 + synced.NoiseShareSingleRank
+	if got := synced.Slowdown(); got > want*1.05 {
+		t.Fatalf("synchronized slowdown %.4f, want ≈ %.4f", got, want)
+	}
+}

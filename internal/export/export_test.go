@@ -1,0 +1,131 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/stats"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"t", "v"}, [][]float64{{0.5, 100}, {1.5, 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "t,v\n0.5,100\n1.5,200\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteMatlab(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMatlab(&buf, "noise", [][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"noise = [", "1 2 ;", "3 4 ;", "];"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("matlab output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInterruptionSeries(t *testing.T) {
+	r := &noise.Report{CPUs: 2}
+	r.Interruptions = []noise.Interruption{
+		{CPU: 0, Start: 1_000_000_000, Total: 5000},
+		{CPU: 1, Start: 2_000_000_000, Total: 7000},
+		{CPU: 0, Start: 3_000_000_000, Total: 2000},
+	}
+	rows := InterruptionSeries(r, 0)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != 1.0 || rows[0][1] != 5000 {
+		t.Fatalf("row 0 = %v", rows[0])
+	}
+}
+
+func TestHistogramRows(t *testing.T) {
+	h := stats.NewHistogram(0, 100, 4, false)
+	h.Add(10)
+	h.Add(60)
+	h.Add(60)
+	rows := HistogramRows(h)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[2][1] != 2 {
+		t.Fatalf("bucket 2 count %v", rows[2][1])
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"app", "freq"}, [][]string{{"AMG", "1693"}, {"IRS", "1488"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "app") || !strings.Contains(lines[2], "AMG") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+	// Columns aligned: all lines equal length.
+	for i := 1; i < len(lines); i++ {
+		if len(strings.TrimRight(lines[i], " ")) > len(lines[0])+2 {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestStatRow(t *testing.T) {
+	ks := &noise.KeyStats{Key: noise.KeyPageFault}
+	for _, v := range []int64{250, 4380, 69_398_061} {
+		ks.Summary.Add(v)
+	}
+	row := StatRow("AMG", ks, 1.0, 1)
+	if row[0] != "AMG" || row[1] != "3" {
+		t.Fatalf("row = %v", row)
+	}
+	if row[3] != "69398061" || row[4] != "250" {
+		t.Fatalf("row = %v", row)
+	}
+	if len(StatTableHeader) != len(row) {
+		t.Fatal("header/row width mismatch")
+	}
+}
+
+func TestWriteReportJSON(t *testing.T) {
+	r := &noise.Report{CPUs: 2, Seconds: 1}
+	for k := noise.Key(0); k < noise.NumKeys; k++ {
+		r.PerKey[k] = &noise.KeyStats{Key: k}
+	}
+	r.Stats(noise.KeyTimerIRQ).Summary.Add(2178)
+	r.TotalNoiseNS = 2178
+	r.Breakdown[noise.CatPeriodic] = 2178
+	r.Spans = []noise.Span{{Key: noise.KeyTimerIRQ, CPU: 0, Start: 1, Wall: 2178, Own: 2178, Noise: true}}
+	r.Interruptions = []noise.Interruption{{CPU: 0, Start: 1, End: 2179, Total: 2178,
+		Components: []noise.Component{{Key: noise.KeyTimerIRQ, Start: 1, Own: 2178}}}}
+	var buf bytes.Buffer
+	if err := WriteReportJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid json: %v\n%s", err, buf.String())
+	}
+	if decoded["total_noise_ns"].(float64) != 2178 {
+		t.Fatalf("total wrong: %v", decoded["total_noise_ns"])
+	}
+	perKey := decoded["per_key"].(map[string]any)
+	if _, ok := perKey["timer_interrupt"]; !ok {
+		t.Fatalf("per_key missing timer_interrupt: %v", perKey)
+	}
+	if len(decoded["top_spikes"].([]any)) != 1 {
+		t.Fatal("top_spikes missing")
+	}
+}

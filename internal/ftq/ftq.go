@@ -1,0 +1,173 @@
+// Package ftq implements the Fixed Time Quantum micro-benchmark of
+// Sottile and Minnich, which the paper uses to validate LTTNG-NOISE
+// (§III): the benchmark counts how many basic operations complete in
+// each fixed time quantum; work missing from a quantum is an indirect
+// measurement of OS noise.
+//
+// Two implementations are provided:
+//
+//   - a simulated FTQ that runs as a workload on the simulated node,
+//     deriving its work counts from the task's own-execution time — so
+//     its measurements can be compared quantum by quantum against the
+//     tracer-based synthetic noise chart (Figure 1);
+//   - a native FTQ that runs on the host machine (cmd/ftq), showing the
+//     method on real hardware.
+//
+// FTQ reports missing work in *whole* basic operations, so it slightly
+// overestimates noise (a partially completed operation counts as
+// missing); the paper discusses exactly this discretisation artefact
+// when comparing Figures 1a and 1b. The simulated implementation
+// reproduces it faithfully via integer division.
+package ftq
+
+import (
+	"fmt"
+	"strings"
+
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+	"osnoise/internal/workload"
+)
+
+// Sample is one FTQ quantum measurement.
+type Sample struct {
+	Start sim.Time // quantum start (virtual ns)
+	End   sim.Time // quantum end; jitter pushes it past Start+Quantum
+	Ops   int64    // basic operations completed
+	// MissingNS is the noise estimate: work missing from the timed
+	// window, in whole operations. Because operations are integral,
+	// MissingNS slightly overestimates the true interruption time.
+	MissingNS int64
+}
+
+// Config parameterises a simulated FTQ run.
+type Config struct {
+	Quantum  sim.Duration // default 1 ms
+	OpTime   sim.Duration // cost of one basic operation; default 10 ns
+	Duration sim.Duration // default 5 s
+	Seed     uint64
+	// TracerEnabled runs LTTNG-NOISE alongside FTQ so the two
+	// measurements can be compared (Fig. 1); disable for a pure run.
+	TracerEnabled bool
+}
+
+// DefaultConfig returns the configuration used for Figure 1.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Quantum:       sim.Millisecond,
+		OpTime:        10 * sim.Nanosecond,
+		Duration:      5 * sim.Second,
+		Seed:          seed,
+		TracerEnabled: true,
+	}
+}
+
+// Result is a completed simulated FTQ run.
+type Result struct {
+	Config  Config
+	Samples []Sample
+	Run     *workload.Run // the underlying workload run
+	Trace   *trace.Trace  // the LTTNG-NOISE trace of the same run (nil if disabled)
+	Nmax    int64
+}
+
+// Execute runs FTQ on the simulated node and returns its measurements
+// plus the workload run (whose trace, if enabled, feeds the synthetic
+// noise chart for the same execution).
+func Execute(cfg Config) *Result {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = sim.Millisecond
+	}
+	if cfg.OpTime <= 0 {
+		cfg.OpTime = 10 * sim.Nanosecond
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * sim.Second
+	}
+	prof := workload.FTQProfile()
+	run := workload.New(prof, workload.Options{
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed,
+		CPUs:     1,
+		NoTrace:  !cfg.TracerEnabled,
+	})
+	res := &Result{Config: cfg, Run: run, Nmax: int64(cfg.Quantum / cfg.OpTime)}
+
+	task := run.Ranks[0]
+	node := run.Node
+	eng := node.Engine()
+
+	// The FTQ loop: it reads the clock only while executing its own
+	// code, so a quantum boundary falling inside a kernel interruption
+	// is observed late — exactly as on real hardware.
+	var sampleAt func(start sim.Time, userAtStart sim.Time)
+	sampleAt = func(start sim.Time, userAtStart sim.Time) {
+		eng.At(start+cfg.Quantum, sim.PrioTask, func(sim.Time) {
+			node.WhenUser(task, func(now sim.Time) {
+				task.CPU().SyncAccounting(now)
+				userNow := task.UserNS()
+				userDelta := userNow - userAtStart
+				// FTQ counts whole operations against the window it
+				// actually timed (a boundary observed late stretches the
+				// window). Both counts are floored, so partial operations
+				// are lost — the discretisation that makes FTQ slightly
+				// overestimate noise (§III-C).
+				windowOps := int64(now-start) / int64(cfg.OpTime)
+				ops := int64(userDelta) / int64(cfg.OpTime)
+				missing := (windowOps - ops) * int64(cfg.OpTime)
+				if missing < 0 {
+					missing = 0
+				}
+				res.Samples = append(res.Samples, Sample{
+					Start: start, End: now, Ops: ops, MissingNS: missing,
+				})
+				node.MarkQuantum(task, ops)
+				if now+cfg.Quantum <= cfg.Duration {
+					sampleAt(now, userNow)
+				}
+			})
+		})
+	}
+	sampleAt(0, 0)
+	res.Trace = run.Execute()
+	return res
+}
+
+// TotalMissingNS sums the noise FTQ observed.
+func (r *Result) TotalMissingNS() int64 {
+	var total int64
+	for _, s := range r.Samples {
+		total += s.MissingNS
+	}
+	return total
+}
+
+// NoisySamples returns the samples whose missing work exceeds threshold
+// nanoseconds (the spikes of Figure 1a).
+func (r *Result) NoisySamples(thresholdNS int64) []Sample {
+	var out []Sample
+	for _, s := range r.Samples {
+		if s.MissingNS > thresholdNS {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Series renders the (time, missing ns) series for export/plotting.
+func (r *Result) Series() [][]float64 {
+	out := make([][]float64, len(r.Samples))
+	for i, s := range r.Samples {
+		out[i] = []float64{s.Start.Seconds(), float64(s.MissingNS)}
+	}
+	return out
+}
+
+// String summarises the run.
+func (r *Result) String() string {
+	var sb strings.Builder
+	noisy := r.NoisySamples(0)
+	fmt.Fprintf(&sb, "FTQ: %d quanta of %v (Nmax=%d ops), %d with missing work, total noise %.3f ms\n",
+		len(r.Samples), r.Config.Quantum, r.Nmax, len(noisy), float64(r.TotalMissingNS())/1e6)
+	return sb.String()
+}

@@ -1,0 +1,168 @@
+package ftq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+)
+
+func TestSimulatedFTQBasics(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Duration = 2 * sim.Second
+	res := Execute(cfg)
+	// ~2000 quanta of 1 ms in 2 s (jitter slightly reduces the count).
+	if len(res.Samples) < 1900 || len(res.Samples) > 2001 {
+		t.Fatalf("samples = %d, want ~2000", len(res.Samples))
+	}
+	if res.Nmax != 100000 {
+		t.Fatalf("Nmax = %d, want 100000 (1 ms / 10 ns)", res.Nmax)
+	}
+	for i, s := range res.Samples {
+		windowOps := (int64(s.End) - int64(s.Start)) / int64(cfg.OpTime)
+		if s.Ops < 0 || s.Ops > windowOps {
+			t.Fatalf("sample %d ops %d outside [0, %d]", i, s.Ops, windowOps)
+		}
+		if s.MissingNS != (windowOps-s.Ops)*int64(cfg.OpTime) {
+			t.Fatalf("sample %d inconsistent missing work", i)
+		}
+		if s.End < s.Start {
+			t.Fatalf("sample %d ends before it starts", i)
+		}
+	}
+	// Noise must be visible: the timer interrupts alone guarantee
+	// missing work in many quanta.
+	if noisy := res.NoisySamples(0); len(noisy) < 100 {
+		t.Fatalf("only %d noisy quanta", len(noisy))
+	}
+	if res.TotalMissingNS() <= 0 {
+		t.Fatal("no noise observed")
+	}
+	if !strings.Contains(res.String(), "FTQ") {
+		t.Fatal("String() malformed")
+	}
+}
+
+// The paper's §III-C validation: FTQ's total noise estimate must agree
+// with the tracer's direct measurement, with FTQ slightly OVERestimating
+// because it counts whole missing operations.
+func TestFTQAgreesWithTracer(t *testing.T) {
+	cfg := DefaultConfig(6)
+	cfg.Duration = 3 * sim.Second
+	res := Execute(cfg)
+	r := noise.Analyze(res.Trace, res.Run.AnalysisOptions())
+
+	ftqNoise := float64(res.TotalMissingNS())
+	tracerNoise := float64(r.TotalNoiseNS)
+	if tracerNoise <= 0 {
+		t.Fatal("tracer saw no noise")
+	}
+	ratio := ftqNoise / tracerNoise
+	if ratio < 0.98 || ratio > 1.35 {
+		t.Fatalf("FTQ/tracer noise ratio %.3f outside [0.98, 1.35] (ftq=%.0f tracer=%.0f)",
+			ratio, ftqNoise, tracerNoise)
+	}
+}
+
+// The dominant interruption cadence in FTQ must be the timer tick: ~100
+// interruptions/second on its CPU.
+func TestFTQTimerSpikes(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.Duration = 2 * sim.Second
+	res := Execute(cfg)
+	// Quanta with >= 2 µs missing work: ticks (irq+softirq ≈ 4 µs each).
+	spikes := res.NoisySamples(2000)
+	perSec := float64(len(spikes)) / cfg.Duration.Seconds()
+	if perSec < 80 || perSec > 160 {
+		t.Fatalf("spike rate %.0f/s, want ~100 (timer ticks)", perSec)
+	}
+}
+
+func TestFTQDeterminism(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Duration = 500 * sim.Millisecond
+	a, b := Execute(cfg), Execute(cfg)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestFTQWithoutTracer(t *testing.T) {
+	cfg := DefaultConfig(9)
+	cfg.Duration = 500 * sim.Millisecond
+	cfg.TracerEnabled = false
+	res := Execute(cfg)
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples without tracer")
+	}
+	if res.Run.Session != nil {
+		t.Fatal("session exists despite TracerEnabled=false")
+	}
+}
+
+func TestFTQSeries(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.Duration = 200 * sim.Millisecond
+	res := Execute(cfg)
+	series := res.Series()
+	if len(series) != len(res.Samples) {
+		t.Fatalf("series length %d != samples %d", len(series), len(res.Samples))
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i][0] <= series[i-1][0] {
+			t.Fatal("series not time-ordered")
+		}
+	}
+}
+
+func TestNativeFTQSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native FTQ timing test skipped in -short mode")
+	}
+	res := RunNative(NativeConfig{
+		Quantum:  500 * time.Microsecond,
+		Duration: 100 * time.Millisecond,
+	})
+	if res.Nmax <= 0 {
+		t.Fatal("calibration failed")
+	}
+	if len(res.Samples) < 50 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	for _, s := range res.Samples {
+		if s.Missing < 0 || s.Ops < 0 {
+			t.Fatalf("negative sample: %+v", s)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(res.Samples)+1 {
+		t.Fatalf("csv lines %d, want %d", lines, len(res.Samples)+1)
+	}
+}
+
+// End to end: the FTQ run's dominant detected noise period is the
+// HZ=100 timer tick (the automated §V-B "equidistant events" check).
+func TestDetectPeriodsFindsTick(t *testing.T) {
+	cfg := DefaultConfig(12)
+	cfg.Duration = 3 * sim.Second
+	res := Execute(cfg)
+	r := noise.Analyze(res.Trace, res.Run.AnalysisOptions())
+	cands := noise.DetectPeriods(r, 0, 1_000_000, 50_000_000, 3)
+	if len(cands) == 0 {
+		t.Fatal("no periods found in FTQ trace")
+	}
+	if cands[0].PeriodNS < 9_000_000 || cands[0].PeriodNS > 11_000_000 {
+		t.Fatalf("dominant period %d ns, want the 10 ms tick (all: %+v)", cands[0].PeriodNS, cands)
+	}
+}

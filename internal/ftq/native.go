@@ -1,0 +1,117 @@
+package ftq
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// NativeSample is one quantum measurement on the host machine.
+type NativeSample struct {
+	Start   time.Duration // offset from run start
+	Ops     int64
+	Missing int64 // Nmax - Ops, in basic operations
+}
+
+// NativeConfig parameterises a host-machine FTQ run.
+type NativeConfig struct {
+	Quantum  time.Duration // default 1 ms
+	Duration time.Duration // default 2 s
+	// OpsPerCheck is how many basic operations run between clock reads;
+	// larger values lower sampling overhead but coarsen the count.
+	OpsPerCheck int64
+}
+
+// NativeResult holds a completed host run.
+type NativeResult struct {
+	Config   NativeConfig
+	Nmax     int64
+	OpNanos  float64 // calibrated cost of one basic operation
+	Samples  []NativeSample
+	Duration time.Duration
+}
+
+// sink prevents the basic-operation loop from being optimised away.
+var sink uint64
+
+// basicOps performs n iterations of FTQ's basic operation (a simple
+// integer update, as in the original benchmark).
+func basicOps(n int64) {
+	s := sink
+	for i := int64(0); i < n; i++ {
+		s = s*2862933555777941757 + 3037000493
+	}
+	sink = s
+}
+
+// RunNative executes FTQ on the calling goroutine, measuring the host
+// OS's real noise. It is not deterministic (by design).
+func RunNative(cfg NativeConfig) *NativeResult {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = time.Millisecond
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.OpsPerCheck <= 0 {
+		cfg.OpsPerCheck = 2000
+	}
+	res := &NativeResult{Config: cfg}
+
+	// Calibrate: how many basic operations fit one quantum on a quiet
+	// run? Take the best of several trials to approximate the
+	// noise-free maximum.
+	var best int64
+	for trial := 0; trial < 5; trial++ {
+		ops := countForQuantum(cfg)
+		if ops > best {
+			best = ops
+		}
+	}
+	res.Nmax = best
+	if best > 0 {
+		res.OpNanos = float64(cfg.Quantum.Nanoseconds()) / float64(best)
+	}
+
+	start := time.Now()
+	for time.Since(start) < cfg.Duration {
+		qStart := time.Since(start)
+		ops := countForQuantum(cfg)
+		missing := res.Nmax - ops
+		if missing < 0 {
+			// A quantum beat the calibration: raise Nmax retroactively
+			// is not possible per-sample, so clamp at zero.
+			missing = 0
+		}
+		res.Samples = append(res.Samples, NativeSample{Start: qStart, Ops: ops, Missing: missing})
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// countForQuantum runs basic operations until one quantum elapses and
+// returns how many completed.
+func countForQuantum(cfg NativeConfig) int64 {
+	var ops int64
+	deadline := time.Now().Add(cfg.Quantum)
+	for time.Now().Before(deadline) {
+		basicOps(cfg.OpsPerCheck)
+		ops += cfg.OpsPerCheck
+	}
+	return ops
+}
+
+// WriteCSV emits "start_us,ops,missing_ops,missing_ns" rows.
+func (r *NativeResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "start_us,ops,missing_ops,missing_ns"); err != nil {
+		return err
+	}
+	for _, s := range r.Samples {
+		missNS := float64(s.Missing) * r.OpNanos
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.0f\n",
+			s.Start.Microseconds(), s.Ops, s.Missing, missNS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

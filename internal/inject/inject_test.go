@@ -1,0 +1,172 @@
+package inject
+
+import (
+	"testing"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+)
+
+// The analyzer must recover injected page faults EXACTLY: count, total,
+// min, max — the pipeline conserves every nanosecond.
+func TestPageFaultGroundTruthExact(t *testing.T) {
+	res := Run([]Spec{{
+		Kind: PageFault, Start: sim.Millisecond,
+		Period: 2 * sim.Millisecond, Dur: 3000, Count: 200,
+	}}, Options{Duration: sim.Second, Seed: 1})
+	truth := res.Truths[0]
+	if truth.Injected != 200 {
+		t.Fatalf("injected %d, want 200", truth.Injected)
+	}
+	r := res.Analyze()
+	ks := r.Stats(noise.KeyPageFault)
+	if int(ks.Summary.Count) != truth.Injected {
+		t.Fatalf("analyzer count %d, truth %d", ks.Summary.Count, truth.Injected)
+	}
+	if int64(ks.Summary.Sum) != truth.TotalNS {
+		t.Fatalf("analyzer total %.0f, truth %d", ks.Summary.Sum, truth.TotalNS)
+	}
+	if ks.Summary.Min != 3000 || ks.Summary.Max != 3000 {
+		t.Fatalf("durations distorted: min %d max %d", ks.Summary.Min, ks.Summary.Max)
+	}
+	if r.Breakdown[noise.CatPageFault] != truth.TotalNS {
+		t.Fatalf("breakdown %d, truth %d", r.Breakdown[noise.CatPageFault], truth.TotalNS)
+	}
+}
+
+func TestIRQGroundTruthExact(t *testing.T) {
+	res := Run([]Spec{{
+		Kind: NetIRQ, Start: 500 * sim.Microsecond,
+		Period: sim.Millisecond, Dur: 1500, Count: 500,
+	}}, Options{Duration: sim.Second, Seed: 2})
+	truth := res.Truths[0]
+	r := res.Analyze()
+	ks := r.Stats(noise.KeyNetIRQ)
+	if int(ks.Summary.Count) != truth.Injected {
+		t.Fatalf("count %d vs %d", ks.Summary.Count, truth.Injected)
+	}
+	if int64(ks.Summary.Sum) != truth.TotalNS {
+		t.Fatalf("total %.0f vs %d", ks.Summary.Sum, truth.TotalNS)
+	}
+}
+
+// Preemption windows must equal the daemon's exact service time.
+func TestPreemptionGroundTruthExact(t *testing.T) {
+	res := Run([]Spec{{
+		Kind: Preemption, Start: 10 * sim.Millisecond,
+		Period: 20 * sim.Millisecond, Dur: 50_000, Count: 40,
+	}}, Options{Duration: sim.Second, Seed: 3})
+	truth := res.Truths[0]
+	r := res.Analyze()
+	ks := r.Stats(noise.KeyPreemption)
+	if int(ks.Summary.Count) != truth.Injected {
+		t.Fatalf("count %d vs %d", ks.Summary.Count, truth.Injected)
+	}
+	// Each preemption span = the daemon's exact 50 µs service time
+	// (schedule spans are charged to their own key, not the window).
+	if ks.Summary.Min != 50_000 || ks.Summary.Max != 50_000 {
+		t.Fatalf("preemption spans [%d, %d], want exactly 50000", ks.Summary.Min, ks.Summary.Max)
+	}
+	if int64(ks.Summary.Sum) != truth.TotalNS {
+		t.Fatalf("total %.0f vs %d", ks.Summary.Sum, truth.TotalNS)
+	}
+}
+
+// Combined streams: category totals match per-stream ground truth and
+// nothing leaks across categories.
+func TestCombinedStreams(t *testing.T) {
+	res := Run([]Spec{
+		{Kind: PageFault, Start: sim.Millisecond, Period: 3 * sim.Millisecond, Dur: 2500, Count: 100},
+		{Kind: NetIRQ, Start: 2 * sim.Millisecond, Period: 5 * sim.Millisecond, Dur: 1200, Count: 100},
+		{Kind: Preemption, Start: 7 * sim.Millisecond, Period: 50 * sim.Millisecond, Dur: 30_000, Count: 15},
+	}, Options{Duration: sim.Second, Seed: 4})
+	r := res.Analyze()
+	for _, truth := range res.Truths {
+		key := truth.Spec.Kind.KeyOf()
+		ks := r.Stats(key)
+		if int(ks.Summary.Count) != truth.Injected {
+			t.Errorf("%v: count %d vs truth %d", truth.Spec.Kind, ks.Summary.Count, truth.Injected)
+		}
+		if int64(ks.Summary.Sum) != truth.TotalNS {
+			t.Errorf("%v: total %.0f vs truth %d", truth.Spec.Kind, ks.Summary.Sum, truth.TotalNS)
+		}
+	}
+	// The tickless quiet node adds nothing else: total noise = injected
+	// noise + the schedule spans preemption necessarily induces.
+	var injected int64
+	for _, tr := range res.Truths {
+		injected += tr.TotalNS
+	}
+	sched := r.Breakdown[noise.CatScheduling]
+	if got := r.TotalNoiseNS; got != injected+sched {
+		t.Fatalf("noise %d != injected %d + scheduling %d", got, injected, sched)
+	}
+}
+
+// An injected IRQ landing inside an injected page fault must be
+// attributed exactly: the fault's own time excludes the IRQ.
+func TestNestedInjectionAttribution(t *testing.T) {
+	res := Run([]Spec{
+		// One long fault at 10 ms lasting 100 µs.
+		{Kind: PageFault, Start: 10 * sim.Millisecond, Period: sim.Second, Dur: 100_000, Count: 1},
+		// One IRQ at 10.05 ms: inside the fault.
+		{Kind: NetIRQ, Start: 10*sim.Millisecond + 50*sim.Microsecond, Period: sim.Second, Dur: 2000, Count: 1},
+	}, Options{Duration: 100 * sim.Millisecond, Seed: 5})
+	r := res.Analyze()
+	pf := r.Stats(noise.KeyPageFault)
+	irq := r.Stats(noise.KeyNetIRQ)
+	if pf.Summary.Count != 1 || irq.Summary.Count != 1 {
+		t.Fatalf("counts pf=%d irq=%d", pf.Summary.Count, irq.Summary.Count)
+	}
+	if pf.Summary.Max != 100_000 {
+		t.Fatalf("fault own time %d, want exactly 100000 (irq excluded)", pf.Summary.Max)
+	}
+	if irq.Summary.Max != 2000 {
+		t.Fatalf("irq own time %d, want exactly 2000", irq.Summary.Max)
+	}
+	// And the interruption view groups them as ONE spike of 102 µs.
+	if len(r.Interruptions) != 1 {
+		t.Fatalf("interruptions %d, want 1", len(r.Interruptions))
+	}
+	if r.Interruptions[0].Total != 102_000 {
+		t.Fatalf("spike total %d, want 102000", r.Interruptions[0].Total)
+	}
+}
+
+// FTQ-style external measurement would see combined spikes; the
+// injection run documents the quiet-node invariant.
+func TestQuietNodeBaseline(t *testing.T) {
+	res := Run(nil, Options{Duration: sim.Second, Seed: 6})
+	r := res.Analyze()
+	if r.TotalNoiseNS != 0 {
+		t.Fatalf("quiet node has %d ns of noise", r.TotalNoiseNS)
+	}
+	if len(res.Trace.Events) == 0 {
+		t.Fatal("trace empty (boot events expected)")
+	}
+}
+
+func TestMismatchedPreemptionDursPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched preemption durations")
+		}
+	}()
+	Run([]Spec{
+		{Kind: Preemption, Dur: 1000, Count: 1, Period: sim.Millisecond},
+		{Kind: Preemption, Dur: 2000, Count: 1, Period: sim.Millisecond},
+	}, Options{Duration: sim.Second})
+}
+
+func TestKindStrings(t *testing.T) {
+	if PageFault.String() != "pagefault" || NetIRQ.String() != "netirq" ||
+		Preemption.String() != "preemption" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("unknown kind name")
+	}
+	if PageFault.KeyOf() != noise.KeyPageFault || Kind(99).KeyOf() != noise.KeyOther {
+		t.Fatal("key mapping wrong")
+	}
+}

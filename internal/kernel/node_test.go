@@ -1,0 +1,686 @@
+package kernel
+
+import (
+	"testing"
+
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+)
+
+// newTracedNode builds a small node with a tracing session for tests.
+func newTracedNode(t *testing.T, cpus int, seed uint64) (*Node, *trace.Session) {
+	t.Helper()
+	cfg := DefaultConfig(seed)
+	cfg.CPUs = cpus
+	s := trace.NewSession(trace.Config{CPUs: cpus, SubBufs: 16, SubBufLen: 4096})
+	s.Start()
+	return NewNode(cfg, s), s
+}
+
+func TestTimerTickCadence(t *testing.T) {
+	n, s := newTracedNode(t, 1, 1)
+	n.NewTask("rank0", KindApp, 0)
+	n.Run(2 * sim.Second)
+	tr := s.Collect()
+	var entries, exits int
+	for _, ev := range tr.Events {
+		if ev.ID == trace.EvIRQEntry && ev.Arg1 == trace.IRQTimer {
+			entries++
+		}
+		if ev.ID == trace.EvIRQExit && ev.Arg1 == trace.IRQTimer {
+			exits++
+		}
+	}
+	// HZ=100 for 2 s => ~200 ticks on 1 CPU.
+	if entries < 198 || entries > 202 {
+		t.Fatalf("timer irq entries = %d, want ~200", entries)
+	}
+	// The final tick's exit may fall past the horizon (truncated trace).
+	if entries-exits > 1 || exits > entries {
+		t.Fatalf("unbalanced timer irq: %d entries, %d exits", entries, exits)
+	}
+}
+
+func TestTimerSoftirqFollowsEveryTick(t *testing.T) {
+	n, s := newTracedNode(t, 1, 2)
+	n.NewTask("rank0", KindApp, 0)
+	n.Run(1 * sim.Second)
+	tr := s.Collect()
+	var irqs, softs int
+	for _, ev := range tr.Events {
+		if ev.ID == trace.EvIRQEntry && ev.Arg1 == trace.IRQTimer {
+			irqs++
+		}
+		if ev.ID == trace.EvSoftIRQEntry && ev.Arg1 == trace.SoftIRQTimer {
+			softs++
+		}
+	}
+	// Every completed tick raises run_timer_softirq; the final tick may be
+	// truncated by the horizon before its softirq runs.
+	if irqs-softs > 1 || softs > irqs {
+		t.Fatalf("timer irqs %d vs run_timer_softirq %d", irqs, softs)
+	}
+}
+
+// Every entry event must have a matching exit on the same CPU, properly
+// nested (stack discipline).
+func TestEntryExitNesting(t *testing.T) {
+	n, s := newTracedNode(t, 4, 3)
+	for i := 0; i < 4; i++ {
+		n.NewTask("rank", KindApp, i)
+	}
+	tasks := n.Tasks()
+	// Generate some page faults and I/O to enrich the trace.
+	rng := sim.NewRNG(99)
+	for i := 0; i < 200; i++ {
+		task := tasks[1+rng.Intn(4)]
+		if task.Kind != KindApp {
+			continue
+		}
+		at := sim.Time(rng.Int63n(int64(900 * sim.Millisecond)))
+		n.Engine().At(at, sim.PrioTask, func(now sim.Time) {
+			n.PageFault(task, -1)
+		})
+	}
+	n.Run(1 * sim.Second)
+	tr := s.Collect()
+
+	stacks := make(map[int32][]trace.ID)
+	for _, ev := range tr.Events {
+		if ev.ID.IsEntry() {
+			stacks[ev.CPU] = append(stacks[ev.CPU], ev.ID.ExitFor())
+		} else if ev.ID.IsExit() {
+			st := stacks[ev.CPU]
+			if len(st) == 0 {
+				t.Fatalf("exit %v on cpu %d with empty stack at %d", ev.ID, ev.CPU, ev.TS)
+			}
+			want := st[len(st)-1]
+			if ev.ID != want {
+				t.Fatalf("mismatched nesting on cpu %d at %d: got %v want %v", ev.CPU, ev.TS, ev.ID, want)
+			}
+			stacks[ev.CPU] = st[:len(st)-1]
+		}
+	}
+}
+
+func TestPageFaultSpan(t *testing.T) {
+	n, s := newTracedNode(t, 1, 4)
+	task := n.NewTask("rank0", KindApp, 0)
+	n.Engine().At(5*sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		if !n.PageFault(task, 3000) {
+			t.Error("page fault did not execute")
+		}
+	})
+	n.Run(6 * sim.Millisecond)
+	tr := s.Collect()
+	var entry, exit int64 = -1, -1
+	for _, ev := range tr.Events {
+		if ev.ID == trace.EvTrapEntry && ev.Arg1 == trace.TrapPageFault {
+			entry = ev.TS
+		}
+		if ev.ID == trace.EvTrapExit && ev.Arg1 == trace.TrapPageFault {
+			exit = ev.TS
+		}
+	}
+	if entry < 0 || exit < 0 {
+		t.Fatal("page fault events missing")
+	}
+	if exit-entry != 3000 {
+		t.Fatalf("page fault span %d ns, want 3000", exit-entry)
+	}
+}
+
+func TestPageFaultRefusedWhileBlocked(t *testing.T) {
+	n, _ := newTracedNode(t, 2, 5)
+	task := n.NewTask("rank0", KindApp, 0)
+	n.Engine().At(sim.Millisecond, sim.PrioTask, func(now sim.Time) {
+		n.BlockFor(task, StateWaitComm, 10*sim.Millisecond, nil)
+	})
+	executed := true
+	n.Engine().At(5*sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		executed = n.PageFault(task, 1000)
+	})
+	n.Run(20 * sim.Millisecond)
+	if executed {
+		t.Fatal("page fault ran while task blocked")
+	}
+}
+
+// A nested interrupt (timer firing inside a long page fault) must extend
+// the fault's wall-clock span but keep both events in the trace with
+// stack discipline.
+func TestNestedInterruptExtendsOuterSpan(t *testing.T) {
+	n, s := newTracedNode(t, 1, 6)
+	task := n.NewTask("rank0", KindApp, 0)
+	// HZ=100 → ticks at 0, 10ms, ... Start a 5ms fault at 9ms: the
+	// 10ms tick lands inside it.
+	n.Engine().At(9*sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		if !n.PageFault(task, 5*sim.Millisecond) {
+			t.Error("fault refused")
+		}
+	})
+	n.Run(20 * sim.Millisecond)
+	tr := s.Collect()
+	var tEntry, tExit, irqEntry, irqExit int64 = -1, -1, -1, -1
+	for _, ev := range tr.Events {
+		switch {
+		case ev.ID == trace.EvTrapEntry:
+			tEntry = ev.TS
+		case ev.ID == trace.EvTrapExit:
+			tExit = ev.TS
+		case ev.ID == trace.EvIRQEntry && ev.TS > int64(9*sim.Millisecond) && irqEntry < 0:
+			irqEntry = ev.TS
+		case ev.ID == trace.EvIRQExit && irqEntry > 0 && irqExit < 0:
+			irqExit = ev.TS
+		}
+	}
+	if tEntry < 0 || tExit < 0 || irqEntry < 0 || irqExit < 0 {
+		t.Fatalf("events missing: trap [%d,%d] irq [%d,%d]", tEntry, tExit, irqEntry, irqExit)
+	}
+	if !(tEntry < irqEntry && irqEntry < irqExit && irqExit < tExit) {
+		t.Fatalf("irq not nested in trap: trap [%d,%d] irq [%d,%d]", tEntry, tExit, irqEntry, irqExit)
+	}
+	// Wall span = own cost + nested time (at least; softirqs may add more).
+	irqOwn := irqExit - irqEntry
+	if span := tExit - tEntry; span < int64(5*sim.Millisecond)+irqOwn {
+		t.Fatalf("trap span %d did not absorb nested irq %d", span, irqOwn)
+	}
+}
+
+func TestDaemonPreemptsApp(t *testing.T) {
+	n, s := newTracedNode(t, 1, 7)
+	app := n.NewTask("rank0", KindApp, 0)
+	n.Engine().At(3*sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		n.DaemonWork(n.Rpciod(), n.CPUs()[0], 1)
+	})
+	n.Run(30 * sim.Millisecond)
+	tr := s.Collect()
+	// Expect: switch app->rpciod with prev state running, later
+	// rpciod->app with prev state blocked.
+	var sawPreempt, sawReturn bool
+	for _, ev := range tr.Events {
+		if ev.ID != trace.EvSchedSwitch {
+			continue
+		}
+		if ev.Arg1 == int64(app.PID) && ev.Arg2 == int64(n.Rpciod().PID) && ev.Arg3 == trace.TaskStateRunning {
+			sawPreempt = true
+		}
+		if sawPreempt && ev.Arg1 == int64(n.Rpciod().PID) && ev.Arg2 == int64(app.PID) && ev.Arg3 == trace.TaskStateBlocked {
+			sawReturn = true
+		}
+	}
+	if !sawPreempt || !sawReturn {
+		t.Fatalf("preemption round trip missing: preempt=%v return=%v", sawPreempt, sawReturn)
+	}
+	if app.State() != StateRunning {
+		t.Fatalf("app state %v after daemon finished", app.State())
+	}
+}
+
+func TestSubmitIORoundTrip(t *testing.T) {
+	n, s := newTracedNode(t, 2, 8)
+	app := n.NewTask("rank0", KindApp, 0)
+	n.NewTask("rank1", KindApp, 1)
+	resumed := sim.Time(-1)
+	n.Engine().At(2*sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		n.SubmitIO(app, false, func(now sim.Time) { resumed = now })
+	})
+	n.Run(200 * sim.Millisecond)
+	if resumed < 0 {
+		t.Fatal("I/O never completed")
+	}
+	tr := s.Collect()
+	var syscalls, netIRQ, rx, tx, wakeups int
+	for _, ev := range tr.Events {
+		switch {
+		case ev.ID == trace.EvSyscallEntry:
+			syscalls++
+		case ev.ID == trace.EvIRQEntry && ev.Arg1 == trace.IRQNet:
+			netIRQ++
+		case ev.ID == trace.EvTaskletEntry && ev.Arg1 == trace.SoftIRQNetRx:
+			rx++
+		case ev.ID == trace.EvTaskletEntry && ev.Arg1 == trace.SoftIRQNetTx:
+			tx++
+		case ev.ID == trace.EvSchedWakeup && ev.Arg1 == int64(app.PID):
+			wakeups++
+		}
+	}
+	if syscalls != 1 || netIRQ < 1 || rx < 1 || tx < 1 || wakeups < 1 {
+		t.Fatalf("io path events: syscalls=%d netirq=%d rx=%d tx=%d wakeups=%d",
+			syscalls, netIRQ, rx, tx, wakeups)
+	}
+	if app.State() != StateRunning {
+		t.Fatalf("app state %v", app.State())
+	}
+}
+
+// Accounting invariant: user + kernel + idle + (daemon user time) covers
+// the full simulated span on every CPU.
+func TestAccountingConservation(t *testing.T) {
+	n, _ := newTracedNode(t, 2, 9)
+	a0 := n.NewTask("rank0", KindApp, 0)
+	a1 := n.NewTask("rank1", KindApp, 1)
+	// Sprinkle faults and I/O.
+	for i := sim.Time(1); i < 90; i += 7 {
+		i := i
+		n.Engine().At(i*sim.Millisecond, sim.PrioTask, func(sim.Time) {
+			n.PageFault(a0, -1)
+			n.SubmitIO(a1, true, nil)
+		})
+	}
+	const horizon = 100 * sim.Millisecond
+	n.Run(horizon)
+	var user sim.Time
+	for _, task := range n.Tasks() {
+		user += task.UserNS()
+	}
+	var kernel, idle sim.Time
+	for _, c := range n.CPUs() {
+		kernel += c.KernelNS()
+		idle += c.IdleNS()
+	}
+	total := user + kernel + idle
+	want := sim.Time(len(n.CPUs())) * horizon
+	if total != want {
+		t.Fatalf("accounting leak: user+kernel+idle = %v, want %v (diff %v)",
+			total, want, want-total)
+	}
+}
+
+// At most one task runs per CPU and each running task's cpu field agrees.
+func TestSingleRunningTaskPerCPU(t *testing.T) {
+	n, _ := newTracedNode(t, 4, 10)
+	for i := 0; i < 4; i++ {
+		n.NewTask("rank", KindApp, i)
+	}
+	apps := n.Tasks()
+	check := func(now sim.Time) {
+		seen := map[int]bool{}
+		for _, task := range apps {
+			if task.State() == StateRunning {
+				c := task.CPU()
+				if c == nil {
+					t.Fatalf("running task %v with nil cpu at %v", task, now)
+				}
+				if c.Current() != task {
+					t.Fatalf("running task %v not current on cpu%d at %v", task, c.ID, now)
+				}
+				if seen[c.ID] {
+					t.Fatalf("two running tasks on cpu%d at %v", c.ID, now)
+				}
+				seen[c.ID] = true
+			}
+		}
+	}
+	for ms := sim.Time(1); ms < 500; ms += 13 {
+		n.Engine().At(ms*sim.Millisecond, sim.PrioTeardown, check)
+	}
+	rng := sim.NewRNG(11)
+	for i := 0; i < 100; i++ {
+		task := apps[1+rng.Intn(4)]
+		at := sim.Time(rng.Int63n(int64(450 * sim.Millisecond)))
+		n.Engine().At(at, sim.PrioTask, func(sim.Time) {
+			if task.State() == StateRunning {
+				n.SubmitIO(task, false, nil)
+			}
+		})
+	}
+	n.Run(500 * sim.Millisecond)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []trace.Event {
+		n, s := newTracedNode(t, 2, 42)
+		a := n.NewTask("rank0", KindApp, 0)
+		n.NewTask("rank1", KindApp, 1)
+		n.Engine().At(3*sim.Millisecond, sim.PrioTask, func(sim.Time) {
+			n.SubmitIO(a, true, nil)
+		})
+		n.Run(50 * sim.Millisecond)
+		return s.Collect().Events
+	}
+	e1, e2 := run(), run()
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestNetChatter(t *testing.T) {
+	n, s := newTracedNode(t, 1, 12)
+	n.NewTask("rank0", KindApp, 0)
+	n.Engine().At(sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		n.NetChatter(0)
+	})
+	n.Engine().At(2*sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		n.NetRxChatter(0)
+	})
+	n.Run(5 * sim.Millisecond)
+	tr := s.Collect()
+	var irq, rx int
+	for _, ev := range tr.Events {
+		if ev.ID == trace.EvIRQEntry && ev.Arg1 == trace.IRQNet {
+			irq++
+		}
+		if ev.ID == trace.EvTaskletEntry && ev.Arg1 == trace.SoftIRQNetRx {
+			rx++
+		}
+	}
+	if irq != 2 || rx != 1 {
+		t.Fatalf("chatter: irq=%d rx=%d, want 2/1", irq, rx)
+	}
+}
+
+func TestBootTwicePanics(t *testing.T) {
+	n, _ := newTracedNode(t, 1, 13)
+	n.Boot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double boot did not panic")
+		}
+	}()
+	n.Boot()
+}
+
+func TestCrossCPUWakeMigration(t *testing.T) {
+	cfg := DefaultConfig(77)
+	cfg.CPUs = 4
+	cfg.Model.CrossCPUWakeProb = 1.0 // force cross-CPU completions
+	s := trace.NewSession(trace.Config{CPUs: 4, SubBufs: 16, SubBufLen: 4096})
+	s.Start()
+	n := NewNode(cfg, s)
+	for i := 0; i < 4; i++ {
+		n.NewTask("rank", KindApp, i)
+	}
+	apps := n.Tasks()
+	rng := sim.NewRNG(5)
+	for i := 0; i < 60; i++ {
+		task := apps[1+rng.Intn(4)]
+		at := sim.Time(rng.Int63n(int64(800 * sim.Millisecond)))
+		n.Engine().At(at, sim.PrioTask, func(sim.Time) {
+			if task.State() == StateRunning {
+				n.SubmitIO(task, false, nil)
+			}
+		})
+	}
+	n.Run(1 * sim.Second)
+	tr := s.Collect()
+	var migrations int
+	for _, ev := range tr.Events {
+		if ev.ID == trace.EvSchedMigrate {
+			migrations++
+		}
+	}
+	if migrations == 0 {
+		t.Fatal("cross-CPU wakes produced no migrations")
+	}
+}
+
+func TestTicklessNodeTakesNoInterrupts(t *testing.T) {
+	cfg := DefaultConfig(50)
+	cfg.CPUs = 2
+	cfg.Tickless = true
+	s := trace.NewSession(trace.Config{CPUs: 2, SubBufs: 8, SubBufLen: 1024})
+	s.Start()
+	n := NewNode(cfg, s)
+	n.NewTask("rank0", KindApp, 0)
+	n.Run(2 * sim.Second)
+	tr := s.Collect()
+	for _, ev := range tr.Events {
+		if ev.ID == trace.EvIRQEntry {
+			t.Fatalf("tickless node took an interrupt at %d", ev.TS)
+		}
+		if ev.ID == trace.EvSoftIRQEntry {
+			t.Fatalf("tickless node ran a softirq at %d", ev.TS)
+		}
+	}
+}
+
+func TestFavoredWindowDefersDaemon(t *testing.T) {
+	cfg := DefaultConfig(51)
+	cfg.CPUs = 1
+	cfg.Tickless = true // isolate the mechanism
+	cfg.FavoredPeriod = 90 * sim.Millisecond
+	cfg.UnfavoredPeriod = 10 * sim.Millisecond
+	s := trace.NewSession(trace.Config{CPUs: 1, SubBufs: 8, SubBufLen: 1024})
+	s.Start()
+	n := NewNode(cfg, s)
+	n.NewTask("rank0", KindApp, 0)
+	// Queue daemon work mid-favored-window: it must not run before the
+	// window ends at t=90ms.
+	n.Engine().At(20*sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		n.DaemonWork(n.Rpciod(), n.CPUs()[0], 1)
+	})
+	n.Run(200 * sim.Millisecond)
+	tr := s.Collect()
+	var firstRun int64 = -1
+	for _, ev := range tr.Events {
+		if ev.ID == trace.EvSchedSwitch && ev.Arg2 == int64(n.Rpciod().PID) {
+			firstRun = ev.TS
+			break
+		}
+	}
+	if firstRun < 0 {
+		t.Fatal("daemon never ran")
+	}
+	if firstRun < int64(90*sim.Millisecond) {
+		t.Fatalf("daemon ran at %v, inside the favored window", sim.Time(firstRun))
+	}
+	if firstRun > int64(101*sim.Millisecond) {
+		t.Fatalf("daemon deferred too long: %v", sim.Time(firstRun))
+	}
+}
+
+// Property-style stress: across seeds, a busy node preserves every
+// global invariant — accounting conservation, stack discipline in the
+// trace, and at most one running task per CPU at the end.
+func TestKernelInvariantsAcrossSeeds(t *testing.T) {
+	for seed := uint64(100); seed < 112; seed++ {
+		cfg := DefaultConfig(seed)
+		cfg.CPUs = 4
+		cfg.Model.CrossCPUWakeProb = 0.5
+		cfg.Model.RxDaemonProb = 0.5
+		s := trace.NewSession(trace.Config{CPUs: 4, SubBufs: 16, SubBufLen: 4096})
+		s.Start()
+		n := NewNode(cfg, s)
+		for i := 0; i < 4; i++ {
+			n.NewTask("rank", KindApp, i)
+		}
+		apps := n.Tasks()
+		rng := sim.NewRNG(seed * 7)
+		for i := 0; i < 150; i++ {
+			task := apps[1+rng.Intn(4)]
+			at := sim.Time(rng.Int63n(int64(450 * sim.Millisecond)))
+			switch rng.Intn(3) {
+			case 0:
+				n.Engine().At(at, sim.PrioTask, func(sim.Time) { n.PageFault(task, -1) })
+			case 1:
+				n.Engine().At(at, sim.PrioTask, func(sim.Time) {
+					if task.State() == StateRunning {
+						n.SubmitIO(task, true, nil)
+					}
+				})
+			case 2:
+				n.Engine().At(at, sim.PrioTask, func(sim.Time) {
+					n.DaemonWork(n.Rpciod(), n.CPUs()[rng.Intn(4)], 1)
+				})
+			}
+		}
+		const horizon = 500 * sim.Millisecond
+		n.Run(horizon)
+
+		// Accounting conservation.
+		var user sim.Time
+		for _, task := range n.Tasks() {
+			user += task.UserNS()
+		}
+		var kernelNS, idle sim.Time
+		for _, c := range n.CPUs() {
+			kernelNS += c.KernelNS()
+			idle += c.IdleNS()
+		}
+		if got, want := user+kernelNS+idle, sim.Time(4)*horizon; got != want {
+			t.Fatalf("seed %d: accounting %v != %v", seed, got, want)
+		}
+
+		// Stack discipline.
+		tr := s.Collect()
+		stacks := make(map[int32][]trace.ID)
+		for _, ev := range tr.Events {
+			if ev.ID.IsEntry() {
+				stacks[ev.CPU] = append(stacks[ev.CPU], ev.ID.ExitFor())
+			} else if ev.ID.IsExit() {
+				st := stacks[ev.CPU]
+				if len(st) == 0 || st[len(st)-1] != ev.ID {
+					t.Fatalf("seed %d: stack discipline violated at %d", seed, ev.TS)
+				}
+				stacks[ev.CPU] = st[:len(st)-1]
+			}
+		}
+
+		// One running task per CPU.
+		running := map[int]int{}
+		for _, task := range n.Tasks() {
+			if task.State() == StateRunning {
+				running[task.CPU().ID]++
+			}
+		}
+		for cpu, count := range running {
+			if count > 1 {
+				t.Fatalf("seed %d: %d running tasks on cpu%d", seed, count, cpu)
+			}
+		}
+	}
+}
+
+// An application-armed high-resolution timer raises the observed timer
+// interrupt frequency above HZ — the tell-tale the paper's §IV-E reads
+// from Table V ("the frequency is not higher means the applications do
+// not set any other software timer").
+func TestHRTimerRaisesTickFrequency(t *testing.T) {
+	n, s := newTracedNode(t, 1, 80)
+	n.NewTask("rank0", KindApp, 0)
+	n.AddHRTimer(0, 2*sim.Millisecond, 1500, nil) // 500 Hz application timer
+	n.Run(2 * sim.Second)
+	tr := s.Collect()
+	var timerIRQs, softirqs int
+	for _, ev := range tr.Events {
+		if ev.ID == trace.EvIRQEntry && ev.Arg1 == trace.IRQTimer {
+			timerIRQs++
+		}
+		if ev.ID == trace.EvSoftIRQEntry && ev.Arg1 == trace.SoftIRQTimer {
+			softirqs++
+		}
+	}
+	// HZ (100/s) + application timer (500/s) over 2 s ≈ 1200.
+	if timerIRQs < 1150 || timerIRQs > 1250 {
+		t.Fatalf("timer irqs = %d, want ~1200", timerIRQs)
+	}
+	if softirqs < 1150 {
+		t.Fatalf("softirqs = %d, want ~1200", softirqs)
+	}
+}
+
+func TestHRTimerBadPeriodPanics(t *testing.T) {
+	n, _ := newTracedNode(t, 1, 81)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.AddHRTimer(0, 0, 100, nil)
+}
+
+func TestNodeAccessorsAndDirectEntryPoints(t *testing.T) {
+	n, s := newTracedNode(t, 2, 82)
+	task := n.NewTask("rank0", KindApp, 0)
+	if n.Config().CPUs != 2 || n.Model() == nil || n.RNG() == nil {
+		t.Fatal("accessors broken")
+	}
+	c := n.CPUs()[0]
+	if c.RunqueueLen() != 0 {
+		t.Fatalf("runq %d", c.RunqueueLen())
+	}
+	n.Engine().At(sim.Millisecond, sim.PrioTask, func(now sim.Time) {
+		if !n.Syscall(task, 3) {
+			t.Error("syscall refused")
+		}
+	})
+	n.Engine().At(2*sim.Millisecond, sim.PrioTask, func(now sim.Time) {
+		n.MarkCompute(task, true)
+		n.MarkCompute(task, false)
+		n.MarkQuantum(task, 42)
+	})
+	n.Engine().At(3*sim.Millisecond, sim.PrioTask, func(now sim.Time) {
+		n.InjectIRQ(0, 777)
+		n.NetTxChatter(1)
+	})
+	n.Engine().At(4*sim.Millisecond, sim.PrioTask, func(now sim.Time) {
+		c.SyncAccounting(now)
+		if task.UserNS() == 0 {
+			t.Error("user time not accumulating")
+		}
+	})
+	n.Run(10 * sim.Millisecond)
+	tr := s.Collect()
+	var sawSyscall, sawCompute, sawQuantum, sawInject, sawTx bool
+	for _, ev := range tr.Events {
+		switch {
+		case ev.ID == trace.EvSyscallEntry && ev.Arg1 == 3:
+			sawSyscall = true
+		case ev.ID == trace.EvAppComputeBegin:
+			sawCompute = true
+		case ev.ID == trace.EvAppQuantum && ev.Arg2 == 42:
+			sawQuantum = true
+		case ev.ID == trace.EvIRQEntry && ev.Arg1 == trace.IRQNet && ev.CPU == 0:
+			sawInject = true
+		case ev.ID == trace.EvTaskletEntry && ev.Arg1 == trace.SoftIRQNetTx && ev.CPU == 1:
+			sawTx = true
+		}
+	}
+	if !sawSyscall || !sawCompute || !sawQuantum || !sawInject || !sawTx {
+		t.Fatalf("events missing: syscall=%v compute=%v quantum=%v inject=%v tx=%v",
+			sawSyscall, sawCompute, sawQuantum, sawInject, sawTx)
+	}
+	if c.TracerNS() != 0 {
+		t.Fatal("tracer overhead charged without configuration")
+	}
+}
+
+func TestTLBMissDirect(t *testing.T) {
+	cfg := DefaultConfig(83)
+	cfg.CPUs = 1
+	cfg.Model.TLBMiss = sim.Constant(250)
+	s := trace.NewSession(trace.Config{CPUs: 1, SubBufs: 4, SubBufLen: 256})
+	s.Start()
+	n := NewNode(cfg, s)
+	task := n.NewTask("rank0", KindApp, 0)
+	n.Engine().At(sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		if !n.TLBMiss(task, -1) {
+			t.Error("tlb miss refused")
+		}
+	})
+	n.Run(5 * sim.Millisecond)
+	tr := s.Collect()
+	for _, ev := range tr.Events {
+		if ev.ID == trace.EvTrapEntry && ev.Arg1 == trace.TrapTLBMiss {
+			return
+		}
+	}
+	t.Fatal("tlb miss trap not traced")
+}
+
+func TestTLBMissWithoutModelRefused(t *testing.T) {
+	n, _ := newTracedNode(t, 1, 84) // default model: TLBMiss nil
+	task := n.NewTask("rank0", KindApp, 0)
+	n.Engine().At(sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		if n.TLBMiss(task, -1) {
+			t.Error("tlb miss ran without a model distribution")
+		}
+	})
+	n.Run(2 * sim.Millisecond)
+}

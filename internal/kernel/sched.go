@@ -1,0 +1,387 @@
+package kernel
+
+import (
+	"fmt"
+
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+)
+
+// Wake makes task t runnable on CPU c (nil = home CPU), emitting
+// sched_wakeup and requesting preemption if t outranks the current task.
+// The actual context switch happens at the next kernel-idle point, as on
+// a real kernel where need_resched is honoured on the return path.
+func (n *Node) Wake(t *Task, c *CPU) {
+	if t.state == StateRunning || t.state == StateRunnable || t.state == StateExited {
+		return
+	}
+	if c == nil {
+		c = t.home
+	}
+	now := n.eng.Now()
+	t.state = StateRunnable
+	if t.cpu != c {
+		t.cpu = c
+	}
+	// Sleeper fairness: a waking task gets a vruntime no larger than the
+	// CPU's current task, so it wins the next pick (CFS sleeper credit).
+	if cur := c.current; cur != nil && t.vruntime > cur.vruntime {
+		t.vruntime = cur.vruntime
+	}
+	t.queuedAt = now
+	c.runq = append(c.runq, t)
+	n.emit(trace.Event{TS: int64(now), CPU: int32(c.ID), ID: trace.EvSchedWakeup,
+		Arg1: int64(t.PID), Arg2: int64(c.ID)})
+	if n.preempts(t, c.current) {
+		c.needResched = true
+		n.kickResched(c)
+	}
+}
+
+// kickResched forces a preemption check on c at the next kernel-idle
+// point (immediately, if c is executing user code). CPUs already inside
+// the kernel honour needResched on their own unwind path.
+func (n *Node) kickResched(c *CPU) {
+	c.deferToKernelIdle(n.eng.Now(), func(t sim.Time) {
+		if c.needResched && !c.inSched {
+			c.needResched = false
+			n.reschedule(c, t)
+		}
+	})
+}
+
+// classRank returns the scheduling-class rank of a task on this node
+// (lower outranks higher). Normally kernel daemons beat user daemons
+// beat applications; with RTApps the application ranks run in a
+// real-time class that outranks everything.
+func (n *Node) classRank(t *Task) int {
+	if n.cfg.RTApps && t.Kind == KindApp {
+		return -1
+	}
+	return int(t.Kind)
+}
+
+// preempts reports whether a waking task should preempt cur immediately.
+// Higher-class tasks preempt lower; a waking application preempts
+// another application only if its vruntime is (strictly) behind — the
+// I/O-completion wakeup pattern of §IV-D.
+func (n *Node) preempts(w, cur *Task) bool {
+	if cur == nil {
+		return true
+	}
+	rw, rc := n.classRank(w), n.classRank(cur)
+	if rw != rc {
+		return rw < rc
+	}
+	return w.vruntime < cur.vruntime
+}
+
+// bestQueued returns the most deserving queued task, or nil.
+func (c *CPU) bestQueued() *Task {
+	var best *Task
+	for _, t := range c.runq {
+		if t.state != StateRunnable {
+			continue
+		}
+		if best == nil || c.node.taskLess(t, best) {
+			best = t
+		}
+	}
+	return best
+}
+
+// taskLess orders tasks by scheduling preference: class first, then
+// vruntime, then PID for determinism.
+func (n *Node) taskLess(a, b *Task) bool {
+	ra, rb := n.classRank(a), n.classRank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.PID < b.PID
+}
+
+// beats reports whether queued task next should replace the running
+// task cur at time now. The running task's vruntime is charged its
+// in-progress run period (cur.vruntime is only materialised at
+// switch-out), or a never-blocking task would starve its runqueue.
+func (n *Node) beats(next, cur *Task, now sim.Time) bool {
+	rn, rc := n.classRank(next), n.classRank(cur)
+	if rn != rc {
+		return rn < rc
+	}
+	curEff := cur.vruntime + (now - cur.switchIn)
+	if next.vruntime != curEff {
+		return next.vruntime < curEff
+	}
+	return next.PID < cur.PID
+}
+
+// reschedule runs the schedule() path on c: a sched-out span, the
+// context switch, and a sched-in span, emitting the same event sequence
+// the paper's FTQ zoom shows (schedule part 1, switch, schedule part 2).
+func (n *Node) reschedule(c *CPU, now sim.Time) {
+	next := c.bestQueued()
+	cur := c.current
+	if next == nil && cur != nil {
+		return // nothing better to run
+	}
+	if next != nil && cur != nil && cur.state == StateRunning && !n.beats(next, cur, now) {
+		return // current still wins
+	}
+	n.switchTo(c, now)
+}
+
+// switchTo performs the two-phase schedule(): a sched-out span, the
+// switch decision, and a sched-in span. The successor is picked when the
+// sched-out span completes, because the runqueue may change while it
+// runs (a wakeup or migration can land mid-schedule).
+func (n *Node) switchTo(c *CPU, now sim.Time) {
+	if c.inSched {
+		return
+	}
+	c.inSched = true
+	outDur := n.cfg.Model.SchedOut.Sample(c.rng)
+	c.push(now, trace.EvSchedEntry, trace.EvSchedExit, 0, outDur, func(t1 sim.Time) {
+		n.completeSwitch(c, t1)
+	})
+}
+
+// completeSwitch emits sched_switch and charges vruntime, then runs the
+// sched-in span for the incoming task.
+func (n *Node) completeSwitch(c *CPU, now sim.Time) {
+	cur := c.current
+	next := c.bestQueued()
+	if cur != nil && cur.state == StateRunning && (next == nil || !n.beats(next, cur, now)) {
+		// schedule() ran and decided to keep the current task.
+		c.inSched = false
+		return
+	}
+	prevPID := int64(0)
+	prevState := int64(trace.TaskStateBlocked)
+	if cur != nil {
+		prevPID = int64(cur.PID)
+		cur.vruntime += now - cur.switchIn
+		switch cur.state {
+		case StateRunning: // involuntary: preemption
+			cur.state = StateRunnable
+			cur.queuedAt = now
+			c.runq = append(c.runq, cur)
+			prevState = trace.TaskStateRunning
+		case StateBlocked:
+			prevState = trace.TaskStateBlocked
+		case StateWaitComm:
+			prevState = trace.TaskStateWaitComm
+		case StateExited:
+			prevState = trace.TaskStateExited
+		}
+	}
+	nextPID := int64(0)
+	if next != nil {
+		c.removeFromRunq(next)
+		next.state = StateRunning
+		next.cpu = c
+		next.switchIn = now
+	}
+	c.account(now)
+	c.current = next
+	if next != nil {
+		nextPID = int64(next.PID)
+	}
+	n.emit(trace.Event{TS: int64(now), CPU: int32(c.ID), ID: trace.EvSchedSwitch,
+		Arg1: prevPID, Arg2: nextPID, Arg3: prevState})
+	inDur := n.cfg.Model.SchedIn.Sample(c.rng)
+	c.push(now, trace.EvSchedEntry, trace.EvSchedExit, 1, inDur, func(t sim.Time) {
+		c.inSched = false
+		if next != nil && next.Kind != KindApp {
+			n.daemonStarted(next, c, t)
+		}
+		if c.current == nil {
+			n.idleBalance(c, t)
+		}
+	})
+}
+
+// Block marks the current task of its CPU as blocked (state Blocked or
+// WaitComm) and schedules the switch away. onWake (optional) runs when
+// the task is next switched in.
+func (n *Node) Block(t *Task, state TaskState, onWake func(now sim.Time)) {
+	if state != StateBlocked && state != StateWaitComm {
+		panic(fmt.Sprintf("kernel: Block with state %v", state))
+	}
+	c := t.cpu
+	if c == nil || c.current != t {
+		panic(fmt.Sprintf("kernel: Block(%v) but task not current", t))
+	}
+	now := n.eng.Now()
+	if state == StateWaitComm {
+		n.emit(trace.Event{TS: int64(now), CPU: int32(c.ID), ID: trace.EvAppWaitBegin, Arg1: int64(t.PID)})
+	}
+	t.state = state
+	if onWake != nil {
+		t.onResume = append(t.onResume, func(tt sim.Time) {
+			onWake(tt)
+		})
+	}
+	c.deferToKernelIdle(now, func(tt sim.Time) {
+		if c.current == t && (t.state == StateBlocked || t.state == StateWaitComm) {
+			n.switchTo(c, tt)
+		}
+	})
+}
+
+// BlockFor blocks t for duration d, then wakes it on its home CPU. Used
+// by workloads for communication waits.
+func (n *Node) BlockFor(t *Task, state TaskState, d sim.Duration, onWake func(now sim.Time)) {
+	n.Block(t, state, func(now sim.Time) {
+		if state == StateWaitComm {
+			cpu := int32(0)
+			if t.cpu != nil {
+				cpu = int32(t.cpu.ID)
+			}
+			n.emit(trace.Event{TS: int64(now), CPU: cpu, ID: trace.EvAppWaitEnd, Arg1: int64(t.PID)})
+		}
+		if onWake != nil {
+			onWake(now)
+		}
+	})
+	n.eng.After(d, sim.PrioTask, func(sim.Time) { n.Wake(t, t.home) })
+}
+
+// removeFromRunq deletes t from c's runqueue.
+func (c *CPU) removeFromRunq(t *Task) {
+	for i, q := range c.runq {
+		if q == t {
+			c.runq = append(c.runq[:i], c.runq[i+1:]...)
+			return
+		}
+	}
+}
+
+// findPullCandidate selects an application task to migrate onto target.
+// A task whose home is target is always eligible (returning home is
+// cache-friendly); a foreign task is eligible only after it has waited
+// at least MigrationCost on its runqueue (Linux's cache-hot heuristic).
+func (n *Node) findPullCandidate(target *CPU, now sim.Time) (*Task, *CPU) {
+	if target.ID == n.cfg.DaemonCPU {
+		return nil, nil // application ranks never move to the daemon CPU
+	}
+	var fallback *Task
+	var fallbackFrom *CPU
+	for _, o := range n.cpus {
+		if o == target || len(o.runq) == 0 || o.current == nil {
+			continue // pull only tasks waiting behind a running task
+		}
+		for _, t := range o.runq {
+			if t.Kind != KindApp || t.state != StateRunnable {
+				continue
+			}
+			if t.home == target {
+				return t, o
+			}
+			if now-t.queuedAt >= n.cfg.MigrationCost && fallback == nil {
+				fallback, fallbackFrom = t, o
+			}
+		}
+	}
+	return fallback, fallbackFrom
+}
+
+// rebalance is the run_rebalance_domains work: it pulls a waiting task
+// onto an idle CPU. Direct cost is the softirq span already charged; the
+// indirect cost (cache warm-up) is captured by the MigrationCost gate.
+func (n *Node) rebalance(c *CPU, now sim.Time) {
+	target := c
+	if target.current != nil {
+		target = nil
+		for _, o := range n.cpus {
+			if o.current == nil && len(o.runq) == 0 {
+				target = o
+				break
+			}
+		}
+	}
+	if target == nil {
+		return
+	}
+	if t, from := n.findPullCandidate(target, now); t != nil {
+		n.migrate(t, from, target, now)
+	}
+}
+
+// idleBalance pulls a waiting task onto a CPU that just went idle.
+func (n *Node) idleBalance(c *CPU, now sim.Time) {
+	if c.current != nil {
+		return
+	}
+	if t, from := n.findPullCandidate(c, now); t != nil {
+		n.migrate(t, from, c, now)
+	}
+}
+
+// migrate moves task t from CPU from to CPU to, emitting
+// sched_migrate_task, and triggers a switch-in if the target is idle.
+func (n *Node) migrate(t *Task, from, to *CPU, now sim.Time) {
+	from.removeFromRunq(t)
+	t.cpu = to
+	t.migrations++
+	to.runq = append(to.runq, t)
+	n.emit(trace.Event{TS: int64(now), CPU: int32(from.ID), ID: trace.EvSchedMigrate,
+		Arg1: int64(t.PID), Arg2: int64(from.ID), Arg3: int64(to.ID)})
+	if to.current == nil || n.preempts(t, to.current) {
+		to.needResched = true
+		n.kickResched(to)
+	}
+}
+
+// daemonStarted runs when a daemon is switched in: it serves its pending
+// work for a sampled duration per item, then blocks again.
+func (n *Node) daemonStarted(d *Task, c *CPU, now sim.Time) {
+	if d.pendingWork <= 0 {
+		d.pendingWork = 1 // woken without explicit work: housekeeping item
+	}
+	n.daemonServe(d, c, now)
+}
+
+// daemonServe consumes one work item, re-arming until none remain.
+func (n *Node) daemonServe(d *Task, c *CPU, now sim.Time) {
+	run := n.cfg.Model.DaemonRun.Sample(c.rng)
+	d.workDone = n.eng.After(run, sim.PrioTask, func(t sim.Time) {
+		c.deferToKernelIdle(t, func(t2 sim.Time) {
+			if c.current != d {
+				return // preempted meanwhile; daemon keeps its work queued
+			}
+			d.pendingWork--
+			if d.pendingWork > 0 {
+				n.daemonServe(d, c, t2)
+				return
+			}
+			nicDrainCompleted(n, d, t2)
+			d.state = StateBlocked
+			n.switchTo(c, t2)
+		})
+	})
+}
+
+// DaemonWork queues work for a daemon and wakes it on CPU c (nil = where
+// the caller decides; defaults to the daemon's last CPU). Under the
+// priority-alternation mitigation, work arriving during a favored
+// window is deferred until the window ends.
+func (n *Node) DaemonWork(d *Task, c *CPU, items int) {
+	if d.Kind == KindApp {
+		panic("kernel: DaemonWork on application task")
+	}
+	if n.favored {
+		n.deferredWork = append(n.deferredWork, deferredDaemonWork{task: d, cpu: c, items: items})
+		return
+	}
+	if n.cfg.DaemonCPU >= 0 && n.cfg.DaemonCPU < len(n.cpus) {
+		c = n.cpus[n.cfg.DaemonCPU] // spare-core isolation
+	}
+	d.pendingWork += items
+	if d.state == StateBlocked {
+		n.Wake(d, c)
+	}
+}

@@ -1,0 +1,251 @@
+package kernel
+
+import (
+	"testing"
+
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+)
+
+func plainNode(cpus int, seed uint64) *Node {
+	cfg := DefaultConfig(seed)
+	cfg.CPUs = cpus
+	return NewNode(cfg, nil)
+}
+
+func TestClassRankDefault(t *testing.T) {
+	n := plainNode(1, 1)
+	kd := n.NewDaemonTask("kd", KindKernelDaemon, 0)
+	ud := n.NewDaemonTask("ud", KindUserDaemon, 0)
+	app := n.NewTask("app", KindApp, 0)
+	if !(n.classRank(kd) < n.classRank(ud) && n.classRank(ud) < n.classRank(app)) {
+		t.Fatalf("rank order wrong: %d %d %d", n.classRank(kd), n.classRank(ud), n.classRank(app))
+	}
+}
+
+func TestClassRankRT(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.RTApps = true
+	n := NewNode(cfg, nil)
+	kd := n.Rpciod()
+	app := n.NewTask("app", KindApp, 0)
+	if n.classRank(app) >= n.classRank(kd) {
+		t.Fatal("RT app must outrank kernel daemons")
+	}
+	if !n.preempts(app, kd) {
+		t.Fatal("RT app must preempt a running daemon")
+	}
+	if n.preempts(kd, app) {
+		t.Fatal("daemon must not preempt an RT app")
+	}
+}
+
+func TestPreemptsVruntime(t *testing.T) {
+	n := plainNode(1, 3)
+	a := n.NewTask("a", KindApp, 0)
+	b := n.NewTask("b", KindApp, 0)
+	a.vruntime, b.vruntime = 100, 50
+	if !n.preempts(b, a) {
+		t.Fatal("lower-vruntime app should preempt")
+	}
+	if n.preempts(a, b) {
+		t.Fatal("higher-vruntime app should not preempt")
+	}
+	if !n.preempts(a, nil) {
+		t.Fatal("anything preempts idle")
+	}
+}
+
+func TestTaskLessDeterministicTie(t *testing.T) {
+	n := plainNode(1, 4)
+	a := n.NewTask("a", KindApp, 0)
+	b := n.NewTask("b", KindApp, 0)
+	a.vruntime, b.vruntime = 7, 7
+	if !n.taskLess(a, b) || n.taskLess(b, a) {
+		t.Fatal("tie must break by PID")
+	}
+}
+
+func TestBestQueuedSkipsNonRunnable(t *testing.T) {
+	n := plainNode(1, 5)
+	c := n.CPUs()[0]
+	a := n.NewTask("a", KindApp, 0)
+	b := n.NewTask("b", KindApp, 0)
+	a.state, b.state = StateBlocked, StateRunnable
+	c.runq = []*Task{a, b}
+	if got := c.bestQueued(); got != b {
+		t.Fatalf("bestQueued = %v", got)
+	}
+	b.state = StateBlocked
+	if got := c.bestQueued(); got != nil {
+		t.Fatalf("bestQueued = %v, want nil", got)
+	}
+}
+
+func TestFindPullCandidateHomeFirst(t *testing.T) {
+	n := plainNode(3, 6)
+	cpus := n.CPUs()
+	// cpu1 busy with a running app, two waiting: one homed on cpu0
+	// (fresh) and one foreign (long-waiting).
+	running := n.NewTask("run", KindApp, 1)
+	running.state = StateRunning
+	cpus[1].current = running
+	homer := n.NewTask("homer", KindApp, 0)
+	homer.state = StateRunnable
+	homer.cpu = cpus[1]
+	homer.queuedAt = 0
+	foreign := n.NewTask("foreign", KindApp, 1)
+	foreign.state = StateRunnable
+	foreign.cpu = cpus[1]
+	foreign.queuedAt = 0
+	cpus[1].runq = []*Task{foreign, homer}
+	// Home pull wins regardless of wait time.
+	got, from := n.findPullCandidate(cpus[0], 0)
+	if got != homer || from != cpus[1] {
+		t.Fatalf("pull = %v from %v", got, from)
+	}
+	// A non-home target only pulls after MigrationCost.
+	if cand, _ := n.findPullCandidate(cpus[2], n.cfg.MigrationCost-1); cand == foreign {
+		t.Fatal("cache-hot foreign task pulled too early")
+	}
+}
+
+func TestFindPullCandidateAvoidsDaemonCPU(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.CPUs = 2
+	cfg.DaemonCPU = 1
+	n := NewNode(cfg, nil)
+	cpus := n.CPUs()
+	running := n.NewTask("run", KindApp, 0)
+	running.state = StateRunning
+	cpus[0].current = running
+	waiter := n.NewTask("wait", KindApp, 0)
+	waiter.state = StateRunnable
+	waiter.queuedAt = 0
+	cpus[0].runq = []*Task{waiter}
+	if cand, _ := n.findPullCandidate(cpus[1], sim.Second); cand != nil {
+		t.Fatalf("app pulled onto the daemon CPU: %v", cand)
+	}
+}
+
+func TestDaemonWorkRedirectsToDaemonCPU(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.CPUs = 2
+	cfg.DaemonCPU = 1
+	s := trace.NewSession(trace.Config{CPUs: 2, SubBufs: 4, SubBufLen: 256})
+	s.Start()
+	n := NewNode(cfg, s)
+	n.NewTask("rank0", KindApp, 0)
+	n.Engine().At(sim.Millisecond, sim.PrioTask, func(sim.Time) {
+		// Ask for daemon work on CPU 0; it must land on CPU 1.
+		n.DaemonWork(n.Rpciod(), n.CPUs()[0], 1)
+	})
+	n.Run(20 * sim.Millisecond)
+	tr := s.Collect()
+	for _, ev := range tr.Events {
+		if ev.ID == trace.EvSchedSwitch && ev.Arg2 == int64(n.Rpciod().PID) {
+			if ev.CPU != 1 {
+				t.Fatalf("daemon ran on cpu%d, want the daemon CPU", ev.CPU)
+			}
+			return
+		}
+	}
+	t.Fatal("daemon never ran")
+}
+
+func TestWakeIsIdempotent(t *testing.T) {
+	n := plainNode(1, 9)
+	c := n.CPUs()[0]
+	app := n.NewTask("app", KindApp, 0)
+	app.state = StateBlocked
+	n.Wake(app, c)
+	n.Wake(app, c) // second wake is a no-op
+	if got := len(c.runq); got != 1 {
+		t.Fatalf("runq length %d after double wake", got)
+	}
+	if app.State() != StateRunnable {
+		t.Fatalf("state %v", app.State())
+	}
+}
+
+func TestBlockPanicsWhenNotCurrent(t *testing.T) {
+	n := plainNode(1, 10)
+	app := n.NewTask("app", KindApp, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.Block(app, StateBlocked, nil) // never switched in
+}
+
+func TestBlockRejectsBadState(t *testing.T) {
+	n := plainNode(1, 11)
+	app := n.NewTask("app", KindApp, 0)
+	n.Boot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.Block(app, StateRunning, nil)
+}
+
+func TestDaemonWorkOnAppPanics(t *testing.T) {
+	n := plainNode(1, 12)
+	app := n.NewTask("app", KindApp, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.DaemonWork(app, nil, 1)
+}
+
+func TestNewDaemonTaskRejectsApp(t *testing.T) {
+	n := plainNode(1, 13)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.NewDaemonTask("x", KindApp, 0)
+}
+
+func TestTimesliceRoundRobin(t *testing.T) {
+	// Two app ranks pinned to one CPU must alternate on the timeslice.
+	cfg := DefaultConfig(14)
+	cfg.CPUs = 1
+	s := trace.NewSession(trace.Config{CPUs: 1, SubBufs: 8, SubBufLen: 1024})
+	s.Start()
+	n := NewNode(cfg, s)
+	a := n.NewTask("a", KindApp, 0)
+	b := n.NewTask("b", KindApp, 0)
+	n.Run(200 * sim.Millisecond)
+	tr := s.Collect()
+	var aRan, bRan, switches int
+	for _, ev := range tr.Events {
+		if ev.ID != trace.EvSchedSwitch {
+			continue
+		}
+		switches++
+		if ev.Arg2 == int64(a.PID) {
+			aRan++
+		}
+		if ev.Arg2 == int64(b.PID) {
+			bRan++
+		}
+	}
+	if aRan == 0 || bRan == 0 {
+		t.Fatalf("no alternation: a=%d b=%d", aRan, bRan)
+	}
+	// Timeslice 10 ms over 200 ms → ~20 switches.
+	if switches < 10 || switches > 40 {
+		t.Fatalf("switches = %d, want ~20", switches)
+	}
+	// Fair split of user time within 20 %.
+	ua, ub := float64(a.UserNS()), float64(b.UserNS())
+	if ua/ub > 1.25 || ub/ua > 1.25 {
+		t.Fatalf("unfair split: %v vs %v", a.UserNS(), b.UserNS())
+	}
+}

@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"fmt"
+
+	"osnoise/internal/sim"
+)
+
+// TaskKind classifies processes the way the paper's analysis does:
+// application ranks are the noise victims, daemons are a noise source.
+type TaskKind int
+
+// Task kinds, in scheduling-priority order (lower value preempts higher).
+const (
+	KindKernelDaemon TaskKind = iota // rpciod, events
+	KindUserDaemon
+	KindApp
+)
+
+// String names the kind.
+func (k TaskKind) String() string {
+	switch k {
+	case KindKernelDaemon:
+		return "kdaemon"
+	case KindUserDaemon:
+		return "udaemon"
+	case KindApp:
+		return "app"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// TaskState is the scheduler-visible process state.
+type TaskState int
+
+// Task states. WaitComm is distinguished from Blocked because the
+// paper's noise accounting excludes kernel activity that occurs while
+// the application is blocked waiting for communication.
+const (
+	StateRunning TaskState = iota
+	StateRunnable
+	StateBlocked
+	StateWaitComm
+	StateExited
+)
+
+// String names the state.
+func (s TaskState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateRunnable:
+		return "runnable"
+	case StateBlocked:
+		return "blocked"
+	case StateWaitComm:
+		return "waitcomm"
+	case StateExited:
+		return "exited"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Task is a simulated process or kernel thread.
+type Task struct {
+	PID  int
+	Name string
+	Kind TaskKind
+
+	state    TaskState
+	cpu      *CPU // CPU the task is running/queued on
+	home     *CPU // preferred CPU (app ranks are pinned-ish, one per CPU)
+	vruntime sim.Time
+	switchIn sim.Time // time of last switch-in
+	queuedAt sim.Time // time the task entered a runqueue (for migration cost)
+
+	// userNS accumulates time actually spent executing the task's own
+	// code (user mode, kernel idle). FTQ derives its work counts from
+	// this, so it must exclude every kind of interruption.
+	userNS sim.Time
+
+	// onResume holds callbacks to run the next time the task is
+	// current with the kernel idle (workload continuations).
+	onResume []func(now sim.Time)
+
+	// Daemon bookkeeping: outstanding work items and the event that
+	// completes the current batch.
+	pendingWork int
+	workDone    sim.EventRef
+
+	// I/O completions waiting to be delivered (rpciod handoff).
+	migrations int
+}
+
+// State returns the scheduler state.
+func (t *Task) State() TaskState { return t.state }
+
+// UserNS returns the accumulated own-code execution time.
+func (t *Task) UserNS() sim.Time { return t.userNS }
+
+// CPU returns the task's current (or last) CPU, which may be nil before
+// first placement.
+func (t *Task) CPU() *CPU { return t.cpu }
+
+// Home returns the task's home CPU.
+func (t *Task) Home() *CPU { return t.home }
+
+// Migrations returns how many times the scheduler moved this task
+// between CPUs.
+func (t *Task) Migrations() int { return t.migrations }
+
+func (t *Task) String() string {
+	return fmt.Sprintf("%s(pid=%d,%s)", t.Name, t.PID, t.state)
+}

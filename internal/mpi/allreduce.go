@@ -1,0 +1,163 @@
+// Package mpi models collective communication at scale with explicit
+// message propagation, complementing the analytic bulk-synchronous
+// model of internal/cluster. The paper's related work (Beckman et al.,
+// ref [26]) examines exactly this: how OS interference delays MPI
+// collectives.
+//
+// An allreduce is a reduce tree followed by a broadcast tree: a rank
+// becomes ready when its own compute (plus any OS noise) finishes, a
+// tree node reduces when all its children's messages have arrived, and
+// the result is broadcast back down. One late rank therefore delays the
+// whole operation, but — unlike the flat max model — the delay can be
+// partially absorbed if it is off the critical path, and per-hop
+// latency adds a log₂(N) term. The simulation computes exact completion
+// times per rank per iteration.
+package mpi
+
+import (
+	"runtime"
+	"sync"
+
+	"osnoise/internal/cluster"
+	"osnoise/internal/sim"
+)
+
+// Config describes an iterated allreduce benchmark.
+type Config struct {
+	Ranks int
+	// Granularity is the per-iteration compute time per rank.
+	Granularity sim.Duration
+	// HopLatency is the one-message network latency between tree levels.
+	HopLatency sim.Duration
+	Iterations int
+	Seed       uint64
+	// Model injects per-rank noise into each compute phase.
+	Model cluster.NoiseModel
+	// Workers bounds the simulation parallelism (default NumCPU).
+	Workers int
+}
+
+// Result summarises the run.
+type Result struct {
+	Config Config
+	// IdealNS is the noise-free runtime: iterations × (granularity +
+	// tree latency).
+	IdealNS int64
+	// ActualNS includes the noise-induced delays.
+	ActualNS int64
+	// TreeDepth is ceil(log2(ranks)).
+	TreeDepth int
+}
+
+// Slowdown returns ActualNS/IdealNS.
+func (r *Result) Slowdown() float64 {
+	if r.IdealNS == 0 {
+		return 0
+	}
+	return float64(r.ActualNS) / float64(r.IdealNS)
+}
+
+// depth returns ceil(log2(n)).
+func depth(n int) int {
+	d := 0
+	for (1 << d) < n {
+		d++
+	}
+	return d
+}
+
+// Run executes the iterated allreduce. Per iteration:
+//
+//  1. every rank computes granularity + noise (ready time);
+//  2. reduce: binomial tree — at level l, rank r receives from rank
+//     r + 2^l if that partner exists; a node sends up when it and all
+//     received messages are in, each hop costing HopLatency;
+//  3. broadcast: the mirror tree, again HopLatency per hop;
+//  4. the next iteration starts when a rank has the result (all ranks
+//     synchronised at root completion + their broadcast arrival; the
+//     next compute starts per rank at its own receive time).
+//
+// Rank noise sampling is parallelised across workers; tree combining is
+// O(ranks · log ranks) per iteration, single-threaded but cheap.
+func Run(cfg Config) *Result {
+	if cfg.Ranks <= 0 {
+		panic("mpi: need at least one rank")
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	d := depth(cfg.Ranks)
+	res := &Result{Config: cfg, TreeDepth: d}
+	res.IdealNS = int64(cfg.Iterations) * (int64(cfg.Granularity) + 2*int64(d)*int64(cfg.HopLatency))
+
+	// Pre-sample per-rank noise for every iteration in parallel
+	// (deterministic per rank, independent of worker count).
+	noise := make([][]int64, cfg.Ranks) // [rank][iter]
+	workers := cfg.Workers
+	if workers > cfg.Ranks {
+		workers = cfg.Ranks
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rank := w; rank < cfg.Ranks; rank += workers {
+				rng := sim.NewRNG(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(rank+1)))
+				col := make([]int64, cfg.Iterations)
+				for it := 0; it < cfg.Iterations; it++ {
+					col[it] = cfg.Model.Sample(rng, cfg.Granularity)
+				}
+				noise[rank] = col
+			}
+		}()
+	}
+	wg.Wait()
+
+	hop := int64(cfg.HopLatency)
+	start := make([]int64, cfg.Ranks)  // per-rank iteration start time
+	ready := make([]int64, cfg.Ranks)  // per-rank compute-done time
+	arrive := make([]int64, cfg.Ranks) // broadcast arrival time
+	var clockEnd int64
+	for it := 0; it < cfg.Iterations; it++ {
+		for r := 0; r < cfg.Ranks; r++ {
+			ready[r] = start[r] + int64(cfg.Granularity) + noise[r][it]
+		}
+		// Reduce up the binomial tree: after this loop ready[0] is the
+		// time the root holds the full reduction.
+		for l := 0; (1 << l) < cfg.Ranks; l++ {
+			stride := 1 << l
+			for r := 0; r+stride < cfg.Ranks; r += stride << 1 {
+				partner := r + stride
+				msg := ready[partner] + hop
+				if msg > ready[r] {
+					ready[r] = msg
+				}
+			}
+		}
+		// Broadcast down the mirror tree.
+		arrive[0] = ready[0]
+		for l := d - 1; l >= 0; l-- {
+			stride := 1 << l
+			for r := 0; r+stride < cfg.Ranks; r += stride << 1 {
+				partner := r + stride
+				msg := arrive[r] + hop
+				if msg > arrive[partner] {
+					arrive[partner] = msg
+				}
+			}
+		}
+		for r := 0; r < cfg.Ranks; r++ {
+			start[r] = arrive[r]
+			if arrive[r] > clockEnd {
+				clockEnd = arrive[r]
+			}
+		}
+	}
+	res.ActualNS = clockEnd
+	return res
+}

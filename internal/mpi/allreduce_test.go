@@ -1,0 +1,150 @@
+package mpi
+
+import (
+	"testing"
+
+	"osnoise/internal/cluster"
+	"osnoise/internal/sim"
+)
+
+func quiet() cluster.NoiseModel { return cluster.NoiseModel{} }
+
+func noisy() cluster.NoiseModel {
+	return cluster.NoiseModel{RatePerSec: 100, Durations: []int64{50_000, 200_000}}
+}
+
+func TestDepth(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := depth(n); got != want {
+			t.Errorf("depth(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNoiseFreeMatchesIdeal(t *testing.T) {
+	r := Run(Config{
+		Ranks: 64, Granularity: sim.Millisecond,
+		HopLatency: 2 * sim.Microsecond, Iterations: 50,
+		Seed: 1, Model: quiet(),
+	})
+	if r.ActualNS != r.IdealNS {
+		t.Fatalf("noise-free run %d != ideal %d", r.ActualNS, r.IdealNS)
+	}
+	if r.Slowdown() != 1 {
+		t.Fatalf("slowdown %v", r.Slowdown())
+	}
+	if r.TreeDepth != 6 {
+		t.Fatalf("depth %d", r.TreeDepth)
+	}
+}
+
+func TestNoiseSlowsAllreduce(t *testing.T) {
+	r := Run(Config{
+		Ranks: 256, Granularity: sim.Millisecond,
+		HopLatency: 2 * sim.Microsecond, Iterations: 100,
+		Seed: 2, Model: noisy(),
+	})
+	if r.Slowdown() <= 1.01 {
+		t.Fatalf("slowdown %.3f, want noticeable", r.Slowdown())
+	}
+}
+
+func TestSlowdownGrowsWithRanks(t *testing.T) {
+	prev := 0.0
+	for _, ranks := range []int{8, 64, 512} {
+		r := Run(Config{
+			Ranks: ranks, Granularity: sim.Millisecond,
+			HopLatency: sim.Microsecond, Iterations: 150,
+			Seed: 3, Model: noisy(),
+		})
+		if r.Slowdown() < prev {
+			t.Fatalf("slowdown fell at %d ranks: %.3f < %.3f", ranks, r.Slowdown(), prev)
+		}
+		prev = r.Slowdown()
+	}
+	if prev < 1.05 {
+		t.Fatalf("no amplification at 512 ranks: %.3f", prev)
+	}
+}
+
+// The explicit tree must agree in magnitude with the analytic flat-max
+// model (tree ≥ flat is not guaranteed because hops pipeline, but both
+// must show the same amplification regime).
+func TestTreeAgreesWithFlatModel(t *testing.T) {
+	m := noisy()
+	tree := Run(Config{
+		Ranks: 512, Granularity: sim.Millisecond,
+		HopLatency: 0, Iterations: 200, Seed: 4, Model: m,
+	})
+	flat := cluster.Run(cluster.Config{
+		Nodes: 64, RanksPerNode: 8,
+		Granularity: sim.Millisecond, Iterations: 200, Seed: 4, Model: m,
+	})
+	ratio := tree.Slowdown() / flat.Slowdown()
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("tree %.3f vs flat %.3f (ratio %.3f) disagree", tree.Slowdown(), flat.Slowdown(), ratio)
+	}
+}
+
+// With zero hop latency, the tree allreduce IS the flat max barrier:
+// per-iteration times must match the max over ranks exactly.
+func TestZeroHopEqualsMax(t *testing.T) {
+	cfg := Config{
+		Ranks: 33, Granularity: 100 * sim.Microsecond,
+		HopLatency: 0, Iterations: 7, Seed: 5, Model: noisy(),
+	}
+	r := Run(cfg)
+	// Recompute by brute force.
+	var total int64
+	for it := 0; it < cfg.Iterations; it++ {
+		var worst int64
+		for rank := 0; rank < cfg.Ranks; rank++ {
+			rng := sim.NewRNG(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(rank+1)))
+			var d int64
+			for k := 0; k <= it; k++ {
+				d = cfg.Model.Sample(rng, cfg.Granularity)
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		total += int64(cfg.Granularity) + worst
+	}
+	if r.ActualNS != total {
+		t.Fatalf("tree %d != brute-force max %d", r.ActualNS, total)
+	}
+}
+
+func TestWorkerInvariance(t *testing.T) {
+	mk := func(workers int) int64 {
+		return Run(Config{
+			Ranks: 100, Granularity: sim.Millisecond,
+			HopLatency: sim.Microsecond, Iterations: 40,
+			Seed: 6, Model: noisy(), Workers: workers,
+		}).ActualNS
+	}
+	if a, b := mk(1), mk(7); a != b {
+		t.Fatalf("worker count changed result: %d vs %d", a, b)
+	}
+}
+
+func TestHopLatencyAddsTreeDepth(t *testing.T) {
+	base := Run(Config{Ranks: 1024, Granularity: sim.Millisecond,
+		HopLatency: 0, Iterations: 10, Seed: 7, Model: quiet()})
+	withHops := Run(Config{Ranks: 1024, Granularity: sim.Millisecond,
+		HopLatency: 5 * sim.Microsecond, Iterations: 10, Seed: 7, Model: quiet()})
+	wantExtra := int64(10) * 2 * 10 * int64(5*sim.Microsecond) // iters × 2 trees × depth × hop
+	if got := withHops.ActualNS - base.ActualNS; got != wantExtra {
+		t.Fatalf("hop latency added %d, want %d", got, wantExtra)
+	}
+}
+
+func TestRunPanicsWithoutRanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(Config{Granularity: sim.Millisecond})
+}

@@ -1,0 +1,287 @@
+package noise
+
+import (
+	"sort"
+
+	"osnoise/internal/trace"
+)
+
+// Options tunes the analysis. The zero value is NOT ready to use; start
+// from DefaultOptions.
+type Options struct {
+	// AppPIDs identifies the application processes (the noise victims).
+	// Nil means every non-zero pid is treated as an application.
+	AppPIDs map[int64]bool
+
+	// AttributeNesting subtracts nested activity time from enclosing
+	// spans so each event's own cost is exact. Disabling it reproduces
+	// the double counting naive instrumentation suffers (ablation).
+	AttributeNesting bool
+
+	// RunnableFilter applies the paper's rule that kernel activity is
+	// noise only when an application process is running or runnable on
+	// the CPU. Disabling it counts every kernel span as noise (ablation).
+	RunnableFilter bool
+
+	// GapNS merges noise activities separated by at most this much user
+	// time into one interruption (the spike an external benchmark sees).
+	GapNS int64
+
+	// KeepDurations retains raw per-event durations for histograms.
+	KeepDurations bool
+
+	// FromNS/ToNS restrict the analysis to a time window (both zero =
+	// whole trace) — the zooming workflow of the paper's §III-C.
+	// Events outside the window are ignored; spans straddling the
+	// boundary are dropped like any other truncated span.
+	FromNS, ToNS int64
+}
+
+// DefaultOptions returns the analysis configuration used throughout the
+// paper reproduction.
+func DefaultOptions() Options {
+	return Options{
+		AttributeNesting: true,
+		RunnableFilter:   true,
+		GapNS:            1000,
+		KeepDurations:    true,
+	}
+}
+
+// openSpan is a kernel activity whose exit has not been seen yet.
+type openSpan struct {
+	key       Key
+	start     int64
+	childWall int64
+	exitID    trace.ID
+}
+
+// window is an open preemption window for a runnable-but-preempted task.
+type window struct {
+	start      int64
+	cpu        int32
+	kernelWall int64
+}
+
+// cpuState is the per-CPU walking state.
+type cpuState struct {
+	stack   []openSpan
+	owner   int64 // pid of the app running or runnable-waiting here
+	current int64 // pid currently running (0 = idle)
+}
+
+// Analyze runs the full noise analysis over a collected trace.
+func Analyze(tr *trace.Trace, opts Options) *Report {
+	r := &Report{CPUs: tr.CPUs, Seconds: tr.DurationSeconds()}
+	if opts.ToNS > opts.FromNS && (opts.FromNS != 0 || opts.ToNS != 0) {
+		r.Seconds = float64(opts.ToNS-opts.FromNS) / 1e9
+	}
+	for k := Key(0); k < NumKeys; k++ {
+		r.PerKey[k] = &KeyStats{Key: k}
+	}
+	appPIDs := opts.AppPIDs
+	if appPIDs == nil {
+		// The trace's embedded process table (LTTng metadata analogue)
+		// identifies the application processes for offline analysis.
+		appPIDs = tr.AppPIDs()
+	}
+	isApp := func(pid int64) bool {
+		if pid == 0 {
+			return false
+		}
+		if appPIDs == nil {
+			return true
+		}
+		return appPIDs[pid]
+	}
+
+	cpus := make([]cpuState, tr.CPUs)
+	windows := make(map[int64]*window) // open preemption windows per pid
+	lastRunner := make([]int64, tr.CPUs)
+
+	record := func(s Span) {
+		ks := r.PerKey[s.Key]
+		ks.Summary.Add(s.Own)
+		if opts.KeepDurations {
+			ks.Durations = append(ks.Durations, s.Own)
+		}
+		if s.Noise {
+			cat := CategoryOf(s.Key)
+			r.Breakdown[cat] += s.Own
+			r.TotalNoiseNS += s.Own
+		}
+		r.Spans = append(r.Spans, s)
+	}
+
+	windowed := opts.FromNS != 0 || opts.ToNS != 0
+	for _, ev := range tr.Events {
+		if windowed && (ev.TS < opts.FromNS || (opts.ToNS > 0 && ev.TS > opts.ToNS)) {
+			continue
+		}
+		if int(ev.CPU) >= len(cpus) {
+			r.Dropped++
+			continue
+		}
+		cs := &cpus[ev.CPU]
+		switch {
+		case ev.ID.IsEntry():
+			cs.stack = append(cs.stack, openSpan{
+				key:    keyOfSpan(ev.ID, ev.Arg1),
+				start:  ev.TS,
+				exitID: ev.ID.ExitFor(),
+			})
+
+		case ev.ID.IsExit():
+			if len(cs.stack) == 0 {
+				r.Dropped++ // span began before tracing started
+				continue
+			}
+			top := cs.stack[len(cs.stack)-1]
+			if top.exitID != ev.ID {
+				// Corrupt nesting; drop the whole stack for this CPU.
+				r.Dropped += len(cs.stack)
+				cs.stack = cs.stack[:0]
+				continue
+			}
+			cs.stack = cs.stack[:len(cs.stack)-1]
+			wall := ev.TS - top.start
+			own := wall
+			if opts.AttributeNesting {
+				own = wall - top.childWall
+				if own < 0 {
+					own = 0
+				}
+			}
+			if len(cs.stack) > 0 {
+				cs.stack[len(cs.stack)-1].childWall += wall
+			}
+			cat := CategoryOf(top.key)
+			isNoise := cat.IsNoise()
+			if opts.RunnableFilter && cs.owner == 0 {
+				isNoise = false
+			}
+			record(Span{
+				Key: top.key, CPU: ev.CPU, Start: top.start,
+				Wall: wall, Own: own, PID: cs.owner, Noise: isNoise,
+			})
+			// Top-level kernel time inside a preemption window is
+			// charged to its own key; subtract it from the window so
+			// the wait is not double counted.
+			if len(cs.stack) == 0 && cs.owner != 0 && cs.current != cs.owner {
+				if w := windows[cs.owner]; w != nil && w.cpu == ev.CPU {
+					w.kernelWall += wall
+				}
+			}
+
+		case ev.ID == trace.EvSchedSwitch:
+			prev, next, prevState := ev.Arg1, ev.Arg2, ev.Arg3
+			if prev != 0 && isApp(prev) {
+				if prevState == trace.TaskStateRunning {
+					// Preempted while runnable: open a window.
+					windows[prev] = &window{start: ev.TS, cpu: ev.CPU}
+					if cs.owner == 0 {
+						cs.owner = prev
+					}
+				} else {
+					// Voluntary block: no victim remains.
+					delete(windows, prev)
+					if cs.owner == prev {
+						cs.owner = 0
+					}
+				}
+			}
+			if next != 0 && isApp(next) {
+				if w := windows[next]; w != nil {
+					preempt := (ev.TS - w.start) - w.kernelWall
+					if preempt > 0 {
+						culprit := lastRunner[w.cpu]
+						if culprit == next {
+							culprit = 0
+						}
+						record(Span{
+							Key: KeyPreemption, CPU: w.cpu, Start: w.start,
+							Wall: preempt, Own: preempt, PID: next,
+							Culprit: culprit, Noise: true,
+						})
+					}
+					delete(windows, next)
+				}
+				cs.owner = next
+			}
+			cs.current = next
+			if next != 0 {
+				lastRunner[ev.CPU] = next
+			}
+
+		case ev.ID == trace.EvSchedMigrate:
+			pid, from, to := ev.Arg1, ev.Arg2, ev.Arg3
+			if w := windows[pid]; w != nil {
+				w.cpu = int32(to)
+			}
+			if int(from) < len(cpus) && cpus[from].owner == pid {
+				cpus[from].owner = 0
+			}
+			if int(to) < len(cpus) && cpus[to].owner == 0 && isApp(pid) {
+				cpus[to].owner = pid
+			}
+
+		case ev.ID == trace.EvProcessExit:
+			delete(windows, ev.Arg1)
+		}
+	}
+	// Unclosed spans and windows at the trace boundary are dropped.
+	for i := range cpus {
+		r.Dropped += len(cpus[i].stack)
+	}
+	r.Dropped += len(windows)
+
+	r.buildInterruptions(opts.GapNS)
+	return r
+}
+
+// buildInterruptions groups adjacent noise spans per CPU into the spikes
+// an external micro-benchmark would observe.
+func (r *Report) buildInterruptions(gap int64) {
+	byCPU := make(map[int32][]Span)
+	for _, s := range r.Spans {
+		if s.Noise {
+			byCPU[s.CPU] = append(byCPU[s.CPU], s)
+		}
+	}
+	cpuIDs := make([]int32, 0, len(byCPU))
+	for cpu := range byCPU {
+		cpuIDs = append(cpuIDs, cpu)
+	}
+	sort.Slice(cpuIDs, func(i, j int) bool { return cpuIDs[i] < cpuIDs[j] })
+	for _, cpu := range cpuIDs {
+		spans := byCPU[cpu]
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].Start != spans[j].Start {
+				return spans[i].Start < spans[j].Start
+			}
+			return spans[i].Start+spans[i].Wall > spans[j].Start+spans[j].Wall
+		})
+		var cur *Interruption
+		for _, s := range spans {
+			end := s.Start + s.Wall
+			if cur != nil && s.Start-cur.End <= gap {
+				cur.Components = append(cur.Components, Component{Key: s.Key, Start: s.Start, Own: s.Own})
+				cur.Total += s.Own
+				if end > cur.End {
+					cur.End = end
+				}
+				continue
+			}
+			if cur != nil {
+				r.Interruptions = append(r.Interruptions, *cur)
+			}
+			cur = &Interruption{
+				CPU: cpu, Start: s.Start, End: end, Total: s.Own,
+				Components: []Component{{Key: s.Key, Start: s.Start, Own: s.Own}},
+			}
+		}
+		if cur != nil {
+			r.Interruptions = append(r.Interruptions, *cur)
+		}
+	}
+}

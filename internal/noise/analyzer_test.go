@@ -1,0 +1,568 @@
+package noise
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"osnoise/internal/trace"
+)
+
+// mk builds a one-CPU trace from events.
+func mk(cpus int, evs ...trace.Event) *trace.Trace {
+	return &trace.Trace{CPUs: cpus, Events: evs}
+}
+
+// appRunning returns the boot switch that puts pid on cpu.
+func appRunning(ts int64, cpu int32, pid int64) trace.Event {
+	return trace.Event{TS: ts, CPU: cpu, ID: trace.EvSchedSwitch,
+		Arg1: 0, Arg2: pid, Arg3: trace.TaskStateBlocked}
+}
+
+func TestSimpleIRQSpan(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		trace.Event{TS: 100, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 2278, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+	)
+	r := Analyze(tr, DefaultOptions())
+	ks := r.Stats(KeyTimerIRQ)
+	if ks.Summary.Count != 1 {
+		t.Fatalf("count %d", ks.Summary.Count)
+	}
+	if ks.Summary.Max != 2178 {
+		t.Fatalf("duration %d, want 2178", ks.Summary.Max)
+	}
+	if r.TotalNoiseNS != 2178 {
+		t.Fatalf("total noise %d", r.TotalNoiseNS)
+	}
+	if r.Breakdown[CatPeriodic] != 2178 {
+		t.Fatalf("periodic %d", r.Breakdown[CatPeriodic])
+	}
+}
+
+// The paper's key nesting example: a timer interrupt inside a tasklet.
+// The tasklet's own cost must exclude the interrupt's.
+func TestNestedAttribution(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvTaskletEntry, Arg1: trace.SoftIRQNetRx},
+		trace.Event{TS: 2000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 2500, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		trace.Event{TS: 4000, CPU: 0, ID: trace.EvTaskletExit, Arg1: trace.SoftIRQNetRx},
+	)
+	r := Analyze(tr, DefaultOptions())
+	rx := r.Stats(KeyNetRx)
+	irq := r.Stats(KeyTimerIRQ)
+	if irq.Summary.Max != 500 {
+		t.Fatalf("irq own %d, want 500", irq.Summary.Max)
+	}
+	if rx.Summary.Max != 2500 { // 3000 wall - 500 nested
+		t.Fatalf("tasklet own %d, want 2500", rx.Summary.Max)
+	}
+	if r.TotalNoiseNS != 3000 {
+		t.Fatalf("total %d, want 3000 (union)", r.TotalNoiseNS)
+	}
+}
+
+func TestNestingAblation(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvTaskletEntry, Arg1: trace.SoftIRQNetRx},
+		trace.Event{TS: 2000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 2500, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		trace.Event{TS: 4000, CPU: 0, ID: trace.EvTaskletExit, Arg1: trace.SoftIRQNetRx},
+	)
+	opts := DefaultOptions()
+	opts.AttributeNesting = false
+	r := Analyze(tr, opts)
+	if rx := r.Stats(KeyNetRx); rx.Summary.Max != 3000 {
+		t.Fatalf("without attribution tasklet own %d, want full wall 3000", rx.Summary.Max)
+	}
+	// Double counting: 3000 + 500 > union.
+	if r.TotalNoiseNS != 3500 {
+		t.Fatalf("ablated total %d, want 3500", r.TotalNoiseNS)
+	}
+}
+
+// Kernel activity while no application is runnable is not noise.
+func TestRunnableFilter(t *testing.T) {
+	evs := []trace.Event{
+		appRunning(0, 0, 42),
+		// App blocks waiting for communication.
+		{TS: 1000, CPU: 0, ID: trace.EvSchedSwitch, Arg1: 42, Arg2: 0, Arg3: trace.TaskStateWaitComm},
+		// Timer tick while nothing runnable.
+		{TS: 2000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		{TS: 4000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		// App resumes; next tick is noise.
+		{TS: 5000, CPU: 0, ID: trace.EvSchedSwitch, Arg1: 0, Arg2: 42, Arg3: trace.TaskStateBlocked},
+		{TS: 6000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		{TS: 7000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+	}
+	r := Analyze(mk(1, evs...), DefaultOptions())
+	if r.TotalNoiseNS != 1000 {
+		t.Fatalf("noise %d, want only the second tick (1000)", r.TotalNoiseNS)
+	}
+	// Both ticks still appear in the per-event statistics.
+	if r.Stats(KeyTimerIRQ).Summary.Count != 2 {
+		t.Fatalf("timer count %d", r.Stats(KeyTimerIRQ).Summary.Count)
+	}
+
+	opts := DefaultOptions()
+	opts.RunnableFilter = false
+	r2 := Analyze(mk(1, evs...), opts)
+	if r2.TotalNoiseNS != 3000 {
+		t.Fatalf("unfiltered noise %d, want 3000", r2.TotalNoiseNS)
+	}
+}
+
+// Syscalls are requested services, not noise.
+func TestSyscallIsService(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		trace.Event{TS: 100, CPU: 0, ID: trace.EvSyscallEntry, Arg1: 0},
+		trace.Event{TS: 1100, CPU: 0, ID: trace.EvSyscallExit, Arg1: 0},
+	)
+	r := Analyze(tr, DefaultOptions())
+	if r.TotalNoiseNS != 0 {
+		t.Fatalf("syscall counted as noise: %d", r.TotalNoiseNS)
+	}
+	if r.Stats(KeySyscall).Summary.Count != 1 {
+		t.Fatal("syscall missing from stats")
+	}
+	if r.Breakdown[CatService] != 0 {
+		t.Fatalf("service in breakdown: %d", r.Breakdown[CatService])
+	}
+}
+
+// Preemption: app switched out runnable; daemon runs; app back in.
+// The paper's FTQ example: sched 382, preemption 2215, sched 179.
+func TestPreemptionWindow(t *testing.T) {
+	const app, daemon = 42, 7
+	opts := DefaultOptions()
+	opts.AppPIDs = map[int64]bool{app: true}
+	tr := mk(1,
+		appRunning(0, 0, app),
+		// schedule part 1
+		trace.Event{TS: 10000, CPU: 0, ID: trace.EvSchedEntry, Arg1: 0},
+		trace.Event{TS: 10382, CPU: 0, ID: trace.EvSchedExit, Arg1: 0},
+		trace.Event{TS: 10382, CPU: 0, ID: trace.EvSchedSwitch, Arg1: app, Arg2: daemon, Arg3: trace.TaskStateRunning},
+		// daemon runs 2215 ns (as user-mode daemon time)
+		trace.Event{TS: 12597, CPU: 0, ID: trace.EvSchedEntry, Arg1: 0},
+		trace.Event{TS: 12776, CPU: 0, ID: trace.EvSchedExit, Arg1: 0},
+		trace.Event{TS: 12776, CPU: 0, ID: trace.EvSchedSwitch, Arg1: daemon, Arg2: app, Arg3: trace.TaskStateBlocked},
+	)
+	r := Analyze(tr, opts)
+	pre := r.Stats(KeyPreemption)
+	if pre.Summary.Count != 1 {
+		t.Fatalf("preemptions %d, want 1", pre.Summary.Count)
+	}
+	// Window 10382→12776 = 2394, minus kernel spans inside (the second
+	// schedule span 179) = 2215.
+	if pre.Summary.Max != 2215 {
+		t.Fatalf("preemption %d ns, want 2215", pre.Summary.Max)
+	}
+	if got := r.Stats(KeySchedule).Summary.Count; got != 2 {
+		t.Fatalf("schedule spans %d, want 2", got)
+	}
+	// Culprit attribution.
+	cul := r.PreemptionsByCulprit()
+	if cul[daemon] != 2215 {
+		t.Fatalf("culprit map %v", cul)
+	}
+	// Total noise: 382 + 179 + 2215.
+	if r.TotalNoiseNS != 2776 {
+		t.Fatalf("total noise %d, want 2776", r.TotalNoiseNS)
+	}
+}
+
+// A voluntary block (I/O wait) must not open a preemption window.
+func TestVoluntaryBlockNotPreemption(t *testing.T) {
+	const app, daemon = 42, 7
+	opts := DefaultOptions()
+	opts.AppPIDs = map[int64]bool{app: true}
+	tr := mk(1,
+		appRunning(0, 0, app),
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvSchedSwitch, Arg1: app, Arg2: daemon, Arg3: trace.TaskStateBlocked},
+		trace.Event{TS: 90000, CPU: 0, ID: trace.EvSchedSwitch, Arg1: daemon, Arg2: app, Arg3: trace.TaskStateBlocked},
+	)
+	r := Analyze(tr, opts)
+	if r.Stats(KeyPreemption).Summary.Count != 0 {
+		t.Fatal("voluntary block produced a preemption span")
+	}
+}
+
+// Preemption across a migration: the window follows the task.
+func TestPreemptionAcrossMigration(t *testing.T) {
+	const app, other = 42, 43
+	opts := DefaultOptions()
+	opts.AppPIDs = map[int64]bool{app: true, other: true}
+	tr := mk(2,
+		appRunning(0, 0, app),
+		appRunning(0, 1, other),
+		// other (an app!) preempts app on cpu0 at 1000 (IO wake pattern).
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvSchedSwitch, Arg1: app, Arg2: other, Arg3: trace.TaskStateRunning},
+		// app migrated to cpu1 (idle after other left).
+		trace.Event{TS: 3000, CPU: 0, ID: trace.EvSchedMigrate, Arg1: app, Arg2: 0, Arg3: 1},
+		// app resumes on cpu1 at 5000.
+		trace.Event{TS: 5000, CPU: 1, ID: trace.EvSchedSwitch, Arg1: 0, Arg2: app, Arg3: trace.TaskStateBlocked},
+	)
+	r := Analyze(tr, opts)
+	pre := r.Stats(KeyPreemption)
+	if pre.Summary.Count != 1 {
+		t.Fatalf("preemptions %d, want 1", pre.Summary.Count)
+	}
+	if pre.Summary.Max != 4000 {
+		t.Fatalf("preemption %d, want 4000", pre.Summary.Max)
+	}
+}
+
+func TestInterruptionGrouping(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		// Tick: irq immediately followed by softirq = one interruption.
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 3178, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		trace.Event{TS: 3178, CPU: 0, ID: trace.EvSoftIRQEntry, Arg1: trace.SoftIRQTimer},
+		trace.Event{TS: 5020, CPU: 0, ID: trace.EvSoftIRQExit, Arg1: trace.SoftIRQTimer},
+		// Far-away page fault = separate interruption.
+		trace.Event{TS: 500000, CPU: 0, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+		trace.Event{TS: 502913, CPU: 0, ID: trace.EvTrapExit, Arg1: trace.TrapPageFault},
+	)
+	r := Analyze(tr, DefaultOptions())
+	if len(r.Interruptions) != 2 {
+		t.Fatalf("interruptions %d, want 2", len(r.Interruptions))
+	}
+	first := r.Interruptions[0]
+	if len(first.Components) != 2 {
+		t.Fatalf("first interruption has %d components", len(first.Components))
+	}
+	if first.Components[0].Key != KeyTimerIRQ || first.Components[1].Key != KeyTimerSoftIRQ {
+		t.Fatalf("composition %v", first.Components)
+	}
+	if first.Total != 2178+1842 {
+		t.Fatalf("first total %d", first.Total)
+	}
+	second := r.Interruptions[1]
+	if second.Components[0].Key != KeyPageFault || second.Total != 2913 {
+		t.Fatalf("second interruption %+v", second)
+	}
+}
+
+// The paper's Fig. 10 disambiguation: a page fault of 2913 ns and a
+// timer interruption (2648 + 254) of 2902 ns look identical to an
+// external benchmark; the analysis separates them by composition.
+func TestDisambiguation(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		trace.Event{TS: 10000, CPU: 0, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+		trace.Event{TS: 12913, CPU: 0, ID: trace.EvTrapExit, Arg1: trace.TrapPageFault},
+		trace.Event{TS: 500000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 502648, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		trace.Event{TS: 502648, CPU: 0, ID: trace.EvSoftIRQEntry, Arg1: trace.SoftIRQTimer},
+		trace.Event{TS: 502902, CPU: 0, ID: trace.EvSoftIRQExit, Arg1: trace.SoftIRQTimer},
+	)
+	r := Analyze(tr, DefaultOptions())
+	if len(r.Interruptions) != 2 {
+		t.Fatalf("interruptions %d", len(r.Interruptions))
+	}
+	a, b := r.Interruptions[0], r.Interruptions[1]
+	if a.Total != 2913 || b.Total != 2902 {
+		t.Fatalf("totals %d/%d", a.Total, b.Total)
+	}
+	// Similar totals, different compositions.
+	if len(a.Components) != 1 || a.Components[0].Key != KeyPageFault {
+		t.Fatalf("first should be a lone page fault: %s", a.Describe())
+	}
+	if len(b.Components) != 2 || b.Components[0].Key != KeyTimerIRQ {
+		t.Fatalf("second should be timer+softirq: %s", b.Describe())
+	}
+}
+
+func TestDroppedUnmatched(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		// Exit without entry (tracing started mid-span).
+		trace.Event{TS: 100, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		// Entry without exit (tracing stopped mid-span).
+		trace.Event{TS: 200, CPU: 0, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+	)
+	r := Analyze(tr, DefaultOptions())
+	if r.Dropped != 2 {
+		t.Fatalf("dropped %d, want 2", r.Dropped)
+	}
+	if r.TotalNoiseNS != 0 {
+		t.Fatalf("noise from dropped spans: %d", r.TotalNoiseNS)
+	}
+}
+
+func TestMismatchedNestingRecovers(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		trace.Event{TS: 100, CPU: 0, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+		trace.Event{TS: 300, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer}, // wrong exit
+		// Analysis must still process later well-formed spans.
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 2000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+	)
+	r := Analyze(tr, DefaultOptions())
+	if r.Dropped == 0 {
+		t.Fatal("corrupt nesting not counted")
+	}
+	if r.Stats(KeyTimerIRQ).Summary.Count != 1 {
+		t.Fatalf("later span lost: %d", r.Stats(KeyTimerIRQ).Summary.Count)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	tr := mk(2,
+		appRunning(0, 0, 42),
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 2000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		trace.Event{TS: 1_000_000_000, CPU: 0, ID: trace.EvAppQuantum, Arg1: 42},
+	)
+	r := Analyze(tr, DefaultOptions())
+	if r.Seconds != 1.0 {
+		t.Fatalf("seconds %v", r.Seconds)
+	}
+	if f := r.Stats(KeyTimerIRQ).Freq(r.Seconds, r.CPUs); f != 0.5 {
+		t.Fatalf("freq %v, want 0.5 (1 event / 1 s / 2 cpus)", f)
+	}
+	if got := len(r.InterruptionsOnCPU(0)); got != 1 {
+		t.Fatalf("on-cpu interruptions %d", got)
+	}
+	if got := len(r.InterruptionsOnCPU(1)); got != 0 {
+		t.Fatalf("cpu1 interruptions %d", got)
+	}
+	if top := r.TopInterruptions(5); len(top) != 1 {
+		t.Fatalf("top interruptions %d", len(top))
+	}
+	if s := r.BreakdownString(); s == "" {
+		t.Fatal("empty breakdown")
+	}
+	if row := r.TableRow(KeyTimerIRQ); row == "" {
+		t.Fatal("empty table row")
+	}
+}
+
+func TestHistogramFromKeyStats(t *testing.T) {
+	ks := &KeyStats{Key: KeyPageFault}
+	for i := 0; i < 100; i++ {
+		ks.Summary.Add(2500)
+		ks.Durations = append(ks.Durations, 2500)
+	}
+	ks.Summary.Add(1_000_000)
+	ks.Durations = append(ks.Durations, 1_000_000)
+	h := ks.HistogramP99(50)
+	if h.Total() != 101 {
+		t.Fatalf("histogram total %d", h.Total())
+	}
+	if h.Hi > 100_000 {
+		t.Fatalf("p99 cut not applied: hi=%d", h.Hi)
+	}
+	mode, _ := h.Mode()
+	if mode < 2000 || mode > 3000 {
+		t.Fatalf("mode %v", mode)
+	}
+}
+
+func TestCategoryMapping(t *testing.T) {
+	cases := map[Key]Category{
+		KeyTimerIRQ:     CatPeriodic,
+		KeyTimerSoftIRQ: CatPeriodic,
+		KeyPageFault:    CatPageFault,
+		KeySchedule:     CatScheduling,
+		KeyRCU:          CatScheduling,
+		KeyRebalance:    CatScheduling,
+		KeyPreemption:   CatPreemption,
+		KeyNetIRQ:       CatIO,
+		KeyNetRx:        CatIO,
+		KeyNetTx:        CatIO,
+		KeySyscall:      CatService,
+	}
+	for k, want := range cases {
+		if got := CategoryOf(k); got != want {
+			t.Errorf("CategoryOf(%v) = %v, want %v", k, got, want)
+		}
+	}
+	if CatService.IsNoise() {
+		t.Error("service must not be noise")
+	}
+	if !CatPreemption.IsNoise() {
+		t.Error("preemption must be noise")
+	}
+}
+
+func TestBands(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		// Short interruption: 2 µs fault.
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+		trace.Event{TS: 3000, CPU: 0, ID: trace.EvTrapExit, Arg1: trace.TrapPageFault},
+		// Long interruption: 200 µs fault.
+		trace.Event{TS: 1_000_000, CPU: 0, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+		trace.Event{TS: 1_200_000, CPU: 0, ID: trace.EvTrapExit, Arg1: trace.TrapPageFault},
+	)
+	r := Analyze(tr, DefaultOptions())
+	b := r.Bands(50_000)
+	if b.ShortCount != 1 || b.LongCount != 1 {
+		t.Fatalf("bands %+v", b)
+	}
+	if b.ShortNS != 2000 || b.LongNS != 200_000 {
+		t.Fatalf("band totals %+v", b)
+	}
+	if b.ShortRate <= 0 || b.LongRate <= 0 {
+		t.Fatalf("band rates %+v", b)
+	}
+}
+
+func TestWindowedAnalysis(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 2000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		trace.Event{TS: 50_000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 52_000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+	)
+	opts := DefaultOptions()
+	opts.FromNS = 40_000
+	opts.ToNS = 60_000
+	r := Analyze(tr, opts)
+	// Only the second interruption is inside the window; the boot
+	// switch is outside, so the owner is unknown — the span is recorded
+	// but, under the runnable filter, not noise.
+	if got := r.Stats(KeyTimerIRQ).Summary.Count; got != 1 {
+		t.Fatalf("windowed count %d, want 1", got)
+	}
+	if r.Seconds != 20e-6 {
+		t.Fatalf("windowed seconds %v", r.Seconds)
+	}
+	// Without the filter the in-window span counts as noise.
+	opts.RunnableFilter = false
+	r2 := Analyze(tr, opts)
+	if r2.TotalNoiseNS != 2000 {
+		t.Fatalf("windowed noise %d, want 2000", r2.TotalNoiseNS)
+	}
+}
+
+func TestPerCPUNoise(t *testing.T) {
+	tr := mk(2,
+		appRunning(0, 0, 42),
+		appRunning(0, 1, 43),
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 2000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		trace.Event{TS: 1000, CPU: 1, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+		trace.Event{TS: 4000, CPU: 1, ID: trace.EvTrapExit, Arg1: trace.TrapPageFault},
+	)
+	r := Analyze(tr, DefaultOptions())
+	per := r.PerCPUNoise()
+	if len(per) != 2 || per[0] != 1000 || per[1] != 3000 {
+		t.Fatalf("per-cpu noise %v", per)
+	}
+}
+
+func TestCompositions(t *testing.T) {
+	tr := mk(1,
+		appRunning(0, 0, 42),
+		// Two timer ticks (irq+softirq)...
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 3000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		trace.Event{TS: 3000, CPU: 0, ID: trace.EvSoftIRQEntry, Arg1: trace.SoftIRQTimer},
+		trace.Event{TS: 4000, CPU: 0, ID: trace.EvSoftIRQExit, Arg1: trace.SoftIRQTimer},
+		trace.Event{TS: 10_001_000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 10_003_000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		trace.Event{TS: 10_003_000, CPU: 0, ID: trace.EvSoftIRQEntry, Arg1: trace.SoftIRQTimer},
+		trace.Event{TS: 10_005_000, CPU: 0, ID: trace.EvSoftIRQExit, Arg1: trace.SoftIRQTimer},
+		// ...and one lone page fault.
+		trace.Event{TS: 20_000_000, CPU: 0, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+		trace.Event{TS: 20_002_500, CPU: 0, ID: trace.EvTrapExit, Arg1: trace.TrapPageFault},
+	)
+	r := Analyze(tr, DefaultOptions())
+	comps := r.Compositions()
+	if len(comps) != 2 {
+		t.Fatalf("compositions = %d: %+v", len(comps), comps)
+	}
+	if comps[0].Signature != "timer_interrupt+run_timer_softirq" || comps[0].Count != 2 {
+		t.Fatalf("top composition %+v", comps[0])
+	}
+	if comps[0].TotalNS != 3000+4000 {
+		t.Fatalf("tick total %d", comps[0].TotalNS)
+	}
+	if comps[1].Signature != "page_fault" || comps[1].MaxNS != 2500 {
+		t.Fatalf("fault composition %+v", comps[1])
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := &Report{CPUs: 1, Seconds: 1}
+	b := &Report{CPUs: 1, Seconds: 1}
+	for k := Key(0); k < NumKeys; k++ {
+		a.PerKey[k] = &KeyStats{Key: k}
+		b.PerKey[k] = &KeyStats{Key: k}
+	}
+	for i := 0; i < 10; i++ {
+		a.Stats(KeyPageFault).Summary.Add(4000)
+		b.Stats(KeyPageFault).Summary.Add(1000)
+	}
+	b.Stats(KeyTimerIRQ).Summary.Add(2000)
+	deltas := Diff(a, b)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d", len(deltas))
+	}
+	// Page fault change (30µs) outranks the new timer (2µs).
+	if deltas[0].Key != KeyPageFault {
+		t.Fatalf("first delta %v", deltas[0].Key)
+	}
+	if deltas[0].TotalRatioBA != 0.25 {
+		t.Fatalf("ratio %.3f, want 0.25", deltas[0].TotalRatioBA)
+	}
+	if !math.IsInf(deltas[1].TotalRatioBA, 1) {
+		t.Fatalf("new-key ratio %v, want +Inf", deltas[1].TotalRatioBA)
+	}
+	if s := DiffString(a, b); !strings.Contains(s, "page_fault") {
+		t.Fatalf("diff text:\n%s", s)
+	}
+}
+
+func TestKeyOfSpanVariants(t *testing.T) {
+	cases := []struct {
+		id   trace.ID
+		vec  int64
+		want Key
+	}{
+		{trace.EvIRQEntry, trace.IRQTimer, KeyTimerIRQ},
+		{trace.EvIRQEntry, trace.IRQNet, KeyNetIRQ},
+		{trace.EvIRQEntry, 9, KeyOtherIRQ},
+		{trace.EvSoftIRQEntry, trace.SoftIRQTimer, KeyTimerSoftIRQ},
+		{trace.EvSoftIRQEntry, trace.SoftIRQRCU, KeyRCU},
+		{trace.EvSoftIRQEntry, trace.SoftIRQSched, KeyRebalance},
+		{trace.EvTaskletEntry, trace.SoftIRQNetRx, KeyNetRx},
+		{trace.EvTaskletEntry, trace.SoftIRQNetTx, KeyNetTx},
+		{trace.EvSoftIRQEntry, 99, KeyOther},
+		{trace.EvTrapEntry, trace.TrapPageFault, KeyPageFault},
+		{trace.EvTrapEntry, trace.TrapTLBMiss, KeyTLBMiss},
+		{trace.EvTrapEntry, 7, KeyOtherTrap},
+		{trace.EvSyscallEntry, 0, KeySyscall},
+		{trace.EvSchedEntry, 0, KeySchedule},
+		{trace.EvSchedWakeup, 0, KeyOther},
+	}
+	for _, c := range cases {
+		if got := keyOfSpan(c.id, c.vec); got != c.want {
+			t.Errorf("keyOfSpan(%v, %d) = %v, want %v", c.id, c.vec, got, c.want)
+		}
+	}
+	if Key(-1).String() != "key?" || Category(-1).String() != "category?" {
+		t.Error("out-of-range names wrong")
+	}
+}
+
+func TestInterruptionDescribe(t *testing.T) {
+	in := Interruption{Total: 2902, Components: []Component{
+		{Key: KeyTimerIRQ, Own: 2648},
+		{Key: KeyTimerSoftIRQ, Own: 254},
+	}}
+	want := "timer_interrupt (2648ns) + run_timer_softirq (254ns) = 2902ns"
+	if got := in.Describe(); got != want {
+		t.Fatalf("Describe = %q", got)
+	}
+}

@@ -1,0 +1,180 @@
+// Package noise implements the paper's core contribution: the offline
+// analysis that turns a raw kernel event stream into a quantitative
+// per-event description of OS noise.
+//
+// The analysis:
+//
+//   - reconstructs kernel activity spans from entry/exit tracepoints,
+//     attributing *nested* events correctly (a timer interrupt arriving
+//     inside a tasklet is charged to the interrupt, and only the
+//     tasklet's own cost to the tasklet);
+//   - applies the paper's accounting rule that kernel activity is noise
+//     only while an application process is runnable — time spent blocked
+//     waiting for communication is not noise, and explicitly requested
+//     services (system calls) are not noise;
+//   - derives process-preemption noise from scheduler switch events
+//     (switched out while runnable → the wait until switch-in, minus the
+//     kernel spans inside it, is preemption);
+//   - groups adjacent kernel activities into "interruptions" — the
+//     spikes an external micro-benchmark like FTQ observes — retaining
+//     the per-activity composition of each, which is what enables the
+//     paper's noise disambiguation (§V);
+//   - produces per-event-type frequency/duration statistics (Tables
+//     I–VI), duration histograms (Figs. 4, 6, 8), the per-category
+//     breakdown (Fig. 3) and the synthetic OS noise chart (Figs. 1, 9,
+//     10).
+package noise
+
+import "osnoise/internal/trace"
+
+// Key identifies one kernel activity type in the analysis output.
+type Key int
+
+// Activity keys, covering every kernel activity the paper reports.
+const (
+	KeyTimerIRQ Key = iota
+	KeyNetIRQ
+	KeyOtherIRQ
+	KeyTimerSoftIRQ // run_timer_softirq
+	KeyRCU          // rcu_process_callbacks
+	KeyRebalance    // run_rebalance_domains
+	KeyNetRx        // net_rx_action
+	KeyNetTx        // net_tx_action
+	KeyPageFault
+	KeyTLBMiss
+	KeyOtherTrap
+	KeySchedule // schedule() spans (both halves)
+	KeyPreemption
+	KeySyscall // requested service: reported, but not noise
+	KeyOther
+	NumKeys
+)
+
+var keyNames = [NumKeys]string{
+	KeyTimerIRQ:     "timer_interrupt",
+	KeyNetIRQ:       "network_interrupt",
+	KeyOtherIRQ:     "other_interrupt",
+	KeyTimerSoftIRQ: "run_timer_softirq",
+	KeyRCU:          "rcu_process_callbacks",
+	KeyRebalance:    "run_rebalance_domains",
+	KeyNetRx:        "net_rx_action",
+	KeyNetTx:        "net_tx_action",
+	KeyPageFault:    "page_fault",
+	KeyTLBMiss:      "tlb_miss",
+	KeyOtherTrap:    "other_trap",
+	KeySchedule:     "schedule",
+	KeyPreemption:   "preemption",
+	KeySyscall:      "syscall",
+	KeyOther:        "other",
+}
+
+// String returns the kernel-function-style name of the key.
+func (k Key) String() string {
+	if k >= 0 && k < NumKeys {
+		return keyNames[k]
+	}
+	return "key?"
+}
+
+// Category is the paper's five-way noise classification (§IV-A), plus
+// Service for requested kernel work that is not noise.
+type Category int
+
+// Categories, in the paper's order.
+const (
+	CatPeriodic Category = iota // timer interrupt + run_timer_softirq
+	CatPageFault
+	CatScheduling // schedule() + rcu + run_rebalance_domains
+	CatPreemption // daemons preempting application processes
+	CatIO         // network interrupt handler + rx/tx tasklets
+	CatService    // syscalls: requested, not noise
+	CatOther
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	CatPeriodic:   "periodic",
+	CatPageFault:  "page fault",
+	CatScheduling: "scheduling",
+	CatPreemption: "preemption",
+	CatIO:         "I/O",
+	CatService:    "service",
+	CatOther:      "other",
+}
+
+// String names the category as in the paper's Figure 3 legend.
+func (c Category) String() string {
+	if c >= 0 && c < NumCategories {
+		return categoryNames[c]
+	}
+	return "category?"
+}
+
+// CategoryOf maps an activity key to its noise category.
+func CategoryOf(k Key) Category {
+	switch k {
+	case KeyTimerIRQ, KeyTimerSoftIRQ:
+		return CatPeriodic
+	case KeyPageFault, KeyTLBMiss:
+		return CatPageFault // memory-management noise
+	case KeySchedule, KeyRCU, KeyRebalance:
+		return CatScheduling
+	case KeyPreemption:
+		return CatPreemption
+	case KeyNetIRQ, KeyNetRx, KeyNetTx:
+		return CatIO
+	case KeySyscall:
+		return CatService
+	default:
+		return CatOther
+	}
+}
+
+// IsNoise reports whether the category counts toward OS noise under the
+// paper's definition (activities not explicitly requested by the
+// application but needed for the correct functioning of the node).
+func (c Category) IsNoise() bool { return c != CatService && c != CatOther }
+
+// keyOfSpan classifies an entry tracepoint (and its argument) into a Key.
+func keyOfSpan(id trace.ID, vec int64) Key {
+	switch id {
+	case trace.EvIRQEntry:
+		switch vec {
+		case trace.IRQTimer:
+			return KeyTimerIRQ
+		case trace.IRQNet:
+			return KeyNetIRQ
+		default:
+			return KeyOtherIRQ
+		}
+	case trace.EvSoftIRQEntry, trace.EvTaskletEntry:
+		switch vec {
+		case trace.SoftIRQTimer:
+			return KeyTimerSoftIRQ
+		case trace.SoftIRQRCU:
+			return KeyRCU
+		case trace.SoftIRQSched:
+			return KeyRebalance
+		case trace.SoftIRQNetRx:
+			return KeyNetRx
+		case trace.SoftIRQNetTx:
+			return KeyNetTx
+		default:
+			return KeyOther
+		}
+	case trace.EvTrapEntry:
+		switch vec {
+		case trace.TrapPageFault:
+			return KeyPageFault
+		case trace.TrapTLBMiss:
+			return KeyTLBMiss
+		}
+		return KeyOtherTrap
+	case trace.EvSyscallEntry:
+		return KeySyscall
+	case trace.EvSchedEntry:
+		return KeySchedule
+	default:
+		return KeyOther
+	}
+}

@@ -1,0 +1,154 @@
+package noise
+
+import (
+	"math"
+	"sort"
+)
+
+// PeriodCandidate is one detected periodic noise source.
+type PeriodCandidate struct {
+	PeriodNS int64
+	// Score is the normalised autocorrelation peak in [0, 1]; higher
+	// means more of the interruption arrivals repeat at this period.
+	Score float64
+	// Count is the approximate number of events participating.
+	Count int
+}
+
+// DetectPeriods finds periodic structure in the noise interruption
+// arrivals of one CPU — automating the reasoning of the paper's §V-B,
+// where equidistant FTQ spikes suggest a common periodic activity (the
+// timer tick). It computes the autocorrelation of the binned arrival
+// series and returns the up-to-n strongest periods, strongest first.
+//
+// binNS sets the resolution (e.g. 1 ms); periods up to maxPeriodNS are
+// searched. Typical use: DetectPeriods(r, 0, 1e6, 50e6, 3) finds the
+// 10 ms tick on a HZ=100 trace.
+func DetectPeriods(r *Report, cpu int32, binNS, maxPeriodNS int64, n int) []PeriodCandidate {
+	if binNS <= 0 || maxPeriodNS <= binNS || n <= 0 {
+		return nil
+	}
+	var times []int64
+	for _, in := range r.Interruptions {
+		if in.CPU == cpu {
+			times = append(times, in.Start)
+		}
+	}
+	if len(times) < 4 {
+		return nil
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	t0, t1 := times[0], times[len(times)-1]
+	bins := int((t1-t0)/binNS) + 1
+	if bins < 8 {
+		return nil
+	}
+	series := make([]float64, bins)
+	for _, t := range times {
+		series[(t-t0)/binNS]++
+	}
+	// Mean-centre so constant background does not correlate.
+	var mean float64
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(bins)
+	var norm float64
+	for i := range series {
+		series[i] -= mean
+		norm += series[i] * series[i]
+	}
+	if norm == 0 {
+		return nil
+	}
+
+	maxLag := int(maxPeriodNS / binNS)
+	if maxLag >= bins {
+		maxLag = bins - 1
+	}
+	type lagScore struct {
+		lag   int
+		score float64
+	}
+	scores := make([]lagScore, 0, maxLag)
+	for lag := 2; lag <= maxLag; lag++ {
+		var acc float64
+		for i := 0; i+lag < bins; i++ {
+			acc += series[i] * series[i+lag]
+		}
+		scores = append(scores, lagScore{lag, acc / norm})
+	}
+	// Local maxima only: a true period peaks against its neighbours.
+	var peaks []lagScore
+	for i := 1; i < len(scores)-1; i++ {
+		s := scores[i]
+		if s.score > scores[i-1].score && s.score >= scores[i+1].score && s.score > 0.05 {
+			peaks = append(peaks, s)
+		}
+	}
+	// A true period also correlates at its integer multiples with
+	// near-equal score, so statistical noise can rank a harmonic a hair
+	// above the fundamental. Prefer the fundamental: drop any peak that
+	// is an integer multiple of a shorter peak with comparable score.
+	dominated := func(p lagScore) bool {
+		for _, q := range peaks {
+			if q.lag >= p.lag || q.score < 0.8*p.score {
+				continue
+			}
+			if nearInteger(float64(p.lag)/float64(q.lag), 0.05) {
+				return true
+			}
+		}
+		return false
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].score > peaks[j].score })
+
+	var out []PeriodCandidate
+	for _, p := range peaks {
+		if dominated(p) {
+			continue
+		}
+		period := int64(p.lag) * binNS
+		// Suppress harmonics of an already accepted period.
+		dup := false
+		for _, acc := range out {
+			ratio := float64(period) / float64(acc.PeriodNS)
+			if nearInteger(ratio, 0.05) || nearInteger(1/ratio, 0.05) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, PeriodCandidate{
+			PeriodNS: period,
+			Score:    p.score,
+			Count:    int(float64(t1-t0) / float64(period)),
+		})
+		if len(out) >= n {
+			break
+		}
+	}
+	return out
+}
+
+func nearInteger(x, tol float64) bool {
+	if x < 0.5 {
+		return false
+	}
+	return math.Abs(x-math.Round(x)) < tol
+}
+
+// PerTaskNoise totals noise per victim application pid — the
+// multi-process view the paper's execution traces provide (each rank of
+// the application experiences its own jitter).
+func (r *Report) PerTaskNoise() map[int64]int64 {
+	out := make(map[int64]int64)
+	for _, s := range r.Spans {
+		if s.Noise && s.PID != 0 {
+			out[s.PID] += s.Own
+		}
+	}
+	return out
+}

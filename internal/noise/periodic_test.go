@@ -1,0 +1,108 @@
+package noise
+
+import (
+	"testing"
+
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+)
+
+// A synthetic strictly periodic source must be detected at its period.
+func TestDetectPeriodsSynthetic(t *testing.T) {
+	evs := []trace.Event{appRunning(0, 0, 42)}
+	const period = 10_000_000 // 10 ms
+	for i := int64(0); i < 200; i++ {
+		at := i * period
+		evs = append(evs,
+			trace.Event{TS: at, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+			trace.Event{TS: at + 2000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer})
+	}
+	r := Analyze(mk(1, evs...), DefaultOptions())
+	cands := DetectPeriods(r, 0, 1_000_000, 50_000_000, 3)
+	if len(cands) == 0 {
+		t.Fatal("no periods detected")
+	}
+	best := cands[0]
+	if best.PeriodNS < 9_000_000 || best.PeriodNS > 11_000_000 {
+		t.Fatalf("detected period %d ns, want ~10 ms (all: %+v)", best.PeriodNS, cands)
+	}
+	if best.Score < 0.5 {
+		t.Fatalf("weak score %.3f for a strictly periodic source", best.Score)
+	}
+}
+
+// Noise with no structure must not produce high-score periods.
+func TestDetectPeriodsAperiodic(t *testing.T) {
+	evs := []trace.Event{appRunning(0, 0, 42)}
+	rng := sim.NewRNG(3)
+	at := int64(0)
+	for i := 0; i < 300; i++ {
+		at += 1_000_000 + rng.Int63n(20_000_000)
+		evs = append(evs,
+			trace.Event{TS: at, CPU: 0, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+			trace.Event{TS: at + 1500, CPU: 0, ID: trace.EvTrapExit, Arg1: trace.TrapPageFault})
+	}
+	r := Analyze(mk(1, evs...), DefaultOptions())
+	cands := DetectPeriods(r, 0, 1_000_000, 60_000_000, 3)
+	for _, c := range cands {
+		if c.Score > 0.4 {
+			t.Fatalf("aperiodic noise scored %.3f at period %d", c.Score, c.PeriodNS)
+		}
+	}
+}
+
+func TestDetectPeriodsDegenerate(t *testing.T) {
+	r := &Report{CPUs: 1}
+	if got := DetectPeriods(r, 0, 1_000_000, 50_000_000, 3); got != nil {
+		t.Fatalf("empty report produced %v", got)
+	}
+	if got := DetectPeriods(r, 0, 0, 50_000_000, 3); got != nil {
+		t.Fatal("zero bin accepted")
+	}
+}
+
+func TestPerTaskNoise(t *testing.T) {
+	tr := mk(2,
+		appRunning(0, 0, 42),
+		appRunning(0, 1, 43),
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		trace.Event{TS: 2000, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+		trace.Event{TS: 1000, CPU: 1, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+		trace.Event{TS: 4000, CPU: 1, ID: trace.EvTrapExit, Arg1: trace.TrapPageFault},
+	)
+	r := Analyze(tr, DefaultOptions())
+	per := r.PerTaskNoise()
+	if per[42] != 1000 || per[43] != 3000 {
+		t.Fatalf("per-task noise %v", per)
+	}
+}
+
+// With an embedded process table, the analyzer identifies application
+// victims without out-of-band pid knowledge: a daemon switched out
+// runnable must NOT be treated as a preempted application.
+func TestAnalyzeUsesProcessTable(t *testing.T) {
+	const app, daemon = 42, 7
+	tr := mk(1,
+		appRunning(0, 0, app),
+		// Daemon preempted by the app coming back: if the daemon were
+		// misclassified as an app, this would open a preemption window.
+		trace.Event{TS: 1000, CPU: 0, ID: trace.EvSchedSwitch, Arg1: app, Arg2: daemon, Arg3: trace.TaskStateBlocked},
+		trace.Event{TS: 5000, CPU: 0, ID: trace.EvSchedSwitch, Arg1: daemon, Arg2: app, Arg3: trace.TaskStateRunning},
+		trace.Event{TS: 90000, CPU: 0, ID: trace.EvSchedSwitch, Arg1: app, Arg2: daemon, Arg3: trace.TaskStateBlocked},
+	)
+	tr.Procs = []trace.ProcInfo{
+		{PID: app, Name: "rank", Kind: trace.ProcApp},
+		{PID: daemon, Name: "rpciod", Kind: trace.ProcKernelDaemon},
+	}
+	r := Analyze(tr, DefaultOptions()) // AppPIDs nil → derived from table
+	if got := r.Stats(KeyPreemption).Summary.Count; got != 0 {
+		t.Fatalf("daemon wait counted as %d app preemptions", got)
+	}
+	// Without the table, every pid is an app and the daemon's runnable
+	// wait at 5000..90000 becomes a (bogus) preemption.
+	tr.Procs = nil
+	r2 := Analyze(tr, DefaultOptions())
+	if got := r2.Stats(KeyPreemption).Summary.Count; got == 0 {
+		t.Fatal("expected the table-less analysis to misclassify")
+	}
+}

@@ -1,0 +1,17 @@
+package paraver
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzzing the .prv parser: arbitrary text either parses or errors,
+// never panics.
+func FuzzParse(f *testing.F) {
+	f.Add("#Paraver (01/01/2011 at 00:00):100_ns:1(2):1:2(1:1,1:2)\n1:1:1:1:1:0:50:11\n")
+	f.Add("#Paraver (x):::\n2:1:1:1:1:5:90000001:42\n")
+	f.Add("not a trace")
+	f.Fuzz(func(t *testing.T, data string) {
+		_, _, _ = Parse(strings.NewReader(data))
+	})
+}

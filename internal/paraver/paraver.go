@@ -1,0 +1,256 @@
+// Package paraver exports OS-noise analyses as Paraver traces, the
+// format the paper's LTTNG-NOISE generates for visual analysis (§III-A).
+// A trace is three files: the .prv body (state and event records), the
+// .pcf configuration (state and event type names/colours), and the .row
+// labels (one row per CPU, the system-level view the paper uses).
+//
+// Record formats (Paraver trace specification):
+//
+//	state record: 1:cpu:appl:task:thread:begin:end:state
+//	event record: 2:cpu:appl:task:thread:time:type:value
+//
+// States: 0 idle, 1 application running, 10+Key for each kernel
+// activity. Event type 90000001 marks interruption totals.
+package paraver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"osnoise/internal/noise"
+)
+
+// State codes.
+const (
+	StateIdle    = 0
+	StateRunning = 1
+	stateKeyBase = 10 // state for noise.Key k is stateKeyBase + k
+)
+
+// EventTypeInterruption tags an event record carrying an interruption's
+// total duration in ns.
+const EventTypeInterruption = 90000001
+
+// StateOf returns the Paraver state code for a kernel activity key.
+func StateOf(k noise.Key) int { return stateKeyBase + int(k) }
+
+// KeyOfState inverts StateOf; ok is false for idle/running states.
+func KeyOfState(state int) (noise.Key, bool) {
+	k := state - stateKeyBase
+	if k >= 0 && k < int(noise.NumKeys) {
+		return noise.Key(k), true
+	}
+	return 0, false
+}
+
+// Export writes the .prv body for a report: per CPU, kernel activity
+// spans become state records over a background of running/idle, and
+// each interruption start carries an event record with its total.
+// durNS is the trace length; the date stamp is fixed for determinism.
+func Export(w io.Writer, r *noise.Report, durNS int64) error {
+	bw := bufio.NewWriter(w)
+	// Header: duration, one node with r.CPUs cpus, one application with
+	// one task per CPU (system-level view).
+	fmt.Fprintf(bw, "#Paraver (01/01/2011 at 00:00):%d_ns:1(%d):1:", durNS, r.CPUs)
+	fmt.Fprintf(bw, "%d(", r.CPUs)
+	for i := 0; i < r.CPUs; i++ {
+		if i > 0 {
+			fmt.Fprint(bw, ",")
+		}
+		fmt.Fprintf(bw, "1:%d", i+1)
+	}
+	fmt.Fprintln(bw, ")")
+
+	// Spans per CPU, ordered by start.
+	perCPU := make([][]noise.Span, r.CPUs)
+	for _, s := range r.Spans {
+		if int(s.CPU) < r.CPUs {
+			perCPU[s.CPU] = append(perCPU[s.CPU], s)
+		}
+	}
+	for cpu := 0; cpu < r.CPUs; cpu++ {
+		spans := perCPU[cpu]
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		cursor := int64(0)
+		for _, s := range spans {
+			if s.Start > durNS {
+				break
+			}
+			end := s.Start + s.Wall
+			if end > durNS {
+				end = durNS
+			}
+			if s.Start > cursor {
+				// Background: the application runs between activities.
+				writeState(bw, cpu, cursor, s.Start, StateRunning)
+			}
+			writeState(bw, cpu, s.Start, end, StateOf(s.Key))
+			if end > cursor {
+				cursor = end
+			}
+		}
+		if cursor < durNS {
+			writeState(bw, cpu, cursor, durNS, StateRunning)
+		}
+	}
+	for _, in := range r.Interruptions {
+		fmt.Fprintf(bw, "2:%d:1:%d:1:%d:%d:%d\n",
+			in.CPU+1, in.CPU+1, in.Start, EventTypeInterruption, in.Total)
+	}
+	return bw.Flush()
+}
+
+func writeState(w io.Writer, cpu int, begin, end int64, state int) {
+	if end <= begin {
+		return
+	}
+	fmt.Fprintf(w, "1:%d:1:%d:1:%d:%d:%d\n", cpu+1, cpu+1, begin, end, state)
+}
+
+// ExportPCF writes the Paraver configuration file naming every state
+// and event type.
+func ExportPCF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "DEFAULT_OPTIONS")
+	fmt.Fprintln(bw, "LEVEL               THREAD")
+	fmt.Fprintln(bw, "UNITS               NANOSEC")
+	fmt.Fprintln(bw, "")
+	fmt.Fprintln(bw, "STATES")
+	fmt.Fprintf(bw, "%d    IDLE\n", StateIdle)
+	fmt.Fprintf(bw, "%d    RUNNING\n", StateRunning)
+	for k := noise.Key(0); k < noise.NumKeys; k++ {
+		fmt.Fprintf(bw, "%d    %s\n", StateOf(k), strings.ToUpper(k.String()))
+	}
+	fmt.Fprintln(bw, "")
+	fmt.Fprintln(bw, "STATES_COLOR")
+	fmt.Fprintf(bw, "%d    {255,255,255}\n", StateIdle)
+	fmt.Fprintf(bw, "%d    {255,255,255}\n", StateRunning)
+	// Colours follow the paper's figures: timer black, softirq pink,
+	// page fault red, schedule orange, preemption green.
+	colors := map[noise.Key]string{
+		noise.KeyTimerIRQ:     "{0,0,0}",
+		noise.KeyTimerSoftIRQ: "{255,105,180}",
+		noise.KeyPageFault:    "{255,0,0}",
+		noise.KeySchedule:     "{255,165,0}",
+		noise.KeyPreemption:   "{0,128,0}",
+		noise.KeyNetIRQ:       "{0,0,255}",
+		noise.KeyNetRx:        "{0,191,255}",
+		noise.KeyNetTx:        "{100,149,237}",
+		noise.KeyRCU:          "{128,0,128}",
+		noise.KeyRebalance:    "{218,112,214}",
+	}
+	for k := noise.Key(0); k < noise.NumKeys; k++ {
+		c, ok := colors[k]
+		if !ok {
+			c = "{128,128,128}"
+		}
+		fmt.Fprintf(bw, "%d    %s\n", StateOf(k), c)
+	}
+	fmt.Fprintln(bw, "")
+	fmt.Fprintln(bw, "EVENT_TYPE")
+	fmt.Fprintf(bw, "9    %d    OS noise interruption (ns)\n", EventTypeInterruption)
+	return bw.Flush()
+}
+
+// ExportROW writes the row-label file (one row per CPU).
+func ExportROW(w io.Writer, cpus int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "LEVEL CPU SIZE %d\n", cpus)
+	for i := 0; i < cpus; i++ {
+		fmt.Fprintf(bw, "CPU %d\n", i+1)
+	}
+	return bw.Flush()
+}
+
+// Record is one parsed .prv record.
+type Record struct {
+	Kind  int // 1 = state, 2 = event
+	CPU   int
+	Begin int64 // state begin / event time
+	End   int64 // state end (0 for events)
+	State int   // state code (states)
+	Type  int64 // event type (events)
+	Value int64 // event value (events)
+}
+
+// Header holds the parsed .prv header.
+type Header struct {
+	DurationNS int64
+	CPUs       int
+}
+
+// ErrNotParaver is returned for streams without the #Paraver magic.
+var ErrNotParaver = errors.New("paraver: missing #Paraver header")
+
+// Parse reads a .prv stream back into records, for round-trip
+// verification and downstream tooling.
+func Parse(r io.Reader) (Header, []Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var hdr Header
+	if !sc.Scan() {
+		return hdr, nil, ErrNotParaver
+	}
+	line := sc.Text()
+	if !strings.HasPrefix(line, "#Paraver") {
+		return hdr, nil, ErrNotParaver
+	}
+	// The date stamp "(dd/mm/yyyy at hh:mm)" contains a colon; strip it
+	// before splitting the remaining fields.
+	rest := line
+	if i := strings.Index(line, "):"); i >= 0 {
+		rest = line[i+1:]
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) >= 3 {
+		durStr := strings.TrimSuffix(parts[1], "_ns")
+		hdr.DurationNS, _ = strconv.ParseInt(durStr, 10, 64)
+		nodeStr := parts[2]
+		if i := strings.Index(nodeStr, "("); i >= 0 {
+			if j := strings.Index(nodeStr, ")"); j > i {
+				hdr.CPUs, _ = strconv.Atoi(nodeStr[i+1 : j])
+			}
+		}
+	}
+	var recs []Record
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		f := strings.Split(sc.Text(), ":")
+		if len(f) == 0 || f[0] == "" {
+			continue
+		}
+		kind, err := strconv.Atoi(f[0])
+		if err != nil {
+			return hdr, nil, fmt.Errorf("paraver: line %d: bad record kind %q", lineNo, f[0])
+		}
+		switch kind {
+		case 1:
+			if len(f) != 8 {
+				return hdr, nil, fmt.Errorf("paraver: line %d: state record has %d fields", lineNo, len(f))
+			}
+			cpu, _ := strconv.Atoi(f[1])
+			begin, _ := strconv.ParseInt(f[5], 10, 64)
+			end, _ := strconv.ParseInt(f[6], 10, 64)
+			state, _ := strconv.Atoi(f[7])
+			recs = append(recs, Record{Kind: 1, CPU: cpu - 1, Begin: begin, End: end, State: state})
+		case 2:
+			if len(f) != 8 {
+				return hdr, nil, fmt.Errorf("paraver: line %d: event record has %d fields", lineNo, len(f))
+			}
+			cpu, _ := strconv.Atoi(f[1])
+			ts, _ := strconv.ParseInt(f[5], 10, 64)
+			typ, _ := strconv.ParseInt(f[6], 10, 64)
+			val, _ := strconv.ParseInt(f[7], 10, 64)
+			recs = append(recs, Record{Kind: 2, CPU: cpu - 1, Begin: ts, Type: typ, Value: val})
+		default:
+			return hdr, nil, fmt.Errorf("paraver: line %d: unknown record kind %d", lineNo, kind)
+		}
+	}
+	return hdr, recs, sc.Err()
+}

@@ -1,0 +1,156 @@
+package paraver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+	"osnoise/internal/workload"
+)
+
+func sampleReport() *noise.Report {
+	r := &noise.Report{CPUs: 2, Seconds: 1e-3}
+	r.Spans = []noise.Span{
+		{Key: noise.KeyTimerIRQ, CPU: 0, Start: 1000, Wall: 2178, Own: 2178, Noise: true},
+		{Key: noise.KeyPageFault, CPU: 1, Start: 5000, Wall: 2913, Own: 2913, Noise: true},
+	}
+	r.Interruptions = []noise.Interruption{
+		{CPU: 0, Start: 1000, End: 3178, Total: 2178,
+			Components: []noise.Component{{Key: noise.KeyTimerIRQ, Start: 1000, Own: 2178}}},
+	}
+	return r
+}
+
+func TestExportAndParseRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := Export(&buf, r, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	hdr, recs, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.DurationNS != 1_000_000 || hdr.CPUs != 2 {
+		t.Fatalf("header %+v", hdr)
+	}
+	var timerSeen, faultSeen, eventSeen, runningSeen bool
+	for _, rec := range recs {
+		switch rec.Kind {
+		case 1:
+			if rec.End <= rec.Begin {
+				t.Fatalf("empty state record %+v", rec)
+			}
+			if k, ok := KeyOfState(rec.State); ok {
+				if k == noise.KeyTimerIRQ && rec.CPU == 0 && rec.Begin == 1000 && rec.End == 3178 {
+					timerSeen = true
+				}
+				if k == noise.KeyPageFault && rec.CPU == 1 && rec.Begin == 5000 {
+					faultSeen = true
+				}
+			} else if rec.State == StateRunning {
+				runningSeen = true
+			}
+		case 2:
+			if rec.Type == EventTypeInterruption && rec.Value == 2178 {
+				eventSeen = true
+			}
+		}
+	}
+	if !timerSeen || !faultSeen || !eventSeen || !runningSeen {
+		t.Fatalf("records missing: timer=%v fault=%v event=%v running=%v",
+			timerSeen, faultSeen, eventSeen, runningSeen)
+	}
+}
+
+// State records per CPU must tile the trace without overlaps.
+func TestExportStatesTile(t *testing.T) {
+	run := workload.New(workload.SPHOT(), workload.Options{Duration: 300 * sim.Millisecond, Seed: 3})
+	tr := run.Execute()
+	rep := noise.Analyze(tr, run.AnalysisOptions())
+	var buf bytes.Buffer
+	if err := Export(&buf, rep, int64(300*sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[int]int64)
+	for _, rec := range recs {
+		if rec.Kind != 1 {
+			continue
+		}
+		if rec.Begin < last[rec.CPU] {
+			// Nested spans legitimately overlap their parents; only the
+			// background "running" states must not regress.
+			if rec.State == StateRunning {
+				t.Fatalf("running state overlaps on cpu %d: begin %d < cursor %d",
+					rec.CPU, rec.Begin, last[rec.CPU])
+			}
+			continue
+		}
+		last[rec.CPU] = rec.End
+	}
+	for cpu, end := range last {
+		if end != int64(300*sim.Millisecond) {
+			t.Fatalf("cpu %d coverage ends at %d", cpu, end)
+		}
+	}
+}
+
+func TestStateMapping(t *testing.T) {
+	for k := noise.Key(0); k < noise.NumKeys; k++ {
+		got, ok := KeyOfState(StateOf(k))
+		if !ok || got != k {
+			t.Fatalf("state mapping broken for %v", k)
+		}
+	}
+	if _, ok := KeyOfState(StateRunning); ok {
+		t.Fatal("running state maps to a key")
+	}
+	if _, ok := KeyOfState(StateIdle); ok {
+		t.Fatal("idle state maps to a key")
+	}
+}
+
+func TestExportPCF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportPCF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"STATES", "STATES_COLOR", "EVENT_TYPE",
+		"PAGE_FAULT", "RUN_TIMER_SOFTIRQ", "{255,0,0}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("pcf missing %q", want)
+		}
+	}
+}
+
+func TestExportROW(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportROW(&buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "LEVEL CPU SIZE 8") || !strings.Contains(s, "CPU 8") {
+		t.Fatalf("row file malformed:\n%s", s)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, _, err := Parse(strings.NewReader("not a trace\n")); err != ErrNotParaver {
+		t.Fatalf("err = %v", err)
+	}
+	bad := "#Paraver (x):100_ns:1(2):1:2(1:1,1:2)\n7:1:2:3\n"
+	if _, _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown record kind accepted")
+	}
+	short := "#Paraver (x):100_ns:1(2):1:2(1:1,1:2)\n1:1:1:1:1:0:10\n"
+	if _, _, err := Parse(strings.NewReader(short)); err == nil {
+		t.Fatal("short state record accepted")
+	}
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist models the duration of a class of kernel activity. Implementations
+// must be deterministic functions of the supplied RNG stream.
+type Dist interface {
+	// Sample draws one duration. Implementations never return a negative
+	// duration.
+	Sample(r *RNG) Duration
+	// Mean returns the analytic (or configured) mean of the distribution,
+	// used for calibration checks and documentation.
+	Mean() float64
+}
+
+// Constant always returns the same duration.
+type Constant Duration
+
+// Sample implements Dist.
+func (c Constant) Sample(*RNG) Duration { return Duration(c) }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return float64(c) }
+
+// Uniform draws uniformly from [Lo, Hi].
+type Uniform struct {
+	Lo, Hi Duration
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *RNG) Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + Duration(r.Int63n(int64(u.Hi-u.Lo)+1))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
+
+// LogNormal draws from a log-normal distribution parameterised by the
+// median (exp(mu)) and sigma of the underlying normal. Log-normals are the
+// canonical model for interrupt-handler service times: sharply peaked with
+// a multiplicative tail.
+type LogNormal struct {
+	Median Duration // exp(mu)
+	Sigma  float64
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *RNG) Duration {
+	v := float64(l.Median) * math.Exp(l.Sigma*r.NormFloat64())
+	if v < 0 {
+		return 0
+	}
+	return Duration(v)
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 {
+	return float64(l.Median) * math.Exp(l.Sigma*l.Sigma/2)
+}
+
+// Pareto draws from a (type-I) Pareto distribution with scale Min and
+// shape Alpha. Used for the heavy tails of page-fault and softirq costs.
+type Pareto struct {
+	Min   Duration
+	Alpha float64
+}
+
+// Sample implements Dist.
+func (p Pareto) Sample(r *RNG) Duration {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return Duration(float64(p.Min) / math.Pow(u, 1/p.Alpha))
+}
+
+// Mean implements Dist.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return float64(p.Min) * p.Alpha / (p.Alpha - 1)
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+// Used for inter-arrival gaps of stochastic events (page faults, I/O).
+type Exponential struct {
+	MeanDur Duration
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *RNG) Duration {
+	return Duration(float64(e.MeanDur) * r.ExpFloat64())
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return float64(e.MeanDur) }
+
+// Shifted adds a fixed offset to an underlying distribution; useful to
+// impose a hard minimum cost (the architectural floor of an exception).
+type Shifted struct {
+	Base Dist
+	Off  Duration
+}
+
+// Sample implements Dist.
+func (s Shifted) Sample(r *RNG) Duration { return s.Off + s.Base.Sample(r) }
+
+// Mean implements Dist.
+func (s Shifted) Mean() float64 { return float64(s.Off) + s.Base.Mean() }
+
+// Clamped restricts an underlying distribution to [Lo, Hi]. Samples
+// outside the range are clamped, not redrawn, which keeps sampling O(1)
+// and deterministic in RNG consumption.
+type Clamped struct {
+	Base   Dist
+	Lo, Hi Duration
+}
+
+// Sample implements Dist.
+func (c Clamped) Sample(r *RNG) Duration {
+	v := c.Base.Sample(r)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if c.Hi > 0 && v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+// Mean implements Dist.
+func (c Clamped) Mean() float64 { return c.Base.Mean() }
+
+// Component is one branch of a Mixture.
+type Component struct {
+	Weight float64
+	Dist   Dist
+}
+
+// Mixture draws from one of several component distributions with the
+// given relative weights. This models multi-modal costs such as the AMG
+// page-fault histogram (minor-fault peak, zeroed-page peak, reclaim tail).
+type Mixture struct {
+	Components []Component
+	total      float64
+}
+
+// NewMixture builds a mixture, validating weights.
+func NewMixture(cs ...Component) *Mixture {
+	m := &Mixture{Components: cs}
+	for _, c := range cs {
+		if c.Weight < 0 {
+			panic(fmt.Sprintf("sim: negative mixture weight %v", c.Weight))
+		}
+		m.total += c.Weight
+	}
+	if m.total == 0 {
+		panic("sim: mixture with zero total weight")
+	}
+	return m
+}
+
+// Sample implements Dist.
+func (m *Mixture) Sample(r *RNG) Duration {
+	x := r.Float64() * m.total
+	for _, c := range m.Components {
+		if x < c.Weight {
+			return c.Dist.Sample(r)
+		}
+		x -= c.Weight
+	}
+	return m.Components[len(m.Components)-1].Dist.Sample(r)
+}
+
+// Mean implements Dist.
+func (m *Mixture) Mean() float64 {
+	var sum float64
+	for _, c := range m.Components {
+		sum += c.Weight / m.total * c.Dist.Mean()
+	}
+	return sum
+}
+
+// Empirical draws from a fixed set of values with equal probability.
+// Useful in tests to force exact durations through the pipeline.
+type Empirical []Duration
+
+// Sample implements Dist.
+func (e Empirical) Sample(r *RNG) Duration {
+	if len(e) == 0 {
+		return 0
+	}
+	return e[r.Intn(len(e))]
+}
+
+// Mean implements Dist.
+func (e Empirical) Mean() float64 {
+	if len(e) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range e {
+		sum += float64(v)
+	}
+	return sum / float64(len(e))
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a distribution by
+// drawing n samples. It is used by calibration tests, not by the
+// simulator itself.
+func Quantile(d Dist, r *RNG, n int, q float64) Duration {
+	samples := make([]Duration, n)
+	for i := range samples {
+		samples[i] = d.Sample(r)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(q * float64(n-1))
+	return samples[idx]
+}

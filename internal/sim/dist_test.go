@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sampleMean draws n samples and returns their mean.
+func sampleMean(d Dist, seed uint64, n int) float64 {
+	r := NewRNG(seed)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(r))
+	}
+	return sum / float64(n)
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant(1500)
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if got := d.Sample(r); got != 1500 {
+			t.Fatalf("Constant sample = %d", got)
+		}
+	}
+	if d.Mean() != 1500 {
+		t.Fatalf("Constant mean = %v", d.Mean())
+	}
+}
+
+func TestUniformBoundsAndMean(t *testing.T) {
+	d := Uniform{Lo: 100, Hi: 200}
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < 100 || v > 200 {
+			t.Fatalf("Uniform sample %d out of [100,200]", v)
+		}
+	}
+	if m := sampleMean(d, 3, 100000); math.Abs(m-150) > 2 {
+		t.Fatalf("Uniform empirical mean %v, want ~150", m)
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	d := Uniform{Lo: 50, Hi: 50}
+	if got := d.Sample(NewRNG(1)); got != 50 {
+		t.Fatalf("degenerate Uniform = %d", got)
+	}
+}
+
+func TestLogNormalMeanMatchesAnalytic(t *testing.T) {
+	d := LogNormal{Median: 2500, Sigma: 0.5}
+	analytic := d.Mean()
+	empirical := sampleMean(d, 4, 300000)
+	if math.Abs(empirical-analytic)/analytic > 0.03 {
+		t.Fatalf("LogNormal empirical mean %v, analytic %v", empirical, analytic)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	d := LogNormal{Median: 2500, Sigma: 0.7}
+	med := Quantile(d, NewRNG(5), 100001, 0.5)
+	if math.Abs(float64(med)-2500)/2500 > 0.05 {
+		t.Fatalf("LogNormal median %v, want ~2500", med)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	d := Pareto{Min: 1000, Alpha: 2}
+	r := NewRNG(6)
+	var over int
+	for i := 0; i < 100000; i++ {
+		v := d.Sample(r)
+		if v < 1000 {
+			t.Fatalf("Pareto sample %d below scale", v)
+		}
+		if v > 10000 {
+			over++
+		}
+	}
+	// P(X > 10*min) = (1/10)^2 = 1%.
+	frac := float64(over) / 100000
+	if frac < 0.005 || frac > 0.02 {
+		t.Fatalf("Pareto tail fraction %v, want ~0.01", frac)
+	}
+}
+
+func TestParetoMeanInfiniteForAlphaLE1(t *testing.T) {
+	if !math.IsInf(Pareto{Min: 10, Alpha: 1}.Mean(), 1) {
+		t.Fatal("Pareto alpha<=1 mean should be +Inf")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{MeanDur: 4000}
+	if m := sampleMean(d, 7, 200000); math.Abs(m-4000)/4000 > 0.02 {
+		t.Fatalf("Exponential empirical mean %v, want ~4000", m)
+	}
+}
+
+func TestShifted(t *testing.T) {
+	d := Shifted{Base: Constant(100), Off: 250}
+	if got := d.Sample(NewRNG(1)); got != 350 {
+		t.Fatalf("Shifted sample = %d", got)
+	}
+	if d.Mean() != 350 {
+		t.Fatalf("Shifted mean = %v", d.Mean())
+	}
+}
+
+func TestClamped(t *testing.T) {
+	d := Clamped{Base: Pareto{Min: 1000, Alpha: 0.5}, Lo: 1200, Hi: 5000}
+	r := NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < 1200 || v > 5000 {
+			t.Fatalf("Clamped sample %d outside [1200,5000]", v)
+		}
+	}
+}
+
+func TestClampedNoUpperBound(t *testing.T) {
+	d := Clamped{Base: Constant(9000), Lo: 0, Hi: 0}
+	if got := d.Sample(NewRNG(1)); got != 9000 {
+		t.Fatalf("Hi=0 should mean unbounded, got %d", got)
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewMixture(
+		Component{Weight: 3, Dist: Constant(10)},
+		Component{Weight: 1, Dist: Constant(50)},
+	)
+	r := NewRNG(9)
+	counts := map[Duration]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(r)]++
+	}
+	frac10 := float64(counts[10]) / n
+	if math.Abs(frac10-0.75) > 0.01 {
+		t.Fatalf("mixture branch fraction %v, want ~0.75", frac10)
+	}
+	if want := 0.75*10 + 0.25*50; math.Abs(m.Mean()-want) > 1e-9 {
+		t.Fatalf("mixture mean %v, want %v", m.Mean(), want)
+	}
+}
+
+func TestMixturePanicsOnZeroWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-weight mixture did not panic")
+		}
+	}()
+	NewMixture(Component{Weight: 0, Dist: Constant(1)})
+}
+
+func TestEmpirical(t *testing.T) {
+	d := Empirical{100, 200, 300}
+	r := NewRNG(10)
+	seen := map[Duration]bool{}
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(r)
+		if v != 100 && v != 200 && v != 300 {
+			t.Fatalf("Empirical sample %d not in set", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Empirical hit %d values, want 3", len(seen))
+	}
+	if d.Mean() != 200 {
+		t.Fatalf("Empirical mean %v", d.Mean())
+	}
+}
+
+func TestEmpiricalEmpty(t *testing.T) {
+	var d Empirical
+	if d.Sample(NewRNG(1)) != 0 || d.Mean() != 0 {
+		t.Fatal("empty Empirical should sample 0")
+	}
+}
+
+// Property: no distribution in the library ever yields a negative duration.
+func TestNoNegativeSamples(t *testing.T) {
+	dists := []Dist{
+		Constant(0),
+		Uniform{Lo: 0, Hi: 10},
+		LogNormal{Median: 100, Sigma: 2},
+		Pareto{Min: 1, Alpha: 0.3},
+		Exponential{MeanDur: 100},
+		Shifted{Base: Constant(0), Off: 0},
+		Clamped{Base: LogNormal{Median: 10, Sigma: 3}, Lo: 0, Hi: 0},
+		NewMixture(Component{Weight: 1, Dist: Constant(5)}),
+		Empirical{0, 1},
+	}
+	if err := quick.Check(func(seed uint64, idx uint8) bool {
+		d := dists[int(idx)%len(dists)]
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			if d.Sample(r) < 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileOrdering(t *testing.T) {
+	d := LogNormal{Median: 1000, Sigma: 1}
+	q50 := Quantile(d, NewRNG(11), 20001, 0.5)
+	q99 := Quantile(d, NewRNG(11), 20001, 0.99)
+	if q50 >= q99 {
+		t.Fatalf("q50 %v >= q99 %v", q50, q99)
+	}
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram bins durations (nanoseconds) into fixed-width linear buckets
+// over a configurable range, with explicit underflow/overflow counters so
+// no observation is ever silently dropped. The paper's duration
+// histograms (Figs. 4, 6, 8) cut the displayed range at the 99th
+// percentile; CutAtPercentile reproduces that.
+type Histogram struct {
+	Lo, Hi  int64 // inclusive lower bound, exclusive upper bound
+	Buckets []uint64
+	Under   uint64
+	Over    uint64
+	values  []int64 // retained for percentile cuts; see NewHistogram
+	retain  bool
+}
+
+// NewHistogram creates a histogram with n linear buckets over [lo, hi).
+// If retainValues is true the raw observations are kept so the histogram
+// can later be re-binned or cut at a percentile.
+func NewHistogram(lo, hi int64, n int, retainValues bool) *Histogram {
+	if hi <= lo || n <= 0 {
+		panic(fmt.Sprintf("stats: invalid histogram range [%d,%d) n=%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n), retain: retainValues}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int64) {
+	if h.retain {
+		h.values = append(h.values, v)
+	}
+	switch {
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Hi:
+		h.Over++
+	default:
+		idx := int(uint64(v-h.Lo) * uint64(len(h.Buckets)) / uint64(h.Hi-h.Lo))
+		if idx >= len(h.Buckets) { // guard against rounding at the edge
+			idx = len(h.Buckets) - 1
+		}
+		h.Buckets[idx]++
+	}
+}
+
+// Total returns the number of observations, including under/overflow.
+func (h *Histogram) Total() uint64 {
+	t := h.Under + h.Over
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// BucketWidth returns the width of each bucket in nanoseconds.
+func (h *Histogram) BucketWidth() float64 {
+	return float64(h.Hi-h.Lo) / float64(len(h.Buckets))
+}
+
+// BucketCenter returns the midpoint of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	return float64(h.Lo) + (float64(i)+0.5)*h.BucketWidth()
+}
+
+// Mode returns the center of the most populated bucket (the histogram's
+// main "pick" in the paper's wording) and its count.
+func (h *Histogram) Mode() (center float64, count uint64) {
+	best := 0
+	for i, b := range h.Buckets {
+		if b > h.Buckets[best] {
+			best = i
+		}
+	}
+	return h.BucketCenter(best), h.Buckets[best]
+}
+
+// Modes returns the centers of local maxima whose count is at least frac
+// of the global maximum, separated by at least minGap buckets. It is used
+// to assert the bimodality of the AMG page-fault distribution.
+func (h *Histogram) Modes(frac float64, minGap int) []float64 {
+	_, globalMax := h.Mode()
+	if globalMax == 0 {
+		return nil
+	}
+	thresh := uint64(frac * float64(globalMax))
+	var out []float64
+	last := -minGap - 1
+	for i, b := range h.Buckets {
+		if b < thresh || b == 0 {
+			continue
+		}
+		isMax := true
+		for j := maxInt(0, i-minGap); j <= minInt(len(h.Buckets)-1, i+minGap); j++ {
+			if h.Buckets[j] > b {
+				isMax = false
+				break
+			}
+		}
+		if isMax && i-last > minGap {
+			out = append(out, h.BucketCenter(i))
+			last = i
+		}
+	}
+	return out
+}
+
+// CutAtPercentile returns a new histogram (same bucket count) covering
+// [Lo, pQ] where pQ is the q-quantile of the retained raw values. It
+// panics if the histogram was built without retained values.
+func (h *Histogram) CutAtPercentile(q float64) *Histogram {
+	if !h.retain {
+		panic("stats: CutAtPercentile on histogram without retained values")
+	}
+	if len(h.values) == 0 {
+		return NewHistogram(h.Lo, h.Hi, len(h.Buckets), false)
+	}
+	vals := make([]int64, len(h.values))
+	copy(vals, h.values)
+	cut := int64(Percentile(vals, q))
+	if cut <= h.Lo {
+		cut = h.Lo + 1
+	}
+	nh := NewHistogram(h.Lo, cut+1, len(h.Buckets), false)
+	for _, v := range h.values {
+		nh.Add(v)
+	}
+	return nh
+}
+
+// Values returns the retained raw observations (nil if not retained).
+func (h *Histogram) Values() []int64 { return h.values }
+
+// Render draws the histogram as ASCII art, one row per bucket, with the
+// bar scaled to width columns. Rows beyond the last non-empty bucket are
+// omitted.
+func (h *Histogram) Render(width int) string {
+	var max uint64
+	lastNonEmpty := -1
+	for i, b := range h.Buckets {
+		if b > max {
+			max = b
+		}
+		if b > 0 {
+			lastNonEmpty = i
+		}
+	}
+	if max == 0 {
+		return "(empty histogram)\n"
+	}
+	var sb strings.Builder
+	for i := 0; i <= lastNonEmpty; i++ {
+		b := h.Buckets[i]
+		bar := int(math.Round(float64(b) / float64(max) * float64(width)))
+		fmt.Fprintf(&sb, "%10.0fns |%-*s| %d\n", h.BucketCenter(i), width, strings.Repeat("#", bar), b)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&sb, "%10s |%-*s| %d\n", ">max", width, "", h.Over)
+	}
+	return sb.String()
+}
+
+// LogHistogram bins positive durations into logarithmic buckets
+// (base-2 by decile subdivision), suitable for the heavy-tailed kernel
+// event durations where linear bins lose the tail.
+type LogHistogram struct {
+	BucketsPerOctave int
+	Counts           map[int]uint64
+	Zero             uint64
+}
+
+// NewLogHistogram returns a log histogram with the given resolution
+// (buckets per factor-of-two).
+func NewLogHistogram(bucketsPerOctave int) *LogHistogram {
+	if bucketsPerOctave <= 0 {
+		panic("stats: bucketsPerOctave must be positive")
+	}
+	return &LogHistogram{BucketsPerOctave: bucketsPerOctave, Counts: make(map[int]uint64)}
+}
+
+// Add records an observation. Non-positive values land in Zero.
+func (h *LogHistogram) Add(v int64) {
+	if v <= 0 {
+		h.Zero++
+		return
+	}
+	idx := int(math.Floor(math.Log2(float64(v)) * float64(h.BucketsPerOctave)))
+	h.Counts[idx]++
+}
+
+// Total returns the number of observations recorded.
+func (h *LogHistogram) Total() uint64 {
+	t := h.Zero
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BucketBounds returns the [lo, hi) duration range of bucket idx.
+func (h *LogHistogram) BucketBounds(idx int) (lo, hi float64) {
+	lo = math.Pow(2, float64(idx)/float64(h.BucketsPerOctave))
+	hi = math.Pow(2, float64(idx+1)/float64(h.BucketsPerOctave))
+	return lo, hi
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

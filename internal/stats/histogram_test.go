@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 100, 10, false)
+	h.Add(5)   // bucket 0
+	h.Add(15)  // bucket 1
+	h.Add(99)  // bucket 9
+	h.Add(100) // overflow
+	h.Add(-1)  // underflow
+	if h.Buckets[0] != 1 || h.Buckets[1] != 1 || h.Buckets[9] != 1 {
+		t.Fatalf("buckets %v", h.Buckets)
+	}
+	if h.Over != 1 || h.Under != 1 {
+		t.Fatalf("over %d under %d", h.Over, h.Under)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total %d", h.Total())
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram(10, 20, 2, false)
+	h.Add(10) // lowest in-range value
+	h.Add(19) // highest in-range value
+	if h.Buckets[0] != 1 || h.Buckets[1] != 1 {
+		t.Fatalf("edge binning wrong: %v", h.Buckets)
+	}
+}
+
+// Property: every observation lands in exactly one counter.
+func TestHistogramConservation(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := NewHistogram(0, 1000, 17, false)
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		return h.Total() == uint64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid range did not panic")
+		}
+	}()
+	NewHistogram(10, 10, 5, false)
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 100, 10, false)
+	for i := 0; i < 5; i++ {
+		h.Add(25) // bucket 2
+	}
+	h.Add(75)
+	center, count := h.Mode()
+	if count != 5 {
+		t.Fatalf("mode count %d", count)
+	}
+	if center != 25 {
+		t.Fatalf("mode center %v", center)
+	}
+}
+
+func TestHistogramModesBimodal(t *testing.T) {
+	// Synthetic bimodal distribution: peaks at ~2500 and ~4500 ns, like
+	// the AMG page-fault histogram in the paper's Fig. 4a.
+	h := NewHistogram(0, 8000, 80, false)
+	for i := 0; i < 100; i++ {
+		h.Add(2500)
+		h.Add(4500)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(int64(1000 + i*600))
+	}
+	modes := h.Modes(0.5, 5)
+	if len(modes) != 2 {
+		t.Fatalf("modes = %v, want 2 peaks", modes)
+	}
+	if modes[0] < 2000 || modes[0] > 3000 || modes[1] < 4000 || modes[1] > 5000 {
+		t.Fatalf("mode locations %v", modes)
+	}
+}
+
+func TestHistogramModesUnimodal(t *testing.T) {
+	h := NewHistogram(0, 8000, 80, false)
+	for i := 0; i < 100; i++ {
+		h.Add(2500)
+	}
+	if modes := h.Modes(0.5, 5); len(modes) != 1 {
+		t.Fatalf("modes = %v, want 1", modes)
+	}
+}
+
+func TestCutAtPercentile(t *testing.T) {
+	h := NewHistogram(0, 1000000, 100, true)
+	for i := int64(1); i <= 99; i++ {
+		h.Add(i * 10)
+	}
+	h.Add(999999) // extreme tail value
+	cut := h.CutAtPercentile(0.99)
+	if cut.Hi > 20000 {
+		t.Fatalf("cut histogram Hi=%d, expected tail removed", cut.Hi)
+	}
+	// Tail observation now counts as overflow, nothing is lost.
+	if cut.Total() != 100 {
+		t.Fatalf("cut total %d, want 100", cut.Total())
+	}
+	if cut.Over == 0 {
+		t.Fatal("tail value should be in overflow")
+	}
+}
+
+func TestCutAtPercentileWithoutRetainPanics(t *testing.T) {
+	h := NewHistogram(0, 100, 10, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.CutAtPercentile(0.99)
+}
+
+func TestCutAtPercentileEmpty(t *testing.T) {
+	h := NewHistogram(0, 100, 10, true)
+	cut := h.CutAtPercentile(0.99)
+	if cut.Total() != 0 {
+		t.Fatal("empty cut should be empty")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 100, 4, false)
+	h.Add(10)
+	h.Add(10)
+	h.Add(30)
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render missing bars:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 { // buckets 2..3 empty and trailing, so omitted
+		t.Fatalf("render rows = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestHistogramRenderEmpty(t *testing.T) {
+	h := NewHistogram(0, 100, 4, false)
+	if out := h.Render(20); !strings.Contains(out, "empty") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(1)
+	h.Add(1)    // idx 0
+	h.Add(2)    // idx 1
+	h.Add(3)    // idx 1
+	h.Add(1024) // idx 10
+	h.Add(0)    // zero bucket
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[10] != 1 {
+		t.Fatalf("log buckets %v", h.Counts)
+	}
+	if h.Zero != 1 {
+		t.Fatalf("zero %d", h.Zero)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total %d", h.Total())
+	}
+}
+
+func TestLogHistogramBounds(t *testing.T) {
+	h := NewLogHistogram(2)
+	lo, hi := h.BucketBounds(4) // 2^2 .. 2^2.5
+	if lo != 4 {
+		t.Fatalf("lo %v", lo)
+	}
+	if hi <= lo {
+		t.Fatalf("hi %v <= lo %v", hi, lo)
+	}
+}
+
+// Property: log histogram conserves counts too.
+func TestLogHistogramConservation(t *testing.T) {
+	f := func(vals []int32) bool {
+		h := NewLogHistogram(3)
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		return h.Total() == uint64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

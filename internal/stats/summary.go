@@ -1,0 +1,174 @@
+// Package stats provides the statistical machinery of the noise analysis:
+// streaming summaries (count, frequency, mean, min, max, standard
+// deviation) matching the columns of the paper's Tables I–VI, exact
+// percentile computation, and log-binned duration histograms matching the
+// paper's Figures 4, 6 and 8 (which cut distributions at the 99th
+// percentile for display).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates moments of a stream of durations (in nanoseconds).
+// The zero value is an empty summary ready for use.
+type Summary struct {
+	Count uint64
+	Sum   float64
+	Min   int64
+	Max   int64
+	m2    float64 // Welford running sum of squared deviations
+	mean  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v int64) {
+	if s.Count == 0 {
+		s.Min, s.Max = v, v
+	} else {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Count++
+	s.Sum += float64(v)
+	delta := float64(v) - s.mean
+	s.mean += delta / float64(s.Count)
+	s.m2 += delta * (float64(v) - s.mean)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.Count))
+}
+
+// Freq returns the observation rate in events/second given the window the
+// stream covers.
+func (s *Summary) Freq(windowSeconds float64) float64 {
+	if windowSeconds <= 0 {
+		return 0
+	}
+	return float64(s.Count) / windowSeconds
+}
+
+// Merge folds other into s. Chan–Golub–LeVeque parallel combination keeps
+// the variance exact, so per-CPU summaries can be merged after a parallel
+// analysis pass.
+func (s *Summary) Merge(other *Summary) {
+	if other.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = *other
+		return
+	}
+	if other.Min < s.Min {
+		s.Min = other.Min
+	}
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	n1, n2 := float64(s.Count), float64(other.Count)
+	delta := other.mean - s.mean
+	total := n1 + n2
+	s.mean += delta * n2 / total
+	s.m2 += other.m2 + delta*delta*n1*n2/total
+	s.Count += other.Count
+	s.Sum += other.Sum
+}
+
+// String formats the summary in the style of the paper's tables.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d avg=%.0fns max=%dns min=%dns",
+		s.Count, s.Mean(), s.Max, s.Min)
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of values using linear
+// interpolation between closest ranks. values is sorted in place.
+func Percentile(values []int64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	return percentileSorted(values, q)
+}
+
+func percentileSorted(sorted []int64, q float64) float64 {
+	if q <= 0 {
+		return float64(sorted[0])
+	}
+	if q >= 1 {
+		return float64(sorted[len(sorted)-1])
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return float64(sorted[lo])
+	}
+	return float64(sorted[lo])*(1-frac) + float64(sorted[lo+1])*frac
+}
+
+// KolmogorovSmirnov returns the two-sample KS statistic (the maximum
+// distance between empirical CDFs) for two duration samples — used to
+// compare measured distributions against the paper's shapes. Both
+// inputs are sorted in place.
+func KolmogorovSmirnov(a, b []int64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	var i, j int
+	var d float64
+	for i < len(a) && j < len(b) {
+		// Advance both walks past the smaller value (and past ALL its
+		// duplicates in both samples): evaluating between jump points
+		// keeps the statistic exact and symmetric under ties.
+		x := a[i]
+		if b[j] < x {
+			x = b[j]
+		}
+		for i < len(a) && a[i] == x {
+			i++
+		}
+		for j < len(b) && b[j] == x {
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// Percentiles returns multiple quantiles with a single sort.
+func Percentiles(values []int64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(values) == 0 {
+		return out
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for i, q := range qs {
+		out[i] = percentileSorted(values, q)
+	}
+	return out
+}

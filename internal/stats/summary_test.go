@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []int64{250, 4380, 69398061, 300} {
+		s.Add(v)
+	}
+	if s.Count != 4 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Min != 250 {
+		t.Fatalf("min %d", s.Min)
+	}
+	if s.Max != 69398061 {
+		t.Fatalf("max %d", s.Max)
+	}
+	want := float64(250+4380+69398061+300) / 4
+	if math.Abs(s.Mean()-want) > 1e-6 {
+		t.Fatalf("mean %v, want %v", s.Mean(), want)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Freq(10) != 0 {
+		t.Fatal("empty summary should be all zero")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.Min != 42 || s.Max != 42 || s.Mean() != 42 || s.StdDev() != 0 {
+		t.Fatalf("single-value summary wrong: %+v", s)
+	}
+}
+
+func TestSummaryStdDev(t *testing.T) {
+	var s Summary
+	for _, v := range []int64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if math.Abs(s.StdDev()-2) > 1e-9 {
+		t.Fatalf("stddev %v, want 2", s.StdDev())
+	}
+}
+
+func TestSummaryFreq(t *testing.T) {
+	var s Summary
+	for i := 0; i < 1693; i++ {
+		s.Add(int64(i))
+	}
+	if f := s.Freq(1.0); f != 1693 {
+		t.Fatalf("freq %v, want 1693", f)
+	}
+	if f := s.Freq(2.0); f != 846.5 {
+		t.Fatalf("freq %v, want 846.5", f)
+	}
+	if f := s.Freq(0); f != 0 {
+		t.Fatalf("freq over zero window %v", f)
+	}
+}
+
+// Property: merging two summaries equals summarising the concatenation.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(a, b []int16) bool {
+		var sa, sb, all Summary
+		for _, v := range a {
+			sa.Add(int64(v))
+			all.Add(int64(v))
+		}
+		for _, v := range b {
+			sb.Add(int64(v))
+			all.Add(int64(v))
+		}
+		sa.Merge(&sb)
+		if sa.Count != all.Count {
+			return false
+		}
+		if sa.Count == 0 {
+			return true
+		}
+		if sa.Min != all.Min || sa.Max != all.Max {
+			return false
+		}
+		if math.Abs(sa.Mean()-all.Mean()) > 1e-6*(1+math.Abs(all.Mean())) {
+			return false
+		}
+		return math.Abs(sa.StdDev()-all.StdDev()) < 1e-6*(1+all.StdDev())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeIntoEmpty(t *testing.T) {
+	var a, b Summary
+	b.Add(10)
+	b.Add(20)
+	a.Merge(&b)
+	if a.Count != 2 || a.Mean() != 15 {
+		t.Fatalf("merge into empty: %+v", a)
+	}
+	var c Summary
+	a.Merge(&c) // merging empty is a no-op
+	if a.Count != 2 {
+		t.Fatal("merging empty changed summary")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if p := Percentile(vals, 0.5); p != 55 {
+		t.Fatalf("median %v, want 55", p)
+	}
+	if p := Percentile(vals, 0); p != 10 {
+		t.Fatalf("p0 %v", p)
+	}
+	if p := Percentile(vals, 1); p != 100 {
+		t.Fatalf("p100 %v", p)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if p := Percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile %v", p)
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	if p := Percentile([]int64{7}, 0.99); p != 7 {
+		t.Fatalf("single percentile %v", p)
+	}
+}
+
+func TestPercentilesMonotone(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		ps := Percentiles(vals, 0.1, 0.5, 0.9, 0.99)
+		for i := 1; i < len(ps); i++ {
+			if ps[i-1] > ps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKolmogorovSmirnovIdentical(t *testing.T) {
+	a := []int64{1, 2, 3, 4, 5}
+	b := []int64{1, 2, 3, 4, 5}
+	if d := KolmogorovSmirnov(a, b); d != 0 {
+		t.Fatalf("KS of identical samples = %v, want 0", d)
+	}
+}
+
+func TestKolmogorovSmirnovDisjoint(t *testing.T) {
+	a := []int64{1, 2, 3}
+	b := []int64{100, 200, 300}
+	if d := KolmogorovSmirnov(a, b); d != 1 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKolmogorovSmirnovEmpty(t *testing.T) {
+	if d := KolmogorovSmirnov(nil, []int64{1}); d != 1 {
+		t.Fatalf("KS with empty sample = %v", d)
+	}
+}
+
+// Property: KS is symmetric and within [0, 1].
+func TestKolmogorovSmirnovProperty(t *testing.T) {
+	f := func(ar, br []int16) bool {
+		if len(ar) == 0 || len(br) == 0 {
+			return true
+		}
+		a := make([]int64, len(ar))
+		b := make([]int64, len(br))
+		a2 := make([]int64, len(ar))
+		b2 := make([]int64, len(br))
+		for i, v := range ar {
+			a[i], a2[i] = int64(v), int64(v)
+		}
+		for i, v := range br {
+			b[i], b2[i] = int64(v), int64(v)
+		}
+		d1 := KolmogorovSmirnov(a, b)
+		d2 := KolmogorovSmirnov(b2, a2)
+		return d1 >= 0 && d1 <= 1 && math.Abs(d1-d2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	magic   [8]byte  "LTTNOISE"
+//	version uint32   (currently 2)
+//	cpus    uint32
+//	lost    uint64
+//	count   uint64   number of event records
+//	events  count × EventSize bytes, little endian:
+//	        ts int64, cpu int32, id uint16, pad uint16,
+//	        arg1 int64, arg2 int64, arg3 int64
+//	procs   uint32 count, then per process:
+//	        pid int64, kind int32, name length uint32 + bytes
+//
+// The event section is fixed-width so a reader can seek and the encoded
+// size is predictable (40 bytes/event); the process table (the metadata
+// stream) follows at the end.
+
+var magic = [8]byte{'L', 'T', 'T', 'N', 'O', 'I', 'S', 'E'}
+
+// FormatVersion is the current trace file format version.
+const FormatVersion = 2
+
+// ErrBadMagic is returned when decoding a stream that is not a trace.
+var ErrBadMagic = errors.New("trace: bad magic, not an LTTNOISE trace")
+
+// Write encodes tr to w.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(tr.CPUs))
+	binary.LittleEndian.PutUint64(hdr[8:], tr.Lost)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(tr.Events)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [EventSize]byte
+	for _, ev := range tr.Events {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(ev.TS))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(ev.CPU))
+		binary.LittleEndian.PutUint16(rec[12:], uint16(ev.ID))
+		binary.LittleEndian.PutUint16(rec[14:], 0)
+		binary.LittleEndian.PutUint64(rec[16:], uint64(ev.Arg1))
+		binary.LittleEndian.PutUint64(rec[24:], uint64(ev.Arg2))
+		binary.LittleEndian.PutUint64(rec[32:], uint64(ev.Arg3))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	if err := writeProcs(bw, tr.Procs); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeProcs(w io.Writer, procs []ProcInfo) error {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(procs)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	for _, p := range procs {
+		var hdr [16]byte
+		binary.LittleEndian.PutUint64(hdr[0:], uint64(p.PID))
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(p.Kind))
+		binary.LittleEndian.PutUint32(hdr[12:], uint32(len(p.Name)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, p.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readProcs(r io.Reader) ([]ProcInfo, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(n[:])
+	const maxProcs = 1 << 20
+	if count > maxProcs {
+		return nil, fmt.Errorf("trace: implausible process count %d", count)
+	}
+	procs := make([]ProcInfo, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var hdr [16]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("trace: process %d: %w", i, err)
+		}
+		nameLen := binary.LittleEndian.Uint32(hdr[12:])
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("trace: process %d name length %d", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("trace: process %d name: %w", i, err)
+		}
+		procs = append(procs, ProcInfo{
+			PID:  int64(binary.LittleEndian.Uint64(hdr[0:])),
+			Kind: ProcKind(binary.LittleEndian.Uint32(hdr[8:])),
+			Name: string(name),
+		})
+	}
+	return procs, nil
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	version := binary.LittleEndian.Uint32(hdr[0:])
+	if version != 1 && version != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d", version)
+	}
+	tr := &Trace{
+		CPUs: int(binary.LittleEndian.Uint32(hdr[4:])),
+		Lost: binary.LittleEndian.Uint64(hdr[8:]),
+	}
+	count := binary.LittleEndian.Uint64(hdr[16:])
+	const maxPrealloc = 1 << 22 // cap preallocation against corrupt headers
+	alloc := count
+	if alloc > maxPrealloc {
+		alloc = maxPrealloc
+	}
+	tr.Events = make([]Event, 0, alloc)
+	var rec [EventSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d of %d: %w", i, count, err)
+		}
+		tr.Events = append(tr.Events, Event{
+			TS:   int64(binary.LittleEndian.Uint64(rec[0:])),
+			CPU:  int32(binary.LittleEndian.Uint32(rec[8:])),
+			ID:   ID(binary.LittleEndian.Uint16(rec[12:])),
+			Arg1: int64(binary.LittleEndian.Uint64(rec[16:])),
+			Arg2: int64(binary.LittleEndian.Uint64(rec[24:])),
+			Arg3: int64(binary.LittleEndian.Uint64(rec[32:])),
+		})
+	}
+	if version >= 2 {
+		procs, err := readProcs(br)
+		if err != nil {
+			return nil, err
+		}
+		tr.Procs = procs
+	}
+	return tr, nil
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Compressed trace format (version 2), addressing the paper's §III-B
+// concern that fine-grained tracing of large clusters produces very
+// large data volumes and that "another option is to apply
+// data-compression techniques at run-time to reduce the data-size":
+//
+//	magic    [8]byte  "LTTNOISZ"
+//	version  uvarint  (2)
+//	cpus     uvarint
+//	lost     uvarint
+//	count    uvarint
+//	events:  per event, in stream order:
+//	         ts delta     uvarint (vs previous event's ts)
+//	         cpu          uvarint
+//	         id           uvarint
+//	         arg1..arg3   zig-zag varint
+//
+// Timestamps are monotone in a collected trace, so deltas are small;
+// most args are small non-negative integers. Typical traces compress
+// 3–4× against the fixed 40-byte format.
+
+var magicZ = [8]byte{'L', 'T', 'T', 'N', 'O', 'I', 'S', 'Z'}
+
+// CompressedFormatVersion identifies the varint trace format.
+const CompressedFormatVersion = 3
+
+// WriteCompressed encodes tr with delta+varint compression.
+func WriteCompressed(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magicZ[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putI := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putU(CompressedFormatVersion); err != nil {
+		return err
+	}
+	if err := putU(uint64(tr.CPUs)); err != nil {
+		return err
+	}
+	if err := putU(tr.Lost); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(tr.Events))); err != nil {
+		return err
+	}
+	prev := int64(0)
+	for _, ev := range tr.Events {
+		delta := ev.TS - prev
+		prev = ev.TS
+		// Deltas are non-negative in a sorted trace but the format
+		// stays robust to unsorted inputs via zig-zag.
+		if err := putI(delta); err != nil {
+			return err
+		}
+		if err := putU(uint64(uint32(ev.CPU))); err != nil {
+			return err
+		}
+		if err := putU(uint64(ev.ID)); err != nil {
+			return err
+		}
+		if err := putI(ev.Arg1); err != nil {
+			return err
+		}
+		if err := putI(ev.Arg2); err != nil {
+			return err
+		}
+		if err := putI(ev.Arg3); err != nil {
+			return err
+		}
+	}
+	if err := writeProcs(bw, tr.Procs); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCompressed decodes a compressed trace.
+func ReadCompressed(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magicZ {
+		return nil, ErrBadMagic
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != 2 && version != CompressedFormatVersion {
+		return nil, fmt.Errorf("trace: unsupported compressed version %d", version)
+	}
+	cpus, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	lost, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{CPUs: int(cpus), Lost: lost}
+	const maxPrealloc = 1 << 22
+	alloc := count
+	if alloc > maxPrealloc {
+		alloc = maxPrealloc
+	}
+	tr.Events = make([]Event, 0, alloc)
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d ts: %w", i, err)
+		}
+		cpu, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d cpu: %w", i, err)
+		}
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d id: %w", i, err)
+		}
+		a1, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d arg1: %w", i, err)
+		}
+		a2, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d arg2: %w", i, err)
+		}
+		a3, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d arg3: %w", i, err)
+		}
+		prev += delta
+		tr.Events = append(tr.Events, Event{
+			TS: prev, CPU: int32(uint32(cpu)), ID: ID(id),
+			Arg1: a1, Arg2: a2, Arg3: a3,
+		})
+	}
+	if version >= 3 {
+		procs, err := readProcs(br)
+		if err != nil {
+			return nil, err
+		}
+		tr.Procs = procs
+	}
+	return tr, nil
+}
+
+// ReadAny decodes either trace format by sniffing the magic.
+func ReadAny(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(8)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	switch {
+	case string(head) == string(magicZ[:]):
+		return ReadCompressed(br)
+	case string(head) == string(magic[:]):
+		return Read(br)
+	default:
+		return nil, ErrBadMagic
+	}
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	tr := &Trace{CPUs: 8, Lost: 3}
+	ts := int64(0)
+	for i := 0; i < 5000; i++ {
+		ts += int64(1000 + i%7)
+		tr.Events = append(tr.Events, Event{
+			TS: ts, CPU: int32(i % 8), ID: ID(1 + i%int(NumIDs-1)),
+			Arg1: int64(i % 5), Arg2: int64(i % 100), Arg3: -int64(i % 3),
+		})
+	}
+	return tr
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CPUs != tr.CPUs || got.Lost != tr.Lost || len(got.Events) != len(tr.Events) {
+		t.Fatalf("header mismatch: %d cpus, %d lost, %d events", got.CPUs, got.Lost, len(got.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestCompressedSmallerThanFixed(t *testing.T) {
+	tr := sampleTrace()
+	var fixed, compressed bytes.Buffer
+	if err := Write(&fixed, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompressed(&compressed, tr); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(fixed.Len()) / float64(compressed.Len())
+	if ratio < 2 {
+		t.Fatalf("compression ratio %.2f, want >= 2 (fixed %d, compressed %d)",
+			ratio, fixed.Len(), compressed.Len())
+	}
+}
+
+// Property: compression round-trips arbitrary event payloads, including
+// unsorted timestamps and negative args.
+func TestCompressedRoundTripProperty(t *testing.T) {
+	f := func(ts []int64, args []int64, cpus uint8) bool {
+		n := len(ts)
+		if len(args) < n {
+			n = len(args)
+		}
+		tr := &Trace{CPUs: int(cpus%16) + 1}
+		for i := 0; i < n; i++ {
+			tr.Events = append(tr.Events, Event{
+				TS: ts[i], CPU: int32(i % tr.CPUs), ID: ID(i % NumIDs),
+				Arg1: args[i], Arg2: -args[i], Arg3: ts[i] ^ args[i],
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteCompressed(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadCompressed(&buf)
+		if err != nil || len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range tr.Events {
+			if got.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAnySniffsBothFormats(t *testing.T) {
+	tr := sampleTrace()
+	var fixed, compressed bytes.Buffer
+	if err := Write(&fixed, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompressed(&compressed, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, buf := range []*bytes.Buffer{&fixed, &compressed} {
+		got, err := ReadAny(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Events) != len(tr.Events) {
+			t.Fatalf("ReadAny lost events: %d vs %d", len(got.Events), len(tr.Events))
+		}
+	}
+	if _, err := ReadAny(bytes.NewReader([]byte("GARBAGEXXXX"))); err != ErrBadMagic {
+		t.Fatalf("garbage err = %v", err)
+	}
+}
+
+func TestCompressedTruncated(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadCompressed(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated compressed trace decoded without error")
+	}
+}

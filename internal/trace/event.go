@@ -1,0 +1,219 @@
+// Package trace implements the LTTNG-NOISE tracer analogue: tracepoint
+// definitions covering every kernel entry and exit point of the simulated
+// node, per-CPU lock-free ring buffers in the style of LTTng (atomic
+// reserve/commit with sub-buffer switching, discard and overwrite modes),
+// session control with per-tracepoint filters, and a compact binary trace
+// codec.
+//
+// The design properties mirror the ones the paper credits LTTng with:
+// per-CPU data (no cross-CPU sharing on the hot path), lock-less record
+// reservation, and nanosecond timestamps.
+package trace
+
+import "fmt"
+
+// ID identifies a tracepoint. The set covers the instrumentation the
+// paper adds to LTTng: all kernel entry/exit points (interrupts, system
+// calls, exceptions) and the main OS functions (scheduler, softirqs,
+// memory management).
+type ID uint16
+
+// Tracepoint identifiers.
+const (
+	EvNone ID = iota
+
+	// Kernel entry/exit pairs.
+	EvIRQEntry     // Arg1 = irq number
+	EvIRQExit      // Arg1 = irq number
+	EvSoftIRQRaise // Arg1 = softirq vector
+	EvSoftIRQEntry // Arg1 = softirq vector
+	EvSoftIRQExit  // Arg1 = softirq vector
+	EvTaskletEntry // Arg1 = tasklet id (net rx/tx)
+	EvTaskletExit  // Arg1 = tasklet id
+	EvTrapEntry    // Arg1 = trap number (14 = page fault), Arg2 = faulting address
+	EvTrapExit     // Arg1 = trap number
+	EvSyscallEntry // Arg1 = syscall number
+	EvSyscallExit  // Arg1 = syscall number
+
+	// Scheduler activity.
+	EvSchedSwitch  // Arg1 = prev pid, Arg2 = next pid, Arg3 = prev task state
+	EvSchedWakeup  // Arg1 = woken pid, Arg2 = target cpu
+	EvSchedMigrate // Arg1 = pid, Arg2 = source cpu, Arg3 = dest cpu
+	EvSchedEntry   // schedule() entered; Arg1 = current pid
+	EvSchedExit    // schedule() returned; Arg1 = now-current pid
+
+	// Process lifecycle.
+	EvProcessFork // Arg1 = parent pid, Arg2 = child pid
+	EvProcessExit // Arg1 = pid
+
+	// Application-level markers emitted by the instrumented workloads
+	// (compute phase boundaries, MPI wait begin/end). These let the
+	// analysis apply the paper's rule that kernel time while the
+	// application is blocked waiting for communication is not noise.
+	EvAppComputeBegin // Arg1 = pid
+	EvAppComputeEnd   // Arg1 = pid
+	EvAppWaitBegin    // Arg1 = pid (blocked waiting for communication)
+	EvAppWaitEnd      // Arg1 = pid
+	EvAppQuantum      // FTQ quantum boundary: Arg1 = pid, Arg2 = work done
+
+	evMax // number of tracepoint IDs; keep last
+)
+
+// NumIDs is the number of defined tracepoint IDs.
+const NumIDs = int(evMax)
+
+// IRQ numbers used by the simulated node.
+const (
+	IRQTimer = 0 // local APIC timer (hrtimer tick)
+	IRQNet   = 1 // network adapter
+)
+
+// Softirq vectors, mirroring the Linux softirq indices relevant to the
+// paper's analysis.
+const (
+	SoftIRQTimer     = 0 // run_timer_softirq
+	SoftIRQNetTx     = 1 // net_tx_action (tasklet in the paper's wording)
+	SoftIRQNetRx     = 2 // net_rx_action
+	SoftIRQRCU       = 3 // rcu_process_callbacks
+	SoftIRQSched     = 4 // run_rebalance_domains
+	NumSoftIRQs      = 5
+	softIRQNameUnset = "softirq?"
+)
+
+// Trap numbers.
+const (
+	TrapPageFault = 14
+	// TrapTLBMiss is a software-handled TLB reload, as on PowerPC
+	// 440-class cores (Blue Gene/L): Shmueli et al. (paper §II) found
+	// these the main scalability limiter of Linux on BG/L until
+	// HugeTLB pages removed most of them.
+	TrapTLBMiss = 26
+)
+
+// Task states recorded in EvSchedSwitch.Arg3 (prev task state).
+const (
+	TaskStateRunning  = 0 // preempted while runnable
+	TaskStateBlocked  = 1 // voluntarily blocked (I/O, wait)
+	TaskStateExited   = 2
+	TaskStateWaitComm = 3 // blocked waiting for communication (MPI)
+)
+
+// Event is one fixed-size trace record. Arg meanings depend on ID.
+type Event struct {
+	TS   int64 // nanoseconds of virtual time
+	CPU  int32
+	ID   ID
+	_    uint16 // padding for a stable 40-byte wire layout
+	Arg1 int64
+	Arg2 int64
+	Arg3 int64
+}
+
+// EventSize is the wire size of one encoded event in bytes.
+const EventSize = 8 + 4 + 2 + 2 + 8 + 8 + 8
+
+var idNames = [...]string{
+	EvNone:            "none",
+	EvIRQEntry:        "irq_entry",
+	EvIRQExit:         "irq_exit",
+	EvSoftIRQRaise:    "softirq_raise",
+	EvSoftIRQEntry:    "softirq_entry",
+	EvSoftIRQExit:     "softirq_exit",
+	EvTaskletEntry:    "tasklet_entry",
+	EvTaskletExit:     "tasklet_exit",
+	EvTrapEntry:       "trap_entry",
+	EvTrapExit:        "trap_exit",
+	EvSyscallEntry:    "syscall_entry",
+	EvSyscallExit:     "syscall_exit",
+	EvSchedSwitch:     "sched_switch",
+	EvSchedWakeup:     "sched_wakeup",
+	EvSchedMigrate:    "sched_migrate_task",
+	EvSchedEntry:      "sched_entry",
+	EvSchedExit:       "sched_exit",
+	EvProcessFork:     "process_fork",
+	EvProcessExit:     "process_exit",
+	EvAppComputeBegin: "app_compute_begin",
+	EvAppComputeEnd:   "app_compute_end",
+	EvAppWaitBegin:    "app_wait_begin",
+	EvAppWaitEnd:      "app_wait_end",
+	EvAppQuantum:      "app_quantum",
+}
+
+// String returns the tracepoint name, e.g. "softirq_entry".
+func (id ID) String() string {
+	if int(id) < len(idNames) && idNames[id] != "" {
+		return idNames[id]
+	}
+	return fmt.Sprintf("id(%d)", uint16(id))
+}
+
+var softIRQNames = [NumSoftIRQs]string{
+	SoftIRQTimer: "run_timer_softirq",
+	SoftIRQNetTx: "net_tx_action",
+	SoftIRQNetRx: "net_rx_action",
+	SoftIRQRCU:   "rcu_process_callbacks",
+	SoftIRQSched: "run_rebalance_domains",
+}
+
+// SoftIRQName returns the kernel function name for a softirq vector.
+func SoftIRQName(vec int64) string {
+	if vec >= 0 && vec < NumSoftIRQs {
+		return softIRQNames[vec]
+	}
+	return softIRQNameUnset
+}
+
+// IRQName returns the name of an interrupt line.
+func IRQName(irq int64) string {
+	switch irq {
+	case IRQTimer:
+		return "timer_interrupt"
+	case IRQNet:
+		return "network_interrupt"
+	default:
+		return fmt.Sprintf("irq%d", irq)
+	}
+}
+
+// String renders an event for debugging.
+func (e Event) String() string {
+	return fmt.Sprintf("[%d cpu%d] %s arg=(%d,%d,%d)", e.TS, e.CPU, e.ID, e.Arg1, e.Arg2, e.Arg3)
+}
+
+// IsEntry reports whether the tracepoint opens a kernel activity span.
+func (id ID) IsEntry() bool {
+	switch id {
+	case EvIRQEntry, EvSoftIRQEntry, EvTaskletEntry, EvTrapEntry, EvSyscallEntry, EvSchedEntry:
+		return true
+	}
+	return false
+}
+
+// IsExit reports whether the tracepoint closes a kernel activity span.
+func (id ID) IsExit() bool {
+	switch id {
+	case EvIRQExit, EvSoftIRQExit, EvTaskletExit, EvTrapExit, EvSyscallExit, EvSchedExit:
+		return true
+	}
+	return false
+}
+
+// ExitFor returns the exit tracepoint matching an entry tracepoint, or
+// EvNone if id is not an entry.
+func (id ID) ExitFor() ID {
+	switch id {
+	case EvIRQEntry:
+		return EvIRQExit
+	case EvSoftIRQEntry:
+		return EvSoftIRQExit
+	case EvTaskletEntry:
+		return EvTaskletExit
+	case EvTrapEntry:
+		return EvTrapExit
+	case EvSyscallEntry:
+		return EvSyscallExit
+	case EvSchedEntry:
+		return EvSchedExit
+	}
+	return EvNone
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzzing the decoders: arbitrary bytes must never panic or allocate
+// unboundedly — they either parse or return an error.
+
+func FuzzRead(f *testing.F) {
+	tr := &Trace{CPUs: 2, Events: []Event{
+		{TS: 1, CPU: 0, ID: EvIRQEntry, Arg1: 1},
+		{TS: 2, CPU: 1, ID: EvIRQExit, Arg1: 1},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("LTTNOISE"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil trace without error")
+		}
+	})
+}
+
+func FuzzReadCompressed(f *testing.F) {
+	tr := &Trace{CPUs: 2, Events: []Event{
+		{TS: 1, CPU: 0, ID: EvIRQEntry, Arg1: 1},
+		{TS: 5, CPU: 1, ID: EvIRQExit, Arg1: -1},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("LTTNOISZ"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCompressed(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil trace without error")
+		}
+	})
+}
+
+func FuzzReadAny(f *testing.F) {
+	f.Add([]byte("LTTNOISE"))
+	f.Add([]byte("LTTNOISZ"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadAny(bytes.NewReader(data))
+	})
+}

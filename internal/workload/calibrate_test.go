@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"osnoise/internal/sim"
+)
+
+func TestLogNormalForMean(t *testing.T) {
+	median := LogNormalForMean(4380, 0.35)
+	d := sim.LogNormal{Median: median, Sigma: 0.35}
+	if got := d.Mean(); math.Abs(got-4380) > 1 {
+		t.Fatalf("fitted mean %.1f, want 4380", got)
+	}
+}
+
+// Calibration regression: each profile's duration distributions must
+// stay close to the paper's table values. Tolerances account for the
+// mixture tails and clamping.
+func TestProfileDistributionsMatchPaper(t *testing.T) {
+	const samples = 60_000
+	for _, p := range Sequoia() {
+		for table, targets := range PaperTargets {
+			target := targets[p.Name]
+			d := ModelDist(&p.Model, table)
+			if d == nil {
+				t.Fatalf("no dist for table %s", table)
+			}
+			rng := sim.NewRNG(0xC0FFEE)
+			var sum float64
+			minSeen := int64(math.MaxInt64)
+			for i := 0; i < samples; i++ {
+				v := int64(d.Sample(rng))
+				sum += float64(v)
+				if v < minSeen {
+					minSeen = v
+				}
+			}
+			mean := sum / samples
+			// Mean within 20 % of the paper (page-fault means exclude
+			// the rare reclaim events the workload injects separately).
+			if rel := math.Abs(mean-target.Avg) / target.Avg; rel > 0.20 {
+				t.Errorf("%s/%s: sampled mean %.0f vs paper %.0f (%.0f%% off)",
+					p.Name, table, mean, target.Avg, 100*rel)
+			}
+			// The distribution floor respects the paper's min column.
+			if minSeen < target.Min {
+				t.Errorf("%s/%s: sampled min %d below paper min %d",
+					p.Name, table, minSeen, target.Min)
+			}
+		}
+	}
+}
+
+// Frequencies measured through full runs must match the paper tables in
+// order of magnitude (measured end to end, not sampled): this is the
+// emergent half of the calibration.
+func TestProfileFrequenciesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-run calibration check")
+	}
+	for _, p := range Sequoia() {
+		_, rep := analyzed(t, p, 4*sim.Second, 77)
+		checks := map[string]float64{
+			"pagefault":    rep.Stats(noiseKeyFor("pagefault")).Freq(rep.Seconds, rep.CPUs),
+			"timerirq":     rep.Stats(noiseKeyFor("timerirq")).Freq(rep.Seconds, rep.CPUs),
+			"netrx":        rep.Stats(noiseKeyFor("netrx")).Freq(rep.Seconds, rep.CPUs),
+			"timersoftirq": rep.Stats(noiseKeyFor("timersoftirq")).Freq(rep.Seconds, rep.CPUs),
+		}
+		for table, got := range checks {
+			want := PaperTargets[table][p.Name].Freq
+			lo, hi := want*0.55, want*1.6
+			if want < 30 { // small-count rows are noisy in short runs
+				lo, hi = want*0.3, want*2.5
+			}
+			if got < lo || got > hi {
+				t.Errorf("%s/%s: measured freq %.1f outside [%.1f, %.1f] (paper %.0f)",
+					p.Name, table, got, lo, hi, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+
+	"osnoise/internal/kernel"
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+)
+
+// ColocatedRun places several applications on ONE simulated node — the
+// "richer system software ecosystem" scenario the paper's introduction
+// motivates (mixed workloads, co-located services). Each application's
+// noise can then be analysed separately from the same trace; a
+// co-located sibling's ranks appear to the victim exactly like any
+// other preempting process.
+//
+// The node's kernel activity-cost model comes from the first profile
+// (kernel path costs are a property of the machine state; with mixed
+// tenants the first tenant's calibration is used as the shared
+// approximation).
+type ColocatedRun struct {
+	Node     *kernel.Node
+	Session  *trace.Session
+	Duration sim.Duration
+	// Apps holds one sub-run per co-located application, in the order
+	// given to NewColocated.
+	Apps []*Run
+
+	collector *trace.Collector
+	executed  bool
+}
+
+// NewColocated builds a shared node hosting every profile's ranks. Rank
+// homes are assigned sequentially: with total ranks exceeding the CPU
+// count, applications time-share CPUs (oversubscription).
+func NewColocated(opts Options, profiles ...*Profile) *ColocatedRun {
+	if len(profiles) == 0 {
+		panic("workload: NewColocated needs at least one profile")
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 20 * sim.Second
+	}
+	if opts.CPUs <= 0 {
+		// Default: enough CPUs for every rank, capped at the first
+		// profile's rank count (oversubscribe beyond that).
+		opts.CPUs = profiles[0].Ranks
+		if opts.CPUs < 1 {
+			opts.CPUs = 1
+		}
+	}
+	n, session, rankCPUs := buildNode(profiles[0], opts)
+	cr := &ColocatedRun{Node: n, Session: session, Duration: opts.Duration}
+	start := 0
+	for _, p := range profiles {
+		sub := attach(p, n, session, opts.Duration, rankCPUs, start)
+		cr.Apps = append(cr.Apps, sub)
+		start += p.Ranks
+	}
+	if session != nil {
+		cr.collector = trace.NewCollector(session)
+	}
+	return cr
+}
+
+// Execute installs every application's behaviour and runs the shared
+// node once, returning the combined trace.
+func (cr *ColocatedRun) Execute() *trace.Trace {
+	if cr.executed {
+		panic("workload: colocated run executed twice")
+	}
+	cr.executed = true
+	for _, sub := range cr.Apps {
+		if sub.executed {
+			panic(fmt.Sprintf("workload: sub-run %s already executed", sub.Profile.Name))
+		}
+		sub.executed = true
+		sub.install()
+	}
+	if cr.collector != nil {
+		eng := cr.Node.Engine()
+		var drain func(now sim.Time)
+		drain = func(now sim.Time) {
+			cr.collector.Drain()
+			if now < cr.Duration {
+				eng.After(50*sim.Millisecond, sim.PrioTeardown, drain)
+			}
+		}
+		eng.After(50*sim.Millisecond, sim.PrioTeardown, drain)
+	}
+	cr.Node.Run(cr.Duration)
+	if cr.collector == nil {
+		return nil
+	}
+	return cr.collector.Finalize()
+}
+
+// AnalysisOptionsFor returns analysis options whose victim set is one
+// co-located application: the siblings' ranks count as foreign
+// (preempting) processes, exactly like daemons.
+func (cr *ColocatedRun) AnalysisOptionsFor(app int) noise.Options {
+	o := noise.DefaultOptions()
+	o.AppPIDs = cr.Apps[app].AppPIDs()
+	return o
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"testing"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+)
+
+// Two applications oversubscribing one node: each must see the other's
+// ranks as preemption culprits, and each application's own fingerprint
+// must still be recognisable.
+func TestColocatedOversubscribed(t *testing.T) {
+	amg, sphot := AMG(), SPHOT()
+	amg.Ranks, sphot.Ranks = 4, 4
+	cr := NewColocated(Options{Duration: 3 * sim.Second, Seed: 90, CPUs: 4}, amg, sphot)
+	tr := cr.Execute()
+	if tr == nil || len(tr.Events) == 0 {
+		t.Fatal("no trace")
+	}
+	repAMG := noise.Analyze(tr, cr.AnalysisOptionsFor(0))
+	repSPHOT := noise.Analyze(tr, cr.AnalysisOptionsFor(1))
+
+	// Time-sharing dominates both tenants (each loses the CPU to the
+	// sibling for whole timeslices), but AMG's page-fault fingerprint
+	// remains visible relative to SPHOT's.
+	if a, s := repAMG.CategoryFraction(noise.CatPageFault), repSPHOT.CategoryFraction(noise.CatPageFault); a <= s {
+		t.Errorf("AMG pf share %.3f not above SPHOT's %.3f", a, s)
+	}
+	for name, rep := range map[string]*noise.Report{"AMG": repAMG, "SPHOT": repSPHOT} {
+		if f := rep.CategoryFraction(noise.CatPreemption); f < 0.5 {
+			t.Errorf("%s co-located preemption share %.2f, want dominant (>= 0.5)", name, f)
+		}
+	}
+	// Sibling ranks appear among the culprits.
+	sibling := map[int64]bool{}
+	for _, task := range cr.Apps[1].Ranks {
+		sibling[int64(task.PID)] = true
+	}
+	found := false
+	for pid := range repAMG.PreemptionsByCulprit() {
+		if sibling[pid] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no SPHOT rank preempted AMG")
+	}
+}
+
+// With enough CPUs for everyone, co-location costs little: preemption
+// between the applications stays far below the oversubscribed case.
+func TestColocatedDisjointCPUs(t *testing.T) {
+	amg, sphot := AMG(), SPHOT()
+	amg.Ranks, sphot.Ranks = 4, 4
+	cr := NewColocated(Options{Duration: 3 * sim.Second, Seed: 91, CPUs: 8}, amg, sphot)
+	tr := cr.Execute()
+	rep := noise.Analyze(tr, cr.AnalysisOptionsFor(0))
+	if f := rep.CategoryFraction(noise.CatPreemption); f > 0.4 {
+		t.Errorf("disjoint co-location preemption share %.2f, want small", f)
+	}
+}
+
+func TestColocatedExecuteTwicePanics(t *testing.T) {
+	cr := NewColocated(Options{Duration: 100 * sim.Millisecond, Seed: 92}, SPHOT())
+	cr.Execute()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	cr.Execute()
+}
+
+func TestColocatedNeedsProfiles(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewColocated(Options{})
+}

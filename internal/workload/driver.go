@@ -1,0 +1,419 @@
+package workload
+
+import (
+	"osnoise/internal/kernel"
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+)
+
+// Phase is the application life-cycle phase.
+type Phase int
+
+// Application phases.
+const (
+	PhaseInit Phase = iota
+	PhaseCompute
+	PhaseFinal
+)
+
+// rate selects the phase's rate from a PhaseRates triple.
+func (pr PhaseRates) rate(ph Phase) float64 {
+	switch ph {
+	case PhaseInit:
+		return pr.Init
+	case PhaseFinal:
+		return pr.Final
+	default:
+		return pr.Compute
+	}
+}
+
+// Run binds a workload profile to a freshly built simulated node with a
+// tracing session, ready to Execute.
+type Run struct {
+	Profile  *Profile
+	Node     *kernel.Node
+	Session  *trace.Session
+	Duration sim.Duration
+	Ranks    []*kernel.Task
+	Helpers  []*kernel.Task
+
+	collector *trace.Collector
+	rng       *sim.RNG
+	executed  bool
+
+	// ioLatencies records submit→resume round trips of blocking I/O,
+	// exposing the daemon-starvation trade-off of RT-class mitigation.
+	ioLatencies []sim.Duration
+}
+
+// Options tunes run construction.
+type Options struct {
+	Duration sim.Duration // virtual run length; default 20 s
+	Seed     uint64
+	CPUs     int // default max(ranks, 1)
+	// TracerOverheadPerEvent simulates instrumentation cost accounting.
+	TracerOverheadPerEvent sim.Duration
+	// NoTrace disables the tracing session (overhead baseline runs).
+	NoTrace bool
+	// FavoredPeriod/UnfavoredPeriod enable the Jones-style priority
+	// alternation mitigation on the node (both must be > 0).
+	FavoredPeriod   sim.Duration
+	UnfavoredPeriod sim.Duration
+	// RTApps runs ranks in a real-time class outranking daemons
+	// (Gioiosa et al. / Mann & Mittal mitigation).
+	RTApps bool
+	// SpareCPU adds one extra CPU and pins all daemon work to it
+	// (Petrini et al.'s leave-one-processor mitigation).
+	SpareCPU bool
+}
+
+// buildNode constructs the simulated node and tracing session for a
+// profile and options.
+func buildNode(p *Profile, opts Options) (*kernel.Node, *trace.Session, int) {
+	cpus := opts.CPUs
+	if cpus <= 0 {
+		cpus = p.Ranks
+		if cpus < 1 {
+			cpus = 1
+		}
+	}
+	cfg := kernel.DefaultConfig(opts.Seed)
+	if opts.SpareCPU {
+		cfg.DaemonCPU = cpus
+		cpus++ // ranks keep their CPUs; daemons get the extra one
+	}
+	cfg.CPUs = cpus
+	cfg.Model = p.Model
+	cfg.TracerOverheadPerEvent = opts.TracerOverheadPerEvent
+	cfg.Tickless = p.Lightweight
+	cfg.FavoredPeriod = opts.FavoredPeriod
+	cfg.UnfavoredPeriod = opts.UnfavoredPeriod
+	cfg.RTApps = opts.RTApps
+
+	var session *trace.Session
+	if !opts.NoTrace {
+		session = trace.NewSession(trace.Config{
+			CPUs: cpus, SubBufs: 8, SubBufLen: 8192,
+			OverheadPerEvent: int64(opts.TracerOverheadPerEvent),
+		})
+		session.Start()
+	}
+	rankCPUs := cpus
+	if opts.SpareCPU {
+		rankCPUs-- // never home a rank on the daemon CPU
+	}
+	return kernel.NewNode(cfg, session), session, rankCPUs
+}
+
+// attach creates a profile's tasks on an existing node and returns the
+// sub-run driving them. startCPU offsets rank placement (co-location).
+func attach(p *Profile, node *kernel.Node, session *trace.Session, duration sim.Duration, rankCPUs, startCPU int) *Run {
+	r := &Run{
+		Profile: p, Node: node, Session: session,
+		Duration: duration, rng: node.RNG(),
+	}
+	for i := 0; i < p.Ranks; i++ {
+		r.Ranks = append(r.Ranks, node.NewTask(p.Name+"-rank", kernel.KindApp, (startCPU+i)%rankCPUs))
+	}
+	for i := 0; i < p.Helpers; i++ {
+		// Helpers sleep until their wake process queues work for them.
+		h := node.NewDaemonTask("python-helper", kernel.KindUserDaemon, (startCPU+i)%rankCPUs)
+		r.Helpers = append(r.Helpers, h)
+	}
+	return r
+}
+
+// New builds a run for profile p.
+func New(p *Profile, opts Options) *Run {
+	if opts.Duration <= 0 {
+		opts.Duration = 20 * sim.Second
+	}
+	node, session, rankCPUs := buildNode(p, opts)
+	r := attach(p, node, session, opts.Duration, rankCPUs, 0)
+	if session != nil {
+		r.collector = trace.NewCollector(session)
+	}
+	return r
+}
+
+// Phase returns the profile phase at virtual time now.
+func (r *Run) Phase(now sim.Time) Phase {
+	switch {
+	case now < sim.Time(float64(r.Duration)*r.Profile.InitFrac):
+		return PhaseInit
+	case now > sim.Time(float64(r.Duration)*(1-r.Profile.FinalFrac)):
+		return PhaseFinal
+	default:
+		return PhaseCompute
+	}
+}
+
+// phaseBoundary returns the next phase-change time after now.
+func (r *Run) phaseBoundary(now sim.Time) sim.Time {
+	initEnd := sim.Time(float64(r.Duration) * r.Profile.InitFrac)
+	finalStart := sim.Time(float64(r.Duration) * (1 - r.Profile.FinalFrac))
+	switch {
+	case now < initEnd:
+		return initEnd
+	case now < finalStart:
+		return finalStart
+	default:
+		return r.Duration
+	}
+}
+
+// poissonLoop schedules recurring events at the phase-dependent rate,
+// calling fire on each arrival.
+func (r *Run) poissonLoop(rates PhaseRates, rng *sim.RNG, fire func(now sim.Time)) {
+	eng := r.Node.Engine()
+	var step func(now sim.Time)
+	step = func(now sim.Time) {
+		if now >= r.Duration {
+			return
+		}
+		rate := rates.rate(r.Phase(now))
+		if rate <= 0 {
+			// Idle until the next phase might enable the process.
+			b := r.phaseBoundary(now)
+			if b <= now {
+				return
+			}
+			eng.At(b+1, sim.PrioTask, step)
+			return
+		}
+		gap := sim.Duration(float64(sim.Second) / rate * rng.ExpFloat64())
+		if gap < 1 {
+			gap = 1
+		}
+		eng.After(gap, sim.PrioTask, func(t sim.Time) {
+			if t < r.Duration {
+				fire(t)
+			}
+			step(t)
+		})
+	}
+	step(0)
+}
+
+// installRank wires the fault, I/O and communication behaviour of one
+// application rank.
+func (r *Run) installRank(t *kernel.Task) {
+	p := r.Profile
+	n := r.Node
+	eng := n.Engine()
+	rng := r.rng.Split()
+
+	// Page faults: bursty arrivals at the phase-dependent rate. A burst
+	// leader is followed by FaultBurst-1 closely spaced faults; the long
+	// gap is sized so the overall rate matches the profile.
+	burst := p.FaultBurst
+	if burst < 1 {
+		burst = 1
+	}
+	var faultStep func(now sim.Time, left int)
+	faultStep = func(now sim.Time, left int) {
+		if now >= r.Duration {
+			return
+		}
+		var gap sim.Duration
+		if left > 0 {
+			// Intra-burst gaps must exceed typical fault service time,
+			// or the follow-up fault arrives while the handler still
+			// runs and is refused.
+			gap = sim.Duration(10_000 + rng.Int63n(15_000)) // 10–25 µs
+		} else {
+			rate := p.PageFault.rate(r.Phase(now))
+			if rate <= 0 {
+				b := r.phaseBoundary(now)
+				if b <= now {
+					return
+				}
+				eng.At(b+1, sim.PrioTask, func(t sim.Time) { faultStep(t, 0) })
+				return
+			}
+			cycle := float64(burst) / rate * float64(sim.Second)
+			intra := float64((burst - 1) * 17_500)
+			mean := cycle - intra
+			if mean < 1000 {
+				mean = 1000
+			}
+			gap = sim.Duration(mean * rng.ExpFloat64())
+			left = burst
+		}
+		eng.After(gap, sim.PrioTask, func(tt sim.Time) {
+			if tt < r.Duration {
+				n.PageFault(t, -1) // refused while blocked/in-kernel: skip
+			}
+			faultStep(tt, left-1)
+		})
+	}
+	faultStep(0, 0)
+
+	// Software TLB reloads (Blue Gene/L-style cores).
+	if p.TLBMissRate > 0 {
+		tlbRng := r.rng.Split()
+		r.poissonLoop(PhaseRates{p.TLBMissRate, p.TLBMissRate, p.TLBMissRate}, tlbRng,
+			func(now sim.Time) {
+				n.TLBMiss(t, -1)
+			})
+	}
+
+	// Blocking I/O. Lightweight kernels function-ship it over a
+	// kernel-bypass network: the rank blocks, but no local interrupts,
+	// tasklets or daemons run.
+	ioRng := r.rng.Split()
+	if p.Lightweight {
+		lat := p.DirectIOLatency
+		if lat == nil {
+			lat = p.Model.ServerLatency
+		}
+		r.poissonLoop(p.IORate, ioRng, func(now sim.Time) {
+			n.WhenUser(t, func(t2 sim.Time) {
+				n.BlockFor(t, kernel.StateBlocked, lat.Sample(ioRng), nil)
+			})
+		})
+	} else {
+		r.poissonLoop(p.IORate, ioRng, func(now sim.Time) {
+			if t.State() != kernel.StateExited {
+				submitted := now
+				n.SubmitIO(t, ioRng.Float64() < 0.6, func(done sim.Time) {
+					r.ioLatencies = append(r.ioLatencies, done-submitted)
+				})
+			}
+		})
+	}
+
+	// Compute/communicate alternation with explicit markers, so the
+	// analysis can apply the runnable filter.
+	if p.CommPeriod != nil && p.CommWait != nil {
+		commRng := r.rng.Split()
+		var commStep func(now sim.Time)
+		commStep = func(now sim.Time) {
+			if now >= r.Duration {
+				return
+			}
+			period := p.CommPeriod.Sample(commRng)
+			eng.After(period, sim.PrioTask, func(tt sim.Time) {
+				if tt >= r.Duration {
+					return
+				}
+				n.WhenUser(t, func(t2 sim.Time) {
+					wait := p.CommWait.Sample(commRng)
+					n.BlockFor(t, kernel.StateWaitComm, wait, func(t3 sim.Time) {
+						commStep(t3)
+					})
+				})
+			})
+		}
+		commStep(0)
+	}
+}
+
+// Execute boots the node, installs all behaviour loops, runs the
+// simulation for the configured duration, and returns the collected
+// trace (nil when tracing is disabled).
+func (r *Run) Execute() *trace.Trace {
+	if r.executed {
+		panic("workload: run executed twice")
+	}
+	r.executed = true
+	r.install()
+
+	// Consumer daemon: drain trace rings every 50 ms of virtual time.
+	if r.collector != nil {
+		eng := r.Node.Engine()
+		var drain func(now sim.Time)
+		drain = func(now sim.Time) {
+			r.collector.Drain()
+			if now < r.Duration {
+				eng.After(50*sim.Millisecond, sim.PrioTeardown, drain)
+			}
+		}
+		eng.After(50*sim.Millisecond, sim.PrioTeardown, drain)
+	}
+
+	r.Node.Run(r.Duration)
+	if r.collector == nil {
+		return nil
+	}
+	return r.collector.Finalize()
+}
+
+// install wires every behaviour loop of this run's profile onto the
+// node (ranks, chatter, daemon wakes, major faults, helpers).
+func (r *Run) install() {
+	p := r.Profile
+	n := r.Node
+
+	for _, t := range r.Ranks {
+		r.installRank(t)
+	}
+
+	// Per-CPU background processes.
+	perCPU := func(rate float64, fire func(cpu int, now sim.Time)) {
+		if rate <= 0 {
+			return
+		}
+		for i := range n.CPUs() {
+			i := i
+			rng := r.rng.Split()
+			r.poissonLoop(PhaseRates{rate, rate, rate}, rng, func(now sim.Time) {
+				fire(i, now)
+			})
+		}
+	}
+	perCPU(p.NetChatterRate, func(cpu int, _ sim.Time) { n.NetChatter(cpu) })
+	perCPU(p.NetRxChatterRate, func(cpu int, _ sim.Time) { n.NetRxChatter(cpu) })
+	perCPU(p.NetTxChatterRate, func(cpu int, _ sim.Time) { n.NetTxChatter(cpu) })
+	perCPU(p.DaemonWakeRate, func(cpu int, _ sim.Time) {
+		n.DaemonWork(n.Rpciod(), n.CPUs()[cpu], 1)
+	})
+
+	// Rare long page faults (memory reclaim), node-wide.
+	if p.MajorFaultRate > 0 && p.MajorFault != nil {
+		mfRng := r.rng.Split()
+		r.poissonLoop(PhaseRates{p.MajorFaultRate, p.MajorFaultRate, p.MajorFaultRate}, mfRng,
+			func(now sim.Time) {
+				victim := r.Ranks[mfRng.Intn(len(r.Ranks))]
+				n.PageFault(victim, p.MajorFault.Sample(mfRng))
+			})
+	}
+
+	// UMT-style helper processes.
+	if len(r.Helpers) > 0 && p.HelperWakeRate > 0 {
+		hRng := r.rng.Split()
+		for _, h := range r.Helpers {
+			h := h
+			r.poissonLoop(PhaseRates{p.HelperWakeRate, p.HelperWakeRate, p.HelperWakeRate}, hRng,
+				func(now sim.Time) {
+					cpu := n.CPUs()[hRng.Intn(len(n.CPUs()))]
+					n.DaemonWork(h, cpu, 1)
+				})
+		}
+	}
+
+}
+
+// IOLatencies returns the measured submit→resume round-trip times of
+// the run's blocking I/O operations.
+func (r *Run) IOLatencies() []sim.Duration { return r.ioLatencies }
+
+// AppPIDs returns the pid set of the application ranks, for
+// noise.Options.
+func (r *Run) AppPIDs() map[int64]bool {
+	out := make(map[int64]bool, len(r.Ranks))
+	for _, t := range r.Ranks {
+		out[int64(t.PID)] = true
+	}
+	return out
+}
+
+// AnalysisOptions returns the default noise analysis options bound to
+// this run's application pids.
+func (r *Run) AnalysisOptions() noise.Options {
+	o := noise.DefaultOptions()
+	o.AppPIDs = r.AppPIDs()
+	return o
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+
+	"osnoise/internal/noise"
+)
+
+// Fleet runs the same workload on many independent nodes in parallel —
+// the multi-node tracing scenario of the paper's §III-B, which observes
+// that OS noise is statistically redundant across nodes, so tracing "a
+// statistically significant subset of the cluster's nodes" suffices.
+//
+// Each node gets its own seed; node simulations run concurrently, one
+// goroutine per node up to Workers.
+type Fleet struct {
+	// Reports holds one analysis per node, indexed by node id.
+	Reports []*noise.Report
+}
+
+// FleetOptions configures a fleet run.
+type FleetOptions struct {
+	Nodes   int
+	Base    Options // per-node options; Seed is offset by the node id
+	Workers int     // default NumCPU
+}
+
+// RunFleet executes the workload on opts.Nodes independent nodes and
+// analyses each node's trace.
+func RunFleet(p *Profile, opts FleetOptions) *Fleet {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > opts.Nodes {
+		workers = opts.Nodes
+	}
+	fleet := &Fleet{Reports: make([]*noise.Report, opts.Nodes)}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for node := 0; node < opts.Nodes; node++ {
+		node := node
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			o := opts.Base
+			o.Seed = opts.Base.Seed + uint64(node)*0x9e3779b9
+			run := New(p, o)
+			tr := run.Execute()
+			fleet.Reports[node] = noise.Analyze(tr, run.AnalysisOptions())
+		}()
+	}
+	wg.Wait()
+	return fleet
+}
+
+// AggregateBreakdown sums the per-category noise over a subset of nodes
+// (nil = all) and returns per-category fractions of the subset's total.
+func (f *Fleet) AggregateBreakdown(nodes []int) [noise.NumCategories]float64 {
+	if nodes == nil {
+		nodes = make([]int, len(f.Reports))
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
+	var totals [noise.NumCategories]int64
+	var sum int64
+	for _, n := range nodes {
+		r := f.Reports[n]
+		for c := noise.Category(0); c < noise.NumCategories; c++ {
+			totals[c] += r.Breakdown[c]
+		}
+		sum += r.TotalNoiseNS
+	}
+	var out [noise.NumCategories]float64
+	if sum == 0 {
+		return out
+	}
+	for c := range totals {
+		out[c] = float64(totals[c]) / float64(sum)
+	}
+	return out
+}
+
+// SamplingError returns the largest absolute per-category deviation
+// between the full-fleet breakdown and the breakdown estimated from the
+// given subset — quantifying §III-B's subset-tracing claim.
+func (f *Fleet) SamplingError(subset []int) float64 {
+	full := f.AggregateBreakdown(nil)
+	sampled := f.AggregateBreakdown(subset)
+	var worst float64
+	for c := range full {
+		d := full[c] - sampled[c]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MeanNoiseFraction averages the per-node noise fraction.
+func (f *Fleet) MeanNoiseFraction() float64 {
+	if len(f.Reports) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range f.Reports {
+		sum += r.NoiseFraction()
+	}
+	return sum / float64(len(f.Reports))
+}

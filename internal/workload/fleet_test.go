@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"testing"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+)
+
+func TestFleetRunsAllNodes(t *testing.T) {
+	fleet := RunFleet(SPHOT(), FleetOptions{
+		Nodes: 6,
+		Base:  Options{Duration: sim.Second, Seed: 70},
+	})
+	if len(fleet.Reports) != 6 {
+		t.Fatalf("reports = %d", len(fleet.Reports))
+	}
+	for i, r := range fleet.Reports {
+		if r == nil || r.TotalNoiseNS <= 0 {
+			t.Fatalf("node %d report empty", i)
+		}
+	}
+	// Distinct seeds → distinct traces.
+	if fleet.Reports[0].TotalNoiseNS == fleet.Reports[1].TotalNoiseNS {
+		t.Fatal("nodes produced identical noise; seeds not distinct")
+	}
+	if fleet.MeanNoiseFraction() <= 0 {
+		t.Fatal("mean noise fraction zero")
+	}
+}
+
+// §III-B: noise is statistically redundant across nodes — a 3-node
+// subset estimates the 8-node breakdown closely.
+func TestFleetSubsetSampling(t *testing.T) {
+	fleet := RunFleet(AMG(), FleetOptions{
+		Nodes: 8,
+		Base:  Options{Duration: 2 * sim.Second, Seed: 71},
+	})
+	err := fleet.SamplingError([]int{0, 3, 6})
+	if err > 0.05 {
+		t.Fatalf("3-of-8 subset sampling error %.3f, want <= 0.05", err)
+	}
+	// A single node is a weaker but still reasonable estimator.
+	if e1 := fleet.SamplingError([]int{2}); e1 > 0.12 {
+		t.Fatalf("single-node sampling error %.3f", e1)
+	}
+}
+
+func TestFleetAggregateSumsToOne(t *testing.T) {
+	fleet := RunFleet(LAMMPS(), FleetOptions{
+		Nodes: 3,
+		Base:  Options{Duration: sim.Second, Seed: 72},
+	})
+	agg := fleet.AggregateBreakdown(nil)
+	var sum float64
+	for c := noise.CatPeriodic; c <= noise.CatIO; c++ {
+		sum += agg[c]
+	}
+	if sum < 0.99 || sum > 1.001 {
+		t.Fatalf("aggregate fractions sum to %.3f", sum)
+	}
+}
+
+func TestFleetWorkerLimit(t *testing.T) {
+	fleet := RunFleet(SPHOT(), FleetOptions{
+		Nodes:   4,
+		Base:    Options{Duration: 300 * sim.Millisecond, Seed: 73},
+		Workers: 1, // serial execution must give the same structure
+	})
+	if len(fleet.Reports) != 4 {
+		t.Fatalf("reports = %d", len(fleet.Reports))
+	}
+}

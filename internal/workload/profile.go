@@ -1,0 +1,372 @@
+// Package workload models the applications of the paper's evaluation:
+// the five LLNL Sequoia benchmarks (AMG, IRS, LAMMPS, SPHOT, UMT) and the
+// FTQ micro-benchmark, as stochastic drivers of the simulated node.
+//
+// Each profile carries (a) the kernel activity-cost distributions the
+// application induces (the same kernel path costs differently under
+// different cache and working-set pressure, which is why the paper
+// reports per-application statistics for shared kernel code), and (b)
+// the application's own behaviour: page-fault arrival rates per phase,
+// I/O intensity, communication pattern, and helper processes.
+//
+// The numbers are calibrated to the paper's Tables I–VI and Figure 3:
+// page-fault-dominated AMG and UMT (82.4 % / 86.7 % of noise),
+// preemption-dominated LAMMPS (80.2 %), a quiet SPHOT, and IRS in
+// between. Frequencies are events/second normalised per CPU, matching
+// the tables.
+package workload
+
+import (
+	"fmt"
+
+	"osnoise/internal/kernel"
+	"osnoise/internal/sim"
+)
+
+// PhaseRates sets an event rate (events/second per rank) for each of the
+// three application phases.
+type PhaseRates struct {
+	Init    float64
+	Compute float64
+	Final   float64
+}
+
+// Profile describes one application.
+type Profile struct {
+	Name  string
+	Ranks int
+
+	// Model gives the kernel activity costs this application induces.
+	Model kernel.ActivityModel
+
+	// InitFrac and FinalFrac are the fractions of the run spent in the
+	// initialisation and finalisation phases.
+	InitFrac, FinalFrac float64
+
+	// PageFault is the minor/regular fault arrival rate per rank.
+	PageFault PhaseRates
+	// FaultBurst makes arrivals bursty: each arrival delivers a burst of
+	// 1..FaultBurst faults back to back (AMG's accumulation points).
+	FaultBurst int
+	// MajorFaultRate is the node-wide rate of rare long faults (memory
+	// reclaim; AMG's 69 ms outlier) and MajorFault their duration.
+	MajorFaultRate float64
+	MajorFault     sim.Dist
+
+	// IORate is the rate of blocking I/O operations per rank.
+	IORate PhaseRates
+	// RxDaemonProb is the probability an I/O completion requires rpciod
+	// post-processing on the receiving CPU (preempting its rank).
+	RxDaemonProb float64
+
+	// NetChatterRate / NetRxChatterRate / NetTxChatterRate are per-CPU
+	// rates of network interrupts without wakeups (handler only, with an
+	// rx tasklet, or with a tx tasklet respectively).
+	NetChatterRate   float64
+	NetRxChatterRate float64
+	NetTxChatterRate float64
+
+	// DaemonWakeRate is the per-CPU rate of housekeeping rpciod wakeups
+	// not tied to I/O (writeback, callbacks) — a preemption source.
+	DaemonWakeRate float64
+
+	// Helpers models UMT's Python side processes: user daemons that wake
+	// at HelperWakeRate (per helper) and run for Model.DaemonRun-like
+	// spans, preempting ranks.
+	Helpers        int
+	HelperWakeRate float64
+
+	// CommPeriod and CommWait shape the compute/communicate alternation;
+	// kernel activity during CommWait is not noise (runnable filter).
+	CommPeriod sim.Dist
+	CommWait   sim.Dist
+
+	// TLBMissRate is the per-rank rate of software TLB-reload traps —
+	// zero on hardware-walked MMUs like the paper's Opteron test bed,
+	// tens of thousands per second on software-managed TLBs with 4 KiB
+	// pages (Blue Gene/L Linux, per Shmueli et al.), two orders of
+	// magnitude lower with HugeTLB pages.
+	TLBMissRate float64
+
+	// Lightweight marks the profile as running on a CNK-style
+	// lightweight kernel: a tickless node, memory prefaulted at load
+	// (no demand paging) and function-shipped I/O over a kernel-bypass
+	// network (no local interrupts or daemons). See CNK.
+	Lightweight bool
+	// DirectIOLatency is the function-shipped I/O round-trip time used
+	// when Lightweight is set.
+	DirectIOLatency sim.Dist
+}
+
+func (p *Profile) String() string { return fmt.Sprintf("workload %s (%d ranks)", p.Name, p.Ranks) }
+
+// ln builds a clamped lognormal in nanoseconds.
+func ln(median sim.Duration, sigma float64, lo, hi sim.Duration) sim.Dist {
+	return sim.Clamped{Base: sim.LogNormal{Median: median, Sigma: sigma}, Lo: lo, Hi: hi}
+}
+
+// baseModel returns the shared kernel cost structure; per-app profiles
+// override the distributions the paper reports per application.
+func baseModel() kernel.ActivityModel {
+	m := kernel.DefaultActivityModel()
+	return m
+}
+
+// AMG: page faults dominate (82.4 % of noise, 1693 ev/s, avg 4.38 µs,
+// max 69 ms) with a bimodal duration distribution (peaks ≈2.5 µs and
+// ≈4.5 µs, Fig. 4a) and faults spread over the whole run (Fig. 5a).
+func AMG() *Profile {
+	m := baseModel()
+	m.TimerIRQ = ln(3136, 0.35, 795, 29_422)        // Table V: avg 3334
+	m.TimerSoftIRQ = ln(1480, 0.55, 191, 49_030)    // Table VI: avg 1718
+	m.NetIRQ = ln(1370, 0.5, 540, 347_902)          // Table II: avg 1552
+	m.NetRx = ln(2200, 0.75, 192, 98_570)           // Table III: avg 3031
+	m.NetTx = ln(440, 0.35, 176, 8_227)             // Table IV: avg 471
+	m.RebalanceSoftIRQ = ln(1900, 0.4, 400, 60_000) // moderate spread
+	m.PageFault = sim.NewMixture(                   // bimodal + tail; Table I: avg 4380, min 250
+		sim.Component{Weight: 0.04, Dist: ln(420, 0.45, 250, 1500)}, // cached fast path
+		sim.Component{Weight: 0.38, Dist: ln(2500, 0.13, 250, 0)},
+		sim.Component{Weight: 0.50, Dist: ln(4600, 0.13, 250, 0)},
+		sim.Component{Weight: 0.08, Dist: sim.Clamped{Base: sim.Pareto{Min: 6000, Alpha: 2.2}, Lo: 6000, Hi: 900_000}},
+	)
+	m.DaemonRun = ln(22_000, 0.7, 1000, 600_000)
+	m.CrossCPUWakeProb = 0.25
+	return &Profile{
+		Name: "AMG", Ranks: 8, Model: m,
+		InitFrac: 0.06, FinalFrac: 0.03,
+		PageFault:      PhaseRates{Init: 2700, Compute: 1760, Final: 1500},
+		FaultBurst:     12,
+		MajorFaultRate: 0.05, // a few per minute node-wide
+		MajorFault:     sim.Uniform{Lo: 30 * sim.Millisecond, Hi: 70 * sim.Millisecond},
+		IORate:         PhaseRates{Init: 12, Compute: 5, Final: 10},
+		RxDaemonProb:   0.35,
+		NetChatterRate: 50, NetRxChatterRate: 46, NetTxChatterRate: 9,
+		DaemonWakeRate: 2.6,
+		CommPeriod:     ln(2*sim.Millisecond, 0.4, 200*sim.Microsecond, 20*sim.Millisecond),
+		CommWait:       ln(60*sim.Microsecond, 0.5, 10*sim.Microsecond, 2*sim.Millisecond),
+	}
+}
+
+// IRS: page faults large but preemption visible (27.1 %); compact
+// rebalance distribution peaked near 1.8 µs (Fig. 6b).
+func IRS() *Profile {
+	m := baseModel()
+	m.TimerIRQ = ln(5915, 0.35, 867, 35_734)        // avg 6289
+	m.TimerSoftIRQ = ln(3350, 0.55, 193, 57_663)    // avg 3897
+	m.NetIRQ = ln(1470, 0.5, 521, 353_294)          // avg 1666
+	m.NetRx = ln(3300, 0.75, 174, 78_236)           // avg 4460
+	m.NetTx = ln(470, 0.35, 176, 4_725)             // avg 504
+	m.RebalanceSoftIRQ = ln(1800, 0.12, 900, 9_000) // compact, peak 1.8 µs
+	m.PageFault = sim.NewMixture(                   // avg 4202, max 4.8 ms
+		sim.Component{Weight: 0.05, Dist: ln(400, 0.45, 218, 1400)}, // cached fast path
+		sim.Component{Weight: 0.54, Dist: ln(3100, 0.25, 218, 0)},
+		sim.Component{Weight: 0.36, Dist: ln(5200, 0.25, 218, 0)},
+		sim.Component{Weight: 0.05, Dist: sim.Clamped{Base: sim.Pareto{Min: 7000, Alpha: 2.0}, Lo: 7000, Hi: 4_825_103}},
+	)
+	m.DaemonRun = ln(110_000, 0.8, 4000, 2_500_000)
+	m.CrossCPUWakeProb = 0.3
+	return &Profile{
+		Name: "IRS", Ranks: 8, Model: m,
+		InitFrac: 0.05, FinalFrac: 0.03,
+		PageFault:      PhaseRates{Init: 2500, Compute: 1540, Final: 1300},
+		FaultBurst:     6,
+		MajorFaultRate: 0.03,
+		MajorFault:     sim.Uniform{Lo: 2 * sim.Millisecond, Hi: 5 * sim.Millisecond},
+		IORate:         PhaseRates{Init: 10, Compute: 4, Final: 8},
+		RxDaemonProb:   0.5,
+		NetChatterRate: 35, NetRxChatterRate: 36, NetTxChatterRate: 5,
+		DaemonWakeRate: 12.5,
+		CommPeriod:     ln(3*sim.Millisecond, 0.4, 300*sim.Microsecond, 30*sim.Millisecond),
+		CommWait:       ln(80*sim.Microsecond, 0.5, 10*sim.Microsecond, 2*sim.Millisecond),
+	}
+}
+
+// LAMMPS: heavy I/O; preemption dominates its (modest) noise (80.2 %).
+// Page faults are few (231 ev/s), short (max 27.5 µs), and concentrated
+// in the initialisation and finalisation phases (Fig. 5b).
+func LAMMPS() *Profile {
+	m := baseModel()
+	m.TimerIRQ = ln(3540, 0.35, 1194, 34_555)   // avg 3763
+	m.TimerSoftIRQ = ln(1980, 0.5, 256, 58_628) // avg 2242
+	m.NetIRQ = ln(2100, 0.5, 594, 356_380)      // avg 2520
+	m.NetRx = ln(3500, 0.75, 199, 84_152)       // avg 4707
+	m.NetTx = ln(520, 0.35, 175, 4_392)         // avg 559
+	m.RebalanceSoftIRQ = ln(2100, 0.3, 500, 40_000)
+	m.PageFault = sim.NewMixture( // one-sided, main peak 2.5 µs (Fig. 4b)
+		sim.Component{Weight: 0.04, Dist: ln(430, 0.45, 248, 1500)},
+		sim.Component{Weight: 0.82, Dist: ln(2500, 0.22, 248, 27_544)},
+		sim.Component{Weight: 0.14, Dist: ln(5500, 0.35, 248, 27_544)},
+	)
+	m.DaemonRun = ln(700_000, 0.9, 20_000, 9_000_000) // long NFS writeback batches
+	m.CrossCPUWakeProb = 0.6                          // the migration pattern of §IV-D
+	m.TxBatch = 5                                     // writes coalesce heavily
+	return &Profile{
+		Name: "LAMMPS", Ranks: 8, Model: m,
+		InitFrac: 0.08, FinalFrac: 0.06,
+		PageFault:      PhaseRates{Init: 2100, Compute: 36, Final: 1400},
+		FaultBurst:     4,
+		MajorFaultRate: 0,
+		IORate:         PhaseRates{Init: 6, Compute: 9, Final: 14},
+		RxDaemonProb:   0.95,
+		NetChatterRate: 1, NetRxChatterRate: 1,
+		DaemonWakeRate: 2.4,
+		CommPeriod:     ln(4*sim.Millisecond, 0.4, 400*sim.Microsecond, 40*sim.Millisecond),
+		CommWait:       ln(70*sim.Microsecond, 0.5, 10*sim.Microsecond, 2*sim.Millisecond),
+	}
+}
+
+// SPHOT: the quietest benchmark — few page faults (25 ev/s), small
+// handler costs, modest preemption (24.7 % of a small total).
+func SPHOT() *Profile {
+	m := baseModel()
+	m.TimerIRQ = ln(1432, 0.3, 833, 10_204)     // avg 1498
+	m.TimerSoftIRQ = ln(560, 0.45, 223, 32_926) // avg 620
+	m.NetIRQ = ln(1200, 0.45, 535, 341_003)     // avg 1372
+	m.NetRx = ln(1600, 0.6, 207, 45_150)        // avg 1987
+	m.NetTx = ln(390, 0.3, 200, 2_746)          // avg 409
+	m.RebalanceSoftIRQ = ln(1500, 0.25, 500, 20_000)
+	m.PageFault = sim.NewMixture( // avg 2467, max 889 µs
+		sim.Component{Weight: 0.05, Dist: ln(380, 0.45, 221, 1300)},
+		sim.Component{Weight: 0.85, Dist: ln(2200, 0.25, 221, 0)},
+		sim.Component{Weight: 0.10, Dist: sim.Clamped{Base: sim.Pareto{Min: 3500, Alpha: 2.2}, Lo: 3500, Hi: 889_333}},
+	)
+	m.DaemonRun = ln(40_000, 0.6, 8_000, 900_000)
+	m.CrossCPUWakeProb = 0 // IRQ affinity keeps completions on the home CPU
+	return &Profile{
+		Name: "SPHOT", Ranks: 8, Model: m,
+		InitFrac: 0.04, FinalFrac: 0.02,
+		PageFault:      PhaseRates{Init: 260, Compute: 18, Final: 120},
+		FaultBurst:     2,
+		MajorFaultRate: 0,
+		IORate:         PhaseRates{Init: 4, Compute: 1.5, Final: 3},
+		RxDaemonProb:   0.1,
+		NetChatterRate: 15, NetRxChatterRate: 13, NetTxChatterRate: 1,
+		DaemonWakeRate: 2.2,
+		CommPeriod:     ln(18*sim.Millisecond, 0.4, 2*sim.Millisecond, 120*sim.Millisecond),
+		CommWait:       ln(50*sim.Microsecond, 0.5, 10*sim.Microsecond, 1*sim.Millisecond),
+	}
+}
+
+// UMT: the most complex application (MPI + Python + pyMPI): the highest
+// fault rate (3554 ev/s, 86.7 % of noise), a wide rebalance distribution
+// (avg 3.36 µs, Fig. 6a) because the Python helpers keep the domains
+// unbalanced, and helper processes that preempt ranks.
+func UMT() *Profile {
+	m := baseModel()
+	m.TimerIRQ = ln(6068, 0.35, 982, 29_662)         // avg 6451
+	m.TimerSoftIRQ = ln(2892, 0.55, 214, 87_472)     // avg 3364
+	m.NetIRQ = ln(1650, 0.5, 484, 349_288)           // avg 1975
+	m.NetRx = ln(4100, 0.75, 167, 75_042)            // avg 5484
+	m.NetTx = ln(500, 0.35, 173, 8_902)              // avg 545
+	m.RebalanceSoftIRQ = ln(2900, 0.45, 600, 80_000) // wide, avg ≈3.36 µs
+	m.PageFault = sim.NewMixture(                    // avg 4545, max 50 µs
+		sim.Component{Weight: 0.04, Dist: ln(420, 0.45, 229, 1500)},
+		sim.Component{Weight: 0.40, Dist: ln(2700, 0.2, 229, 50_208)},
+		sim.Component{Weight: 0.46, Dist: ln(5300, 0.22, 229, 50_208)},
+		sim.Component{Weight: 0.10, Dist: sim.Clamped{Base: sim.Pareto{Min: 7500, Alpha: 2.4}, Lo: 7500, Hi: 50_208}},
+	)
+	m.DaemonRun = ln(12_000, 0.7, 1500, 500_000)
+	m.CrossCPUWakeProb = 0.4
+	return &Profile{
+		Name: "UMT", Ranks: 8, Model: m,
+		InitFrac: 0.07, FinalFrac: 0.04,
+		PageFault:      PhaseRates{Init: 5400, Compute: 3700, Final: 3200},
+		FaultBurst:     8,
+		MajorFaultRate: 0.02,
+		MajorFault:     sim.Uniform{Lo: 30 * sim.Microsecond, Hi: 50 * sim.Microsecond},
+		IORate:         PhaseRates{Init: 8, Compute: 3, Final: 6},
+		RxDaemonProb:   0.4,
+		NetChatterRate: 48, NetRxChatterRate: 18, NetTxChatterRate: 5,
+		DaemonWakeRate: 2.2,
+		Helpers:        4, HelperWakeRate: 14,
+		CommPeriod: ln(2500*sim.Microsecond, 0.4, 250*sim.Microsecond, 25*sim.Millisecond),
+		CommWait:   ln(90*sim.Microsecond, 0.5, 10*sim.Microsecond, 3*sim.Millisecond),
+	}
+}
+
+// SoftwareTLB derives a Blue Gene/L-style variant of a profile: the
+// same application on a core whose TLB is reloaded in software. With
+// 4 KiB pages the working set misses constantly; hugePages cuts the
+// miss rate by ~128x (the HugeTLB mitigation of Shmueli et al.).
+func SoftwareTLB(p *Profile, hugePages bool) *Profile {
+	q := *p
+	rate := 18_000.0 // misses/s per rank at 4 KiB pages
+	label := "-TLB4K"
+	if hugePages {
+		rate /= 128
+		label = "-TLBHuge"
+	}
+	q.Name = p.Name + label
+	q.TLBMissRate = rate
+	q.Model.TLBMiss = ln(250, 0.3, 80, 4_000) // fast reload exception
+	return &q
+}
+
+// CNK derives the lightweight-kernel variant of a profile: the same
+// application running on a Compute Node Kernel-style OS (paper §I/§II:
+// CNK takes no timer interrupts and no TLB misses, has no demand
+// paging, no fork/exec, and ships I/O to dedicated I/O nodes through a
+// kernel-bypass network). All local noise sources disappear; only the
+// application's own compute/communicate/IO pattern remains.
+func CNK(p *Profile) *Profile {
+	q := *p
+	q.Name = p.Name + "-CNK"
+	q.Lightweight = true
+	q.PageFault = PhaseRates{} // memory prefaulted at load
+	q.FaultBurst = 0
+	q.MajorFaultRate = 0
+	q.MajorFault = nil
+	q.IORate = p.IORate // same I/O demand, but function-shipped
+	q.RxDaemonProb = 0
+	q.NetChatterRate, q.NetRxChatterRate, q.NetTxChatterRate = 0, 0, 0
+	q.DaemonWakeRate = 0
+	q.Helpers = 0 // CNK's restricted process model: helpers run on I/O nodes
+	q.HelperWakeRate = 0
+	q.DirectIOLatency = p.Model.ServerLatency
+	q.Model.CrossCPUWakeProb = 0
+	q.Model.RxDaemonProb = 0
+	return &q
+}
+
+// Sequoia returns the five benchmark profiles in the paper's order.
+func Sequoia() []*Profile {
+	return []*Profile{AMG(), IRS(), LAMMPS(), SPHOT(), UMT()}
+}
+
+// ByName returns the profile with the given (case-sensitive) name, or
+// nil if unknown. FTQ is included.
+func ByName(name string) *Profile {
+	for _, p := range Sequoia() {
+		if p.Name == name {
+			return p
+		}
+	}
+	if name == "FTQ" {
+		return FTQProfile()
+	}
+	return nil
+}
+
+// FTQProfile returns the workload under which the paper validates the
+// methodology: a single FTQ process on one CPU of an otherwise quiet
+// node (timer ticks, occasional page faults, an occasional daemon).
+func FTQProfile() *Profile {
+	m := baseModel()
+	m.TimerIRQ = ln(2100, 0.15, 1500, 8_000)     // FTQ zoom: ≈2.178 µs
+	m.TimerSoftIRQ = ln(1800, 0.15, 1200, 8_000) // ≈1.842 µs
+	m.PageFault = ln(2600, 0.25, 500, 30_000)    // small frequent spikes
+	m.SchedOut = ln(380, 0.1, 200, 1_500)
+	m.SchedIn = ln(180, 0.1, 100, 800)
+	m.DaemonRun = ln(2200, 0.25, 800, 20_000) // eventd ≈2.215 µs
+	m.CrossCPUWakeProb = 0
+	return &Profile{
+		Name: "FTQ", Ranks: 1, Model: m,
+		InitFrac: 0, FinalFrac: 0,
+		PageFault:      PhaseRates{Init: 0, Compute: 35, Final: 0},
+		FaultBurst:     1,
+		IORate:         PhaseRates{},
+		DaemonWakeRate: 2.5, // eventd housekeeping
+		CommPeriod:     nil, // FTQ never communicates
+		CommWait:       nil,
+	}
+}

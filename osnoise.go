@@ -1,0 +1,253 @@
+// Package osnoise is a quantitative OS-noise measurement and analysis
+// library, reproducing "A Quantitative Analysis of OS Noise" (Morari,
+// Gioiosa, Wisniewski, Cazorla, Valero — IPDPS 2011).
+//
+// It bundles:
+//
+//   - a simulated Linux-like HPC compute node (timer interrupts,
+//     softirqs, tasklets, page faults, CFS scheduling, NFS I/O and
+//     kernel daemons) that emits LTTng-style tracepoints;
+//   - the LTTNG-NOISE tracer analogue: per-CPU lock-free ring buffers
+//     with a binary trace format;
+//   - the paper's core contribution: an offline analysis producing a
+//     quantitative per-event noise description — nested-event
+//     attribution, runnable-only accounting, category breakdown,
+//     per-event statistics and the synthetic OS noise chart;
+//   - workload models of the LLNL Sequoia benchmarks and the FTQ
+//     micro-benchmark (plus a native host FTQ);
+//   - Paraver, CSV and Matlab exporters and ASCII chart renderers;
+//   - a cluster-scale extension measuring noise amplification under
+//     bulk-synchronous communication.
+//
+// Quickstart:
+//
+//	run := osnoise.NewRun(osnoise.AMG(), osnoise.RunOptions{
+//		Duration: 10 * osnoise.Second,
+//		Seed:     42,
+//	})
+//	trace := run.Execute()
+//	report := osnoise.Analyze(trace, run.AnalysisOptions())
+//	fmt.Print(report.BreakdownString())
+//
+// The cmd/ directory provides ready-made binaries: lttng-noise (trace a
+// workload and export it), noisebench (regenerate every table and
+// figure of the paper), noisereport (analyse a saved trace) and ftq
+// (the native micro-benchmark).
+package osnoise
+
+import (
+	"io"
+
+	"osnoise/internal/chart"
+	"osnoise/internal/chrometrace"
+	"osnoise/internal/cluster"
+	"osnoise/internal/ftq"
+	"osnoise/internal/kernel"
+	"osnoise/internal/noise"
+	"osnoise/internal/paraver"
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+	"osnoise/internal/workload"
+)
+
+// Time and duration units of the virtual clock (nanoseconds).
+type (
+	// Time is a point in virtual time.
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+)
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Core analysis types.
+type (
+	// Report is a complete noise analysis of one trace.
+	Report = noise.Report
+	// AnalysisOptions tunes the analysis (nesting attribution, the
+	// runnable filter, interruption grouping).
+	AnalysisOptions = noise.Options
+	// Key identifies one kernel activity type.
+	Key = noise.Key
+	// Category is the paper's five-way noise classification.
+	Category = noise.Category
+	// Span is one analysed kernel activity occurrence.
+	Span = noise.Span
+	// Interruption is a group of adjacent activities — one external spike.
+	Interruption = noise.Interruption
+	// Component is one activity inside an interruption.
+	Component = noise.Component
+)
+
+// Activity keys (a selection; see internal/noise for the full set).
+const (
+	KeyTimerIRQ     = noise.KeyTimerIRQ
+	KeyTimerSoftIRQ = noise.KeyTimerSoftIRQ
+	KeyPageFault    = noise.KeyPageFault
+	KeySchedule     = noise.KeySchedule
+	KeyRCU          = noise.KeyRCU
+	KeyRebalance    = noise.KeyRebalance
+	KeyNetIRQ       = noise.KeyNetIRQ
+	KeyNetRx        = noise.KeyNetRx
+	KeyNetTx        = noise.KeyNetTx
+	KeyPreemption   = noise.KeyPreemption
+	KeySyscall      = noise.KeySyscall
+)
+
+// Noise categories.
+const (
+	CatPeriodic   = noise.CatPeriodic
+	CatPageFault  = noise.CatPageFault
+	CatScheduling = noise.CatScheduling
+	CatPreemption = noise.CatPreemption
+	CatIO         = noise.CatIO
+	CatService    = noise.CatService
+)
+
+// Tracing types.
+type (
+	// Trace is a collected event stream.
+	Trace = trace.Trace
+	// Event is one trace record.
+	Event = trace.Event
+	// Session is a tracing session (per-CPU lock-free channels).
+	Session = trace.Session
+)
+
+// Workload types.
+type (
+	// Profile describes an application workload.
+	Profile = workload.Profile
+	// Run binds a profile to a simulated node.
+	Run = workload.Run
+	// RunOptions tunes run construction.
+	RunOptions = workload.Options
+	// NodeConfig configures the simulated compute node directly.
+	NodeConfig = kernel.Config
+	// Node is the simulated compute node.
+	Node = kernel.Node
+)
+
+// Sequoia benchmark profiles (calibrated to the paper's Tables I–VI).
+var (
+	AMG        = workload.AMG
+	IRS        = workload.IRS
+	LAMMPS     = workload.LAMMPS
+	SPHOT      = workload.SPHOT
+	UMT        = workload.UMT
+	FTQProfile = workload.FTQProfile
+	Sequoia    = workload.Sequoia
+	ByName     = workload.ByName
+	// CNK derives the lightweight-kernel (Compute Node Kernel) variant
+	// of a profile: tickless, prefaulted memory, function-shipped I/O.
+	CNK = workload.CNK
+	// SoftwareTLB derives a Blue Gene/L-style software-managed-TLB
+	// variant (4 KiB pages or HugeTLB).
+	SoftwareTLB = workload.SoftwareTLB
+	// NewColocated places several applications on one shared node.
+	NewColocated = workload.NewColocated
+	// DetectPeriods finds periodic noise sources by autocorrelation.
+	DetectPeriods = noise.DetectPeriods
+)
+
+// ColocatedRun hosts several applications on one node.
+type ColocatedRun = workload.ColocatedRun
+
+// NewRun builds a workload run on a fresh simulated node.
+func NewRun(p *Profile, opts RunOptions) *Run { return workload.New(p, opts) }
+
+// Analyze runs the quantitative noise analysis over a trace.
+func Analyze(tr *Trace, opts AnalysisOptions) *Report { return noise.Analyze(tr, opts) }
+
+// DefaultAnalysisOptions returns the paper's analysis configuration.
+func DefaultAnalysisOptions() AnalysisOptions { return noise.DefaultOptions() }
+
+// FTQ types and entry points.
+type (
+	// FTQConfig parameterises a simulated FTQ run.
+	FTQConfig = ftq.Config
+	// FTQResult is a completed simulated FTQ run.
+	FTQResult = ftq.Result
+)
+
+// RunFTQ executes the FTQ micro-benchmark on the simulated node.
+func RunFTQ(cfg FTQConfig) *FTQResult { return ftq.Execute(cfg) }
+
+// DefaultFTQConfig returns the Figure-1 FTQ configuration.
+func DefaultFTQConfig(seed uint64) FTQConfig { return ftq.DefaultConfig(seed) }
+
+// Trace I/O.
+var (
+	// WriteTrace encodes a trace to a writer (binary LTTNOISE format).
+	WriteTrace = trace.Write
+	// ReadTrace decodes a fixed-format trace.
+	ReadTrace = trace.Read
+	// WriteTraceCompressed encodes with delta+varint compression (the
+	// run-time data-size reduction the paper's §III-B calls for).
+	WriteTraceCompressed = trace.WriteCompressed
+	// ReadAnyTrace sniffs and decodes either trace format.
+	ReadAnyTrace = trace.ReadAny
+)
+
+// ExportChromeTrace writes the analysis in Chrome Trace Event Format
+// (viewable in ui.perfetto.dev or chrome://tracing).
+func ExportChromeTrace(w io.Writer, r *Report) error { return chrometrace.Export(w, r) }
+
+// Fleet helpers: run the same workload on many nodes in parallel (the
+// multi-node tracing scenario of the paper's §III-B).
+type (
+	// Fleet holds per-node analyses of a multi-node run.
+	Fleet = workload.Fleet
+	// FleetOptions configures a fleet run.
+	FleetOptions = workload.FleetOptions
+)
+
+// RunFleet executes a workload on many independent nodes concurrently.
+var RunFleet = workload.RunFleet
+
+// ExportParaver writes the analysis as a Paraver .prv trace body.
+func ExportParaver(w io.Writer, r *Report, durationNS int64) error {
+	return paraver.Export(w, r, durationNS)
+}
+
+// ExportParaverPCF writes the matching Paraver configuration file.
+func ExportParaverPCF(w io.Writer) error { return paraver.ExportPCF(w) }
+
+// ExportParaverROW writes the matching Paraver row-label file.
+func ExportParaverROW(w io.Writer, cpus int) error { return paraver.ExportROW(w, cpus) }
+
+// Cluster extension.
+type (
+	// ClusterConfig describes a cluster-scale run.
+	ClusterConfig = cluster.Config
+	// ClusterResult summarises one.
+	ClusterResult = cluster.Result
+	// NoiseModel samples per-rank noise from a single-node analysis.
+	NoiseModel = cluster.NoiseModel
+)
+
+// Cluster entry points.
+var (
+	// RunCluster simulates the bulk-synchronous application at scale.
+	RunCluster = cluster.Run
+	// NoiseModelFromReport builds a rank noise model from an analysis.
+	NoiseModelFromReport = cluster.FromReport
+	// NoiseModelExcluding builds one excluding some noise categories.
+	NoiseModelExcluding = cluster.FromReportExcluding
+)
+
+// ASCII rendering helpers.
+var (
+	// RenderTimeline draws the execution-trace view of a report.
+	RenderTimeline = chart.Timeline
+	// RenderBreakdown draws the Figure-3-style category bars.
+	RenderBreakdown = chart.Breakdown
+	// RenderSpikes draws an FTQ-style spike series.
+	RenderSpikes = chart.Spikes
+)

@@ -1,0 +1,105 @@
+package osnoise_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"osnoise"
+)
+
+// The public API end to end: run, analyse, export.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	run := osnoise.NewRun(osnoise.AMG(), osnoise.RunOptions{
+		Duration: 2 * osnoise.Second,
+		Seed:     42,
+	})
+	tr := run.Execute()
+	if tr == nil || len(tr.Events) == 0 {
+		t.Fatal("no trace")
+	}
+	report := osnoise.Analyze(tr, run.AnalysisOptions())
+	if report.TotalNoiseNS <= 0 {
+		t.Fatal("no noise measured")
+	}
+	if f := report.CategoryFraction(osnoise.CatPageFault); f < 0.5 {
+		t.Fatalf("AMG page fault share %.2f", f)
+	}
+	if !strings.Contains(report.BreakdownString(), "page fault") {
+		t.Fatal("breakdown text malformed")
+	}
+
+	// Binary trace round trip.
+	var buf bytes.Buffer
+	if err := osnoise.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := osnoise.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Events) != len(tr.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(tr2.Events), len(tr.Events))
+	}
+
+	// Paraver export.
+	var prv bytes.Buffer
+	if err := osnoise.ExportParaver(&prv, report, int64(2*osnoise.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(prv.String(), "#Paraver") {
+		t.Fatal("paraver export malformed")
+	}
+}
+
+func TestPublicFTQ(t *testing.T) {
+	cfg := osnoise.DefaultFTQConfig(7)
+	cfg.Duration = osnoise.Second
+	res := osnoise.RunFTQ(cfg)
+	if len(res.Samples) == 0 || res.TotalMissingNS() <= 0 {
+		t.Fatal("FTQ run empty")
+	}
+}
+
+func TestPublicCluster(t *testing.T) {
+	run := osnoise.NewRun(osnoise.LAMMPS(), osnoise.RunOptions{
+		Duration: osnoise.Second, Seed: 3,
+	})
+	tr := run.Execute()
+	report := osnoise.Analyze(tr, run.AnalysisOptions())
+	model := osnoise.NoiseModelFromReport(report)
+	res := osnoise.RunCluster(osnoise.ClusterConfig{
+		Nodes: 64, RanksPerNode: 8,
+		Granularity: osnoise.Millisecond, Iterations: 100,
+		Seed: 4, Model: model,
+	})
+	if res.Slowdown() <= 1 {
+		t.Fatalf("slowdown %.3f", res.Slowdown())
+	}
+}
+
+func TestProfilesExported(t *testing.T) {
+	if len(osnoise.Sequoia()) != 5 {
+		t.Fatal("Sequoia profiles missing")
+	}
+	if osnoise.ByName("UMT") == nil {
+		t.Fatal("ByName missing")
+	}
+	if osnoise.FTQProfile().Ranks != 1 {
+		t.Fatal("FTQ profile malformed")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	run := osnoise.NewRun(osnoise.SPHOT(), osnoise.RunOptions{
+		Duration: 500 * osnoise.Millisecond, Seed: 5,
+	})
+	tr := run.Execute()
+	report := osnoise.Analyze(tr, run.AnalysisOptions())
+	if out := osnoise.RenderBreakdown(report, 40); !strings.Contains(out, "%") {
+		t.Fatal("breakdown render empty")
+	}
+	if out := osnoise.RenderTimeline(report, 0, int64(500*osnoise.Millisecond), 80); len(out) == 0 {
+		t.Fatal("timeline render empty")
+	}
+}
