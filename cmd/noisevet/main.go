@@ -1,0 +1,65 @@
+// Command noisevet runs the repository's custom static-analysis suite
+// (see internal/analysis and DESIGN.md §“Static invariants”): the
+// determinism, exhaustive, atomicfield, and timeunits analyzers that
+// mechanically enforce the invariants the deterministic-replay property
+// rests on.
+//
+// Usage:
+//
+//	noisevet [-list] [-dir DIR] [package patterns]
+//
+// With no patterns it checks ./... . Findings print one per line as
+// file:line:col: message (analyzer); the exit status is 1 if there are
+// findings, 2 on load errors, 0 when clean. A finding can be
+// acknowledged in source with a trailing or preceding
+// “//noisevet:ignore [analyzer,...]” comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/noisevet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("dir", ".", "directory to resolve package patterns from")
+	flag.Parse()
+
+	analyzers := noisevet.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, fset, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noisevet:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Check(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noisevet:", err)
+		os.Exit(2)
+	}
+	if cwd, err := os.Getwd(); err == nil {
+		analysis.RelativeTo(findings, cwd)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "noisevet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

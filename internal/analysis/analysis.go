@@ -1,0 +1,105 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of
+// the core of golang.org/x/tools/go/analysis, sized for this module's
+// needs. It exists because the repository's invariants — determinism of
+// the simulation core, exhaustive handling of trace event types,
+// atomic-consistency of the ring buffer counters, and unit discipline in
+// virtual-time arithmetic — are load-bearing for every result the
+// reproduction emits, and convention alone does not keep them true.
+//
+// The API deliberately mirrors go/analysis (Analyzer, Pass, Diagnostic,
+// Reportf) so that, should golang.org/x/tools become available as a
+// dependency, the analyzers port over with mechanical changes only. The
+// build environment for this module is fully offline, so the framework
+// itself depends on nothing outside the standard library: packages are
+// enumerated with `go list`, parsed with go/parser, and type-checked
+// with go/types backed by the source importer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Unlike x/tools, there is no
+// Requires/Fact machinery: every analyzer here is a pure per-package
+// syntax+types pass, which is all the noisevet suite needs.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //noisevet:ignore directives. By convention it is a single
+	// lowercase word.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a one-line
+	// summary shown by `noisevet -list`.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through pass.Report. The returned value is ignored by the driver
+	// (kept in the signature for x/tools compatibility).
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Pass provides one analyzer run with a single type-checked package and
+// a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos values in the package's syntax trees (and in
+	// reported diagnostics) to file positions.
+	Fset *token.FileSet
+
+	// Files are the package's parsed syntax trees, one per Go source
+	// file, with comments attached.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type-checker's results for the package's
+	// syntax: types of expressions, uses and definitions of
+	// identifiers, and selection information.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver attaches the analyzer
+	// name and applies //noisevet:ignore suppression.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if not found. It
+// mirrors (*types.Info).TypeOf but reads nicer at call sites.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.TypesInfo.ObjectOf(id) }
+
+// Inspect walks every file of the pass in depth-first order, calling f
+// for each node. If f returns false the node's children are skipped.
+// It stands in for x/tools' inspect.Analyzer result.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}
+
+// PathPrefixMatch reports whether path is prefix itself or lies under
+// prefix in slash-separated package-path terms ("a/b" matches "a/b" and
+// "a/b/c" but not "a/bc"). Analyzers use it for package allowlists.
+func PathPrefixMatch(prefix, path string) bool {
+	if path == prefix {
+		return true
+	}
+	return len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/'
+}

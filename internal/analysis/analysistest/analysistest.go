@@ -1,0 +1,264 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages under a testdata directory and checks its diagnostics
+// against "// want" comment expectations, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// Layout: testdata/src/<import/path>/*.go. A fixture file marks each
+// expected diagnostic with a comment on the offending line:
+//
+//	rand.Int() // want `math/rand`
+//	m[k] = v   // want "plain access" "second diagnostic"
+//
+// Each quoted string (double- or back-quoted) is a regular expression
+// that must match the message of exactly one diagnostic reported on
+// that line; diagnostics with no matching expectation, and
+// expectations with no matching diagnostic, fail the test. Fixture
+// packages may import one another by their testdata-relative paths and
+// may import the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"osnoise/internal/analysis"
+)
+
+// Run loads each fixture package in paths from testdata/src, applies
+// the analyzer, and reports expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	ld := &loader{
+		root:     filepath.Join(testdata, "src"),
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*fixturePkg),
+		checking: make(map[string]bool),
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("analysistest: loading fixture %q: %v", path, err)
+		}
+		check(t, ld.fset, a, pkg)
+	}
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader resolves fixture imports recursively, with a stdlib fallback.
+type loader struct {
+	root     string
+	fset     *token.FileSet
+	pkgs     map[string]*fixturePkg
+	checking map[string]bool // import cycle guard
+	fallback types.Importer
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("fixture import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := analysis.NewTypesInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking: %v", typeErrs[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	pkg := &fixturePkg{path: path, files: files, types: tpkg, info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import resolves an import found inside a fixture: first as another
+// fixture package, then from the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// expectation is one "// want" regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// check runs the analyzer on pkg and diffs diagnostics vs wants.
+func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *fixturePkg) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.files,
+		Pkg:       pkg.types,
+		TypesInfo: pkg.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg.path, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.files {
+		ws, err := parseWants(fset, f)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// wantRe matches the trailing "want" clause of a fixture comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts expectations from a file's comments.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			patterns, err := splitPatterns(m[1])
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad want clause: %v", pos, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, p, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitPatterns parses a sequence of double- or back-quoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			q, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, q)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+// Package atomicfield implements the noisevet analyzer that enforces
+// atomic-consistency: a variable that is accessed through sync/atomic
+// anywhere in a package must be accessed through sync/atomic everywhere
+// in that package.
+//
+// The trace ring buffer's reserve/commit protocol is exactly the kind
+// of code this protects: one plain load of a head/tail counter that is
+// elsewhere advanced with CompareAndSwap is a data race the compiler
+// will happily emit and the race detector will only catch if a test
+// happens to interleave the two. The analyzer makes the mixture a
+// static error instead.
+//
+// Fields wrapped in the atomic.Int64/Uint64/Bool/... types are safe by
+// construction (their plain value is unexported) and need no flagging;
+// this check covers the older pattern of a plain integer field passed
+// by address to atomic.LoadUint64/AddUint64/....
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"osnoise/internal/analysis"
+)
+
+// atomicFuncPrefixes match the sync/atomic functions that take the
+// address of the variable as their first argument.
+var atomicFuncPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+// New returns the atomic-consistency analyzer.
+func New() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "atomicfield",
+		Doc: "flag plain reads/writes of variables that are accessed via sync/atomic elsewhere\n\n" +
+			"Mixing atomic and non-atomic access to the same word (the ring buffer's head/tail\n" +
+			"counters) is a data race regardless of perceived happens-before; every access to an\n" +
+			"atomically-used variable must go through sync/atomic.",
+	}
+	a.Run = run
+	return a
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Pass 1: collect every variable whose address is taken into a
+	// sync/atomic call, and remember those blessed operand nodes.
+	atomicVars := make(map[*types.Var]string) // var → atomic func name seen
+	blessed := make(map[ast.Expr]bool)        // operand expressions inside atomic calls
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := atomicCallee(pass, call)
+		if fn == "" {
+			return true
+		}
+		if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok {
+			operand := ast.Unparen(addr.X)
+			if v := varOf(pass, operand); v != nil {
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = fn
+				}
+				blessed[operand] = true
+			}
+		}
+		return true
+	})
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+
+	// Composite-literal keys (Ring{writePos: ...}) resolve to the field
+	// object but are not accesses, and the Sel ident of a selector is
+	// already covered by the selector itself; exclude both.
+	skip := make(map[ast.Expr]bool)
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.KeyValueExpr:
+			skip[n.Key] = true
+		case *ast.SelectorExpr:
+			skip[n.Sel] = true
+		}
+		return true
+	})
+
+	// Pass 2: every other appearance of those variables is a plain
+	// access and gets flagged.
+	pass.Inspect(func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok || blessed[expr] || skip[expr] {
+			return true
+		}
+		switch expr.(type) {
+		case *ast.SelectorExpr, *ast.Ident:
+		default:
+			return true
+		}
+		v := varOf(pass, expr)
+		if v == nil {
+			return true
+		}
+		if fn, tracked := atomicVars[v]; tracked && !withinBlessed(pass, expr, blessed) {
+			pass.Reportf(expr.Pos(), "plain access to %s, which is accessed with atomic.%s elsewhere: use sync/atomic for every access", v.Name(), fn)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// atomicCallee returns the name of the sync/atomic function called, or
+// "" if the call is not an address-taking sync/atomic function.
+func atomicCallee(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return fn.Name()
+		}
+	}
+	return ""
+}
+
+// varOf resolves an expression to the struct field or package-level
+// variable it denotes, or nil. Local variables are ignored: taking a
+// local's address into an atomic op and also reading it plainly is
+// possible but does not occur in shared-state code, and skipping
+// locals keeps the analyzer quiet on the common x := load-then-branch
+// pattern.
+func varOf(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		// Qualified package-level var (pkg.V).
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && isGlobal(v) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && (v.IsField() || isGlobal(v)) {
+			return v
+		}
+	}
+	return nil
+}
+
+func isGlobal(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// withinBlessed reports whether expr is a sub-expression of a blessed
+// atomic operand (e.g. the `x` inside the blessed `x.field`).
+func withinBlessed(pass *analysis.Pass, expr ast.Expr, blessed map[ast.Expr]bool) bool {
+	for b := range blessed {
+		if contains(b, expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

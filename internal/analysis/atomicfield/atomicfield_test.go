@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+	"osnoise/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.New(), "a")
+}

@@ -1,0 +1,58 @@
+// Package a exercises the atomicfield analyzer: ring-buffer-style
+// counters accessed both atomically and plainly.
+package a
+
+import "sync/atomic"
+
+// Ring mirrors the old-style pattern the analyzer protects: plain
+// integer fields driven through sync/atomic address-taking functions.
+type Ring struct {
+	head uint64
+	tail uint64
+	size int // never touched atomically: plain access is fine
+}
+
+func (r *Ring) reserve() uint64 {
+	for {
+		pos := atomic.LoadUint64(&r.head)
+		if atomic.CompareAndSwapUint64(&r.head, pos, pos+1) {
+			return pos
+		}
+	}
+}
+
+func (r *Ring) commitIndex() uint64 {
+	return atomic.LoadUint64(&r.tail)
+}
+
+func (r *Ring) badRead() uint64 {
+	return r.head // want `plain access to head, which is accessed with atomic\.LoadUint64 elsewhere`
+}
+
+func (r *Ring) badWrite() {
+	r.tail = 0 // want `plain access to tail, which is accessed with atomic\.LoadUint64 elsewhere`
+}
+
+func (r *Ring) sizeOK() int {
+	return r.size
+}
+
+// newRing initializes through a composite literal, which is not an
+// access and reports nothing.
+func newRing() *Ring {
+	return &Ring{size: 8}
+}
+
+// counter is a package-level variable used atomically…
+var counter int64
+
+func bump() { atomic.AddInt64(&counter, 1) }
+
+func badBump() {
+	counter++ // want `plain access to counter, which is accessed with atomic\.AddInt64 elsewhere`
+}
+
+// plainGlobal is never used atomically: plain access everywhere is ok.
+var plainGlobal int64
+
+func plainBump() { plainGlobal++ }

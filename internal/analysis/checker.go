@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one resolved diagnostic: a position, a message, and the
+// analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Check runs every analyzer over every target package and returns the
+// surviving findings sorted by position. Findings on lines carrying a
+// //noisevet:ignore directive (on the same line or the line directly
+// above) are suppressed.
+func Check(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if !pkg.Target {
+			continue
+		}
+		ignored := make(map[string][]ignoreDirective)
+		for i, f := range pkg.Files {
+			ignored[pkg.GoFiles[i]] = ignoreDirectives(fset, f)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if suppressed(ignored[pos.Filename], a.Name, pos.Line) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreDirective is one //noisevet:ignore comment: the line it sits
+// on, whether it trails code on that line, and the analyzer names it
+// lists (empty = all analyzers).
+type ignoreDirective struct {
+	line      int
+	trailing  bool
+	analyzers []string
+}
+
+const ignorePrefix = "//noisevet:ignore"
+
+// ignoreDirectives extracts the //noisevet:ignore directives of a file.
+// A directive trailing a statement suppresses matching findings on its
+// own line; a directive on a line of its own suppresses findings on the
+// line directly below it.
+func ignoreDirectives(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	codeLines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return true
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return true
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		codeLines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	var out []ignoreDirective
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			var names []string
+			if rest != "" {
+				for _, n := range strings.Split(rest, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names = append(names, n)
+					}
+				}
+			}
+			line := fset.Position(c.Slash).Line
+			out = append(out, ignoreDirective{line: line, trailing: codeLines[line], analyzers: names})
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding from analyzer on line is covered
+// by one of the directives.
+func suppressed(dirs []ignoreDirective, analyzer string, line int) bool {
+	for _, d := range dirs {
+		covered := line == d.line || (!d.trailing && line == d.line+1)
+		if !covered {
+			continue
+		}
+		if len(d.analyzers) == 0 {
+			return true
+		}
+		for _, n := range d.analyzers {
+			if n == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RelativeTo rewrites the findings' file names relative to dir where
+// possible, for compact CLI output.
+func RelativeTo(findings []Finding, dir string) {
+	for i := range findings {
+		if rel, err := filepath.Rel(dir, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = rel
+		}
+	}
+}

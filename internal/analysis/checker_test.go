@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseForDirectives(t *testing.T, src string) (*token.FileSet, []ignoreDirective) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, ignoreDirectives(fset, f)
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	src := `package x
+
+func f() {
+	_ = 1 //noisevet:ignore
+	_ = 2 //noisevet:ignore timeunits
+	//noisevet:ignore determinism, exhaustive
+	_ = 3
+	_ = 4 // plain comment
+}
+`
+	_, dirs := parseForDirectives(t, src)
+	if len(dirs) != 3 {
+		t.Fatalf("got %d directives, want 3", len(dirs))
+	}
+
+	cases := []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"anything", 4, true},     // bare directive suppresses all analyzers
+		{"timeunits", 5, true},    // named analyzer, same line
+		{"determinism", 5, false}, // a different analyzer is not covered
+		{"determinism", 7, true},  // directive on the line above
+		{"exhaustive", 7, true},   // second name in the list
+		{"timeunits", 7, false},
+		{"anything", 8, false}, // plain comments are not directives
+	}
+	for _, c := range cases {
+		if got := suppressed(dirs, c.analyzer, c.line); got != c.want {
+			t.Errorf("suppressed(%q, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+	}
+}
+
+func TestPathPrefixMatch(t *testing.T) {
+	cases := []struct {
+		prefix, path string
+		want         bool
+	}{
+		{"a/b", "a/b", true},
+		{"a/b", "a/b/c", true},
+		{"a/b", "a/bc", false},
+		{"a/b", "a", false},
+		{"osnoise/internal/sim", "osnoise/internal/simulator", false},
+	}
+	for _, c := range cases {
+		if got := PathPrefixMatch(c.prefix, c.path); got != c.want {
+			t.Errorf("PathPrefixMatch(%q, %q) = %v, want %v", c.prefix, c.path, got, c.want)
+		}
+	}
+}

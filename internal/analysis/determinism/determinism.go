@@ -1,0 +1,183 @@
+// Package determinism implements the noisevet analyzer that keeps wall
+// clocks and ambient randomness out of the simulation core.
+//
+// The reproduction's headline property — bit-for-bit identical traces
+// and reports from the same seed — holds only if every source of time
+// and randomness inside the deterministic core is the virtual clock and
+// the seeded RNG in internal/sim. The analyzer forbids, inside a
+// configured set of package prefixes:
+//
+//   - calls to wall-clock functions of package time (Now, Since, Sleep,
+//     After, AfterFunc, Tick, NewTimer, NewTicker);
+//   - any import of math/rand or math/rand/v2, whose global generator
+//     (and even seeded streams) bypass the per-entity sim RNG streams;
+//   - ranging over a map inside a loop body that emits output (writer
+//     methods, fmt printing, trace emission): Go randomizes map
+//     iteration order per run, so map order must be sorted away before
+//     it can feed bytes that end up in a trace or report.
+//
+// Files and package subtrees can be exempted: the native FTQ runner
+// (internal/ftq/native.go) intentionally reads the host clock — it
+// measures the real machine — and cmd/ binaries may talk wall-clock to
+// the user.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"osnoise/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Packages are package-path prefixes under which the rules apply.
+	// A pass over a package outside every prefix reports nothing.
+	Packages []string
+
+	// ExemptPackages are package-path prefixes carved out of Packages.
+	ExemptPackages []string
+
+	// ExemptFiles are slash-separated file-path suffixes (e.g.
+	// "internal/ftq/native.go") whose findings are dropped.
+	ExemptFiles []string
+}
+
+// forbiddenTimeFuncs are package time functions that read or wait on
+// the wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// emissionNames are method/function names treated as "emitting" bytes
+// that can reach a trace, report, or exported artefact.
+var emissionNames = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Emit":        true,
+	"Record":      true,
+	"Export":      true,
+}
+
+// New returns a determinism analyzer with the given scope.
+func New(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "determinism",
+		Doc: "forbid wall-clock time, math/rand, and map-order-dependent emission in the deterministic core\n\n" +
+			"The simulation core must be bit-for-bit reproducible from a seed: time comes from the\n" +
+			"virtual clock, randomness from seeded sim RNG streams, and anything written to traces\n" +
+			"or reports must not depend on Go's randomized map iteration order.",
+	}
+	a.Run = func(pass *analysis.Pass) (interface{}, error) {
+		run(cfg, pass)
+		return nil, nil
+	}
+	return a
+}
+
+func run(cfg Config, pass *analysis.Pass) {
+	path := pass.Pkg.Path()
+	if !matchAny(cfg.Packages, path) || matchAny(cfg.ExemptPackages, path) {
+		return
+	}
+	for _, file := range pass.Files {
+		name := filepath.ToSlash(pass.Fset.Position(file.Package).Filename)
+		if fileExempt(cfg.ExemptFiles, name) {
+			continue
+		}
+		checkFile(pass, file)
+	}
+}
+
+func checkFile(pass *analysis.Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p == "math/rand" || p == "math/rand/v2" {
+			pass.Reportf(imp.Pos(), "import of %s in deterministic core: use the seeded streams in internal/sim (RNG.Split) instead", p)
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func); ok {
+				if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "time" && forbiddenTimeFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "call to time.%s in deterministic core: virtual time must come from the sim clock", fn.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, n)
+		}
+		return true
+	})
+}
+
+// checkMapRange flags `for ... range m` over a map whose body emits.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var culprit string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if culprit != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if emissionNames[fun.Sel.Name] {
+				culprit = fun.Sel.Name
+			}
+		case *ast.Ident:
+			if emissionNames[fun.Name] {
+				culprit = fun.Name
+			}
+		}
+		return true
+	})
+	if culprit != "" {
+		pass.Reportf(rng.Pos(), "map iteration order feeds emission (call to %s): iterate sorted keys so output is deterministic", culprit)
+	}
+}
+
+func matchAny(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if analysis.PathPrefixMatch(p, path) {
+			return true
+		}
+	}
+	return false
+}
+
+func fileExempt(suffixes []string, file string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(file, s) {
+			return true
+		}
+	}
+	return false
+}

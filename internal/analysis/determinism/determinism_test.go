@@ -1,0 +1,43 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+	"osnoise/internal/analysis/determinism"
+)
+
+// testConfig mirrors the production scoping against the fixture tree:
+// "core/..." is the deterministic core, cmd/ and core/ftq/native.go
+// are allowlisted.
+var testConfig = determinism.Config{
+	Packages:       []string{"core"},
+	ExemptPackages: []string{"cmd"},
+	ExemptFiles:    []string{"core/ftq/native.go"},
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.New(testConfig), "core/sim")
+}
+
+// TestFileAllowlist proves core/ftq is checked (ftq.go has a finding)
+// while native.go in the same package suppresses identical constructs.
+func TestFileAllowlist(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.New(testConfig), "core/ftq")
+}
+
+// TestPackageAllowlist proves cmd/ packages report nothing even with
+// wall-clock, global-rand, and unsorted-emission constructs present.
+func TestPackageAllowlist(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.New(testConfig), "cmd/tool")
+}
+
+// TestOutsideScope proves packages outside every configured prefix are
+// ignored entirely: the same violating fixture reports nothing when the
+// analyzer is scoped elsewhere.
+func TestOutsideScope(t *testing.T) {
+	cfg := determinism.Config{Packages: []string{"somewhere/else"}}
+	// Re-using the cmd/tool fixture (full of would-be violations, no
+	// want comments) under a config whose prefix does not match it.
+	analysistest.Run(t, "testdata", determinism.New(cfg), "cmd/tool")
+}

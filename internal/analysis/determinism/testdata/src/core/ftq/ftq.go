@@ -1,0 +1,9 @@
+// Package ftq is a determinism fixture: the simulated FTQ half of the
+// package is inside the deterministic core and is checked…
+package ftq
+
+import "time"
+
+func simQuantum() int64 {
+	return time.Now().UnixNano() // want `call to time\.Now in deterministic core`
+}

@@ -1,0 +1,62 @@
+// Package sim is a determinism fixture standing in for the simulation
+// core: every construct here is inside the configured package prefix.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // want `import of math/rand in deterministic core`
+	"sort"
+	"time"
+)
+
+// Clock models the virtual clock violations route through.
+type Clock struct{ now int64 }
+
+func wallClock() int64 {
+	t := time.Now() // want `call to time\.Now in deterministic core`
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	time.Sleep(1)            // want `call to time\.Sleep in deterministic core`
+	return time.Since(start) // want `call to time\.Since in deterministic core`
+}
+
+func globalRand() int {
+	return rand.Int()
+}
+
+// virtualOK uses only the fixture clock: no finding.
+func virtualOK(c *Clock) int64 { return c.now }
+
+// emitUnsorted ranges a map straight into the writer: the emitted byte
+// order depends on Go's randomized map order.
+func emitUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order feeds emission \(call to Fprintf\)`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// emitSorted sorts the keys first; ranging the slice is deterministic
+// and reports nothing.
+func emitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// tallyOnly ranges a map without emitting: accumulation into another
+// map is order-independent, no finding.
+func tallyOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

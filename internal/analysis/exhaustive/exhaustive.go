@@ -1,0 +1,125 @@
+// Package exhaustive implements the noisevet analyzer that keeps enum
+// switches total.
+//
+// The noise analysis is a pipeline of classifications over small enum
+// types: tracepoint IDs, activity keys, noise categories, task states.
+// When a new kernel event or category is added, every switch that maps
+// it onward must be revisited — a switch that silently falls through
+// makes the new event vanish from the breakdown without any test
+// noticing (the totals still sum; a category is just quietly missing).
+//
+// The analyzer therefore requires every switch whose tag has one of the
+// configured named types to either carry an explicit default clause or
+// cover every declared constant of that type. Unexported constants and
+// constants whose name starts with "Num" are treated as sentinels (e.g.
+// evMax, NumKeys) and are not required.
+package exhaustive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"osnoise/internal/analysis"
+)
+
+// New returns an exhaustive-switch analyzer for the given enum types,
+// named as "import/path.TypeName".
+func New(enumTypes []string) *analysis.Analyzer {
+	want := make(map[string]bool, len(enumTypes))
+	for _, t := range enumTypes {
+		want[t] = true
+	}
+	a := &analysis.Analyzer{
+		Name: "exhaustive",
+		Doc: "require switches over trace/noise enum types to cover every constant or declare a default\n\n" +
+			"Adding a tracepoint ID or noise category must be a compile-visible event everywhere the\n" +
+			"enum is dispatched on, so a new kernel event can never silently fall out of the breakdown.",
+	}
+	a.Run = func(pass *analysis.Pass) (interface{}, error) {
+		pass.Inspect(func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, want, sw)
+			return true
+		})
+		return nil, nil
+	}
+	return a
+}
+
+func checkSwitch(pass *analysis.Pass, want map[string]bool, sw *ast.SwitchStmt) {
+	tag := ast.Unparen(sw.Tag)
+	named, ok := pass.TypeOf(tag).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return
+	}
+	qual := obj.Pkg().Path() + "." + obj.Name()
+	if !want[qual] {
+		return
+	}
+
+	required := enumConstants(named)
+	if len(required) == 0 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			return // explicit default: the switch is total by construction
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for val, name := range required {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	if len(missing) > 6 {
+		missing = append(missing[:6], fmt.Sprintf("… (%d more)", len(missing)-6))
+	}
+	pass.Reportf(sw.Pos(), "switch over %s misses %s and has no default clause", qual, strings.Join(missing, ", "))
+}
+
+// enumConstants returns value→name for the exported, non-sentinel
+// constants of the named type, declared in the type's own package.
+// When several constants share a value, one covering case suffices and
+// any of the names satisfies reporting.
+func enumConstants(named *types.Named) map[string]string {
+	out := make(map[string]string)
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !c.Exported() || strings.HasPrefix(c.Name(), "Num") {
+			continue // sentinel: evMax, NumKeys, NumCategories, …
+		}
+		val := c.Val().ExactString()
+		if _, dup := out[val]; !dup {
+			out[val] = c.Name()
+		}
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+	"osnoise/internal/analysis/exhaustive"
+)
+
+// TestExhaustive runs the analyzer configured for enums.EventType over
+// the fixture. The fixture doubles as the negative proof: switches that
+// are total, carry a default, skip only sentinels, or dispatch on the
+// unconfigured enums.Mode / plain int carry no want comment, so any
+// diagnostic on them fails the test.
+func TestExhaustive(t *testing.T) {
+	a := exhaustive.New([]string{"enums.EventType"})
+	analysistest.Run(t, "testdata", a, "a")
+}

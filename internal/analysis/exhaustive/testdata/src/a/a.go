@@ -1,0 +1,64 @@
+// Package a exercises the exhaustive analyzer against the configured
+// enums.EventType and the unconfigured enums.Mode.
+package a
+
+import "enums"
+
+// total covers every non-sentinel constant: ok.
+func total(e enums.EventType) string {
+	switch e {
+	case enums.EvAlpha:
+		return "alpha"
+	case enums.EvBeta, enums.EvGamma:
+		return "beta-or-gamma"
+	}
+	return "?"
+}
+
+// defaulted misses constants but declares a default: ok.
+func defaulted(e enums.EventType) string {
+	switch e {
+	case enums.EvAlpha:
+		return "alpha"
+	default:
+		return "other"
+	}
+}
+
+// missing omits EvBeta and EvGamma with no default.
+func missing(e enums.EventType) string {
+	switch e { // want `switch over enums\.EventType misses EvBeta, EvGamma and has no default clause`
+	case enums.EvAlpha:
+		return "alpha"
+	}
+	return "?"
+}
+
+// sentinelNotRequired covers the real constants only; evMax and
+// NumEventTypes must not be demanded.
+func sentinelNotRequired(e enums.EventType) bool {
+	switch e {
+	case enums.EvAlpha, enums.EvBeta, enums.EvGamma:
+		return true
+	}
+	return false
+}
+
+// unconfigured switches over a type outside the configuration: ok even
+// though it misses ModeB.
+func unconfigured(m enums.Mode) bool {
+	switch m {
+	case enums.ModeA:
+		return true
+	}
+	return false
+}
+
+// untyped switches over a plain int: never in scope.
+func untyped(v int) bool {
+	switch v {
+	case 1:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+// Package enums declares the fixture enum the exhaustive analyzer is
+// configured with, mirroring trace.ID / noise.Key: iota constants, an
+// unexported sentinel, and a Num-prefixed count.
+package enums
+
+// EventType mirrors the shape of trace.ID.
+type EventType int
+
+const (
+	EvAlpha EventType = iota
+	EvBeta
+	EvGamma
+	evMax // unexported sentinel: never required in switches
+)
+
+// NumEventTypes is Num-prefixed: also never required.
+const NumEventTypes EventType = evMax
+
+// Mode is an enum the analyzer is NOT configured with.
+type Mode int
+
+const (
+	ModeA Mode = iota
+	ModeB
+)

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	GoFiles []string // absolute paths, in go list order
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	// Target reports whether the package matched the Load patterns
+	// directly (true) or was loaded only as a dependency (false).
+	// Analyzers run over target packages only.
+	Target bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+}
+
+// Load enumerates the packages matching patterns (resolved by the go
+// command relative to dir), parses and type-checks them together with
+// their in-module dependencies, and returns the result. Standard-library
+// dependencies are resolved from source by go/importer, so Load works
+// fully offline.
+func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// -deps emits dependencies before dependents, which is exactly the
+	// type-checking order; the second plain listing marks the targets.
+	deps, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	isTarget := make(map[string]bool, len(targets))
+	for _, p := range targets {
+		isTarget[p.ImportPath] = true
+	}
+
+	fset := token.NewFileSet()
+	res := &resolver{
+		pkgs:     make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+
+	var out []*Package
+	for _, lp := range deps {
+		if lp.Standard {
+			continue // stdlib: resolved on demand by the source importer
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, nil, fmt.Errorf("analysis: package %s uses cgo, which the loader does not support", lp.ImportPath)
+		}
+		pkg, err := typecheck(fset, res, lp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg.Target = isTarget[lp.ImportPath]
+		res.pkgs[lp.ImportPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, fset, nil
+}
+
+// typecheck parses and type-checks one listed package.
+func typecheck(fset *token.FileSet, imp types.ImporterFrom, lp listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	paths := make([]string, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", path, err)
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+
+	info := NewTypesInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath: lp.ImportPath,
+		Dir:     lp.Dir,
+		GoFiles: paths,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// NewTypesInfo returns a types.Info with every result map allocated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// resolver satisfies go/types importing: module-internal packages come
+// from the already-checked set (Load visits them dependency-first), and
+// everything else falls back to the stdlib source importer.
+type resolver struct {
+	pkgs     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (r *resolver) Import(path string) (*types.Package, error) {
+	return r.ImportFrom(path, "", 0)
+}
+
+func (r *resolver) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := r.pkgs[path]; ok {
+		return p, nil
+	}
+	if from, ok := r.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, srcDir, mode)
+	}
+	return r.fallback.Import(path)
+}
+
+// goList runs `go list -json args...` in dir and decodes the package
+// stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("analysis: go list %s: %s", strings.Join(args, " "), msg)
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}

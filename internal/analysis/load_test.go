@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestLoadModulePackage loads a real in-module package (with an
+// in-module dependency and stdlib imports) through the production
+// loader and checks the type information is complete enough for the
+// analyzers: named types resolve, uses are populated, and only target
+// packages are marked Target.
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, fset, err := Load("../..", "./internal/noise")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var noisePkg, tracePkg *Package
+	for _, p := range pkgs {
+		switch p.PkgPath {
+		case "osnoise/internal/noise":
+			noisePkg = p
+		case "osnoise/internal/trace":
+			tracePkg = p
+		}
+	}
+	if noisePkg == nil {
+		t.Fatal("osnoise/internal/noise not loaded")
+	}
+	if !noisePkg.Target {
+		t.Error("noise should be a target package")
+	}
+	if tracePkg == nil {
+		t.Fatal("dependency osnoise/internal/trace not loaded")
+	}
+	if tracePkg.Target {
+		t.Error("trace was loaded only as a dependency; must not be a target")
+	}
+	if len(noisePkg.Files) == 0 || noisePkg.Types == nil {
+		t.Fatal("noise package missing syntax or types")
+	}
+	if n := len(noisePkg.Info.Uses); n == 0 {
+		t.Error("TypesInfo.Uses is empty")
+	}
+	if obj := noisePkg.Types.Scope().Lookup("CategoryOf"); obj == nil {
+		t.Error("CategoryOf not found in noise package scope")
+	}
+	if obj := tracePkg.Types.Scope().Lookup("ID"); obj == nil {
+		t.Error("ID not found in trace package scope")
+	}
+	var zero token.Position
+	if pos := fset.Position(noisePkg.Files[0].Package); pos == zero || pos.Filename == "" {
+		t.Error("file positions not registered in the shared FileSet")
+	}
+}

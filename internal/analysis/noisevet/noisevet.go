@@ -1,0 +1,65 @@
+// Package noisevet assembles the production configuration of the
+// analysis suite: which analyzers run, over which packages, with which
+// allowlists. cmd/noisevet and the tests both consume this registry so
+// CI and local runs can never drift apart.
+package noisevet
+
+import (
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/atomicfield"
+	"osnoise/internal/analysis/determinism"
+	"osnoise/internal/analysis/exhaustive"
+	"osnoise/internal/analysis/timeunits"
+)
+
+// DeterminismConfig scopes the determinism analyzer to the simulation
+// core. internal/ftq is included because its simulated FTQ must be
+// deterministic, but native.go — the on-host FTQ runner whose whole
+// point is reading the machine's real clock — is file-exempt, and cmd/
+// binaries may talk wall-clock time to the user.
+var DeterminismConfig = determinism.Config{
+	Packages: []string{
+		"osnoise/internal/sim",
+		"osnoise/internal/kernel",
+		"osnoise/internal/workload",
+		"osnoise/internal/cluster",
+		"osnoise/internal/ftq",
+	},
+	ExemptPackages: []string{"osnoise/cmd"},
+	ExemptFiles:    []string{"internal/ftq/native.go"},
+}
+
+// EnumTypes are the dispatch enums every switch must handle totally.
+var EnumTypes = []string{
+	"osnoise/internal/trace.ID",
+	"osnoise/internal/trace.ProcKind",
+	"osnoise/internal/noise.Key",
+	"osnoise/internal/noise.Category",
+	"osnoise/internal/kernel.TaskKind",
+	"osnoise/internal/kernel.TaskState",
+	"osnoise/internal/inject.Kind",
+	"osnoise/internal/workload.Phase",
+}
+
+// TimeUnitsConfig targets the virtual-time type. sim.Duration is an
+// alias of sim.Time, so one entry covers both spellings. The named
+// conversion helpers are the two places allowed to mix units: String
+// renders against the unit ladder, and Scale is the blessed
+// duration×count multiplier everything else routes through.
+var TimeUnitsConfig = timeunits.Config{
+	Types: []string{"osnoise/internal/sim.Time"},
+	ExemptFuncs: []string{
+		"osnoise/internal/sim.Time.String",
+		"osnoise/internal/sim.Scale",
+	},
+}
+
+// Analyzers returns the production suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.New(DeterminismConfig),
+		exhaustive.New(EnumTypes),
+		atomicfield.New(),
+		timeunits.New(TimeUnitsConfig),
+	}
+}

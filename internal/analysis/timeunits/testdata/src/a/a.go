@@ -1,0 +1,32 @@
+// Package a exercises the timeunits analyzer over units.Time values.
+package a
+
+import "units"
+
+func deadlines(t units.Time) {
+	_ = t + 100                  // want `bare literal added to Time-typed value`
+	_ = t - 5                    // want `bare literal subtracted from Time-typed value`
+	_ = 250 + t                  // want `bare literal added to Time-typed value`
+	_ = t + (-3)                 // want `bare literal added to Time-typed value`
+	_ = t + 100*units.Nanosecond // unit-scaled literal: ok
+	_ = t + units.Microsecond    // named constant: ok
+	_ = t * 3                    // scaling by a count: ok
+	_ = 2 * t                    // ok
+	_ = t / 4                    // ok
+	if t > 0 {                   // comparisons are not arithmetic: ok
+		return
+	}
+}
+
+func product(a, b units.Time) units.Time {
+	return a * b // want `product of two Time values has no time unit`
+}
+
+func plainInts(x int64) int64 {
+	return x + 100 // untyped arithmetic on plain ints: ok
+}
+
+// exempted is on the exempt list in the test configuration.
+func exempted(t units.Time) units.Time {
+	return t + 42
+}

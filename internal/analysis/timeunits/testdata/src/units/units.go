@@ -1,0 +1,26 @@
+// Package units declares the fixture time type, mirroring sim.Time:
+// the constant ladder itself lives in an exempt const declaration.
+package units
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Duration aliases Time, as sim.Duration does.
+type Duration = Time
+
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+)
+
+// Scaled is on the exempt-function list in the test configuration: a
+// named conversion helper may use bare literals.
+func (t Time) Scaled() Time {
+	return t*1000 + 1
+}
+
+// Half is NOT exempt; its bare-literal addition is reported.
+func (t Time) Half() Time {
+	return t/2 + 1 // want `bare literal added to Time-typed value`
+}

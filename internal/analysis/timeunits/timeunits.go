@@ -1,0 +1,174 @@
+// Package timeunits implements the noisevet analyzer that enforces
+// unit discipline in virtual-time arithmetic.
+//
+// The simulator represents virtual time as a named integer nanosecond
+// type (sim.Time / sim.Duration). Adding a bare literal to such a value
+// — `deadline + 100` — type-checks, but the literal's unit lives only
+// in the author's head: 100 nanoseconds, ticks, or microseconds are all
+// plausible readings, and the paper's calibrated event costs make such
+// off-by-10³ slips both easy and quantitatively invisible. The analyzer
+// flags:
+//
+//   - additions and subtractions where one operand has a configured
+//     time type and the other is a bare numeric literal (write
+//     `t + 100*sim.Nanosecond`, or use a named constant);
+//   - multiplications of two time-typed operands, which produce a
+//     nanosecond² value that is meaningless in every unit system.
+//
+// Constant declarations are exempt (that is where the unit ladder
+// itself — Microsecond = 1000 * Nanosecond — is built), as are listed
+// conversion helpers such as the type's String method.
+package timeunits
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"osnoise/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Types are the named time types, as "import/path.TypeName".
+	Types []string
+
+	// ExemptFuncs are functions inside which the rules do not apply,
+	// as "import/path.FuncName" for functions and
+	// "import/path.Recv.Name" for methods.
+	ExemptFuncs []string
+}
+
+// New returns a time-unit analyzer for the configured types.
+func New(cfg Config) *analysis.Analyzer {
+	wantType := make(map[string]bool, len(cfg.Types))
+	for _, t := range cfg.Types {
+		wantType[t] = true
+	}
+	exempt := make(map[string]bool, len(cfg.ExemptFuncs))
+	for _, f := range cfg.ExemptFuncs {
+		exempt[f] = true
+	}
+	a := &analysis.Analyzer{
+		Name: "timeunits",
+		Doc: "flag tick/nanosecond arithmetic with bare literals and time×time products\n\n" +
+			"Virtual-time values carry a unit; adding an unadorned literal hides which one, and\n" +
+			"multiplying two time values produces ns² nonsense. Scale literals with the sim unit\n" +
+			"constants (100*sim.Microsecond) or name them.",
+	}
+	a.Run = func(pass *analysis.Pass) (interface{}, error) {
+		for _, file := range pass.Files {
+			checkFile(pass, file, wantType, exempt)
+		}
+		return nil, nil
+	}
+	return a
+}
+
+func checkFile(pass *analysis.Pass, file *ast.File, wantType, exempt map[string]bool) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			// Constant/var declarations build the unit ladder itself.
+		case *ast.FuncDecl:
+			if d.Body == nil || exempt[funcKey(pass, d)] {
+				continue
+			}
+			ast.Inspect(d.Body, func(n ast.Node) bool {
+				if be, ok := n.(*ast.BinaryExpr); ok {
+					checkBinary(pass, be, wantType)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr, wantType map[string]bool) {
+	xTime := isTimeType(pass.TypeOf(be.X), wantType)
+	yTime := isTimeType(pass.TypeOf(be.Y), wantType)
+	switch be.Op {
+	case token.ADD, token.SUB:
+		if xTime && bareLiteral(be.Y) {
+			pass.Reportf(be.Y.Pos(), "bare literal %s %s-typed value: scale it with a unit constant (e.g. %s*sim.Nanosecond)", opWord(be.Op), typeName(pass.TypeOf(be.X)), litText(be.Y))
+		}
+		if yTime && bareLiteral(be.X) {
+			pass.Reportf(be.X.Pos(), "bare literal %s %s-typed value: scale it with a unit constant (e.g. %s*sim.Nanosecond)", opWord(be.Op), typeName(pass.TypeOf(be.Y)), litText(be.X))
+		}
+	case token.MUL:
+		// A constant factor (100 * sim.Microsecond) is the blessed
+		// scaling idiom: only a product of two runtime time values is
+		// unit nonsense.
+		if constantExpr(pass, be.X) || constantExpr(pass, be.Y) {
+			return
+		}
+		if xTime && yTime {
+			pass.Reportf(be.Pos(), "product of two %s values has no time unit (ns²): one factor must be a dimensionless count", typeName(pass.TypeOf(be.X)))
+		}
+	}
+}
+
+// constantExpr reports whether e has a compile-time constant value.
+func constantExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// bareLiteral reports whether e is a numeric literal (possibly signed
+// or parenthesized) written without a unit.
+func bareLiteral(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT || e.Kind == token.FLOAT
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return bareLiteral(e.X)
+		}
+	}
+	return false
+}
+
+func isTimeType(t types.Type, wantType map[string]bool) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return wantType[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func litText(e ast.Expr) string {
+	if bl, ok := ast.Unparen(e).(*ast.BasicLit); ok {
+		return bl.Value
+	}
+	return "n"
+}
+
+func opWord(op token.Token) string {
+	if op == token.ADD {
+		return "added to"
+	}
+	return "subtracted from"
+}
+
+// funcKey renders a declared function as "pkgpath.Name" or
+// "pkgpath.Recv.Name" for matching against Config.ExemptFuncs.
+func funcKey(pass *analysis.Pass, d *ast.FuncDecl) string {
+	key := pass.Pkg.Path() + "."
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		t := d.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			key += id.Name + "."
+		}
+	}
+	return key + d.Name.Name
+}

@@ -1,0 +1,16 @@
+package timeunits_test
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+	"osnoise/internal/analysis/timeunits"
+)
+
+func TestTimeUnits(t *testing.T) {
+	a := timeunits.New(timeunits.Config{
+		Types:       []string{"units.Time"},
+		ExemptFuncs: []string{"a.exempted", "units.Time.Scaled"},
+	})
+	analysistest.Run(t, "testdata", a, "a", "units")
+}

@@ -518,7 +518,7 @@ func Overhead(c *Context) *Result {
 		for _, cpu := range run.Node.CPUs() {
 			tracer += cpu.TracerNS()
 		}
-		total := (c.Duration / 4) * sim.Time(len(run.Node.CPUs()))
+		total := sim.Scale(c.Duration/4, len(run.Node.CPUs()))
 		frac := float64(tracer) / float64(total)
 		totalFrac += frac
 		fmt.Fprintf(&sb, "%-8s tracer overhead %.3f%%\n", name, 100*frac)

@@ -123,7 +123,7 @@ func Run(specs []Spec, opts Options) *Result {
 	for i, s := range specs {
 		i, s := i, s
 		for j := 0; j < s.Count; j++ {
-			at := s.Start + sim.Duration(j)*s.Period
+			at := s.Start + sim.Scale(s.Period, j)
 			if at >= opts.Duration {
 				break
 			}

@@ -156,7 +156,7 @@ func (n *Node) Boot() {
 		period := sim.Second / sim.Duration(n.cfg.HZ)
 		for _, c := range n.cpus {
 			c := c
-			offset := period * sim.Duration(c.ID) / sim.Duration(len(n.cpus))
+			offset := sim.Scale(period, c.ID) / sim.Duration(len(n.cpus))
 			var tick func(now sim.Time)
 			tick = func(now sim.Time) {
 				n.timerTick(c, now)

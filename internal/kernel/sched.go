@@ -176,6 +176,10 @@ func (n *Node) completeSwitch(c *CPU, now sim.Time) {
 			prevState = trace.TaskStateWaitComm
 		case StateExited:
 			prevState = trace.TaskStateExited
+		default:
+			// StateRunnable cannot be the outgoing task's state: a task
+			// on a runqueue is by definition not current. Keep the
+			// Blocked initialisation if it ever appears.
 		}
 	}
 	nextPID := int64(0)

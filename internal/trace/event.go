@@ -185,8 +185,9 @@ func (id ID) IsEntry() bool {
 	switch id {
 	case EvIRQEntry, EvSoftIRQEntry, EvTaskletEntry, EvTrapEntry, EvSyscallEntry, EvSchedEntry:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // IsExit reports whether the tracepoint closes a kernel activity span.
@@ -194,8 +195,9 @@ func (id ID) IsExit() bool {
 	switch id {
 	case EvIRQExit, EvSoftIRQExit, EvTaskletExit, EvTrapExit, EvSyscallExit, EvSchedExit:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // ExitFor returns the exit tracepoint matching an entry tracepoint, or
@@ -214,6 +216,7 @@ func (id ID) ExitFor() ID {
 		return EvSyscallExit
 	case EvSchedEntry:
 		return EvSchedExit
+	default:
+		return EvNone
 	}
-	return EvNone
 }

@@ -180,7 +180,7 @@ func (r *Run) poissonLoop(rates PhaseRates, rng *sim.RNG, fire func(now sim.Time
 			if b <= now {
 				return
 			}
-			eng.At(b+1, sim.PrioTask, step)
+			eng.At(b+sim.Nanosecond, sim.PrioTask, step)
 			return
 		}
 		gap := sim.Duration(float64(sim.Second) / rate * rng.ExpFloat64())
@@ -230,7 +230,7 @@ func (r *Run) installRank(t *kernel.Task) {
 				if b <= now {
 					return
 				}
-				eng.At(b+1, sim.PrioTask, func(t sim.Time) { faultStep(t, 0) })
+				eng.At(b+sim.Nanosecond, sim.PrioTask, func(t sim.Time) { faultStep(t, 0) })
 				return
 			}
 			cycle := float64(burst) / rate * float64(sim.Second)

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 + static-invariant CI flow for the osnoise module.
+#
+# Order matters: cheap structural checks first (build, vet, noisevet),
+# then the race-instrumented test suite, then a short fuzz smoke over
+# the trace codec so a corpus regression cannot land silently.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== noisevet (internal/analysis suite)"
+go run ./cmd/noisevet ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz smoke: trace codec"
+# -fuzz accepts a single target per invocation; smoke each codec fuzzer
+# briefly. FuzzParse (paraver) is covered by its seed corpus in the
+# regular run above.
+for target in FuzzRead FuzzReadCompressed FuzzReadAny; do
+    go test ./internal/trace -run="^$" -fuzz="^${target}\$" -fuzztime=10s
+done
+
+echo "CI OK"
