@@ -63,8 +63,11 @@ func runNative(quantum, duration time.Duration, csvPath string, width int) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := res.WriteCSV(f); err != nil {
+		err = res.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("samples written to %s\n", csvPath)

@@ -101,8 +101,11 @@ func writeFile(path string, fn func(*os.File) error) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := fn(f); err != nil {
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

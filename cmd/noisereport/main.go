@@ -136,10 +136,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := export.WriteReportJSON(out, rep); err != nil {
+		err = export.WriteReportJSON(out, rep)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
-		out.Close()
 		fmt.Printf("json summary written to %s\n", *jsonOut)
 	}
 	if *chrome != "" {
@@ -147,10 +150,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := chrometrace.Export(out, rep); err != nil {
+		err = chrometrace.Export(out, rep)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
-		out.Close()
 		fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev)\n", *chrome)
 	}
 	if *prvPrefix != "" {
@@ -160,8 +166,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer out.Close()
-			if err := fn(out); err != nil {
+			err = fn(out)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
 				log.Fatal(err)
 			}
 		}

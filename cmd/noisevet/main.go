@@ -2,20 +2,24 @@
 // (see internal/analysis and DESIGN.md §“Static invariants”): the
 // determinism, exhaustive, atomicfield, and timeunits analyzers that
 // mechanically enforce the invariants the deterministic-replay property
-// rests on.
+// rests on, plus the CFG-based eventpair, lockbalance, and writecheck
+// analyzers that chase the same invariants along control-flow paths.
 //
 // Usage:
 //
-//	noisevet [-list] [-dir DIR] [package patterns]
+//	noisevet [-list] [-json] [-stats] [-dir DIR] [package patterns]
 //
 // With no patterns it checks ./... . Findings print one per line as
-// file:line:col: message (analyzer); the exit status is 1 if there are
-// findings, 2 on load errors, 0 when clean. A finding can be
-// acknowledged in source with a trailing or preceding
-// “//noisevet:ignore [analyzer,...]” comment.
+// file:line:col: message (analyzer); -json instead emits a JSON array
+// of {analyzer, file, line, col, message} objects, and -stats appends
+// a per-analyzer findings count to stderr (CI publishes it next to the
+// run log). The exit status is 1 if there are findings, 2 on load
+// errors, 0 when clean. A finding can be acknowledged in source with a
+// trailing or preceding “//noisevet:ignore [analyzer,...]” comment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +29,19 @@ import (
 	"osnoise/internal/analysis/noisevet"
 )
 
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	stats := flag.Bool("stats", false, "print a per-analyzer findings count to stderr")
 	dir := flag.String("dir", ".", "directory to resolve package patterns from")
 	flag.Parse()
 
@@ -55,8 +70,38 @@ func main() {
 	if cwd, err := os.Getwd(); err == nil {
 		analysis.RelativeTo(findings, cwd)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "noisevet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+
+	if *stats {
+		counts := make(map[string]int)
+		for _, f := range findings {
+			counts[f.Analyzer]++
+		}
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "noisevet: %-12s %d finding(s)\n", a.Name, counts[a.Name])
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "noisevet: %d finding(s)\n", len(findings))

@@ -131,12 +131,15 @@ func save(path string, tr *trace.Trace, compress bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	enc := trace.Write
 	if compress {
 		enc = trace.WriteCompressed
 	}
-	if err := enc(f, tr); err != nil {
+	err = enc(f, tr)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,586 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// function bodies and provides a small forward-dataflow framework on
+// top of them. It mirrors golang.org/x/tools/go/cfg in spirit — the
+// build environment is offline, so x/tools cannot be pinned — but is
+// sized for the noisevet analyzers: purely syntactic (no type
+// information required to build a graph), with two extensions the
+// path-sensitive checks need and x/tools leaves to the client:
+//
+//   - Defer modeling. A `defer f()` statement spawns a synthetic block
+//     of KindDefer holding the deferred call. Defer blocks are chained
+//     in reverse registration order and every function-exit edge
+//     (explicit return or falling off the end of the body) routes
+//     through the chain registered so far before reaching Exit. A
+//     `mu.Lock(); defer mu.Unlock()` pair therefore balances on every
+//     return path without analyzer-side special cases. Registration is
+//     tracked in source-walk order, so a defer registered inside a
+//     conditional is approximated as registered on every path that
+//     reaches statements after it — precise for the dominant pattern
+//     (unconditional defer immediately after acquire/open).
+//
+//   - Panic and no-return edges. A statement that cannot complete
+//     normally — `panic(...)`, `os.Exit`, `log.Fatal*`, `t.Fatal*`,
+//     `runtime.Goexit` (syntactic heuristic, overridable via the
+//     mayReturn callback exactly as in x/tools) — terminates its block
+//     with no successors and marks it NoReturn. Analyzers exempt such
+//     paths: an unreleased lock or unmatched tracepoint on the way to a
+//     panic is not a leak the offline analysis will ever observe.
+//
+// Unreachable blocks are pruned after construction, so every block in
+// Graph.Blocks except a dead Exit is reachable from Entry — the
+// structural invariant TestCFGRepositorySelfCheck asserts over every
+// function declaration in this repository.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// BlockKind classifies a block for debugging and for analyzers that
+// treat defer execution specially.
+type BlockKind uint8
+
+const (
+	// KindBody is an ordinary straight-line block.
+	KindBody BlockKind = iota
+	// KindEntry is the function entry block (always Blocks[0]).
+	KindEntry
+	// KindExit is the single function exit block. Every non-panicking
+	// path ends here, after the registered defer chain.
+	KindExit
+	// KindDefer is a synthetic block holding one deferred call,
+	// executed on the way to Exit in reverse registration order.
+	KindDefer
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case KindBody:
+		return "body"
+	case KindEntry:
+		return "entry"
+	case KindExit:
+		return "exit"
+	case KindDefer:
+		return "defer"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Block is one basic block: statements and control expressions that
+// execute without internal branching, in execution order.
+type Block struct {
+	Index int
+	Kind  BlockKind
+
+	// Nodes holds the block's statements plus the control expressions
+	// evaluated in it (an if/switch condition, a range operand). A
+	// defer registration appears as the *ast.DeferStmt at its source
+	// position; the deferred call itself lives in a KindDefer block on
+	// the exit path.
+	Nodes []ast.Node
+
+	Succs []*Block
+	Preds []*Block
+
+	// NoReturn marks a block whose terminator leaves the function
+	// without reaching Exit: an explicit panic, os.Exit, log.Fatal and
+	// friends, or a blocking `select {}`.
+	NoReturn bool
+
+	comment string // construction note ("if.then", "for.head", …) for dumps
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block // Entry first; Exit always present, even if unreachable
+}
+
+// New builds the CFG of a function body. mayReturn reports whether a
+// call can return to its caller; nil selects a syntactic default that
+// treats panic, os.Exit, runtime.Goexit, log.Fatal/Fatalf/Fatalln and
+// testing's Fatal/Fatalf/FailNow/Skip* as no-return.
+func New(body *ast.BlockStmt, mayReturn func(*ast.CallExpr) bool) *Graph {
+	if mayReturn == nil {
+		mayReturn = defaultMayReturn
+	}
+	b := &builder{
+		g:         &Graph{},
+		mayReturn: mayReturn,
+		labels:    make(map[string]*labelInfo),
+	}
+	b.g.Entry = b.newBlock(KindEntry, "entry")
+	b.g.Exit = b.newBlock(KindExit, "exit")
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.exitJump() // falling off the end of the body
+	b.prune()
+	return b.g
+}
+
+// defaultMayReturn is the syntactic no-return heuristic, mirroring
+// x/tools/go/cfg's: a call spelled panic(...), X.Exit(...),
+// X.Fatal*(...), X.Goexit(), X.FailNow(), or X.Skip*(...) does not
+// return. False negatives only make the graph conservative (extra
+// edges), never unsound for the analyzers built on it.
+func defaultMayReturn(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name != "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit", "FailNow", "Skip", "SkipNow", "Skipf":
+			return false
+		}
+	}
+	return true
+}
+
+type labelInfo struct {
+	block *Block // where the labeled statement begins (goto target)
+	brk   *Block // break-with-label target (labeled loop/switch/select)
+	cont  *Block // continue-with-label target (labeled loop)
+}
+
+// targets is the stack of enclosing break/continue destinations.
+type targets struct {
+	up   *targets
+	brk  *Block
+	cont *Block // nil inside switch/select
+}
+
+type builder struct {
+	g         *Graph
+	cur       *Block
+	deferHead *Block // innermost registered defer block; nil = exit directly
+	mayReturn func(*ast.CallExpr) bool
+	targets   *targets
+	labels    map[string]*labelInfo
+	fall      *Block // fallthrough target inside a switch case
+}
+
+func (b *builder) newBlock(kind BlockKind, comment string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind, comment: comment}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// jump adds an edge cur→to.
+func (b *builder) jump(to *Block) {
+	b.cur.Succs = append(b.cur.Succs, to)
+	to.Preds = append(to.Preds, b.cur)
+}
+
+// startDead begins a fresh block with no predecessors, entered after a
+// terminator; if nothing jumps to it later it is pruned.
+func (b *builder) startDead(comment string) {
+	b.cur = b.newBlock(KindBody, comment)
+}
+
+// exitJump routes control to the registered defer chain, then Exit.
+func (b *builder) exitJump() {
+	if b.deferHead != nil {
+		b.jump(b.deferHead)
+	} else {
+		b.jump(b.g.Exit)
+	}
+}
+
+func (b *builder) labelInfo(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{block: b.newBlock(KindBody, "label."+name)}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, nil)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, nil)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, nil, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, nil, false)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, nil)
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.exitJump()
+		b.startDead("return.dead")
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.DeferStmt:
+		// Registration marker in normal flow; the call executes in a
+		// synthetic block spliced onto the exit path, LIFO.
+		b.add(s)
+		db := b.newBlock(KindDefer, "defer")
+		db.Nodes = []ast.Node{s.Call}
+		prev := b.deferHead
+		if prev == nil {
+			prev = b.g.Exit
+		}
+		db.Succs = append(db.Succs, prev)
+		prev.Preds = append(prev.Preds, db)
+		b.deferHead = db
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && !b.mayReturn(call) {
+			b.cur.NoReturn = true
+			b.startDead("noreturn.dead")
+		}
+
+	case nil, *ast.EmptyStmt, *ast.BadStmt:
+		// nothing
+
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, SendStmt, GoStmt, …
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	then := b.newBlock(KindBody, "if.then")
+	after := b.newBlock(KindBody, "if.done")
+	b.jump(then)
+	if s.Else != nil {
+		els := b.newBlock(KindBody, "if.else")
+		b.jump(els)
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(after)
+		b.cur = els
+		b.stmt(s.Else)
+		b.jump(after)
+	} else {
+		b.jump(after)
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, li *labelInfo) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock(KindBody, "for.head")
+	body := b.newBlock(KindBody, "for.body")
+	after := b.newBlock(KindBody, "for.done")
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock(KindBody, "for.post")
+		cont = post
+	}
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+		b.jump(after)
+	}
+	b.jump(body)
+	if li != nil {
+		li.brk, li.cont = after, cont
+	}
+	b.targets = &targets{up: b.targets, brk: after, cont: cont}
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(cont)
+	b.targets = b.targets.up
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		b.jump(head)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, li *labelInfo) {
+	head := b.newBlock(KindBody, "range.head")
+	body := b.newBlock(KindBody, "range.body")
+	after := b.newBlock(KindBody, "range.done")
+	b.add(s.X)
+	b.jump(head)
+	b.cur = head
+	b.jump(body)
+	b.jump(after)
+	if li != nil {
+		li.brk, li.cont = after, head
+	}
+	b.targets = &targets{up: b.targets, brk: after, cont: head}
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(head)
+	b.targets = b.targets.up
+	b.cur = after
+}
+
+// switchBody builds the clauses of a switch or type switch. For an
+// expression switch, fallthrough jumps to the next clause's block;
+// case-clause expressions are recorded in their clause's block.
+func (b *builder) switchBody(body *ast.BlockStmt, li *labelInfo, allowFallthrough bool) {
+	after := b.newBlock(KindBody, "switch.done")
+	if li != nil {
+		li.brk = after
+	}
+	entry := b.cur
+	var clauses []*ast.CaseClause
+	for _, st := range body.List {
+		if cc, ok := st.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock(KindBody, "switch.case")
+		entry.Succs = append(entry.Succs, blocks[i])
+		blocks[i].Preds = append(blocks[i].Preds, entry)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		entry.Succs = append(entry.Succs, after)
+		after.Preds = append(after.Preds, entry)
+	}
+	b.targets = &targets{up: b.targets, brk: after}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		savedFall := b.fall
+		if allowFallthrough && i+1 < len(clauses) {
+			b.fall = blocks[i+1]
+		} else {
+			b.fall = nil
+		}
+		b.stmtList(cc.Body)
+		b.fall = savedFall
+		b.jump(after)
+	}
+	b.targets = b.targets.up
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, li *labelInfo) {
+	after := b.newBlock(KindBody, "select.done")
+	if li != nil {
+		li.brk = after
+	}
+	entry := b.cur
+	var clauses []*ast.CommClause
+	for _, st := range s.Body.List {
+		if cc, ok := st.(*ast.CommClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	if len(clauses) == 0 {
+		// `select {}` blocks forever.
+		entry.NoReturn = true
+		b.startDead("select.dead")
+		return
+	}
+	b.targets = &targets{up: b.targets, brk: after}
+	for _, cc := range clauses {
+		blk := b.newBlock(KindBody, "select.case")
+		entry.Succs = append(entry.Succs, blk)
+		blk.Preds = append(blk.Preds, entry)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	b.targets = b.targets.up
+	b.cur = after
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	li := b.labelInfo(s.Label.Name)
+	b.jump(li.block)
+	b.cur = li.block
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, li)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, li)
+	case *ast.SwitchStmt:
+		if inner.Init != nil {
+			b.add(inner.Init)
+		}
+		if inner.Tag != nil {
+			b.add(inner.Tag)
+		}
+		b.switchBody(inner.Body, li, true)
+	case *ast.TypeSwitchStmt:
+		if inner.Init != nil {
+			b.add(inner.Init)
+		}
+		b.add(inner.Assign)
+		b.switchBody(inner.Body, li, false)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, li)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	var to *Block
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			to = b.labelInfo(s.Label.Name).brk
+		} else {
+			for t := b.targets; t != nil; t = t.up {
+				if t.brk != nil {
+					to = t.brk
+					break
+				}
+			}
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			to = b.labelInfo(s.Label.Name).cont
+		} else {
+			for t := b.targets; t != nil; t = t.up {
+				if t.cont != nil {
+					to = t.cont
+					break
+				}
+			}
+		}
+	case token.GOTO:
+		to = b.labelInfo(s.Label.Name).block
+	case token.FALLTHROUGH:
+		to = b.fall
+	}
+	b.add(s)
+	if to != nil {
+		b.jump(to)
+	} else {
+		// Malformed code (break outside loop, fallthrough in last
+		// clause); treat as a dead end rather than panicking.
+		b.cur.NoReturn = true
+	}
+	b.startDead("branch.dead")
+}
+
+// prune drops blocks unreachable from Entry (dead stubs created after
+// terminators, defer blocks never reached by a return) and rebuilds
+// predecessor lists. Exit stays in Blocks even when unreachable so
+// dataflow clients can always ask for its fact.
+func (b *builder) prune() {
+	g := b.g
+	reached := make(map[*Block]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	reached[g.Entry] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !reached[s] {
+				reached[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	var kept []*Block
+	for _, blk := range g.Blocks {
+		if reached[blk] || blk == g.Exit {
+			kept = append(kept, blk)
+		}
+	}
+	for _, blk := range kept {
+		blk.Preds = blk.Preds[:0]
+	}
+	for _, blk := range kept {
+		if !reached[blk] {
+			continue // a dead Exit keeps no stale edges
+		}
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	for i, blk := range kept {
+		blk.Index = i
+	}
+	g.Blocks = kept
+}
+
+// String renders the graph for debugging and test failure messages.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d[%s", blk.Index, blk.Kind)
+		if blk.comment != "" && blk.comment != blk.Kind.String() {
+			fmt.Fprintf(&sb, " %s", blk.comment)
+		}
+		if blk.NoReturn {
+			sb.WriteString(" noreturn")
+		}
+		fmt.Fprintf(&sb, "] %d node(s) →", len(blk.Nodes))
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

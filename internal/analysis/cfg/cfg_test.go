@@ -1,0 +1,537 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src (a full file), finds the function named fn, and
+// returns its CFG.
+func build(t *testing.T, src, fn string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn && fd.Body != nil {
+			return New(fd.Body, nil)
+		}
+	}
+	t.Fatalf("function %q not found", fn)
+	return nil
+}
+
+// blockCalling returns the first block whose nodes contain a call to
+// the named identifier.
+func blockCalling(g *Graph, name string) *Block {
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			Walk(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+// reaches reports whether to is reachable from from along Succs edges.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{from: true}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func TestIfElseShape(t *testing.T) {
+	g := build(t, `package p
+func a(); func b(); func c()
+func f(cond bool) {
+	if cond {
+		a()
+	} else {
+		b()
+	}
+	c()
+}`, "f")
+	ba, bb, bc := blockCalling(g, "a"), blockCalling(g, "b"), blockCalling(g, "c")
+	if ba == nil || bb == nil || bc == nil {
+		t.Fatalf("missing call blocks:\n%s", g)
+	}
+	if ba == bb {
+		t.Fatalf("branches share a block:\n%s", g)
+	}
+	if !reaches(ba, bc) || !reaches(bb, bc) {
+		t.Fatalf("branches do not merge before c():\n%s", g)
+	}
+	if reaches(ba, bb) || reaches(bb, ba) {
+		t.Fatalf("branches reach each other:\n%s", g)
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestEarlyReturnSkipsTail(t *testing.T) {
+	g := build(t, `package p
+func a(); func b()
+func f(cond bool) {
+	a()
+	if cond {
+		return
+	}
+	b()
+}`, "f")
+	ba := blockCalling(g, "a")
+	// Some path from a() must reach Exit without passing b().
+	bb := blockCalling(g, "b")
+	if ba == nil || bb == nil {
+		t.Fatalf("missing blocks:\n%s", g)
+	}
+	if !pathAvoiding(ba, g.Exit, bb) {
+		t.Fatalf("no return path bypassing b():\n%s", g)
+	}
+}
+
+// pathAvoiding reports whether to is reachable from from without
+// traversing the avoid block.
+func pathAvoiding(from, to, avoid *Block) bool {
+	seen := map[*Block]bool{from: true, avoid: true}
+	stack := []*Block{from}
+	if from == avoid {
+		return false
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == avoid {
+				continue
+			}
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func TestDeferChainLIFO(t *testing.T) {
+	g := build(t, `package p
+func d1(); func d2(); func work()
+func f() {
+	defer d1()
+	defer d2()
+	work()
+}`, "f")
+	b1, b2 := blockCalling(g, "d1"), blockCalling(g, "d2")
+	if b1 == nil || b2 == nil {
+		t.Fatalf("defer blocks missing:\n%s", g)
+	}
+	if b1.Kind != KindDefer || b2.Kind != KindDefer {
+		t.Fatalf("deferred calls not in defer blocks:\n%s", g)
+	}
+	// LIFO: exit path is work → d2 → d1 → Exit.
+	if !reaches(b2, b1) {
+		t.Fatalf("d2 does not run before d1:\n%s", g)
+	}
+	if reaches(b1, b2) {
+		t.Fatalf("defer chain has a cycle:\n%s", g)
+	}
+	wantExitPred := false
+	for _, p := range g.Exit.Preds {
+		if p == b1 {
+			wantExitPred = true
+		}
+		if p == b2 {
+			t.Fatalf("d2 jumps straight to exit, skipping d1:\n%s", g)
+		}
+	}
+	if !wantExitPred {
+		t.Fatalf("d1 is not the last block before exit:\n%s", g)
+	}
+}
+
+func TestEarlyReturnBeforeDefer(t *testing.T) {
+	g := build(t, `package p
+func d(); func a()
+func f(cond bool) {
+	if cond {
+		return
+	}
+	defer d()
+	a()
+}`, "f")
+	bd := blockCalling(g, "d")
+	if bd == nil || bd.Kind != KindDefer {
+		t.Fatalf("defer block missing:\n%s", g)
+	}
+	// The early return precedes registration: a path to Exit must
+	// exist that avoids the defer block.
+	if !pathAvoiding(g.Entry, g.Exit, bd) {
+		t.Fatalf("early return forced through later defer:\n%s", g)
+	}
+	// The late path must run the defer.
+	if ba := blockCalling(g, "a"); !reaches(ba, bd) {
+		t.Fatalf("fall-off exit skips registered defer:\n%s", g)
+	}
+}
+
+func TestPanicDeadEnd(t *testing.T) {
+	g := build(t, `package p
+func a(); func b()
+func f(cond bool) {
+	a()
+	if cond {
+		panic("boom")
+	}
+	b()
+}`, "f")
+	var panicBlk *Block
+	for _, blk := range g.Blocks {
+		if blk.NoReturn {
+			panicBlk = blk
+		}
+	}
+	if panicBlk == nil {
+		t.Fatalf("no NoReturn block:\n%s", g)
+	}
+	if len(panicBlk.Succs) != 0 {
+		t.Fatalf("panic block has successors:\n%s", g)
+	}
+	if !reaches(blockCalling(g, "a"), g.Exit) {
+		t.Fatalf("normal path lost:\n%s", g)
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	g := build(t, `package p
+func body(); func after()
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 2 {
+			continue
+		}
+		if i == 3 {
+			break
+		}
+		body()
+	}
+	after()
+}`, "f")
+	bb, ba := blockCalling(g, "body"), blockCalling(g, "after")
+	if bb == nil || ba == nil {
+		t.Fatalf("missing blocks:\n%s", g)
+	}
+	if !reaches(bb, bb) {
+		t.Fatalf("loop body cannot reach itself (back edge missing):\n%s", g)
+	}
+	if !reaches(bb, ba) {
+		t.Fatalf("loop does not exit:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	g := build(t, `package p
+func tick()
+func f() {
+	for {
+		tick()
+	}
+}`, "f")
+	if reaches(g.Entry, g.Exit) {
+		t.Fatalf("for{} should not reach exit:\n%s", g)
+	}
+	// Exit stays in Blocks even when dead.
+	found := false
+	for _, blk := range g.Blocks {
+		if blk == g.Exit {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exit pruned:\n%s", g)
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := build(t, `package p
+func a(); func b(); func c()
+func f(x int) {
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+}`, "f")
+	ba, bb, bc := blockCalling(g, "a"), blockCalling(g, "b"), blockCalling(g, "c")
+	if ba == nil || bb == nil || bc == nil {
+		t.Fatalf("missing case blocks:\n%s", g)
+	}
+	hasEdge := false
+	for _, s := range ba.Succs {
+		if s == bb {
+			hasEdge = true
+		}
+	}
+	if !hasEdge {
+		t.Fatalf("fallthrough edge a→b missing:\n%s", g)
+	}
+	if reaches(ba, bc) {
+		t.Fatalf("fallthrough leaks into default:\n%s", g)
+	}
+}
+
+func TestSwitchNoDefaultSkipEdge(t *testing.T) {
+	g := build(t, `package p
+func a(); func after()
+func f(x int) {
+	switch x {
+	case 1:
+		a()
+	}
+	after()
+}`, "f")
+	ba, bafter := blockCalling(g, "a"), blockCalling(g, "after")
+	if !pathAvoiding(g.Entry, bafter, ba) {
+		t.Fatalf("switch without default must be skippable:\n%s", g)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, `package p
+func step()
+func f(n int) {
+loop:
+	step()
+	n--
+	if n > 0 {
+		goto loop
+	}
+}`, "f")
+	bs := blockCalling(g, "step")
+	if bs == nil {
+		t.Fatalf("step block missing:\n%s", g)
+	}
+	if !reaches(bs, bs) {
+		t.Fatalf("goto back edge missing:\n%s", g)
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, `package p
+func inner(); func after()
+func f(m, n int) {
+outer:
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				break outer
+			}
+			inner()
+		}
+	}
+	after()
+}`, "f")
+	bi, ba := blockCalling(g, "inner"), blockCalling(g, "after")
+	if bi == nil || ba == nil {
+		t.Fatalf("missing blocks:\n%s", g)
+	}
+	if !reaches(bi, ba) {
+		t.Fatalf("labeled break target unreachable from inner loop:\n%s", g)
+	}
+}
+
+func TestSelectShapes(t *testing.T) {
+	g := build(t, `package p
+func a(); func b()
+func f(ch chan int) {
+	select {
+	case <-ch:
+		a()
+	default:
+		b()
+	}
+}`, "f")
+	if blockCalling(g, "a") == nil || blockCalling(g, "b") == nil {
+		t.Fatalf("select clause blocks missing:\n%s", g)
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatalf("select must fall through to exit:\n%s", g)
+	}
+
+	g = build(t, `package p
+func f() {
+	select {}
+}`, "f")
+	if reaches(g.Entry, g.Exit) {
+		t.Fatalf("empty select must block forever:\n%s", g)
+	}
+}
+
+func TestRangeZeroIterations(t *testing.T) {
+	g := build(t, `package p
+func body(); func after()
+func f(xs []int) {
+	for range xs {
+		body()
+	}
+	after()
+}`, "f")
+	ba, bb := blockCalling(g, "after"), blockCalling(g, "body")
+	if !pathAvoiding(g.Entry, ba, bb) {
+		t.Fatalf("range must be skippable with zero iterations:\n%s", g)
+	}
+	if !reaches(bb, bb) {
+		t.Fatalf("range back edge missing:\n%s", g)
+	}
+}
+
+func TestAllBlocksReachableAfterPrune(t *testing.T) {
+	g := build(t, `package p
+func a(); func b()
+func f(cond bool) {
+	if cond {
+		return
+	}
+	a()
+	return
+}`, "f")
+	for _, blk := range g.Blocks {
+		if blk == g.Entry || blk == g.Exit {
+			continue
+		}
+		if !reaches(g.Entry, blk) {
+			t.Fatalf("unreachable block b%d survived pruning:\n%s", blk.Index, g)
+		}
+	}
+}
+
+// callsSeen is a may-analysis test problem: the set of function names
+// possibly called before a block executes.
+type callsSeen struct{}
+
+func (callsSeen) Entry() Fact { return map[string]bool{} }
+
+func (callsSeen) Join(a, b Fact) Fact {
+	out := map[string]bool{}
+	for k := range a.(map[string]bool) {
+		out[k] = true
+	}
+	for k := range b.(map[string]bool) {
+		out[k] = true
+	}
+	return out
+}
+
+func (callsSeen) Equal(a, b Fact) bool {
+	am, bm := a.(map[string]bool), b.(map[string]bool)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k := range am {
+		if !bm[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (callsSeen) Transfer(blk *Block, in Fact) Fact {
+	out := map[string]bool{}
+	for k := range in.(map[string]bool) {
+		out[k] = true
+	}
+	for _, n := range blk.Nodes {
+		Walk(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func TestForwardDataflow(t *testing.T) {
+	g := build(t, `package p
+func a(); func b(); func c()
+func f(cond bool) {
+	if cond {
+		a()
+	} else {
+		b()
+	}
+	c()
+	for cond {
+		a()
+	}
+}`, "f")
+	res := Forward(g, callsSeen{})
+	exitIn, ok := res.In[g.Exit].(map[string]bool)
+	if !ok {
+		t.Fatalf("no fact at exit:\n%s", g)
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if !exitIn[want] {
+			t.Errorf("exit fact missing %q: %v", want, exitIn)
+		}
+	}
+	// The then-branch block must not yet have seen b.
+	ba := blockCalling(g, "a")
+	if in, ok := res.In[ba].(map[string]bool); ok && in["b"] {
+		t.Errorf("then-branch entry fact already contains b: %v", in)
+	}
+}
+
+func TestDeferredCallInDataflow(t *testing.T) {
+	// A deferred call must be visible to dataflow on the exit path.
+	g := build(t, `package p
+func open(); func close()
+func f() {
+	open()
+	defer close()
+}`, "f")
+	res := Forward(g, callsSeen{})
+	exitIn := res.In[g.Exit].(map[string]bool)
+	if !exitIn["close"] {
+		t.Errorf("deferred close not on exit path: %v", exitIn)
+	}
+}

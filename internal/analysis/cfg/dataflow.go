@@ -1,0 +1,115 @@
+package cfg
+
+// Fact is an analyzer-defined dataflow fact. Facts are treated as
+// immutable by the framework: Transfer must return a fresh value (or
+// the unchanged input) rather than mutate its argument, and a nil Fact
+// means "unknown / not yet computed" (the lattice bottom), never a
+// legitimate analyzer state.
+type Fact interface{}
+
+// Problem defines one forward dataflow analysis: the fact at function
+// entry, the join at control-flow merges, equality (for the fixpoint
+// test), and the per-block transfer function.
+type Problem interface {
+	// Entry returns the fact holding at function entry.
+	Entry() Fact
+
+	// Join merges the facts of two predecessors. Both arguments are
+	// non-nil; Join must be commutative, associative and idempotent or
+	// the worklist will not converge.
+	Join(a, b Fact) Fact
+
+	// Equal reports whether two non-nil facts are the same lattice
+	// element.
+	Equal(a, b Fact) bool
+
+	// Transfer computes the fact after executing block b with fact in
+	// holding on entry to the block.
+	Transfer(b *Block, in Fact) Fact
+}
+
+// Result holds the fixpoint: the fact on entry to and exit from every
+// reachable block. Blocks never reached (a dead Exit in a function
+// that cannot return) have nil entries.
+type Result struct {
+	In  map[*Block]Fact
+	Out map[*Block]Fact
+}
+
+// Forward runs p over g to fixpoint with a reverse-post-order worklist
+// and returns the per-block facts.
+func Forward(g *Graph, p Problem) *Result {
+	order := postorder(g)
+	// Reverse postorder: process dominators before dominated blocks so
+	// most functions converge in one pass.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	res := &Result{
+		In:  make(map[*Block]Fact, len(g.Blocks)),
+		Out: make(map[*Block]Fact, len(g.Blocks)),
+	}
+	inWork := make(map[*Block]bool, len(order))
+	work := make([]*Block, len(order))
+	copy(work, order)
+	for _, blk := range order {
+		inWork[blk] = true
+	}
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+
+		var in Fact
+		if blk == g.Entry {
+			in = p.Entry()
+		}
+		for _, pred := range blk.Preds {
+			out := res.Out[pred]
+			if out == nil {
+				continue
+			}
+			if in == nil {
+				in = out
+			} else {
+				in = p.Join(in, out)
+			}
+		}
+		if in == nil {
+			continue // no predecessor has produced a fact yet
+		}
+		res.In[blk] = in
+		out := p.Transfer(blk, in)
+		old := res.Out[blk]
+		if old != nil && p.Equal(old, out) {
+			continue
+		}
+		res.Out[blk] = out
+		for _, s := range blk.Succs {
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return res
+}
+
+// postorder returns the blocks reachable from Entry in DFS postorder.
+func postorder(g *Graph) []*Block {
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var order []*Block
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		seen[blk] = true
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				visit(s)
+			}
+		}
+		order = append(order, blk)
+	}
+	visit(g.Entry)
+	return order
+}

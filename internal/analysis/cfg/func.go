@@ -1,0 +1,114 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Func is one analyzable function body found in a file: a declared
+// function/method or a function literal that is not immediately
+// invoked.
+type Func struct {
+	Name string // "Name", "(T).Method", or "func literal"
+	Pos  token.Pos
+	Body *ast.BlockStmt
+}
+
+// Functions returns every function body in the file that forms its own
+// control-flow unit: all FuncDecls with bodies plus every function
+// literal except immediately-invoked ones (`func(){…}()`), whose body
+// executes inline in the enclosing function and therefore belongs to
+// the enclosing CFG — Walk includes such bodies at the call site.
+func Functions(file *ast.File) []*Func {
+	inline := invokedLiterals(file)
+	var out []*Func
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, &Func{Name: declName(n), Pos: n.Pos(), Body: n.Body})
+			}
+		case *ast.FuncLit:
+			if !inline[n] {
+				out = append(out, &Func{Name: "func literal", Pos: n.Pos(), Body: n.Body})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// invokedLiterals collects the function literals under n that appear as
+// the called operand of a call expression (immediately-invoked).
+func invokedLiterals(n ast.Node) map[*ast.FuncLit]bool {
+	inline := make(map[*ast.FuncLit]bool)
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				inline[lit] = true
+			}
+		}
+		return true
+	})
+	return inline
+}
+
+func declName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return "(" + recvString(d.Recv.List[0].Type) + ")." + d.Name.Name
+}
+
+func recvString(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return "*" + recvString(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvString(t.X)
+	case *ast.IndexListExpr:
+		return recvString(t.X)
+	default:
+		return "?"
+	}
+}
+
+// Walk calls f for every node under n that executes as part of the
+// enclosing function at that point in the flow, skipping:
+//
+//   - bodies of nested function literals, unless immediately invoked
+//     (an IIFE's body runs inline at the call site, so its effects
+//     belong to this function) — a skipped literal is still visited
+//     itself, as the value expression it is, but not its children;
+//   - children of a defer registration marker (*ast.DeferStmt): the
+//     deferred call executes in its KindDefer block on the exit path,
+//     where it appears as a bare *ast.CallExpr, not at registration.
+//     (Arguments of a deferred call are evaluated at registration; the
+//     approximation attributes them to the exit path, which is
+//     conservative for the effect-tracking analyzers built on this.)
+//
+// If f returns false the node's children are skipped, as with
+// ast.Inspect.
+func Walk(n ast.Node, f func(ast.Node) bool) {
+	inline := invokedLiterals(n)
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.DeferStmt:
+			// Always opaque: a KindDefer block stores the bare call, so
+			// a DeferStmt here is a registration marker, even as root.
+			f(m)
+			return false
+		case *ast.FuncLit:
+			if !inline[m] {
+				f(m)
+				return false
+			}
+		}
+		return f(m)
+	})
+}

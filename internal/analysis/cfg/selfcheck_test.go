@@ -1,0 +1,177 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"osnoise/internal/analysis/cfg"
+)
+
+// TestSelfValidation builds a CFG for every function in the repository
+// (fixtures included — they are ordinary Go) and checks the structural
+// invariants the analyzers lean on:
+//
+//   - every block is reachable from Entry (the builder prunes the rest;
+//     only Exit may be unreachable, in functions that never return),
+//   - Succs and Preds mirror each other exactly,
+//   - a block with no successors is the Exit block or marked NoReturn,
+//   - a function whose body registers a defer and whose Exit is
+//     reachable has at least one KindDefer block, and every KindDefer
+//     block reaches Exit (deferred calls run on the way out).
+func TestSelfValidation(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	fset := token.NewFileSet()
+	var files []*ast.File
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "related" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 100 {
+		t.Fatalf("walked only %d Go files from %s; wrong root?", len(files), root)
+	}
+
+	funcs := 0
+	for _, f := range files {
+		for _, fn := range cfg.Functions(f) {
+			funcs++
+			validate(t, fset, fn)
+		}
+	}
+	t.Logf("validated CFGs of %d functions across %d files", funcs, len(files))
+	if funcs < 300 {
+		t.Fatalf("only %d functions validated; expected the whole repository", funcs)
+	}
+}
+
+func validate(t *testing.T, fset *token.FileSet, fn *cfg.Func) {
+	t.Helper()
+	g := cfg.New(fn.Body, nil)
+	at := func() string { return fset.Position(fn.Pos).String() + " (" + fn.Name + ")" }
+
+	// Reachability from Entry.
+	reach := map[*cfg.Block]bool{}
+	var visit func(*cfg.Block)
+	visit = func(b *cfg.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	for _, b := range g.Blocks {
+		if !reach[b] && b != g.Exit {
+			t.Errorf("%s: block %d (%s) unreachable from entry", at(), b.Index, b.Kind)
+		}
+	}
+
+	// Succs/Preds mirror, and all edge endpoints are in g.Blocks.
+	in := map[*cfg.Block]bool{}
+	for _, b := range g.Blocks {
+		in[b] = true
+	}
+	count := func(list []*cfg.Block, x *cfg.Block) int {
+		n := 0
+		for _, e := range list {
+			if e == x {
+				n++
+			}
+		}
+		return n
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !in[s] {
+				t.Errorf("%s: block %d has dangling successor", at(), b.Index)
+				continue
+			}
+			if count(s.Preds, b) != count(b.Succs, s) {
+				t.Errorf("%s: edge %d->%d not mirrored in Preds", at(), b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			if !in[p] {
+				t.Errorf("%s: block %d has dangling predecessor", at(), b.Index)
+				continue
+			}
+			if count(p.Succs, b) != count(b.Preds, p) {
+				t.Errorf("%s: edge %d->%d not mirrored in Succs", at(), p.Index, b.Index)
+			}
+		}
+
+		// Dead ends are the exit or explicitly no-return.
+		if len(b.Succs) == 0 && b != g.Exit && !b.NoReturn {
+			t.Errorf("%s: block %d (%s) has no successors but is neither exit nor no-return", at(), b.Index, b.Kind)
+		}
+	}
+
+	// Defer modeling: a reachable defer registration with a reachable
+	// exit implies a defer block on some path, and every defer block
+	// reaches the exit.
+	hasDeferStmt := false
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				hasDeferStmt = true
+			}
+		}
+	}
+	hasDeferBlock := false
+	for _, b := range g.Blocks {
+		if b.Kind == cfg.KindDefer {
+			hasDeferBlock = true
+			exitReach := map[*cfg.Block]bool{}
+			var toExit func(*cfg.Block) bool
+			toExit = func(x *cfg.Block) bool {
+				if x == g.Exit {
+					return true
+				}
+				if exitReach[x] {
+					return false
+				}
+				exitReach[x] = true
+				for _, s := range x.Succs {
+					if toExit(s) {
+						return true
+					}
+				}
+				return false
+			}
+			if !toExit(b) {
+				t.Errorf("%s: defer block %d does not reach exit", at(), b.Index)
+			}
+		}
+	}
+	if hasDeferStmt && reach[g.Exit] && !hasDeferBlock {
+		t.Errorf("%s: function registers a defer and returns, but CFG has no defer block", at())
+	}
+}

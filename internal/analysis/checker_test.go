@@ -52,6 +52,57 @@ func f() {
 	}
 }
 
+// TestIgnoreDirectiveEdgeCases pins down the deliberate limits of the
+// directive syntax: only line comments with the exact prefix count, a
+// trailing directive covers its own line only, and a standalone
+// directive covers exactly the next line — a blank line breaks the
+// link.
+func TestIgnoreDirectiveEdgeCases(t *testing.T) {
+	src := `package x
+
+func f() {
+	_ = 1 /*noisevet:ignore*/
+	_ = 2 // noisevet:ignore
+	_ = 3 //noisevet:ignore
+	_ = 4
+	//noisevet:ignore
+
+	_ = 5
+	//noisevet:ignore timeunits , determinism
+	_ = 6
+}
+`
+	_, dirs := parseForDirectives(t, src)
+	// Only lines 6, 8, and 11 carry directives: the block comment on
+	// line 4 and the spaced "// noisevet:ignore" on line 5 do not parse
+	// as directives.
+	if len(dirs) != 3 {
+		t.Fatalf("got %d directives (%+v), want 3", len(dirs), dirs)
+	}
+
+	cases := []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"anything", 4, false},    // block comments are not directives
+		{"anything", 5, false},    // space between // and noisevet: not a directive
+		{"anything", 6, true},     // trailing directive covers its own line
+		{"anything", 7, false},    // ...but not the line below it
+		{"anything", 8, true},     // standalone directive covers its own (comment-only) line
+		{"anything", 9, true},     // ...and the line directly below (blank here)
+		{"anything", 10, false},   // ...but not two lines down: blank line breaks the link
+		{"timeunits", 12, true},   // names survive odd spacing around the comma
+		{"determinism", 12, true}, // second name in the list
+		{"writecheck", 12, false}, // unlisted analyzer stays reported
+	}
+	for _, c := range cases {
+		if got := suppressed(dirs, c.analyzer, c.line); got != c.want {
+			t.Errorf("suppressed(%q, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+	}
+}
+
 func TestPathPrefixMatch(t *testing.T) {
 	cases := []struct {
 		prefix, path string

@@ -1,0 +1,246 @@
+// Package eventpair implements the noisevet analyzer that keeps kernel
+// entry tracepoints paired with their exits on every control-flow path.
+//
+// The offline analysis reconstructs nested kernel activity spans from a
+// stack of entry/exit events (PAPER.md §3): an EvIRQEntry pushes, its
+// EvIRQExit pops. The arithmetic is exact only if every emitted entry
+// is closed by its matching exit on every non-panicking path — an early
+// return that skips the exit leaves a phantom open span that corrupts
+// the attribution of every later event on that CPU, silently skewing
+// all per-event noise statistics.
+//
+// The analyzer is path-sensitive over the internal/analysis/cfg graph.
+// Inside the configured packages, for every function:
+//
+//   - A statement that references an entry constant of the tracepoint
+//     enum together with exit constants must include the matching exit
+//     (`c.push(now, trace.EvIRQEntry, trace.EvIRQExit, …)` and the
+//     parallel assignment `entry, exit := trace.EvSoftIRQEntry,
+//     trace.EvSoftIRQExit` are balanced hand-offs; pairing EvIRQEntry
+//     with EvSoftIRQExit is reported).
+//
+//   - A statement that references an entry constant with no exit in
+//     sight opens a span: every path from that statement to function
+//     exit must pass a statement referencing the matching exit
+//     constant. Paths that end in panic/os.Exit are exempt (the trace
+//     is torn anyway), and a deferred exit emission counts because
+//     defer blocks lie on the exit path in the CFG.
+//
+// The check is intra-procedural by design: the simulator's span
+// plumbing (kernel.CPU.push/finishTop) hands entry and exit to one
+// call, which is exactly the balanced-pair shape the first rule
+// verifies.
+package eventpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/cfg"
+)
+
+// Config scopes the analyzer and names the tracepoint pairing.
+type Config struct {
+	// Packages are package-path prefixes the analyzer applies to; an
+	// empty list means every target package.
+	Packages []string
+
+	// IDType is the qualified tracepoint enum type, e.g.
+	// "osnoise/internal/trace.ID".
+	IDType string
+
+	// Pairs maps entry constant names to their exit constant names,
+	// mirroring trace.ID.ExitFor.
+	Pairs map[string]string
+}
+
+// New returns an eventpair analyzer with the given pairing.
+func New(cfgc Config) *analysis.Analyzer {
+	exits := make(map[string]bool, len(cfgc.Pairs))
+	for _, exit := range cfgc.Pairs {
+		exits[exit] = true
+	}
+	a := &analysis.Analyzer{
+		Name: "eventpair",
+		Doc: "require every entry tracepoint emission to be matched by its exit on all non-panicking paths\n\n" +
+			"The offline nested-span reconstruction is exact only if every entry event is closed by its\n" +
+			"ExitFor counterpart on every path; a skipped exit corrupts the event stack and silently\n" +
+			"skews all per-event noise statistics.",
+	}
+	a.Run = func(pass *analysis.Pass) (interface{}, error) {
+		if len(cfgc.Packages) > 0 && !matchAny(cfgc.Packages, pass.Pkg.Path()) {
+			return nil, nil
+		}
+		for _, file := range pass.Files {
+			for _, fn := range cfg.Functions(file) {
+				checkFunc(pass, cfgc, exits, fn)
+			}
+		}
+		return nil, nil
+	}
+	return a
+}
+
+// ref is one use of a tracepoint constant inside a statement.
+type ref struct {
+	name string
+	pos  token.Pos
+}
+
+// nodeRefs collects the entry and exit constants referenced by one CFG
+// node, in source order.
+func nodeRefs(pass *analysis.Pass, c Config, exits map[string]bool, n ast.Node) (entries, exitRefs []ref) {
+	cfg.Walk(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		cst, ok := pass.TypesInfo.Uses[id].(*types.Const)
+		if !ok {
+			return true
+		}
+		named, ok := cst.Type().(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return true
+		}
+		if named.Obj().Pkg().Path()+"."+named.Obj().Name() != c.IDType {
+			return true
+		}
+		switch {
+		case c.Pairs[cst.Name()] != "":
+			entries = append(entries, ref{cst.Name(), id.Pos()})
+		case exits[cst.Name()]:
+			exitRefs = append(exitRefs, ref{cst.Name(), id.Pos()})
+		}
+		return true
+	})
+	return entries, exitRefs
+}
+
+func checkFunc(pass *analysis.Pass, c Config, exits map[string]bool, fn *cfg.Func) {
+	// Fast pre-scan: most functions never touch the enum.
+	touches := false
+	cfg.Walk(fn.Body, func(m ast.Node) bool {
+		if touches {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if cst, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+				if c.Pairs[cst.Name()] != "" || exits[cst.Name()] {
+					touches = true
+				}
+			}
+		}
+		return true
+	})
+	if !touches {
+		return
+	}
+
+	g := cfg.New(fn.Body, nil)
+	type open struct {
+		blk  *cfg.Block
+		idx  int // index of the opening node within blk.Nodes
+		name string
+		pos  token.Pos
+	}
+	var opens []open
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			entries, exitRefs := nodeRefs(pass, c, exits, n)
+			if len(entries) == 0 {
+				continue
+			}
+			if len(exitRefs) > 0 {
+				// Balanced hand-off: each entry must find its own exit
+				// among the statement's exit references.
+				avail := make(map[string]int, len(exitRefs))
+				for _, x := range exitRefs {
+					avail[x.name]++
+				}
+				for _, e := range entries {
+					want := c.Pairs[e.name]
+					if avail[want] > 0 {
+						avail[want]--
+						continue
+					}
+					pass.Reportf(e.pos, "entry tracepoint %s is paired with %s here; its exit is %s",
+						e.name, exitRefs[0].name, want)
+				}
+				continue
+			}
+			for _, e := range entries {
+				opens = append(opens, open{blk, i, e.name, e.pos})
+			}
+		}
+	}
+
+	for _, o := range opens {
+		want := c.Pairs[o.name]
+		if leaksToExit(pass, c, exits, g, o.blk, o.idx, want) {
+			pass.Reportf(o.pos, "emission of entry tracepoint %s is not matched by an emission of %s on every path to return; a broken pair corrupts the nested-event stack",
+				o.name, want)
+		}
+	}
+}
+
+// leaksToExit reports whether some path from just after node idx of blk
+// reaches the function exit without passing a node that references the
+// wanted exit constant. Paths ending in a NoReturn block (panic,
+// os.Exit) do not count.
+func leaksToExit(pass *analysis.Pass, c Config, exits map[string]bool, g *cfg.Graph, blk *cfg.Block, idx int, want string) bool {
+	closes := func(n ast.Node) bool {
+		_, exitRefs := nodeRefs(pass, c, exits, n)
+		for _, x := range exitRefs {
+			if x.name == want {
+				return true
+			}
+		}
+		return false
+	}
+	// Rest of the opening block first.
+	for _, n := range blk.Nodes[idx+1:] {
+		if closes(n) {
+			return false
+		}
+	}
+	seen := map[*cfg.Block]bool{}
+	var visit func(*cfg.Block) bool
+	visit = func(b *cfg.Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if closes(n) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range blk.Succs {
+		if visit(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchAny(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if analysis.PathPrefixMatch(p, path) {
+			return true
+		}
+	}
+	return false
+}

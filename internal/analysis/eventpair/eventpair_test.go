@@ -1,0 +1,25 @@
+package eventpair_test
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+	"osnoise/internal/analysis/eventpair"
+)
+
+// TestEventPair runs the analyzer over the fixture with the fixture
+// enum standing in for trace.ID. Package a is in scope and carries the
+// want cases; package b holds a blatant leak but is outside the
+// configured packages, so any diagnostic on it fails the test (scope
+// negative).
+func TestEventPair(t *testing.T) {
+	a := eventpair.New(eventpair.Config{
+		Packages: []string{"a"},
+		IDType:   "trc.ID",
+		Pairs: map[string]string{
+			"EvIRQEntry":     "EvIRQExit",
+			"EvSoftIRQEntry": "EvSoftIRQExit",
+		},
+	})
+	analysistest.Run(t, "testdata", a, "a", "b")
+}

@@ -1,0 +1,109 @@
+// Package a exercises the eventpair analyzer: entry emissions must be
+// closed by their matching exits on all non-panicking paths.
+package a
+
+import "trc"
+
+func emit(ev trc.Event) {}
+
+// push receives a pre-matched entry/exit pair, like kernel.CPU.push.
+func push(entry, exit trc.ID, dur int64) {}
+
+// Straight-line pairing is fine.
+func balancedStraight(now int64) {
+	emit(trc.Event{TS: now, ID: trc.EvIRQEntry})
+	emit(trc.Event{TS: now + 1, ID: trc.EvIRQExit})
+}
+
+// Handing entry and exit to one call is the blessed span-plumbing
+// shape; nothing to report.
+func balancedHandoff(now int64) {
+	push(trc.EvIRQEntry, trc.EvIRQExit, 10)
+	push(trc.EvSoftIRQEntry, trc.EvSoftIRQExit, 20)
+}
+
+// A parallel assignment that keeps the pair together is balanced.
+func balancedAssign(tasklet bool) {
+	entry, exit := trc.EvIRQEntry, trc.EvIRQExit
+	if tasklet {
+		entry, exit = trc.EvSoftIRQEntry, trc.EvSoftIRQExit
+	}
+	push(entry, exit, 5)
+}
+
+// Pairing an entry with the wrong exit is the bug the simulator's span
+// plumbing could never recover from.
+func mismatchedHandoff(now int64) {
+	push(trc.EvIRQEntry, trc.EvSoftIRQExit, 10) // want `entry tracepoint EvIRQEntry is paired with EvSoftIRQExit here; its exit is EvIRQExit`
+}
+
+// The exit is emitted on both branches: closed on every path.
+func balancedBranch(now int64, fast bool) {
+	emit(trc.Event{TS: now, ID: trc.EvSoftIRQEntry})
+	if fast {
+		emit(trc.Event{TS: now + 1, ID: trc.EvSoftIRQExit})
+	} else {
+		emit(trc.Event{TS: now + 2, ID: trc.EvSoftIRQExit})
+	}
+}
+
+// An early return that skips the exit leaves the span open.
+func earlyReturnLeak(now int64, bail bool) {
+	emit(trc.Event{TS: now, ID: trc.EvIRQEntry}) // want `emission of entry tracepoint EvIRQEntry is not matched by an emission of EvIRQExit on every path`
+	if bail {
+		return
+	}
+	emit(trc.Event{TS: now + 1, ID: trc.EvIRQExit})
+}
+
+// No exit anywhere: open on every path.
+func neverClosed(now int64) {
+	emit(trc.Event{TS: now, ID: trc.EvSoftIRQEntry}) // want `emission of entry tracepoint EvSoftIRQEntry is not matched by an emission of EvSoftIRQExit on every path`
+}
+
+// Panicking paths are exempt: the trace is torn anyway.
+func panicPathOK(now int64, corrupt bool) {
+	emit(trc.Event{TS: now, ID: trc.EvIRQEntry})
+	if corrupt {
+		panic("corrupt state")
+	}
+	emit(trc.Event{TS: now + 1, ID: trc.EvIRQExit})
+}
+
+// A deferred exit emission lies on every return path.
+func deferredExit(now int64, bail bool) {
+	emit(trc.Event{TS: now, ID: trc.EvIRQEntry})
+	defer emit(trc.Event{TS: now + 1, ID: trc.EvIRQExit})
+	if bail {
+		return
+	}
+}
+
+// The exit emitted inside a loop body does not cover the zero-iteration
+// path around the loop.
+func loopSkipLeak(now int64, n int) {
+	emit(trc.Event{TS: now, ID: trc.EvIRQEntry}) // want `emission of entry tracepoint EvIRQEntry is not matched by an emission of EvIRQExit on every path`
+	for i := 0; i < n; i++ {
+		emit(trc.Event{TS: now + int64(i), ID: trc.EvIRQExit})
+	}
+}
+
+// Unpaired marker events and bare exits carry no obligation.
+func markersFree(now int64) {
+	emit(trc.Event{TS: now, ID: trc.EvMark})
+	emit(trc.Event{TS: now, ID: trc.EvIRQExit})
+	emit(trc.Event{TS: now, ID: trc.EvNone})
+}
+
+// Comparisons in a switch reference the exit, which closes the span on
+// that path — the analyzer treats any reference as an emission, so the
+// span plumbing below stays silent.
+func switchClose(now int64, id trc.ID) {
+	emit(trc.Event{TS: now, ID: trc.EvIRQEntry})
+	switch id {
+	case trc.EvIRQExit:
+		emit(trc.Event{TS: now, ID: id})
+	default:
+		emit(trc.Event{TS: now, ID: trc.EvIRQExit})
+	}
+}

@@ -1,0 +1,12 @@
+// Package b is outside the analyzer's configured package scope: its
+// obvious leak must produce no diagnostics (scope negative — there are
+// deliberately no want comments in this file).
+package b
+
+import "trc"
+
+func emit(ev trc.Event) {}
+
+func unscopedLeak(now int64) {
+	emit(trc.Event{TS: now, ID: trc.EvIRQEntry})
+}

@@ -1,0 +1,22 @@
+// Package trc is the fixture analogue of osnoise/internal/trace: a
+// tracepoint enum with entry/exit pairs.
+package trc
+
+// ID identifies a tracepoint.
+type ID uint16
+
+// Tracepoint identifiers.
+const (
+	EvNone ID = iota
+	EvIRQEntry
+	EvIRQExit
+	EvSoftIRQEntry
+	EvSoftIRQExit
+	EvMark // unpaired marker event
+)
+
+// Event is one trace record.
+type Event struct {
+	TS int64
+	ID ID
+}

@@ -1,0 +1,359 @@
+// Package lockbalance implements the noisevet analyzer that keeps
+// sync.Mutex/RWMutex acquisitions balanced on every control-flow path.
+//
+// The tracer's shared state (trace.MutexRing, the session's process
+// table) is guarded by mutexes on paths the simulator hits millions of
+// times per run. A lock leaked on an early return deadlocks the next
+// writer; a double unlock panics at runtime, but only on the path that
+// takes the branch — exactly the class of bug "Long-term Monitoring of
+// Kernel and Hardware Events" blames for unattributable latency
+// variance, and one AST-local linting cannot see.
+//
+// The analyzer runs two passes over the internal/analysis/cfg graph of
+// every function:
+//
+//   - A forward dataflow (per-mutex lattice Unknown → Held(n) /
+//     Unheld / Mixed, joined at merges) flags unlocking a mutex that is
+//     not held on the current path (double unlock) and unlocking or
+//     locking with path-dependent state (held on some predecessors
+//     only).
+//
+//   - A per-acquisition path query flags a Lock/RLock from which the
+//     function exit is reachable without passing the matching
+//     Unlock/RUnlock. Deferred unlocks count — defer blocks lie on the
+//     exit path in the CFG — and paths ending in panic/os.Exit are
+//     exempt.
+//
+// Mutexes are identified by the source expression of the receiver
+// ("m.mu", "s.procMu"), per mode (read/write), which is exact for the
+// field-guard idiom the repository uses. A function that only unlocks
+// (caller-held hand-off) is not reported: entry state is Unknown, not
+// Unheld.
+package lockbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/cfg"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Packages are package-path prefixes the analyzer applies to; an
+	// empty list means every target package.
+	Packages []string
+}
+
+// Lattice values per mutex key. Absence from the fact map is Unknown.
+const (
+	unheld int8 = 0  // explicitly released on this path
+	mixed  int8 = -1 // held on some joined paths, not on others
+	// >0: held, with RLock depth for read mode
+)
+
+// lockOp is one Lock/Unlock-family call site.
+type lockOp struct {
+	key     string // mode-qualified receiver, e.g. "w m.mu", "r s.rw"
+	display string // receiver as written, for messages
+	acquire bool
+	read    bool
+	pos     token.Pos
+}
+
+// New returns a lockbalance analyzer.
+func New(cfgc Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "lockbalance",
+		Doc: "require every mutex Lock/RLock to be released on all paths, with no double unlock\n\n" +
+			"Shared tracer state is mutex-guarded on hot paths; a lock leaked on an early return\n" +
+			"deadlocks the next writer and a path-dependent unlock panics only on the branch that\n" +
+			"takes it. Deferred unlocks count; panicking paths are exempt.",
+	}
+	a.Run = func(pass *analysis.Pass) (interface{}, error) {
+		if len(cfgc.Packages) > 0 && !matchAny(cfgc.Packages, pass.Pkg.Path()) {
+			return nil, nil
+		}
+		for _, file := range pass.Files {
+			for _, fn := range cfg.Functions(file) {
+				checkFunc(pass, fn)
+			}
+		}
+		return nil, nil
+	}
+	return a
+}
+
+// opsIn extracts the lock operations of one CFG node, in source order.
+func opsIn(pass *analysis.Pass, n ast.Node) []lockOp {
+	var ops []lockOp
+	cfg.Walk(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		var acquire, read bool
+		switch fn.Name() {
+		case "Lock":
+			acquire = true
+		case "RLock":
+			acquire, read = true, true
+		case "Unlock":
+		case "RUnlock":
+			read = true
+		default:
+			return true // TryLock etc.: conditional, out of scope
+		}
+		recv := types.ExprString(sel.X)
+		mode := "w "
+		if read {
+			mode = "r "
+		}
+		ops = append(ops, lockOp{key: mode + recv, display: recv, acquire: acquire, read: read, pos: call.Pos()})
+		return true
+	})
+	return ops
+}
+
+func checkFunc(pass *analysis.Pass, fn *cfg.Func) {
+	// Fast pre-scan: most functions touch no mutex.
+	any := false
+	cfg.Walk(fn.Body, func(m ast.Node) bool {
+		if any {
+			return false
+		}
+		if sel, ok := m.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Lock", "RLock", "Unlock", "RUnlock":
+				any = true
+			}
+		}
+		return true
+	})
+	if !any {
+		return
+	}
+
+	g := cfg.New(fn.Body, nil)
+	prob := &lockFlow{pass: pass}
+	res := cfg.Forward(g, prob)
+
+	// Reporting pass 1: double/path-dependent unlocks, via one more
+	// transfer over each reachable block with reporting enabled.
+	for _, blk := range g.Blocks {
+		in, ok := res.In[blk].(lockFact)
+		if !ok {
+			continue // unreachable (dead Exit)
+		}
+		prob.report = true
+		prob.transfer(blk, in)
+		prob.report = false
+	}
+
+	// Reporting pass 2: acquisitions that can reach exit still held.
+	for _, blk := range g.Blocks {
+		if _, ok := res.In[blk]; !ok {
+			continue
+		}
+		for i, n := range blk.Nodes {
+			for _, op := range opsIn(pass, n) {
+				if !op.acquire {
+					continue
+				}
+				if leaksToExit(pass, g, blk, i, op) {
+					verb := "Lock"
+					release := "Unlock"
+					if op.read {
+						verb, release = "RLock", "RUnlock"
+					}
+					pass.Reportf(op.pos, "%s.%s is not released on every path to return (missing %s or defer %s.%s)",
+						op.display, verb, release, op.display, release)
+				}
+			}
+		}
+	}
+}
+
+// leaksToExit reports whether some path from just after node idx of blk
+// reaches the function exit without passing a release of op's key.
+// Several ops inside one node (Lock();...;Unlock() on one line) are
+// resolved by position: a release textually after the acquire in the
+// same node closes it.
+func leaksToExit(pass *analysis.Pass, g *cfg.Graph, blk *cfg.Block, idx int, op lockOp) bool {
+	releases := func(n ast.Node, after token.Pos) bool {
+		for _, o := range opsIn(pass, n) {
+			if !o.acquire && o.key == op.key && o.pos > after {
+				return true
+			}
+		}
+		return false
+	}
+	if releases(blk.Nodes[idx], op.pos) {
+		return false
+	}
+	for _, n := range blk.Nodes[idx+1:] {
+		if releases(n, token.NoPos) {
+			return false
+		}
+	}
+	seen := map[*cfg.Block]bool{}
+	var visit func(*cfg.Block) bool
+	visit = func(b *cfg.Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if releases(n, token.NoPos) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range blk.Succs {
+		if visit(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockFact maps mode-qualified mutex keys to lattice values.
+type lockFact map[string]int8
+
+// lockFlow is the forward dataflow problem.
+type lockFlow struct {
+	pass   *analysis.Pass
+	report bool
+}
+
+func (f *lockFlow) Entry() cfg.Fact { return lockFact{} }
+
+func (f *lockFlow) Join(a, b cfg.Fact) cfg.Fact {
+	am, bm := a.(lockFact), b.(lockFact)
+	out := make(lockFact, len(am))
+	for k, av := range am {
+		bv, ok := bm[k]
+		switch {
+		case !ok:
+			// Unknown on the other path: held here means path-dependent;
+			// explicitly-unheld here merges back to Unknown (no claim).
+			if av != unheld {
+				out[k] = mixed
+			}
+		case av == bv:
+			out[k] = av
+		default:
+			out[k] = mixed
+		}
+	}
+	for k, bv := range bm {
+		if _, ok := am[k]; !ok && bv != unheld {
+			out[k] = mixed
+		}
+	}
+	return out
+}
+
+func (f *lockFlow) Equal(a, b cfg.Fact) bool {
+	am, bm := a.(lockFact), b.(lockFact)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		if w, ok := bm[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *lockFlow) Transfer(blk *cfg.Block, in cfg.Fact) cfg.Fact {
+	return f.transfer(blk, in.(lockFact))
+}
+
+func (f *lockFlow) transfer(blk *cfg.Block, in lockFact) lockFact {
+	out := make(lockFact, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	for _, n := range blk.Nodes {
+		for _, op := range opsIn(f.pass, n) {
+			v, known := out[op.key]
+			switch {
+			case op.acquire && op.read:
+				if known && v > 0 {
+					out[op.key] = v + 1 // reader reentrancy: depth
+				} else if known && v == mixed {
+					// stays mixed: at least one more reader now
+				} else {
+					out[op.key] = 1
+				}
+			case op.acquire:
+				if known && v > 0 {
+					if f.report {
+						f.pass.Reportf(op.pos, "%s.Lock with %s already held on this path (self-deadlock)", op.display, op.display)
+					}
+					// Track depth anyway so the releases downstream of the
+					// (reported) reacquisition still balance.
+					out[op.key] = v + 1
+				} else {
+					if known && v == mixed && f.report {
+						f.pass.Reportf(op.pos, "%s.Lock reachable with %s held on some paths but not others", op.display, op.display)
+					}
+					out[op.key] = 1
+				}
+			default: // release
+				rel := "Unlock"
+				if op.read {
+					rel = "RUnlock"
+				}
+				switch {
+				case !known:
+					out[op.key] = unheld // caller-held hand-off: fine
+				case v == unheld:
+					if f.report {
+						f.pass.Reportf(op.pos, "%s.%s with %s not held on this path (double unlock)", op.display, rel, op.display)
+					}
+				case v == mixed:
+					if f.report {
+						f.pass.Reportf(op.pos, "%s.%s reachable with %s held on some paths but not others", op.display, rel, op.display)
+					}
+					out[op.key] = unheld
+				case v > 1:
+					out[op.key] = v - 1
+				default:
+					out[op.key] = unheld
+				}
+			}
+		}
+	}
+	return out
+}
+
+func matchAny(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if analysis.PathPrefixMatch(p, path) {
+			return true
+		}
+	}
+	return false
+}

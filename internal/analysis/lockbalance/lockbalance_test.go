@@ -1,0 +1,17 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+	"osnoise/internal/analysis/lockbalance"
+)
+
+// TestLockBalance runs the analyzer over the fixture. Package a is in
+// scope and carries the want cases; package b holds a blatant leak but
+// is outside the configured packages, so any diagnostic on it fails
+// the test (scope negative).
+func TestLockBalance(t *testing.T) {
+	a := lockbalance.New(lockbalance.Config{Packages: []string{"a"}})
+	analysistest.Run(t, "testdata", a, "a", "b")
+}

@@ -1,0 +1,139 @@
+// Package a exercises the lockbalance analyzer: every Lock/RLock must
+// be released on all paths, with no double unlock.
+package a
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Explicit lock/unlock pairing is fine.
+func (s *state) explicitPair() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// The deferred unlock lies on every return path.
+func (s *state) deferredPair(bail bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bail {
+		return 0
+	}
+	s.n++
+	return s.n
+}
+
+// An early return that skips the unlock leaks the lock.
+func (s *state) earlyReturnLeak(bail bool) {
+	s.mu.Lock() // want `s\.mu\.Lock is not released on every path to return`
+	if bail {
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// No unlock at all.
+func (s *state) neverReleased() {
+	s.mu.Lock() // want `s\.mu\.Lock is not released on every path to return`
+	s.n++
+}
+
+// Unlocking twice on one path panics at runtime.
+func (s *state) doubleUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock() // want `s\.mu\.Unlock with s\.mu not held on this path \(double unlock\)`
+}
+
+// A lock taken on only one branch, released unconditionally: held on
+// some paths but not others at the unlock. (The Lock itself is not a
+// leak — the unconditional Unlock lies on every path from it.)
+func (s *state) mixedUnlock(cond bool) {
+	if cond {
+		s.mu.Lock()
+	}
+	s.n++
+	s.mu.Unlock() // want `s\.mu\.Unlock reachable with s\.mu held on some paths but not others`
+}
+
+// Read locks pair like write locks and are tracked separately.
+func (s *state) readPair() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// RLock leaked on the early return.
+func (s *state) readLeak(bail bool) int {
+	s.rw.RLock() // want `s\.rw\.RLock is not released on every path to return`
+	if bail {
+		return 0
+	}
+	n := s.n
+	s.rw.RUnlock()
+	return n
+}
+
+// An Unlock does not discharge an RLock: read and write modes are
+// tracked separately. (The stray Unlock itself is treated as a
+// caller-held hand-off and stays silent.)
+func (s *state) crossModeLeak() {
+	s.rw.RLock() // want `s\.rw\.RLock is not released on every path to return`
+	_ = s.n
+	s.rw.Unlock()
+}
+
+// Locking a mutex already held on the same path self-deadlocks.
+func (s *state) selfDeadlock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu\.Lock with s\.mu already held on this path \(self-deadlock\)`
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// Unlock-only functions are caller-held hand-offs: entry state is
+// unknown, so nothing to report.
+func (s *state) unlockOnly() {
+	s.n++
+	s.mu.Unlock()
+}
+
+// Panicking paths are exempt: the process is going down anyway.
+func (s *state) panicPathOK(corrupt bool) {
+	s.mu.Lock()
+	if corrupt {
+		panic("corrupt state")
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// Lock in loop body, unlock in same body: balanced each iteration.
+func (s *state) loopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// Two different mutexes are tracked independently.
+func two(a, b *sync.Mutex, swap bool) {
+	a.Lock()
+	b.Lock()
+	if swap {
+		b.Unlock()
+		a.Unlock()
+		return
+	}
+	a.Unlock()
+	b.Unlock()
+}

@@ -1,0 +1,12 @@
+// Package b is outside the analyzer's configured package scope: its
+// obvious leak must produce no diagnostics (scope negative — there are
+// deliberately no want comments in this file).
+package b
+
+import "sync"
+
+var mu sync.Mutex
+
+func unscopedLeak() {
+	mu.Lock()
+}

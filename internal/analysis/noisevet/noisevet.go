@@ -8,8 +8,11 @@ import (
 	"osnoise/internal/analysis"
 	"osnoise/internal/analysis/atomicfield"
 	"osnoise/internal/analysis/determinism"
+	"osnoise/internal/analysis/eventpair"
 	"osnoise/internal/analysis/exhaustive"
+	"osnoise/internal/analysis/lockbalance"
 	"osnoise/internal/analysis/timeunits"
+	"osnoise/internal/analysis/writecheck"
 )
 
 // DeterminismConfig scopes the determinism analyzer to the simulation
@@ -54,6 +57,35 @@ var TimeUnitsConfig = timeunits.Config{
 	},
 }
 
+// EventPairConfig scopes the eventpair analyzer to the packages that
+// emit span tracepoints. The pairs mirror trace.ID.ExitFor: any
+// emission of an entry identifier must be closed by its exit on every
+// non-panicking path (or handed off together with it, as CPU.push
+// does).
+var EventPairConfig = eventpair.Config{
+	Packages: []string{
+		"osnoise/internal/kernel",
+		"osnoise/internal/sim",
+	},
+	IDType: "osnoise/internal/trace.ID",
+	Pairs: map[string]string{
+		"EvIRQEntry":     "EvIRQExit",
+		"EvSoftIRQEntry": "EvSoftIRQExit",
+		"EvTaskletEntry": "EvTaskletExit",
+		"EvTrapEntry":    "EvTrapExit",
+		"EvSyscallEntry": "EvSyscallExit",
+		"EvSchedEntry":   "EvSchedExit",
+	},
+}
+
+// LockBalanceConfig applies lock balancing everywhere: a mutex leaked
+// on any path is a bug no matter which package holds it.
+var LockBalanceConfig = lockbalance.Config{}
+
+// WriteCheckConfig applies write-path Close checking everywhere the
+// suite runs; exporters live in cmd/ but helpers could move.
+var WriteCheckConfig = writecheck.Config{}
+
 // Analyzers returns the production suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
@@ -61,5 +93,8 @@ func Analyzers() []*analysis.Analyzer {
 		exhaustive.New(EnumTypes),
 		atomicfield.New(),
 		timeunits.New(TimeUnitsConfig),
+		eventpair.New(EventPairConfig),
+		lockbalance.New(LockBalanceConfig),
+		writecheck.New(WriteCheckConfig),
 	}
 }

@@ -1,0 +1,113 @@
+// Package a exercises the writecheck analyzer: the Close() error of a
+// written file must be checked.
+package a
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// The blessed pattern: the Close error folds into the returned error.
+func goodFold(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write([]byte("x"))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// A bare Close after a write drops the flush error.
+func bareClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "x")
+	f.Close() // want `error of f\.Close\(\) is discarded after writing to f`
+	return nil
+}
+
+// Deferring the Close after writes drops it just the same.
+func deferredClose(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `error of f\.Close\(\) is discarded after writing to f`
+	_, err = f.WriteString("x")
+	return err
+}
+
+// Assigning the error to the blank identifier is an explicit drop and
+// still wrong on a written handle.
+func blankClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write([]byte("x"))
+	_ = f.Close() // want `error of f\.Close\(\) is discarded after writing to f`
+	return err
+}
+
+// Closing on the error path before any write is a plain cleanup; the
+// handle holds no buffered data yet.
+func cleanupBeforeWrite(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := prepare(); err != nil {
+		f.Close()
+		return err
+	}
+	_, err = f.Write([]byte("x"))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Passing the handle to a writer helper counts as a write.
+func helperWrite(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	dump(f)
+	f.Close() // want `error of f\.Close\(\) is discarded after writing to f`
+	return nil
+}
+
+// Returning the Close error consumes it.
+func goodReturn(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(f, "x"); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// A handle that is never written carries no flush obligation; Close is
+// a plain resource release, like on a read-side os.Open.
+func neverWritten(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	_ = st
+	return err
+}
+
+func prepare() error   { return nil }
+func dump(w io.Writer) { fmt.Fprintln(w, "x") }

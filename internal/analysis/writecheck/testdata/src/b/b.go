@@ -1,0 +1,15 @@
+// Package b is outside the analyzer's configured package scope: its
+// obvious dropped Close must produce no diagnostics (scope negative —
+// there are deliberately no want comments in this file).
+package b
+
+import (
+	"fmt"
+	"os"
+)
+
+func unscopedDrop(path string) {
+	f, _ := os.Create(path)
+	fmt.Fprintln(f, "x")
+	f.Close()
+}

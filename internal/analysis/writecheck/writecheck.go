@@ -1,0 +1,322 @@
+// Package writecheck implements the noisevet analyzer that requires
+// the Close() error of a written file to be checked.
+//
+// On a buffered *os.File, Write can succeed while the data still sits
+// in kernel or libc buffers; the write error a benchmark run actually
+// dies on often surfaces only at Close. A tracer that drops that error
+// exports a silently truncated CSV or CTF stream — the run looks
+// green, the analysis downstream is garbage. cmd/noisebench already
+// uses the blessed pattern:
+//
+//	err = export.WriteCSV(f, header, rows)
+//	if cerr := f.Close(); err == nil {
+//		err = cerr
+//	}
+//
+// The analyzer tracks, per function, file handles returned by the
+// configured creators (os.Create and os.OpenFile by default) with a
+// forward may-dataflow over the internal/analysis/cfg graph: a handle
+// becomes "written" once a path writes to it (a Write* method call, or
+// the handle passed as an argument to any call — fmt.Fprintf,
+// encoders, export helpers). At each Close() of a written handle the
+// result must be consumed: a bare ExprStmt, a defer (the call ends up
+// in a CFG defer block), or an assignment to the blank identifier all
+// discard it and are reported. Closing a handle that no path has
+// written yet (an error-path cleanup before the first write) is fine.
+package writecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/cfg"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Packages are package-path prefixes the analyzer applies to; an
+	// empty list means every target package.
+	Packages []string
+	// Creators are fully-qualified functions whose first result is a
+	// writable file handle. Empty means the default
+	// {"os.Create", "os.OpenFile"}.
+	Creators []string
+}
+
+// New returns a writecheck analyzer.
+func New(cfgc Config) *analysis.Analyzer {
+	creators := cfgc.Creators
+	if len(creators) == 0 {
+		creators = []string{"os.Create", "os.OpenFile"}
+	}
+	cset := make(map[string]bool, len(creators))
+	for _, c := range creators {
+		cset[c] = true
+	}
+	a := &analysis.Analyzer{
+		Name: "writecheck",
+		Doc: "require the Close() error of a written file to be checked\n\n" +
+			"Buffered writes can fail at Close; dropping that error ships a silently\n" +
+			"truncated trace or CSV. Use the noisebench pattern:\n" +
+			"if cerr := f.Close(); err == nil { err = cerr }",
+	}
+	a.Run = func(pass *analysis.Pass) (interface{}, error) {
+		if len(cfgc.Packages) > 0 && !matchAny(cfgc.Packages, pass.Pkg.Path()) {
+			return nil, nil
+		}
+		for _, file := range pass.Files {
+			for _, fn := range cfg.Functions(file) {
+				checkFunc(pass, cset, fn)
+			}
+		}
+		return nil, nil
+	}
+	return a
+}
+
+// handles collects the variables in fn assigned from a creator call.
+func handles(pass *analysis.Pass, cset map[string]bool, fn *cfg.Func) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	cfg.Walk(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isCreator(pass, cset, call) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+			out[v] = true
+		} else if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+func isCreator(pass *analysis.Pass, cset map[string]bool, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return cset[fn.Pkg().Path()+"."+fn.Name()]
+}
+
+func checkFunc(pass *analysis.Pass, cset map[string]bool, fn *cfg.Func) {
+	tracked := handles(pass, cset, fn)
+	if len(tracked) == 0 {
+		return
+	}
+	g := cfg.New(fn.Body, nil)
+	prob := &writeFlow{pass: pass, tracked: tracked}
+	res := cfg.Forward(g, prob)
+	for _, blk := range g.Blocks {
+		in, ok := res.In[blk].(writeFact)
+		if !ok {
+			continue // unreachable
+		}
+		prob.report = true
+		prob.transfer(blk, in)
+		prob.report = false
+	}
+}
+
+// writeFact is the set of tracked handles written on some path so far.
+type writeFact map[*types.Var]bool
+
+type writeFlow struct {
+	pass    *analysis.Pass
+	tracked map[*types.Var]bool
+	report  bool
+}
+
+func (f *writeFlow) Entry() cfg.Fact { return writeFact{} }
+
+func (f *writeFlow) Join(a, b cfg.Fact) cfg.Fact {
+	am, bm := a.(writeFact), b.(writeFact)
+	out := make(writeFact, len(am)+len(bm))
+	for v := range am {
+		out[v] = true
+	}
+	for v := range bm {
+		out[v] = true
+	}
+	return out
+}
+
+func (f *writeFlow) Equal(a, b cfg.Fact) bool {
+	am, bm := a.(writeFact), b.(writeFact)
+	if len(am) != len(bm) {
+		return false
+	}
+	for v := range am {
+		if !bm[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *writeFlow) Transfer(blk *cfg.Block, in cfg.Fact) cfg.Fact {
+	return f.transfer(blk, in.(writeFact))
+}
+
+func (f *writeFlow) transfer(blk *cfg.Block, in writeFact) writeFact {
+	out := make(writeFact, len(in))
+	for v := range in {
+		out[v] = true
+	}
+	for _, n := range blk.Nodes {
+		// Writes first: a statement that both writes and closes (rare,
+		// but possible through helper calls) counts the close as after
+		// the write, the conservative order.
+		cfg.Walk(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if v := f.writeTarget(call); v != nil {
+				out[v] = true
+			}
+			return true
+		})
+		if f.report {
+			cfg.Walk(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				v := f.closeTarget(call)
+				if v == nil || !out[v] {
+					return true
+				}
+				if dropsResult(n, call) {
+					name := varName(call)
+					f.pass.Reportf(call.Pos(),
+						"error of %s.Close() is discarded after writing to %s; a failed flush goes unnoticed (use: if cerr := %s.Close(); err == nil { err = cerr })",
+						name, name, name)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// writeTarget returns the tracked handle the call writes to, if any: a
+// Write*-method receiver, or a handle passed as an argument.
+func (f *writeFlow) writeTarget(call *ast.CallExpr) *types.Var {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if len(sel.Sel.Name) >= 5 && sel.Sel.Name[:5] == "Write" {
+			if v := f.handleOf(sel.X); v != nil {
+				return v
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if v := f.handleOf(arg); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// closeTarget returns the tracked handle the call closes, if any.
+func (f *writeFlow) closeTarget(call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return nil
+	}
+	return f.handleOf(sel.X)
+}
+
+func (f *writeFlow) handleOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := f.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !f.tracked[v] {
+		return nil
+	}
+	return v
+}
+
+// dropsResult reports whether the Close call's error is discarded in
+// the context of CFG node n: a bare statement, a deferred call (the
+// node in a defer block is the CallExpr itself), or an assignment to
+// the blank identifier. Any other context — an assignment to a named
+// variable, an if-init, a return — consumes it.
+func dropsResult(n ast.Node, call *ast.CallExpr) bool {
+	switch s := n.(type) {
+	case *ast.CallExpr:
+		return s == call // deferred: defer f.Close()
+	case *ast.ExprStmt:
+		return ast.Unparen(s.X) == call
+	case *ast.AssignStmt:
+		for i, rhs := range s.Rhs {
+			if ast.Unparen(rhs) == call && i < len(s.Lhs) {
+				if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.DeferStmt:
+		return s.Call == call
+	default:
+		// Statement-level context unknown: find the enclosing statement
+		// shape by walking; conservatively treat as consumed.
+		drops := false
+		cfg.Walk(n, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.ExprStmt:
+				if ast.Unparen(s.X) == call {
+					drops = true
+				}
+			case *ast.DeferStmt:
+				if s.Call == call {
+					drops = true
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range s.Rhs {
+					if ast.Unparen(rhs) == call && i < len(s.Lhs) {
+						if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							drops = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		return drops
+	}
+}
+
+// varName renders the closed handle for the diagnostic.
+func varName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X)
+	}
+	return "file"
+}
+
+func matchAny(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if analysis.PathPrefixMatch(p, path) {
+			return true
+		}
+	}
+	return false
+}

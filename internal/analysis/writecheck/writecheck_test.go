@@ -1,0 +1,17 @@
+package writecheck_test
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+	"osnoise/internal/analysis/writecheck"
+)
+
+// TestWriteCheck runs the analyzer over the fixture. Package a is in
+// scope and carries the want cases; package b drops a written Close
+// but is outside the configured packages, so any diagnostic on it
+// fails the test (scope negative).
+func TestWriteCheck(t *testing.T) {
+	a := writecheck.New(writecheck.Config{Packages: []string{"a"}})
+	analysistest.Run(t, "testdata", a, "a", "b")
+}

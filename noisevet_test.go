@@ -1,0 +1,36 @@
+// This root-level test runs the full noisevet production suite over
+// every package in the module and fails on any finding, so `go test
+// ./...` enforces the same invariants CI does — no separate lint step
+// to forget.
+package osnoise_test
+
+import (
+	"os"
+	"testing"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/noisevet"
+)
+
+func TestNoisevetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("noisevet loads and type-checks the whole module; skipped in -short")
+	}
+	pkgs, fset, err := analysis.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	findings, err := analysis.Check(fset, pkgs, noisevet.Analyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	if cwd, err := os.Getwd(); err == nil {
+		analysis.RelativeTo(findings, cwd)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("noisevet: %d finding(s); fix them or acknowledge with //noisevet:ignore", len(findings))
+	}
+}

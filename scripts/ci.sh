@@ -14,7 +14,9 @@ echo "== go vet"
 go vet ./...
 
 echo "== noisevet (internal/analysis suite)"
-go run ./cmd/noisevet ./...
+# -stats prints a per-analyzer findings count to stderr so the CI log
+# shows each analyzer ran, even when the tree is clean.
+go run ./cmd/noisevet -stats ./...
 
 echo "== go test -race"
 go test -race ./...
