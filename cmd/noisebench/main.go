@@ -11,12 +11,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,6 +28,39 @@ import (
 	"osnoise/internal/export"
 	"osnoise/internal/sim"
 )
+
+// runPipeline executes the analysis-pipeline benchmark and optionally
+// writes the machine-readable result.
+func runPipeline(events int, shardList string, seed uint64, reps int, jsonPath string) {
+	var shards []int
+	for _, s := range strings.Split(shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -pipeline-shards entry %q", s)
+		}
+		shards = append(shards, n)
+	}
+	b := experiments.RunPipelineBench(events, shards, seed, reps)
+	fmt.Print(b.Render())
+	if !b.Identical {
+		log.Fatal("parallel analysis diverged from the sequential baseline")
+	}
+	if jsonPath != "" {
+		if dir := filepath.Dir(jsonPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pipeline benchmark written to %s\n", jsonPath)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -35,6 +72,14 @@ func main() {
 		seed     = flag.Uint64("seed", 2011, "simulation seed")
 		dataDir  = flag.String("data", "", "directory for CSV data dumps")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+
+		pipeline   = flag.Bool("pipeline", false, "benchmark the analysis pipeline instead of the paper experiments")
+		pipeEvents = flag.Int("pipeline-events", 1_000_000, "minimum trace size for -pipeline, in events")
+		pipeShards = flag.String("pipeline-shards", "1,2,4,8", "comma-separated shard counts for -pipeline")
+		pipeReps   = flag.Int("pipeline-reps", 3, "repetitions per -pipeline configuration (best wall kept)")
+		jsonOut    = flag.String("json", "", "write the -pipeline result as JSON here (e.g. results/BENCH_pipeline.json)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile here")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile here")
 	)
 	flag.Parse()
 
@@ -42,6 +87,38 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}()
+	}
+
+	if *pipeline {
+		runPipeline(*pipeEvents, *pipeShards, *seed, *pipeReps, *jsonOut)
 		return
 	}
 

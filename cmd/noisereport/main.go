@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"osnoise/internal/chart"
 	"osnoise/internal/chrometrace"
@@ -21,7 +22,17 @@ import (
 	"osnoise/internal/noise"
 	"osnoise/internal/paraver"
 	"osnoise/internal/trace"
+	"osnoise/internal/tracetool"
 )
+
+// analyze dispatches to the sequential or sharded analyzer; both produce
+// bit-identical reports, so the choice is purely about wall-clock time.
+func analyze(tr *trace.Trace, opts noise.Options, shards int) *noise.Report {
+	if shards == 1 {
+		return noise.Analyze(tr, opts)
+	}
+	return noise.AnalyzeParallel(tr, opts, shards)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -41,18 +52,14 @@ func main() {
 		comps     = flag.Bool("compositions", false, "summarise interruptions by composition")
 		jsonOut   = flag.String("json", "", "write the analysis summary as JSON here")
 		compare   = flag.String("compare", "", "second trace: print a before/after noise diff")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "decode+analysis shards (1 = sequential)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: noisereport [flags] <trace file>")
 	}
 
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	tr, err := trace.ReadAny(f)
-	f.Close()
+	tr, err := tracetool.Load(flag.Arg(0), *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +72,7 @@ func main() {
 	opts.GapNS = *gap
 	opts.FromNS = *fromNS
 	opts.ToNS = *toNS
-	rep := noise.Analyze(tr, opts)
+	rep := analyze(tr, opts, *parallel)
 
 	fmt.Println()
 	fmt.Print(rep.BreakdownString())
@@ -118,16 +125,11 @@ func main() {
 		fmt.Print(chart.Legend())
 	}
 	if *compare != "" {
-		f2, err := os.Open(*compare)
+		tr2, err := tracetool.Load(*compare, *parallel)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tr2, err := trace.ReadAny(f2)
-		f2.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep2 := noise.Analyze(tr2, opts)
+		rep2 := analyze(tr2, opts, *parallel)
 		fmt.Printf("\ndiff vs %s:\n", *compare)
 		fmt.Print(noise.DiffString(rep, rep2))
 	}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	noisevet [-list] [-json] [-stats] [-dir DIR] [package patterns]
+//	noisevet [-list] [-json] [-stats] [-only a,b] [-dir DIR] [package patterns]
 //
 // With no patterns it checks ./... . Findings print one per line as
 // file:line:col: message (analyzer); -json instead emits a JSON array
@@ -42,10 +42,29 @@ func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	stats := flag.Bool("stats", false, "print a per-analyzer findings count to stderr")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: the full suite)")
 	dir := flag.String("dir", ".", "directory to resolve package patterns from")
 	flag.Parse()
 
 	analyzers := noisevet.Analyzers()
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "noisevet: unknown analyzer %q in -only (use -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"osnoise/internal/trace"
 	"osnoise/internal/tracetool"
@@ -32,15 +33,17 @@ func main() {
 	case "dump":
 		fs := flag.NewFlagSet("dump", flag.ExitOnError)
 		limit := fs.Int("limit", 0, "maximum lines (0 = all)")
+		parallel := parallelFlag(fs)
 		parse(fs, args, 1)
-		tr := load(fs.Arg(0))
+		tr := load(fs.Arg(0), *parallel)
 		if err := tracetool.Dump(os.Stdout, tr, *limit); err != nil {
 			log.Fatal(err)
 		}
 	case "stat":
 		fs := flag.NewFlagSet("stat", flag.ExitOnError)
+		parallel := parallelFlag(fs)
 		parse(fs, args, 1)
-		if err := tracetool.Stat(load(fs.Arg(0))).Render(os.Stdout); err != nil {
+		if err := tracetool.Stat(load(fs.Arg(0), *parallel)).Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	case "filter":
@@ -50,6 +53,7 @@ func main() {
 		to := fs.Int64("to", 0, "end of the kept window (ns, 0 = end)")
 		events := fs.String("events", "", "comma-separated tracepoint names to keep")
 		out := fs.String("o", "", "output file (required)")
+		parallel := parallelFlag(fs)
 		parse(fs, args, 1)
 		if *out == "" {
 			log.Fatal("filter: -o required")
@@ -58,19 +62,21 @@ func main() {
 		if *events != "" {
 			f.Names = splitComma(*events)
 		}
-		save(*out, f.Apply(load(fs.Arg(0))), false)
+		save(*out, f.Apply(load(fs.Arg(0), *parallel)), false)
 	case "convert":
 		fs := flag.NewFlagSet("convert", flag.ExitOnError)
 		compress := fs.Bool("compress", false, "write the varint-compressed format")
 		out := fs.String("o", "", "output file (required)")
+		parallel := parallelFlag(fs)
 		parse(fs, args, 1)
 		if *out == "" {
 			log.Fatal("convert: -o required")
 		}
-		save(*out, load(fs.Arg(0)), *compress)
+		save(*out, load(fs.Arg(0), *parallel), *compress)
 	case "merge":
 		fs := flag.NewFlagSet("merge", flag.ExitOnError)
 		out := fs.String("o", "", "output file (required)")
+		parallel := parallelFlag(fs)
 		if err := fs.Parse(args); err != nil {
 			log.Fatal(err)
 		}
@@ -79,7 +85,7 @@ func main() {
 		}
 		traces := make([]*trace.Trace, 0, fs.NArg())
 		for _, path := range fs.Args() {
-			traces = append(traces, load(path))
+			traces = append(traces, load(path, *parallel))
 		}
 		merged := tracetool.Merge(traces...)
 		save(*out, merged, false)
@@ -113,15 +119,16 @@ func splitComma(s string) []string {
 	return out
 }
 
-func load(path string) *trace.Trace {
-	f, err := os.Open(path)
+// parallelFlag registers the shared -parallel flag on a subcommand's
+// flag set: the number of decode shards for fixed-format trace files.
+func parallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", runtime.GOMAXPROCS(0), "decode shards for fixed-format traces (1 = sequential)")
+}
+
+func load(path string, workers int) *trace.Trace {
+	tr, err := tracetool.Load(path, workers)
 	if err != nil {
 		log.Fatal(err)
-	}
-	defer f.Close()
-	tr, err := trace.ReadAny(f)
-	if err != nil {
-		log.Fatalf("%s: %v", path, err)
 	}
 	return tr
 }

@@ -1,0 +1,232 @@
+// Package doccomment implements the noisevet analyzer behind the CI
+// doc-lint step: every exported identifier in the audited packages must
+// carry a godoc comment, and the comment must start with the identifier
+// it documents.
+//
+// The audited packages are the module's public face inside the repo —
+// trace format, analyzer, simulation clock, statistics, cluster model —
+// and their doc comments are the only place the paper-section
+// correspondence of each construct is recorded. The analyzer enforces,
+// inside a configured set of package prefixes:
+//
+//   - a package-level doc comment on every package;
+//   - a doc comment on every exported top-level func, method (on an
+//     exported receiver), type, const, and var, beginning with the
+//     identifier's name (an optional leading article — "A", "An",
+//     "The" — is accepted);
+//   - for grouped const/var declarations, either a group comment or a
+//     per-spec doc or trailing comment (no first-word rule: groups are
+//     usually documented collectively);
+//   - a doc or trailing comment on every exported struct field and
+//     interface method of an exported type (no first-word rule).
+package doccomment
+
+import (
+	"go/ast"
+	"strings"
+
+	"osnoise/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Packages are package-path prefixes under which the rules apply.
+	// A pass over a package outside every prefix reports nothing.
+	Packages []string
+}
+
+// New returns a doccomment analyzer with the given scope.
+func New(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "doccomment",
+		Doc: "require godoc comments on every exported identifier in the audited packages\n\n" +
+			"Doc comments are where each construct's paper-section correspondence lives; the\n" +
+			"analyzer fails CI on exported identifiers without one, and on doc comments that\n" +
+			"do not start with the name they document.",
+	}
+	a.Run = func(pass *analysis.Pass) (interface{}, error) {
+		run(cfg, pass)
+		return nil, nil
+	}
+	return a
+}
+
+func run(cfg Config, pass *analysis.Pass) {
+	if !matchAny(cfg.Packages, pass.Pkg.Path()) {
+		return
+	}
+	checkPackageDoc(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				checkGen(pass, d)
+			}
+		}
+	}
+}
+
+// checkPackageDoc requires a package-level doc comment on at least one
+// file of the package, reporting once (on the first file's package
+// clause) when none has it.
+func checkPackageDoc(pass *analysis.Pass) {
+	if len(pass.Files) == 0 {
+		return
+	}
+	first := pass.Files[0]
+	for _, f := range pass.Files {
+		if f.Doc != nil {
+			return
+		}
+		if pass.Fset.Position(f.Package).Filename < pass.Fset.Position(first.Package).Filename {
+			first = f
+		}
+	}
+	pass.Reportf(first.Package, "package %s has no package-level doc comment (state its role and paper-section correspondence)", pass.Pkg.Name())
+}
+
+// checkFunc requires a name-leading doc comment on exported functions
+// and on exported methods of exported receiver types.
+func checkFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		recv := receiverTypeName(d.Recv)
+		if recv != "" && !ast.IsExported(recv) {
+			return // method of an unexported type: not part of the API surface
+		}
+		kind = "method"
+	}
+	checkNamed(pass, d.Doc, kind, d.Name)
+}
+
+// checkGen dispatches a const/var/type declaration group.
+func checkGen(pass *analysis.Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
+			checkNamed(pass, doc, "type", s.Name)
+			checkTypeMembers(pass, s)
+		case *ast.ValueSpec:
+			// A group comment documents every spec; otherwise each
+			// exported spec needs its own doc or trailing comment.
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(), "exported %s %s has no doc comment", valueKind(d), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkTypeMembers requires a doc or trailing comment on every exported
+// struct field and interface method of an exported type.
+func checkTypeMembers(pass *analysis.Pass, s *ast.TypeSpec) {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			if f.Doc != nil || f.Comment != nil {
+				continue
+			}
+			for _, name := range f.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(), "exported field %s.%s has no doc comment", s.Name.Name, name.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if m.Doc != nil || m.Comment != nil {
+				continue
+			}
+			for _, name := range m.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(), "exported interface method %s.%s has no doc comment", s.Name.Name, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkNamed enforces presence plus the godoc first-word convention on
+// one named declaration.
+func checkNamed(pass *analysis.Pass, doc *ast.CommentGroup, kind string, name *ast.Ident) {
+	if doc == nil {
+		pass.Reportf(name.Pos(), "exported %s %s has no doc comment", kind, name.Name)
+		return
+	}
+	if !startsWithName(doc.Text(), name.Name) {
+		pass.Reportf(doc.Pos(), "doc comment for %s %s should start with %q", kind, name.Name, name.Name)
+	}
+}
+
+// startsWithName reports whether the cleaned doc text begins with the
+// identifier (optionally after a leading article).
+func startsWithName(text, name string) bool {
+	words := strings.Fields(text)
+	if len(words) == 0 {
+		return false
+	}
+	if words[0] == name {
+		return true
+	}
+	switch words[0] {
+	case "A", "An", "The":
+		return len(words) > 1 && words[1] == name
+	}
+	return false
+}
+
+// receiverTypeName unwraps the receiver's base type name.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// valueKind names a GenDecl's species for diagnostics.
+func valueKind(d *ast.GenDecl) string {
+	if d.Tok.String() == "const" {
+		return "const"
+	}
+	return "var"
+}
+
+// matchAny reports whether path equals or is under any prefix.
+func matchAny(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,24 @@
+package doccomment_test
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+	"osnoise/internal/analysis/doccomment"
+)
+
+var testConfig = doccomment.Config{Packages: []string{"docs"}}
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, "testdata", doccomment.New(testConfig), "docs/bad")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, "testdata", doccomment.New(testConfig), "docs/good")
+}
+
+// TestOutsideScope proves packages outside every configured prefix are
+// ignored: the fixture has undocumented exports and no want comments.
+func TestOutsideScope(t *testing.T) {
+	analysistest.Run(t, "testdata", doccomment.New(testConfig), "elsewhere/pkg")
+}

@@ -1,0 +1,52 @@
+package bad // want `package bad has no package-level doc comment`
+
+// unexported needs nothing.
+func unexported() {}
+
+func Undocumented() {} // want `exported function Undocumented has no doc comment`
+
+// Misnamed documents the wrong identifier. // want `doc comment for function Wrong should start with "Wrong"`
+func Wrong() {}
+
+// The Article form is accepted.
+func Article() {}
+
+type Bare struct { // want `exported type Bare has no doc comment`
+	Field map[string]func( // want `exported field Bare.Field has no doc comment`
+		int) int
+
+	Noted   int // Noted carries a trailing comment.
+	private int
+}
+
+// Iface is an interface with one undocumented method.
+type Iface interface {
+	Do(func( // want `exported interface method Iface.Do has no doc comment`
+		int) int)
+
+	// Done is documented.
+	Done()
+}
+
+const Loose = "spans" + // want `exported const Loose has no doc comment`
+	"two lines"
+
+// Grouped constants share the group comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var LooseVar = map[string]int{ // want `exported var LooseVar has no doc comment`
+	"three": 3,
+}
+
+// unexportedType methods never count, exported or not.
+type unexportedType struct{}
+
+func (unexportedType) Method() {}
+
+func (Bare) Exported() {} // want `exported method Exported has no doc comment`
+
+// String satisfies fmt.Stringer.
+func (Bare) String() string { return "" }

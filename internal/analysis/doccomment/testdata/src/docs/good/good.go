@@ -1,0 +1,21 @@
+// Package good is fully documented and reports nothing.
+package good
+
+// Documented does nothing.
+func Documented() {}
+
+// A Thing holds documented fields.
+type Thing struct {
+	// Value is documented with a leading comment.
+	Value int
+	Count int // Count is documented with a trailing comment.
+}
+
+// Reset puts the thing back.
+func (*Thing) Reset() {}
+
+// Limits for the thing, documented as a group.
+const (
+	MinValue = 0
+	MaxValue = 100
+)

@@ -119,14 +119,14 @@ func (m *NoiseModel) Sample(rng *sim.RNG, c sim.Duration) int64 {
 
 // Config describes a cluster run.
 type Config struct {
-	Nodes        int
-	RanksPerNode int
+	Nodes        int // node count in the simulated cluster
+	RanksPerNode int // application ranks per node
 	// Granularity is each iteration's per-rank compute time. Fine
 	// granularity (sub-ms) resonates with high-frequency noise.
 	Granularity sim.Duration
-	Iterations  int
-	Seed        uint64
-	Model       NoiseModel
+	Iterations  int        // BSP iterations to simulate
+	Seed        uint64     // seed for the per-rank noise draws
+	Model       NoiseModel // per-rank noise model sampled each iteration
 	// Workers bounds simulation parallelism (default NumCPU).
 	Workers int
 	// Synchronized models gang-scheduled / co-scheduled noise (Terry,
@@ -139,7 +139,7 @@ type Config struct {
 
 // Result summarises a cluster run.
 type Result struct {
-	Config Config
+	Config Config // the configuration that produced this result
 	// IdealNS is the noise-free runtime (Granularity × Iterations).
 	IdealNS int64
 	// ActualNS is the runtime with per-iteration max-of-ranks noise.
@@ -167,6 +167,7 @@ func (r *Result) Efficiency() float64 {
 	return float64(r.IdealNS) / float64(r.ActualNS)
 }
 
+// String renders the result as a one-line summary.
 func (r *Result) String() string {
 	return fmt.Sprintf("%d nodes × %d ranks, %v granularity: slowdown %.3f (single-rank noise %.3f%%)",
 		r.Config.Nodes, r.Config.RanksPerNode, r.Config.Granularity,
@@ -258,8 +259,8 @@ func Run(cfg Config) *Result {
 
 // ScalingPoint is one point of a slowdown-vs-scale curve.
 type ScalingPoint struct {
-	Nodes    int
-	Slowdown float64
+	Nodes    int     // cluster size at this point
+	Slowdown float64 // Result.Slowdown at that size
 }
 
 // ScalingCurve runs the experiment across node counts.

@@ -99,19 +99,7 @@ func Analyze(tr *trace.Trace, opts Options) *Report {
 	windows := make(map[int64]*window) // open preemption windows per pid
 	lastRunner := make([]int64, tr.CPUs)
 
-	record := func(s Span) {
-		ks := r.PerKey[s.Key]
-		ks.Summary.Add(s.Own)
-		if opts.KeepDurations {
-			ks.Durations = append(ks.Durations, s.Own)
-		}
-		if s.Noise {
-			cat := CategoryOf(s.Key)
-			r.Breakdown[cat] += s.Own
-			r.TotalNoiseNS += s.Own
-		}
-		r.Spans = append(r.Spans, s)
-	}
+	record := func(s Span) { r.record(s, opts.KeepDurations) }
 
 	windowed := opts.FromNS != 0 || opts.ToNS != 0
 	for _, ev := range tr.Events {
@@ -239,9 +227,29 @@ func Analyze(tr *trace.Trace, opts Options) *Report {
 	return r
 }
 
-// buildInterruptions groups adjacent noise spans per CPU into the spikes
-// an external micro-benchmark would observe.
-func (r *Report) buildInterruptions(gap int64) {
+// record accumulates one finished span into the report: per-key summary
+// (and raw duration when keep is set), the noise breakdown, and the
+// global span list. Both the sequential and the parallel analyzers feed
+// every span through this single method, in the same global order, which
+// is what makes their reports bit-identical (floating-point accumulation
+// is order-sensitive).
+func (r *Report) record(s Span, keep bool) {
+	ks := r.PerKey[s.Key]
+	ks.Summary.Add(s.Own)
+	if keep {
+		ks.Durations = append(ks.Durations, s.Own)
+	}
+	if s.Noise {
+		cat := CategoryOf(s.Key)
+		r.Breakdown[cat] += s.Own
+		r.TotalNoiseNS += s.Own
+	}
+	r.Spans = append(r.Spans, s)
+}
+
+// noiseByCPU groups the report's noise spans per CPU and returns the
+// occupied CPU ids in ascending order.
+func (r *Report) noiseByCPU() (map[int32][]Span, []int32) {
 	byCPU := make(map[int32][]Span)
 	for _, s := range r.Spans {
 		if s.Noise {
@@ -253,35 +261,52 @@ func (r *Report) buildInterruptions(gap int64) {
 		cpuIDs = append(cpuIDs, cpu)
 	}
 	sort.Slice(cpuIDs, func(i, j int) bool { return cpuIDs[i] < cpuIDs[j] })
-	for _, cpu := range cpuIDs {
-		spans := byCPU[cpu]
-		sort.Slice(spans, func(i, j int) bool {
-			if spans[i].Start != spans[j].Start {
-				return spans[i].Start < spans[j].Start
+	return byCPU, cpuIDs
+}
+
+// interruptionsForCPU groups one CPU's noise spans (sorted in place) into
+// maximal interruptions separated by more than gap nanoseconds of user
+// time. CPUs are independent here — interruption grouping never crosses
+// a CPU — so the parallel analyzer runs this per CPU concurrently and
+// concatenates in CPU order, reproducing the sequential output exactly.
+func interruptionsForCPU(cpu int32, spans []Span, gap int64) []Interruption {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Start+spans[i].Wall > spans[j].Start+spans[j].Wall
+	})
+	var out []Interruption
+	var cur *Interruption
+	for _, s := range spans {
+		end := s.Start + s.Wall
+		if cur != nil && s.Start-cur.End <= gap {
+			cur.Components = append(cur.Components, Component{Key: s.Key, Start: s.Start, Own: s.Own})
+			cur.Total += s.Own
+			if end > cur.End {
+				cur.End = end
 			}
-			return spans[i].Start+spans[i].Wall > spans[j].Start+spans[j].Wall
-		})
-		var cur *Interruption
-		for _, s := range spans {
-			end := s.Start + s.Wall
-			if cur != nil && s.Start-cur.End <= gap {
-				cur.Components = append(cur.Components, Component{Key: s.Key, Start: s.Start, Own: s.Own})
-				cur.Total += s.Own
-				if end > cur.End {
-					cur.End = end
-				}
-				continue
-			}
-			if cur != nil {
-				r.Interruptions = append(r.Interruptions, *cur)
-			}
-			cur = &Interruption{
-				CPU: cpu, Start: s.Start, End: end, Total: s.Own,
-				Components: []Component{{Key: s.Key, Start: s.Start, Own: s.Own}},
-			}
+			continue
 		}
 		if cur != nil {
-			r.Interruptions = append(r.Interruptions, *cur)
+			out = append(out, *cur)
 		}
+		cur = &Interruption{
+			CPU: cpu, Start: s.Start, End: end, Total: s.Own,
+			Components: []Component{{Key: s.Key, Start: s.Start, Own: s.Own}},
+		}
+	}
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	return out
+}
+
+// buildInterruptions groups adjacent noise spans per CPU into the spikes
+// an external micro-benchmark would observe.
+func (r *Report) buildInterruptions(gap int64) {
+	byCPU, cpuIDs := r.noiseByCPU()
+	for _, cpu := range cpuIDs {
+		r.Interruptions = append(r.Interruptions, interruptionsForCPU(cpu, byCPU[cpu], gap)...)
 	}
 }

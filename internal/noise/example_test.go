@@ -1,0 +1,25 @@
+package noise_test
+
+import (
+	"fmt"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/trace"
+)
+
+// ExampleAnalyze runs the full analysis on a minimal hand-built trace:
+// the application (pid 42) starts running on CPU 0, then a timer
+// interrupt steals 2.5 µs from it.
+func ExampleAnalyze() {
+	tr := &trace.Trace{CPUs: 1, Events: []trace.Event{
+		{TS: 0, CPU: 0, ID: trace.EvSchedSwitch, Arg1: 0, Arg2: 42, Arg3: trace.TaskStateBlocked},
+		{TS: 10_000, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		{TS: 12_500, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+	}}
+	rep := noise.Analyze(tr, noise.DefaultOptions())
+	fmt.Printf("noise: %dns in %d interruption(s)\n", rep.TotalNoiseNS, len(rep.Interruptions))
+	fmt.Println(rep.Interruptions[0].Describe())
+	// Output:
+	// noise: 2500ns in 1 interruption(s)
+	// timer_interrupt (2500ns) = 2500ns
+}

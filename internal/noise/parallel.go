@@ -1,0 +1,1150 @@
+// Parallel analysis pipeline.
+//
+// The tracer captures into per-CPU rings precisely so that recording
+// scales with core count; this file gives the offline analyzer the same
+// shape. Kernel-activity nesting is per-CPU by construction (an
+// interrupt nests inside whatever its own CPU was doing), so the
+// expensive part of the analysis — reconstructing spans from entry/exit
+// tracepoints with exact nested-time attribution — shards across CPUs
+// with no approximation. What does NOT shard is the scheduler state:
+// preemption windows follow a task when it migrates between CPUs, so
+// owner/window tracking is replayed in a cheap sequential pass over the
+// scheduler events alone.
+//
+// The pipeline therefore runs in three phases:
+//
+//  1. partition (parallel): a counting sort of the event stream into
+//     per-CPU entry/exit sub-streams (as int32 indices, ten times
+//     cheaper to materialise than event copies) plus one global,
+//     order-preserving control stream;
+//  2. walk (parallel): one worker per CPU stream reconstructs spans —
+//     stack nesting, wall/own attribution — independently;
+//  3. replay (sequential): the control stream is walked once, applying
+//     the scheduler/owner/preemption-window state machine and feeding
+//     every finished span through Report.record in exactly the order
+//     the sequential analyzer would have.
+//
+// Because phase 3 performs the same accumulator calls in the same order
+// as Analyze, the resulting Report is bit-identical to the sequential
+// one — including the order-sensitive floating-point summary fields.
+// TestParallelMatchesSequential locks this invariant.
+//
+// The walkers also pre-count spans per key, so the replay appends into
+// exactly-sized slices — the sequential analyzer cannot know those
+// counts without a second pass, which is how the pipeline stays ahead
+// even before any shard runs concurrently.
+package noise
+
+import (
+	"io"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"osnoise/internal/trace"
+)
+
+// spanRec is one reconstructed kernel-activity span before scheduler
+// attribution (owner pid and noise classification are replay-phase
+// concerns).
+type spanRec struct {
+	closeOrd int // ordinal of the closing exit within this CPU's exits
+	key      Key
+	start    int64
+	wall     int64
+	own      int64
+	topLevel bool // span closed with an empty stack below it
+}
+
+// cpuWalker reconstructs the kernel-activity spans of one CPU's
+// entry/exit sub-stream. It is the parallel counterpart of the stack
+// handling inside Analyze and must mirror it exactly.
+type cpuWalker struct {
+	attributeNesting bool
+	stack            []openSpan
+	spans            []spanRec
+	perKey           [NumKeys]int // finished spans per key, for preallocation
+	exits            int          // exit tracepoints seen, including unmatched ones
+	dropped          int
+}
+
+// step feeds one entry or exit event through the walker. Events that
+// are neither are ignored (the partition phase never routes them here).
+func (w *cpuWalker) step(ev trace.Event) {
+	switch {
+	case ev.ID.IsEntry():
+		w.stack = append(w.stack, openSpan{
+			key:    keyOfSpan(ev.ID, ev.Arg1),
+			start:  ev.TS,
+			exitID: ev.ID.ExitFor(),
+		})
+
+	case ev.ID.IsExit():
+		ord := w.exits
+		w.exits++
+		if len(w.stack) == 0 {
+			w.dropped++ // span began before tracing started
+			return
+		}
+		top := w.stack[len(w.stack)-1]
+		if top.exitID != ev.ID {
+			// Corrupt nesting; drop the whole stack for this CPU.
+			w.dropped += len(w.stack)
+			w.stack = w.stack[:0]
+			return
+		}
+		w.stack = w.stack[:len(w.stack)-1]
+		wall := ev.TS - top.start
+		own := wall
+		if w.attributeNesting {
+			own = wall - top.childWall
+			if own < 0 {
+				own = 0
+			}
+		}
+		if len(w.stack) > 0 {
+			w.stack[len(w.stack)-1].childWall += wall
+		}
+		w.perKey[top.key]++
+		w.spans = append(w.spans, spanRec{
+			closeOrd: ord, key: top.key, start: top.start,
+			wall: wall, own: own, topLevel: len(w.stack) == 0,
+		})
+	}
+}
+
+// ctlKind tags one scheduler record in the control stream.
+type ctlKind uint8
+
+// Scheduler record kinds: the three event types that mutate cross-CPU
+// analysis state.
+const (
+	ctlSwitch ctlKind = iota
+	ctlMigrate
+	ctlProcExit
+)
+
+// schedRec is one scheduler event in the control stream, positioned in
+// the global order by the number of span exits that precede it.
+type schedRec struct {
+	ts          int64
+	a1, a2, a3  int64
+	exitsBefore int32 // exit events preceding this record globally
+	cpu         int32
+	kind        ctlKind
+}
+
+// ctlStream is the global-order projection of the event stream that the
+// sequential replay consumes: exits are compressed to just their CPU (4
+// bytes each — they carry no other replay-relevant state, the walkers
+// hold the span data), while the rare scheduler events keep their
+// arguments and record their interleaving position.
+type ctlStream struct {
+	exitCPU  []int32
+	sched    []schedRec
+	switches int // sched-switch count: caps the preemption spans replay can emit
+}
+
+// inWindow reports whether a timestamp falls inside the analysis window
+// (mirrors the filter at the top of Analyze's event loop).
+func (o *Options) inWindow(ts int64) bool {
+	if o.FromNS == 0 && o.ToNS == 0 {
+		return true
+	}
+	return ts >= o.FromNS && !(o.ToNS > 0 && ts > o.ToNS)
+}
+
+// partition routes the event stream into per-CPU entry/exit sub-streams
+// and the control stream, via a chunk-parallel counting sort that
+// preserves order everywhere. The sub-streams are compacted copies so
+// the walkers scan contiguous memory instead of striding through the
+// full interleaved stream. dropped counts events outside the CPU range
+// (mirroring Analyze's Dropped accounting for them).
+func partition(events []trace.Event, opts Options, ncpu, workers int) (perCPU [][]trace.Event, ctl ctlStream, dropped int) {
+	nchunk := workers
+	if nchunk < 1 {
+		nchunk = 1
+	}
+	if nchunk > len(events)/4096+1 {
+		nchunk = len(events)/4096 + 1
+	}
+	bounds := make([]int, nchunk+1)
+	for i := 0; i <= nchunk; i++ {
+		bounds[i] = i * len(events) / nchunk
+	}
+
+	counts := make([][]int, nchunk) // per chunk, per CPU entry/exit count
+	exitCounts := make([]int, nchunk)
+	schedCounts := make([]int, nchunk)
+	switchCounts := make([]int, nchunk)
+	drops := make([]int, nchunk)
+	var wg sync.WaitGroup
+	for ci := 0; ci < nchunk; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cnt := make([]int, ncpu)
+			for _, ev := range events[bounds[ci]:bounds[ci+1]] {
+				if !opts.inWindow(ev.TS) {
+					continue
+				}
+				if int(ev.CPU) >= ncpu {
+					drops[ci]++
+					continue
+				}
+				switch {
+				case ev.ID.IsEntry():
+					cnt[ev.CPU]++
+				case ev.ID.IsExit():
+					cnt[ev.CPU]++
+					exitCounts[ci]++
+				case ev.ID == trace.EvSchedSwitch:
+					schedCounts[ci]++
+					switchCounts[ci]++
+				case ev.ID == trace.EvSchedMigrate, ev.ID == trace.EvProcessExit:
+					schedCounts[ci]++
+				}
+			}
+			counts[ci] = cnt
+		}(ci)
+	}
+	wg.Wait()
+
+	// Exclusive prefix sums: where each chunk writes, per CPU and in the
+	// control stream. Chunk order equals stream order, so concatenating
+	// chunk ranges preserves per-CPU and global ordering.
+	offs := make([][]int, nchunk)
+	exitOffs := make([]int, nchunk)
+	schedOffs := make([]int, nchunk)
+	totals := make([]int, ncpu)
+	exitTotal, schedTotal := 0, 0
+	for ci := 0; ci < nchunk; ci++ {
+		offs[ci] = make([]int, ncpu)
+		copy(offs[ci], totals)
+		exitOffs[ci] = exitTotal
+		schedOffs[ci] = schedTotal
+		for c := 0; c < ncpu; c++ {
+			totals[c] += counts[ci][c]
+		}
+		exitTotal += exitCounts[ci]
+		schedTotal += schedCounts[ci]
+		dropped += drops[ci]
+		ctl.switches += switchCounts[ci]
+	}
+	perCPU = make([][]trace.Event, ncpu)
+	for c := 0; c < ncpu; c++ {
+		perCPU[c] = make([]trace.Event, totals[c])
+	}
+	ctl.exitCPU = make([]int32, exitTotal)
+	ctl.sched = make([]schedRec, schedTotal)
+
+	for ci := 0; ci < nchunk; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			pos := offs[ci]
+			exitPos := exitOffs[ci]
+			schedPos := schedOffs[ci]
+			for _, ev := range events[bounds[ci]:bounds[ci+1]] {
+				if !opts.inWindow(ev.TS) {
+					continue
+				}
+				if int(ev.CPU) >= ncpu {
+					continue
+				}
+				switch {
+				case ev.ID.IsEntry():
+					perCPU[ev.CPU][pos[ev.CPU]] = ev
+					pos[ev.CPU]++
+				case ev.ID.IsExit():
+					perCPU[ev.CPU][pos[ev.CPU]] = ev
+					pos[ev.CPU]++
+					ctl.exitCPU[exitPos] = ev.CPU
+					exitPos++
+				case ev.ID == trace.EvSchedSwitch, ev.ID == trace.EvSchedMigrate, ev.ID == trace.EvProcessExit:
+					kind := ctlSwitch
+					if ev.ID == trace.EvSchedMigrate {
+						kind = ctlMigrate
+					} else if ev.ID == trace.EvProcessExit {
+						kind = ctlProcExit
+					}
+					ctl.sched[schedPos] = schedRec{
+						kind: kind, cpu: ev.CPU, ts: ev.TS,
+						a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
+						exitsBefore: int32(exitPos),
+					}
+					schedPos++
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	return perCPU, ctl, dropped
+}
+
+// partitionRaw is partition operating directly on the undecoded event
+// section of a fixed-format trace: each chunk worker scans the raw
+// bytes in a single pass, peeking only at the fields that decide a
+// record's routing, and decodes just the entry/exit and scheduler
+// records — events the analysis ignores are never materialised at all.
+// This is what lets AnalyzeRaw skip the whole []Event allocation a
+// Read-then-Analyze pipeline pays for.
+//
+// Each chunk keeps its routed events in chunk-local buffers; the
+// walkers consume the per-CPU segments chunk by chunk (segs[chunk][cpu])
+// so nothing is ever concatenated. Only the small control stream is
+// stitched, offsetting each chunk's exitsBefore by the exits that came
+// before it.
+func partitionRaw(rt *trace.RawTrace, opts Options, workers int) (segs [][][]trace.Event, ctl ctlStream, dropped int, err error) {
+	ncpu := rt.CPUs()
+	count := rt.EventCount()
+	nchunk := workers
+	if nchunk < 1 {
+		nchunk = 1
+	}
+	if nchunk > int(count/4096)+1 {
+		nchunk = int(count/4096) + 1
+	}
+	bounds := make([]uint64, nchunk+1)
+	for i := 0; i <= nchunk; i++ {
+		bounds[i] = uint64(i) * count / uint64(nchunk)
+	}
+
+	type chunkOut struct {
+		perCPU   [][]trace.Event
+		exitCPU  []int32
+		sched    []schedRec
+		switches int
+		dropped  int
+	}
+	outs := make([]chunkOut, nchunk)
+	errs := make([]error, nchunk)
+	var wg sync.WaitGroup
+	for ci := 0; ci < nchunk; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			out := &outs[ci]
+			out.perCPU = make([][]trace.Event, ncpu)
+			// Size the chunk-local buffers as if every record were an
+			// entry/exit spread uniformly across CPUs: a slight
+			// overshoot that makes append growth (and its copies) the
+			// rare case instead of the common one.
+			nrec := int(bounds[ci+1] - bounds[ci])
+			capPer := nrec/ncpu + 64
+			for c := range out.perCPU {
+				out.perCPU[c] = make([]trace.Event, 0, capPer)
+			}
+			out.exitCPU = make([]int32, 0, nrec/2+64)
+			errs[ci] = rt.Scan(bounds[ci], bounds[ci+1], func(_ uint64, b []byte) error {
+				for o := 0; o < len(b); o += trace.EventSize {
+					rec := b[o:]
+					if !opts.inWindow(trace.PeekTS(rec)) {
+						continue
+					}
+					cpu := trace.PeekCPU(rec)
+					if int(cpu) >= ncpu {
+						out.dropped++
+						continue
+					}
+					id := trace.PeekID(rec)
+					switch {
+					case id.IsEntry(), id.IsExit():
+						out.perCPU[cpu] = append(out.perCPU[cpu], trace.DecodeEvent(rec))
+						if id.IsExit() {
+							out.exitCPU = append(out.exitCPU, cpu)
+						}
+					case id == trace.EvSchedSwitch, id == trace.EvSchedMigrate, id == trace.EvProcessExit:
+						ev := trace.DecodeEvent(rec)
+						kind := ctlSwitch
+						if id == trace.EvSchedMigrate {
+							kind = ctlMigrate
+						} else if id == trace.EvProcessExit {
+							kind = ctlProcExit
+						}
+						if kind == ctlSwitch {
+							out.switches++
+						}
+						out.sched = append(out.sched, schedRec{
+							kind: kind, cpu: ev.CPU, ts: ev.TS,
+							a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
+							exitsBefore: int32(len(out.exitCPU)),
+						})
+					}
+				}
+				return nil
+			})
+		}(ci)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, ctl, 0, e
+		}
+	}
+
+	segs = make([][][]trace.Event, nchunk)
+	exitTotal, schedTotal := 0, 0
+	for ci := range outs {
+		segs[ci] = outs[ci].perCPU
+		exitTotal += len(outs[ci].exitCPU)
+		schedTotal += len(outs[ci].sched)
+		ctl.switches += outs[ci].switches
+		dropped += outs[ci].dropped
+	}
+	ctl.exitCPU = make([]int32, 0, exitTotal)
+	ctl.sched = make([]schedRec, 0, schedTotal)
+	for ci := range outs {
+		exitsBefore := int32(len(ctl.exitCPU))
+		ctl.exitCPU = append(ctl.exitCPU, outs[ci].exitCPU...)
+		for _, sr := range outs[ci].sched {
+			sr.exitsBefore += exitsBefore
+			ctl.sched = append(ctl.sched, sr)
+		}
+	}
+	return segs, ctl, dropped, nil
+}
+
+// runWalkersSegs is runWalkers over chunk-segmented sub-streams: each
+// CPU\'s walker steps through its segment of every chunk in chunk order,
+// which is exactly the CPU\'s global event order.
+func runWalkersSegs(segs [][][]trace.Event, ncpu int, attributeNesting bool, workers int) []cpuWalker {
+	walkers := make([]cpuWalker, ncpu)
+	if workers > ncpu {
+		workers = ncpu
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= ncpu {
+					return
+				}
+				total := 0
+				for ci := range segs {
+					total += len(segs[ci][c])
+				}
+				wk := &walkers[c]
+				wk.attributeNesting = attributeNesting
+				// Roughly half the sub-stream is exits, each closing at
+				// most one span.
+				wk.spans = make([]spanRec, 0, total/2+1)
+				for ci := range segs {
+					for _, ev := range segs[ci][c] {
+						wk.step(ev)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return walkers
+}
+
+// runWalkers reconstructs spans for every CPU sub-stream using a pool of
+// at most `workers` goroutines.
+func runWalkers(perCPU [][]trace.Event, attributeNesting bool, workers int) []cpuWalker {
+	walkers := make([]cpuWalker, len(perCPU))
+	if workers > len(perCPU) {
+		workers = len(perCPU)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= len(perCPU) {
+					return
+				}
+				wk := &walkers[c]
+				wk.attributeNesting = attributeNesting
+				// Roughly half the sub-stream is exits, each closing at
+				// most one span.
+				wk.spans = make([]spanRec, 0, len(perCPU[c])/2+1)
+				for _, ev := range perCPU[c] {
+					wk.step(ev)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return walkers
+}
+
+// replay is the sequential phase: it walks the control stream once,
+// applying the scheduler/owner/preemption-window state machine of
+// Analyze and recording every span — reconstructed ones as their exits
+// come up, preemption spans at the switch that closes their window — in
+// exactly the sequential analyzer's order. It returns the preemption
+// windows still open at the end of the trace (dropped, like unclosed
+// spans) and, per CPU, the indices of the noise spans in r.Spans —
+// collected on the fly so interruption grouping needs no re-scan.
+func (r *Report) replay(ctl ctlStream, walkers []cpuWalker, opts Options, isApp func(int64) bool) (map[int64]*window, [][]int32) {
+	ncpu := len(walkers)
+	cpus := make([]cpuState, ncpu)
+	windows := make(map[int64]*window)
+	lastRunner := make([]int64, ncpu)
+	nextSpan := make([]int, ncpu)
+	exitSeen := make([]int, ncpu)
+	noiseIdx := make([][]int32, ncpu)
+	for c := range noiseIdx {
+		if n := len(walkers[c].spans); n > 0 {
+			noiseIdx[c] = make([]int32, 0, n)
+		}
+	}
+
+	doExit := func(cpu int32) {
+		ord := exitSeen[cpu]
+		exitSeen[cpu]++
+		spans := walkers[cpu].spans
+		j := nextSpan[cpu]
+		if j >= len(spans) || spans[j].closeOrd != ord {
+			return // this exit matched no span (walker dropped it)
+		}
+		nextSpan[cpu]++
+		rec := spans[j]
+		cs := &cpus[cpu]
+		cat := CategoryOf(rec.key)
+		isNoise := cat.IsNoise()
+		if opts.RunnableFilter && cs.owner == 0 {
+			isNoise = false
+		}
+		r.record(Span{
+			Key: rec.key, CPU: cpu, Start: rec.start,
+			Wall: rec.wall, Own: rec.own, PID: cs.owner, Noise: isNoise,
+		}, opts.KeepDurations)
+		if isNoise {
+			noiseIdx[cpu] = append(noiseIdx[cpu], int32(len(r.Spans)-1))
+		}
+		// Top-level kernel time inside a preemption window is charged to
+		// its own key; subtract it from the window so the wait is not
+		// double counted.
+		if rec.topLevel && cs.owner != 0 && cs.current != cs.owner {
+			if w := windows[cs.owner]; w != nil && w.cpu == cpu {
+				w.kernelWall += rec.wall
+			}
+		}
+	}
+
+	pos := 0
+	for i := range ctl.sched {
+		sr := &ctl.sched[i]
+		for pos < int(sr.exitsBefore) {
+			doExit(ctl.exitCPU[pos])
+			pos++
+		}
+		switch sr.kind {
+		case ctlSwitch:
+			cs := &cpus[sr.cpu]
+			prev, next, prevState := sr.a1, sr.a2, sr.a3
+			if prev != 0 && isApp(prev) {
+				if prevState == trace.TaskStateRunning {
+					// Preempted while runnable: open a window.
+					windows[prev] = &window{start: sr.ts, cpu: sr.cpu}
+					if cs.owner == 0 {
+						cs.owner = prev
+					}
+				} else {
+					// Voluntary block: no victim remains.
+					delete(windows, prev)
+					if cs.owner == prev {
+						cs.owner = 0
+					}
+				}
+			}
+			if next != 0 && isApp(next) {
+				if w := windows[next]; w != nil {
+					preempt := (sr.ts - w.start) - w.kernelWall
+					if preempt > 0 {
+						culprit := lastRunner[w.cpu]
+						if culprit == next {
+							culprit = 0
+						}
+						r.record(Span{
+							Key: KeyPreemption, CPU: w.cpu, Start: w.start,
+							Wall: preempt, Own: preempt, PID: next,
+							Culprit: culprit, Noise: true,
+						}, opts.KeepDurations)
+						noiseIdx[w.cpu] = append(noiseIdx[w.cpu], int32(len(r.Spans)-1))
+					}
+					delete(windows, next)
+				}
+				cs.owner = next
+			}
+			cs.current = next
+			if next != 0 {
+				lastRunner[sr.cpu] = next
+			}
+
+		case ctlMigrate:
+			pid, from, to := sr.a1, sr.a2, sr.a3
+			if w := windows[pid]; w != nil {
+				w.cpu = int32(to)
+			}
+			if int(from) < ncpu && cpus[from].owner == pid {
+				cpus[from].owner = 0
+			}
+			if int(to) < ncpu && cpus[to].owner == 0 && isApp(pid) {
+				cpus[to].owner = pid
+			}
+
+		case ctlProcExit:
+			delete(windows, sr.a1)
+		}
+	}
+	for pos < len(ctl.exitCPU) {
+		doExit(ctl.exitCPU[pos])
+		pos++
+	}
+	return windows, noiseIdx
+}
+
+// prealloc right-sizes the report's append targets before the replay:
+// the walkers know exactly how many spans of each key they produced, and
+// the partition bounds the preemption spans by the switch count, so the
+// replay's record calls never re-grow a slice. (The sequential analyzer
+// cannot know these counts without a second pass — this is where the
+// sharded pipeline recovers the partition cost.) Slices stay nil when
+// nothing will be appended so the report compares equal to the
+// sequential one.
+func (r *Report) prealloc(walkers []cpuWalker, switches int, keep bool) {
+	total := 0
+	var perKey [NumKeys]int
+	for i := range walkers {
+		total += len(walkers[i].spans)
+		for k, n := range walkers[i].perKey {
+			perKey[k] += n
+		}
+	}
+	if total > 0 {
+		r.Spans = make([]Span, 0, total+switches)
+	}
+	if keep {
+		for k, n := range perKey {
+			if n > 0 && Key(k) != KeyPreemption {
+				r.PerKey[k].Durations = make([]int64, 0, n)
+			}
+		}
+	}
+}
+
+// ispanKey is the sort key of one noise span during interruption
+// grouping: the comparator fields plus the span's index in r.Spans.
+// Sorting these 24-byte records applies the exact permutation that
+// sorting the 56-byte spans themselves would — pdqsort's decisions
+// depend only on comparator outcomes, and the keys reproduce them —
+// while moving less than half the bytes per swap.
+type ispanKey struct {
+	start, end int64
+	idx        int32
+}
+
+// keyCmp is the interruption sort order on keys: start ascending, then
+// end descending — exactly interruptionsForCPU's comparator.
+func keyCmp(a, b ispanKey) int {
+	if a.start != b.start {
+		if a.start < b.start {
+			return -1
+		}
+		return 1
+	}
+	if a.end == b.end {
+		return 0
+	}
+	if a.end > b.end {
+		return -1
+	}
+	return 1
+}
+
+// sortKeysNearSorted sorts keys in near-linear time, exploiting that
+// the replay emits noise spans in per-CPU exit order: ascending except
+// where a parent span closes after its children, so out-of-place
+// elements are a handful per CPU. Those are split off, sorted, and
+// rear-merged into the ascending remainder.
+//
+// When every key is distinct the sorted order is unique, so this equals
+// what slices.SortFunc would produce. Duplicate keys make the order of
+// the tied elements algorithm-dependent; the function detects them and
+// reports false, and the caller must fall back to the canonical sort.
+func sortKeysNearSorted(keys []ispanKey) bool {
+	w := 0
+	var outliers []ispanKey
+	for _, k := range keys {
+		if w > 0 && keyCmp(k, keys[w-1]) < 0 {
+			outliers = append(outliers, k)
+			continue
+		}
+		keys[w] = k
+		w++
+	}
+	if len(outliers) > 0 {
+		slices.SortFunc(outliers, keyCmp)
+		// Rear merge: fill keys from the back; t never catches up to i.
+		i, t := w-1, len(keys)-1
+		for j := len(outliers) - 1; j >= 0; t-- {
+			if i >= 0 && keyCmp(keys[i], outliers[j]) > 0 {
+				keys[t] = keys[i]
+				i--
+			} else {
+				keys[t] = outliers[j]
+				j--
+			}
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		if keyCmp(keys[i-1], keys[i]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// interruptionKeys builds and sorts the interruption keys of one CPU's
+// noise spans: same comparator and — for distinct keys — provably the
+// same order as interruptionsForCPU's sort.Slice (for tied keys the
+// near-sorted pass reports failure and slices.SortFunc, which shares
+// sort.Slice's pdqsort, lands even ties identically). Sorting these
+// compact records applies the exact permutation sorting the spans
+// themselves would, while moving less than half the bytes per swap.
+func (r *Report) interruptionKeys(idx []int32) []ispanKey {
+	buildKeys := func() []ispanKey {
+		keys := make([]ispanKey, len(idx))
+		for j, si := range idx {
+			s := &r.Spans[si]
+			keys[j] = ispanKey{start: s.Start, end: s.Start + s.Wall, idx: si}
+		}
+		return keys
+	}
+	keys := buildKeys()
+	if !sortKeysNearSorted(keys) {
+		keys = buildKeys()
+		slices.SortFunc(keys, keyCmp)
+	}
+	return keys
+}
+
+// countInterruptions dry-runs the gap merge over sorted keys and
+// returns how many interruptions it will produce.
+func countInterruptions(keys []ispanKey, gap int64) int {
+	n, end := 0, int64(0)
+	for _, k := range keys {
+		if n == 0 || k.start-end > gap {
+			n++
+			end = k.end
+		} else if k.end > end {
+			end = k.end
+		}
+	}
+	return n
+}
+
+// fillInterruptions runs the gap merge over one CPU's sorted keys,
+// writing into caller-provided storage: out must have room for exactly
+// countInterruptions results and comps for len(keys) components. Every
+// Component slice is carved from comps with its capacity pinned, so the
+// result compares equal to the sequential builder's append-grown slices
+// (reflect.DeepEqual ignores capacity).
+func (r *Report) fillInterruptions(cpu int32, keys []ispanKey, gap int64, out []Interruption, comps []Component) {
+	ci, curStart, n := 0, 0, 0
+	var cur Interruption
+	for _, k := range keys {
+		s := &r.Spans[k.idx]
+		if ci > 0 && k.start-cur.End <= gap {
+			comps[ci] = Component{Key: s.Key, Start: k.start, Own: s.Own}
+			ci++
+			cur.Total += s.Own
+			if k.end > cur.End {
+				cur.End = k.end
+			}
+			continue
+		}
+		if ci > 0 {
+			cur.Components = comps[curStart:ci:ci]
+			out[n] = cur
+			n++
+		}
+		curStart = ci
+		comps[ci] = Component{Key: s.Key, Start: k.start, Own: s.Own}
+		ci++
+		cur = Interruption{CPU: cpu, Start: k.start, End: k.end, Total: s.Own}
+	}
+	cur.Components = comps[curStart:ci:ci]
+	out[n] = cur
+}
+
+// buildInterruptionsParallel is buildInterruptions with the per-CPU
+// grouping fanned out over a worker pool, in two phases: first every
+// CPU's keys are sorted and its interruption count dry-run in parallel,
+// then the full interruption list and one global component arena are
+// allocated once and the workers fill disjoint subranges in place.
+// CPUs are independent and their ranges concatenate in ascending CPU
+// order, so the output is identical to the sequential builder's: each
+// CPU's noise spans are gathered from r.Spans in record order, exactly
+// the sequence noiseByCPU produces.
+func (r *Report) buildInterruptionsParallel(noiseIdx [][]int32, gap int64, workers int) {
+	var cpuIDs []int32
+	for c := range noiseIdx {
+		if len(noiseIdx[c]) > 0 {
+			cpuIDs = append(cpuIDs, int32(c))
+		}
+	}
+	if len(cpuIDs) == 0 {
+		return
+	}
+	if workers > len(cpuIDs) {
+		workers = len(cpuIDs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	keysPer := make([][]ispanKey, len(cpuIDs))
+	counts := make([]int, len(cpuIDs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cpuIDs) {
+					return
+				}
+				keysPer[i] = r.interruptionKeys(noiseIdx[cpuIDs[i]])
+				counts[i] = countInterruptions(keysPer[i], gap)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Exclusive prefix sums: each CPU's slot in the interruption list
+	// and the component arena.
+	intOffs := make([]int, len(cpuIDs)+1)
+	keyOffs := make([]int, len(cpuIDs)+1)
+	for i := range cpuIDs {
+		intOffs[i+1] = intOffs[i] + counts[i]
+		keyOffs[i+1] = keyOffs[i] + len(keysPer[i])
+	}
+	r.Interruptions = make([]Interruption, intOffs[len(cpuIDs)])
+	comps := make([]Component, keyOffs[len(cpuIDs)])
+
+	next.Store(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cpuIDs) {
+					return
+				}
+				r.fillInterruptions(cpuIDs[i], keysPer[i], gap,
+					r.Interruptions[intOffs[i]:intOffs[i+1]],
+					comps[keyOffs[i]:keyOffs[i+1]])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// appMatcher builds the application-pid predicate from an explicit pid
+// set (nil = every non-zero pid is an application).
+func appMatcher(appPIDs map[int64]bool) func(int64) bool {
+	return func(pid int64) bool {
+		if pid == 0 {
+			return false
+		}
+		if appPIDs == nil {
+			return true
+		}
+		return appPIDs[pid]
+	}
+}
+
+// finish shares the tail of the parallel paths: boundary-drop
+// accounting and interruption grouping.
+func (r *Report) finish(walkers []cpuWalker, windows map[int64]*window, noiseIdx [][]int32, opts Options, shards int) {
+	for i := range walkers {
+		r.Dropped += walkers[i].dropped + len(walkers[i].stack)
+	}
+	r.Dropped += len(windows)
+	r.buildInterruptionsParallel(noiseIdx, opts.GapNS, shards)
+}
+
+// AnalyzeParallel runs the full noise analysis sharded across per-CPU
+// event streams using up to `shards` workers (≤ 0 means GOMAXPROCS).
+// The report it produces is bit-identical to Analyze's on the same
+// trace: per-CPU span reconstruction is exact (nesting never crosses a
+// CPU) and the final accumulation replays in sequential order.
+func AnalyzeParallel(tr *trace.Trace, opts Options, shards int) *Report {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if len(tr.Events) > math.MaxInt32 {
+		// The control stream counts exits in int32 (schedRec.exitsBefore);
+		// beyond that (an ~86 GB trace) fall back to the sequential
+		// analyzer, which produces the identical report.
+		return Analyze(tr, opts)
+	}
+	r := &Report{CPUs: tr.CPUs, Seconds: tr.DurationSeconds()}
+	if opts.ToNS > opts.FromNS && (opts.FromNS != 0 || opts.ToNS != 0) {
+		r.Seconds = float64(opts.ToNS-opts.FromNS) / 1e9
+	}
+	for k := Key(0); k < NumKeys; k++ {
+		r.PerKey[k] = &KeyStats{Key: k}
+	}
+	appPIDs := opts.AppPIDs
+	if appPIDs == nil {
+		appPIDs = tr.AppPIDs()
+	}
+
+	perCPU, ctl, dropped := partition(tr.Events, opts, tr.CPUs, shards)
+	r.Dropped += dropped
+	walkers := runWalkers(perCPU, opts.AttributeNesting, shards)
+	r.prealloc(walkers, ctl.switches, opts.KeepDurations)
+	windows, noiseIdx := r.replay(ctl, walkers, opts, appMatcher(appPIDs))
+	r.finish(walkers, windows, noiseIdx, opts, shards)
+	return r
+}
+
+// AnalyzeRaw runs the sharded analysis directly over the undecoded
+// bytes of a fixed-format trace in a random-access source (a file or a
+// bytes.Reader), using up to `shards` workers (≤ 0 means GOMAXPROCS).
+// It never materialises the full []Event: the partition phase scans the
+// raw records, decoding only the entry/exit and scheduler events into
+// compact per-CPU sub-streams — records the analysis ignores are
+// skipped undecoded. The report is bit-identical to
+// Analyze(trace.Read(...)) on the same bytes.
+//
+// This is the fastest path from trace bytes to a Report and the one the
+// noisebench pipeline benchmark exercises.
+func AnalyzeRaw(ra io.ReaderAt, size int64, opts Options, shards int) (*Report, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	rt, err := trace.OpenRaw(ra, size)
+	if err != nil {
+		return nil, err
+	}
+	count := rt.EventCount()
+	if count > math.MaxInt32 {
+		tr, err := trace.ReadParallel(ra, size, shards)
+		if err != nil {
+			return nil, err
+		}
+		return Analyze(tr, opts), nil
+	}
+	r := &Report{CPUs: rt.CPUs()}
+	for k := Key(0); k < NumKeys; k++ {
+		r.PerKey[k] = &KeyStats{Key: k}
+	}
+	// Trace.DurationSeconds spans the first to the last record; only two
+	// records need decoding to reproduce it.
+	if count > 0 {
+		first, err := rt.Event(0)
+		if err != nil {
+			return nil, err
+		}
+		last, err := rt.Event(count - 1)
+		if err != nil {
+			return nil, err
+		}
+		r.Seconds = float64(last.TS-first.TS) / 1e9
+	}
+	if opts.ToNS > opts.FromNS && (opts.FromNS != 0 || opts.ToNS != 0) {
+		r.Seconds = float64(opts.ToNS-opts.FromNS) / 1e9
+	}
+	appPIDs := opts.AppPIDs
+	if appPIDs == nil {
+		procs, err := rt.Procs()
+		if err != nil {
+			return nil, err
+		}
+		appPIDs = (&trace.Trace{Procs: procs}).AppPIDs()
+	}
+
+	segs, ctl, dropped, err := partitionRaw(rt, opts, shards)
+	if err != nil {
+		return nil, err
+	}
+	r.Dropped += dropped
+	walkers := runWalkersSegs(segs, rt.CPUs(), opts.AttributeNesting, shards)
+	r.prealloc(walkers, ctl.switches, opts.KeepDurations)
+	windows, noiseIdx := r.replay(ctl, walkers, opts, appMatcher(appPIDs))
+	r.finish(walkers, windows, noiseIdx, opts, shards)
+	return r, nil
+}
+
+// streamBatch is one routed slice of a CPU's entry/exit sub-stream.
+type streamBatch struct {
+	cpu int32
+	evs []trace.Event
+}
+
+// AnalyzeStream runs the sharded analysis over a streaming decoder
+// without materialising the whole event section: events are decoded in
+// batches, routed to per-CPU walker goroutines as they arrive (decode
+// overlaps with span reconstruction), and only the control stream and
+// the reconstructed spans are retained for the sequential replay. The
+// report is bit-identical to Analyze/AnalyzeParallel on the same trace.
+//
+// If opts.AppPIDs is nil the application set is taken from the trace's
+// process table, which the decoder reads after the last event.
+func AnalyzeStream(d *trace.Decoder, opts Options, shards int) (*Report, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	ncpu := d.CPUs()
+	r := &Report{CPUs: ncpu}
+	for k := Key(0); k < NumKeys; k++ {
+		r.PerKey[k] = &KeyStats{Key: k}
+	}
+
+	workers := shards
+	if workers > ncpu {
+		workers = ncpu
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	walkers := make([]cpuWalker, ncpu)
+	for c := range walkers {
+		walkers[c].attributeNesting = opts.AttributeNesting
+	}
+	chans := make([]chan streamBatch, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		chans[w] = make(chan streamBatch, 64)
+		wg.Add(1)
+		go func(ch chan streamBatch) {
+			defer wg.Done()
+			for b := range ch {
+				wk := &walkers[b.cpu]
+				for _, ev := range b.evs {
+					wk.step(ev)
+				}
+			}
+		}(chans[w])
+	}
+
+	const batchLen = 4096
+	var (
+		ctl     ctlStream
+		pending = make([][]trace.Event, ncpu)
+		batch   = make([]trace.Event, batchLen)
+		firstTS int64
+		lastTS  int64
+		any     bool
+		dropped int
+		readErr error
+	)
+	flush := func(cpu int32) {
+		if len(pending[cpu]) == 0 {
+			return
+		}
+		chans[int(cpu)%workers] <- streamBatch{cpu: cpu, evs: pending[cpu]}
+		pending[cpu] = nil
+	}
+	for {
+		n, err := d.Next(batch)
+		for _, ev := range batch[:n] {
+			if !any {
+				firstTS, any = ev.TS, true
+			}
+			lastTS = ev.TS
+			if !opts.inWindow(ev.TS) {
+				continue
+			}
+			if int(ev.CPU) >= ncpu {
+				dropped++
+				continue
+			}
+			switch {
+			case ev.ID.IsEntry():
+				pending[ev.CPU] = append(pending[ev.CPU], ev)
+				if len(pending[ev.CPU]) >= batchLen {
+					flush(ev.CPU)
+				}
+			case ev.ID.IsExit():
+				pending[ev.CPU] = append(pending[ev.CPU], ev)
+				ctl.exitCPU = append(ctl.exitCPU, ev.CPU)
+				if len(pending[ev.CPU]) >= batchLen {
+					flush(ev.CPU)
+				}
+			case ev.ID == trace.EvSchedSwitch:
+				ctl.switches++
+				ctl.sched = append(ctl.sched, schedRec{
+					kind: ctlSwitch, cpu: ev.CPU, ts: ev.TS,
+					a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
+					exitsBefore: int32(len(ctl.exitCPU)),
+				})
+			case ev.ID == trace.EvSchedMigrate:
+				ctl.sched = append(ctl.sched, schedRec{
+					kind: ctlMigrate, cpu: ev.CPU,
+					a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
+					exitsBefore: int32(len(ctl.exitCPU)),
+				})
+			case ev.ID == trace.EvProcessExit:
+				ctl.sched = append(ctl.sched, schedRec{
+					kind: ctlProcExit, a1: ev.Arg1,
+					exitsBefore: int32(len(ctl.exitCPU)),
+				})
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+	}
+	for c := int32(0); c < int32(ncpu); c++ {
+		flush(c)
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if readErr != nil {
+		return nil, readErr
+	}
+
+	if any {
+		r.Seconds = float64(lastTS-firstTS) / 1e9
+	}
+	if opts.ToNS > opts.FromNS && (opts.FromNS != 0 || opts.ToNS != 0) {
+		r.Seconds = float64(opts.ToNS-opts.FromNS) / 1e9
+	}
+	appPIDs := opts.AppPIDs
+	if appPIDs == nil {
+		procs, err := d.Procs()
+		if err != nil {
+			return nil, err
+		}
+		appPIDs = (&trace.Trace{Procs: procs}).AppPIDs()
+	}
+
+	r.Dropped += dropped
+	r.prealloc(walkers, ctl.switches, opts.KeepDurations)
+	windows, noiseIdx := r.replay(ctl, walkers, opts, appMatcher(appPIDs))
+	r.finish(walkers, windows, noiseIdx, opts, shards)
+	return r, nil
+}

@@ -7,7 +7,7 @@ import (
 
 // PeriodCandidate is one detected periodic noise source.
 type PeriodCandidate struct {
-	PeriodNS int64
+	PeriodNS int64 // detected repetition period
 	// Score is the normalised autocorrelation peak in [0, 1]; higher
 	// means more of the interruption arrivals repeat at this period.
 	Score float64

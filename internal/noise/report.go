@@ -11,8 +11,8 @@ import (
 
 // Span is one analysed kernel activity occurrence.
 type Span struct {
-	Key   Key
-	CPU   int32
+	Key   Key   // activity type
+	CPU   int32 // CPU the span executed on
 	Start int64 // ns
 	Wall  int64 // ns, entry→exit including nested activities
 	Own   int64 // ns, wall minus nested activity time
@@ -26,19 +26,19 @@ type Span struct {
 // Component is one activity inside an interruption, for the synthetic
 // noise chart and the disambiguation reports.
 type Component struct {
-	Key   Key
-	Start int64
-	Own   int64
+	Key   Key   // activity type
+	Start int64 // ns, component start time
+	Own   int64 // ns, own time contributed to the interruption
 }
 
 // Interruption is a maximal group of adjacent noise activities on one
 // CPU: the unit an external micro-benchmark perceives as a single spike.
 type Interruption struct {
-	CPU        int32
-	Start      int64
-	End        int64
-	Total      int64 // summed own time of components
-	Components []Component
+	CPU        int32       // CPU the group occurred on
+	Start      int64       // ns, first component start
+	End        int64       // ns, latest component end
+	Total      int64       // summed own time of components
+	Components []Component // member activities in merge order
 }
 
 // Describe renders the interruption's composition, e.g.
@@ -53,8 +53,8 @@ func (i *Interruption) Describe() string {
 
 // KeyStats aggregates one activity type across the trace.
 type KeyStats struct {
-	Key     Key
-	Summary stats.Summary
+	Key     Key           // activity type these statistics describe
+	Summary stats.Summary // count/sum/min/max and running moments
 	// Durations retains raw per-occurrence durations for histogram and
 	// percentile computation.
 	Durations []int64
@@ -93,8 +93,8 @@ func (ks *KeyStats) HistogramP99(n int) *stats.Histogram {
 
 // Report is the full analysis result for one trace.
 type Report struct {
-	Seconds float64
-	CPUs    int
+	Seconds float64 // analysed trace duration (or window length)
+	CPUs    int     // CPU count from the trace header
 
 	// Spans holds every analysed kernel activity, time-ordered.
 	Spans []Span
@@ -206,8 +206,8 @@ func (r *Report) PerCPUNoise() []int64 {
 // long-duration noise (kernel threads, daemons). Resonance with the
 // application's granularity depends on the class.
 type BandStats struct {
-	ShortCount, LongCount uint64
-	ShortNS, LongNS       int64
+	ShortCount, LongCount uint64 // interruptions in each class
+	ShortNS, LongNS       int64  // summed noise nanoseconds per class
 	// Rates are interruptions/second per CPU.
 	ShortRate, LongRate float64
 }
@@ -236,11 +236,11 @@ func (r *Report) Bands(thresholdNS int64) BandStats {
 // CompositionStat aggregates interruptions with the same activity
 // composition (e.g. "timer_interrupt+run_timer_softirq").
 type CompositionStat struct {
-	Signature string
-	Count     int
-	TotalNS   int64
-	MinNS     int64
-	MaxNS     int64
+	Signature string // "+"-joined component keys, in occurrence order
+	Count     int    // interruptions with this composition
+	TotalNS   int64  // summed interruption totals
+	MinNS     int64  // smallest single interruption
+	MaxNS     int64  // largest single interruption
 }
 
 // Compositions groups interruptions by their component signature,
@@ -287,11 +287,11 @@ func (r *Report) Compositions() []CompositionStat {
 
 // KeyDelta is one row of a report comparison.
 type KeyDelta struct {
-	Key          Key
-	CountA       uint64
-	CountB       uint64
-	TotalA       int64
-	TotalB       int64
+	Key          Key     // activity type this row compares
+	CountA       uint64  // occurrences in report A
+	CountB       uint64  // occurrences in report B
+	TotalA       int64   // summed own nanoseconds in A
+	TotalB       int64   // summed own nanoseconds in B
 	TotalRatioBA float64 // B/A; +Inf when A is zero and B is not
 }
 

@@ -28,7 +28,7 @@ func (c Constant) Mean() float64 { return float64(c) }
 
 // Uniform draws uniformly from [Lo, Hi].
 type Uniform struct {
-	Lo, Hi Duration
+	Lo, Hi Duration // inclusive bounds of the draw
 }
 
 // Sample implements Dist.
@@ -48,7 +48,7 @@ func (u Uniform) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
 // a multiplicative tail.
 type LogNormal struct {
 	Median Duration // exp(mu)
-	Sigma  float64
+	Sigma  float64  // sigma of the underlying normal
 }
 
 // Sample implements Dist.
@@ -68,8 +68,8 @@ func (l LogNormal) Mean() float64 {
 // Pareto draws from a (type-I) Pareto distribution with scale Min and
 // shape Alpha. Used for the heavy tails of page-fault and softirq costs.
 type Pareto struct {
-	Min   Duration
-	Alpha float64
+	Min   Duration // scale: the smallest drawable value
+	Alpha float64  // shape: smaller alpha, heavier tail
 }
 
 // Sample implements Dist.
@@ -92,7 +92,7 @@ func (p Pareto) Mean() float64 {
 // Exponential draws from an exponential distribution with the given mean.
 // Used for inter-arrival gaps of stochastic events (page faults, I/O).
 type Exponential struct {
-	MeanDur Duration
+	MeanDur Duration // mean of the distribution
 }
 
 // Sample implements Dist.
@@ -106,8 +106,8 @@ func (e Exponential) Mean() float64 { return float64(e.MeanDur) }
 // Shifted adds a fixed offset to an underlying distribution; useful to
 // impose a hard minimum cost (the architectural floor of an exception).
 type Shifted struct {
-	Base Dist
-	Off  Duration
+	Base Dist     // underlying distribution
+	Off  Duration // fixed amount added to every sample
 }
 
 // Sample implements Dist.
@@ -120,8 +120,8 @@ func (s Shifted) Mean() float64 { return float64(s.Off) + s.Base.Mean() }
 // outside the range are clamped, not redrawn, which keeps sampling O(1)
 // and deterministic in RNG consumption.
 type Clamped struct {
-	Base   Dist
-	Lo, Hi Duration
+	Base   Dist     // underlying distribution
+	Lo, Hi Duration // clamp bounds; Hi of 0 means no upper bound
 }
 
 // Sample implements Dist.
@@ -141,15 +141,15 @@ func (c Clamped) Mean() float64 { return c.Base.Mean() }
 
 // Component is one branch of a Mixture.
 type Component struct {
-	Weight float64
-	Dist   Dist
+	Weight float64 // relative weight among the mixture branches
+	Dist   Dist    // distribution drawn when this branch is picked
 }
 
 // Mixture draws from one of several component distributions with the
 // given relative weights. This models multi-modal costs such as the AMG
 // page-fault histogram (minor-fault peak, zeroed-page peak, reclaim tail).
 type Mixture struct {
-	Components []Component
+	Components []Component // the weighted branches
 	total      float64
 }
 

@@ -12,11 +12,11 @@ import (
 // histograms (Figs. 4, 6, 8) cut the displayed range at the 99th
 // percentile; CutAtPercentile reproduces that.
 type Histogram struct {
-	Lo, Hi  int64 // inclusive lower bound, exclusive upper bound
-	Buckets []uint64
-	Under   uint64
-	Over    uint64
-	values  []int64 // retained for percentile cuts; see NewHistogram
+	Lo, Hi  int64    // inclusive lower bound, exclusive upper bound
+	Buckets []uint64 // observation counts per equal-width bin
+	Under   uint64   // observations below Lo
+	Over    uint64   // observations at or above Hi
+	values  []int64  // retained for percentile cuts; see NewHistogram
 	retain  bool
 }
 
@@ -169,9 +169,9 @@ func (h *Histogram) Render(width int) string {
 // (base-2 by decile subdivision), suitable for the heavy-tailed kernel
 // event durations where linear bins lose the tail.
 type LogHistogram struct {
-	BucketsPerOctave int
-	Counts           map[int]uint64
-	Zero             uint64
+	BucketsPerOctave int            // resolution: buckets per factor of two
+	Counts           map[int]uint64 // observation counts per log-bucket index
+	Zero             uint64         // non-positive observations, binned apart
 }
 
 // NewLogHistogram returns a log histogram with the given resolution

@@ -1,0 +1,39 @@
+package stats
+
+import "fmt"
+
+// Merge folds other into h. Both histograms must share the same binning
+// ([Lo, Hi) range and bucket count) so counts combine bucket-for-bucket;
+// mismatched shapes return an error rather than silently re-binning.
+// Retained raw values are concatenated when both sides retain them. The
+// per-CPU shards of the parallel analysis pipeline are combined with
+// this in CPU-index order.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h.Lo != other.Lo || h.Hi != other.Hi || len(h.Buckets) != len(other.Buckets) {
+		return fmt.Errorf("stats: merging histogram [%d,%d)x%d with [%d,%d)x%d",
+			h.Lo, h.Hi, len(h.Buckets), other.Lo, other.Hi, len(other.Buckets))
+	}
+	for i, b := range other.Buckets {
+		h.Buckets[i] += b
+	}
+	h.Under += other.Under
+	h.Over += other.Over
+	if h.retain {
+		h.values = append(h.values, other.values...)
+	}
+	return nil
+}
+
+// Merge folds other into h. Log histograms with different resolutions
+// cannot be combined losslessly, so a mismatch is an error.
+func (h *LogHistogram) Merge(other *LogHistogram) error {
+	if h.BucketsPerOctave != other.BucketsPerOctave {
+		return fmt.Errorf("stats: merging log histogram with %d buckets/octave into %d",
+			other.BucketsPerOctave, h.BucketsPerOctave)
+	}
+	h.Zero += other.Zero
+	for idx, c := range other.Counts {
+		h.Counts[idx] += c
+	}
+	return nil
+}

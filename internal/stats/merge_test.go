@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 1000, 10, true)
+	b := NewHistogram(0, 1000, 10, true)
+	whole := NewHistogram(0, 1000, 10, true)
+	vals := []int64{-5, 0, 50, 150, 999, 1000, 5000, 42, 420}
+	for i, v := range vals {
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		whole.Add(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Buckets, whole.Buckets) || a.Under != whole.Under || a.Over != whole.Over {
+		t.Fatalf("merged %+v, want %+v", a, whole)
+	}
+	if a.Total() != whole.Total() {
+		t.Fatalf("total %d, want %d", a.Total(), whole.Total())
+	}
+	// Retained values must survive merging (order: receiver then arg).
+	if got := a.Values(); len(got) != len(vals) {
+		t.Fatalf("retained %d values, want %d", len(got), len(vals))
+	}
+
+	c := NewHistogram(0, 500, 10, false)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("mismatched ranges must not merge")
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	a := NewLogHistogram(4)
+	b := NewLogHistogram(4)
+	whole := NewLogHistogram(4)
+	for i, v := range []int64{0, 1, 7, 63, 1024, 1_000_000} {
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		whole.Add(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Counts, whole.Counts) || a.Zero != whole.Zero {
+		t.Fatalf("merged %+v, want %+v", a, whole)
+	}
+
+	c := NewLogHistogram(8)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("mismatched resolution must not merge")
+	}
+}

@@ -15,10 +15,10 @@ import (
 // Summary accumulates moments of a stream of durations (in nanoseconds).
 // The zero value is an empty summary ready for use.
 type Summary struct {
-	Count uint64
-	Sum   float64
-	Min   int64
-	Max   int64
+	Count uint64  // observations accumulated
+	Sum   float64 // sum of all observations
+	Min   int64   // smallest observation (0 when empty)
+	Max   int64   // largest observation (0 when empty)
 	m2    float64 // Welford running sum of squared deviations
 	mean  float64
 }

@@ -30,6 +30,11 @@ var magic = [8]byte{'L', 'T', 'T', 'N', 'O', 'I', 'S', 'E'}
 // FormatVersion is the current trace file format version.
 const FormatVersion = 2
 
+// IsFixedFormat reports whether an 8-byte file prefix identifies the
+// uncompressed fixed-width trace format — the one whose event section
+// ReadParallel can split across workers.
+func IsFixedFormat(head [8]byte) bool { return head == magic }
+
 // ErrBadMagic is returned when decoding a stream that is not a trace.
 var ErrBadMagic = errors.New("trace: bad magic, not an LTTNOISE trace")
 
@@ -120,55 +125,35 @@ func readProcs(r io.Reader) ([]ProcInfo, error) {
 	return procs, nil
 }
 
-// Read decodes a trace from r.
+// Read decodes a trace from r. It is the sequential counterpart of
+// ReadParallel, implemented on the streaming Decoder.
 func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
 	}
-	if m != magic {
-		return nil, ErrBadMagic
-	}
-	var hdr [24]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	version := binary.LittleEndian.Uint32(hdr[0:])
-	if version != 1 && version != FormatVersion {
-		return nil, fmt.Errorf("trace: unsupported format version %d", version)
-	}
-	tr := &Trace{
-		CPUs: int(binary.LittleEndian.Uint32(hdr[4:])),
-		Lost: binary.LittleEndian.Uint64(hdr[8:]),
-	}
-	count := binary.LittleEndian.Uint64(hdr[16:])
+	tr := &Trace{CPUs: d.CPUs(), Lost: d.Lost()}
 	const maxPrealloc = 1 << 22 // cap preallocation against corrupt headers
-	alloc := count
+	alloc := d.EventCount()
 	if alloc > maxPrealloc {
 		alloc = maxPrealloc
 	}
 	tr.Events = make([]Event, 0, alloc)
-	var rec [EventSize]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading event %d of %d: %w", i, count, err)
+	batch := make([]Event, 4096)
+	for {
+		n, err := d.Next(batch)
+		tr.Events = append(tr.Events, batch[:n]...)
+		if err == io.EOF {
+			break
 		}
-		tr.Events = append(tr.Events, Event{
-			TS:   int64(binary.LittleEndian.Uint64(rec[0:])),
-			CPU:  int32(binary.LittleEndian.Uint32(rec[8:])),
-			ID:   ID(binary.LittleEndian.Uint16(rec[12:])),
-			Arg1: int64(binary.LittleEndian.Uint64(rec[16:])),
-			Arg2: int64(binary.LittleEndian.Uint64(rec[24:])),
-			Arg3: int64(binary.LittleEndian.Uint64(rec[32:])),
-		})
-	}
-	if version >= 2 {
-		procs, err := readProcs(br)
 		if err != nil {
 			return nil, err
 		}
-		tr.Procs = procs
 	}
+	procs, err := d.Procs()
+	if err != nil {
+		return nil, err
+	}
+	tr.Procs = procs
 	return tr, nil
 }

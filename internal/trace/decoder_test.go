@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// testTrace builds a deterministic multi-CPU trace with a process table.
+func testTrace(n int) *Trace {
+	tr := &Trace{CPUs: 4, Lost: 7}
+	for i := 0; i < n; i++ {
+		tr.Events = append(tr.Events, Event{
+			TS: int64(i) * 100, CPU: int32(i % 4),
+			ID: EvIRQEntry, Arg1: int64(i % 3), Arg2: int64(i), Arg3: -int64(i),
+		})
+	}
+	tr.Procs = []ProcInfo{
+		{PID: 42, Kind: ProcApp, Name: "rank0"},
+		{PID: 99, Kind: ProcUserDaemon, Name: "kswapd"},
+	}
+	return tr
+}
+
+func TestDecoderStreamsWholeTrace(t *testing.T) {
+	tr := testTrace(10_000)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CPUs() != tr.CPUs || d.Lost() != tr.Lost || d.EventCount() != uint64(len(tr.Events)) {
+		t.Fatalf("header: cpus=%d lost=%d count=%d", d.CPUs(), d.Lost(), d.EventCount())
+	}
+	if _, err := d.Procs(); err == nil {
+		t.Fatal("Procs before EOF should fail")
+	}
+	var got []Event
+	batch := make([]Event, 777) // deliberately not a divisor of the count
+	for {
+		n, err := d.Next(batch)
+		got = append(got, batch[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(got, tr.Events) {
+		t.Fatalf("streamed events differ (%d vs %d)", len(got), len(tr.Events))
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining %d", d.Remaining())
+	}
+	procs, err := d.Procs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(procs, tr.Procs) {
+		t.Fatalf("procs differ: %+v", procs)
+	}
+}
+
+func TestDecoderTruncated(t *testing.T) {
+	tr := testTrace(100)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()[:headerSize+50*EventSize+13]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Event, 4096)
+	var total int
+	for {
+		n, err := d.Next(batch)
+		total += n
+		if err != nil {
+			if err == io.EOF {
+				t.Fatal("truncated stream must not reach clean EOF")
+			}
+			break
+		}
+	}
+	if total != 50 {
+		t.Fatalf("decoded %d whole events before the truncation, want 50", total)
+	}
+}
+
+func TestReadParallelMatchesRead(t *testing.T) {
+	for _, n := range []int{0, 1, 5000, 100_000} {
+		tr := testTrace(n)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		want, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			got, err := ReadParallel(bytes.NewReader(buf.Bytes()), int64(buf.Len()), workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("n=%d workers=%d: parallel decode differs", n, workers)
+			}
+		}
+	}
+}
+
+func TestReadParallelRejectsLyingHeader(t *testing.T) {
+	tr := testTrace(10)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[8+16] = 0xff // bump the event count far past the file size
+	if _, err := ReadParallel(bytes.NewReader(b), int64(len(b)), 4); err == nil {
+		t.Fatal("corrupt count must be rejected before allocation")
+	}
+}

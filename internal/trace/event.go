@@ -100,13 +100,13 @@ const (
 
 // Event is one fixed-size trace record. Arg meanings depend on ID.
 type Event struct {
-	TS   int64 // nanoseconds of virtual time
-	CPU  int32
-	ID   ID
+	TS   int64  // nanoseconds of virtual time
+	CPU  int32  // CPU the event occurred on
+	ID   ID     // event type; see the Ev* constants
 	_    uint16 // padding for a stable 40-byte wire layout
-	Arg1 int64
-	Arg2 int64
-	Arg3 int64
+	Arg1 int64  // first argument (meaning depends on ID)
+	Arg2 int64  // second argument (meaning depends on ID)
+	Arg3 int64  // third argument (meaning depends on ID)
 }
 
 // EventSize is the wire size of one encoded event in bytes.

@@ -1,0 +1,46 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"osnoise/internal/trace"
+)
+
+// ExampleNewDecoder encodes a three-event trace and streams it back in
+// fixed-size batches, the access pattern of the parallel analysis
+// pipeline: no more than one batch of events is in memory at a time.
+func ExampleNewDecoder() {
+	tr := &trace.Trace{CPUs: 2, Events: []trace.Event{
+		{TS: 100, CPU: 0, ID: trace.EvIRQEntry, Arg1: trace.IRQTimer},
+		{TS: 220, CPU: 1, ID: trace.EvTrapEntry, Arg1: trace.TrapPageFault},
+		{TS: 350, CPU: 0, ID: trace.EvIRQExit, Arg1: trace.IRQTimer},
+	}}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		panic(err)
+	}
+
+	d, err := trace.NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		panic(err)
+	}
+	batch := make([]trace.Event, 2)
+	for {
+		n, err := d.Next(batch)
+		for _, ev := range batch[:n] {
+			fmt.Printf("cpu%d %s @%dns\n", ev.CPU, ev.ID, ev.TS)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	// Output:
+	// cpu0 irq_entry @100ns
+	// cpu1 trap_entry @220ns
+	// cpu0 irq_exit @350ns
+}

@@ -177,16 +177,16 @@ const (
 // metadata stream, letting offline analysis identify the application
 // processes without out-of-band knowledge.
 type ProcInfo struct {
-	PID  int64
-	Name string
-	Kind ProcKind
+	PID  int64    // process id as it appears in scheduler events
+	Name string   // comm name, e.g. "amg" or "kswapd0"
+	Kind ProcKind // application / kernel / daemon classification
 }
 
 // Trace is a fully collected event stream.
 type Trace struct {
-	CPUs   int
-	Lost   uint64
-	Events []Event
+	CPUs   int     // CPU count the trace was captured on
+	Lost   uint64  // events dropped by the tracer's ring buffers
+	Events []Event // the merged event stream, in capture order
 	// Procs is the process table captured at trace time.
 	Procs []ProcInfo
 }

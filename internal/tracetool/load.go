@@ -1,0 +1,43 @@
+package tracetool
+
+import (
+	"fmt"
+	"os"
+
+	"osnoise/internal/trace"
+)
+
+// Load reads a trace file in any supported format, decoding the
+// fixed-width event section across up to `workers` goroutines when the
+// file allows random access (≤ 0 means GOMAXPROCS, 1 forces the
+// sequential reader). Compressed traces decode sequentially regardless:
+// their varint encoding has no record boundaries to split on.
+func Load(path string, workers int) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	if workers != 1 {
+		var head [8]byte
+		if n, err := f.ReadAt(head[:], 0); err == nil && n == 8 && trace.IsFixedFormat(head) {
+			st, err := f.Stat()
+			if err == nil && st.Mode().IsRegular() {
+				tr, err := trace.ReadParallel(f, st.Size(), workers)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", path, err)
+				}
+				return tr, nil
+			}
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+	}
+	tr, err := trace.ReadAny(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}

@@ -18,6 +18,12 @@ echo "== noisevet (internal/analysis suite)"
 # shows each analyzer ran, even when the tree is clean.
 go run ./cmd/noisevet -stats ./...
 
+echo "== doc lint (noisevet doccomment analyzer)"
+# Redundant with the full suite above, but a dedicated step keeps the
+# failure mode legible: this one is "an exported identifier in the
+# audited packages lost its doc comment", nothing else.
+go run ./cmd/noisevet -only doccomment ./...
+
 echo "== go test -race"
 go test -race ./...
 
@@ -28,5 +34,14 @@ echo "== fuzz smoke: trace codec"
 for target in FuzzRead FuzzReadCompressed FuzzReadAny; do
     go test ./internal/trace -run="^$" -fuzz="^${target}\$" -fuzztime=10s
 done
+
+echo "== pipeline benchmark smoke"
+# A small-trace run of the analysis-pipeline benchmark: exercises the
+# sequential baseline, the sharded raw path at each shard count, and
+# the bit-identity check (the run aborts if any report diverges). The
+# JSON lands in a scratch file — committed baselines in results/ are
+# regenerated deliberately, not by CI.
+go run ./cmd/noisebench -pipeline -pipeline-events 100000 -pipeline-reps 1 \
+    -json "$(mktemp -d)/BENCH_pipeline.json"
 
 echo "CI OK"
