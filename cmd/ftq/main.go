@@ -7,6 +7,9 @@
 //
 //	ftq -mode native -quantum 1ms -duration 2s -csv out.csv
 //	ftq -mode sim -duration 5s -seed 42
+//
+// Exit codes: 0 on success, 1 on any error (this command generates
+// measurements; it never ingests untrusted trace files).
 package main
 
 import (

@@ -7,6 +7,9 @@
 //
 //	lttng-noise -app AMG -duration 10s -seed 42 \
 //	    -trace amg.lttn -paraver amg -report
+//
+// Exit codes: 0 on success, 1 on any error (this command generates
+// traces; it never ingests untrusted ones).
 package main
 
 import (

@@ -8,6 +8,9 @@
 //	noisebench -exp table1,fig4        # selected experiments
 //	noisebench -duration 60s -seed 7   # longer runs, different seed
 //	noisebench -data out/              # also dump CSV series per experiment
+//
+// Exit codes: 0 on success, 1 on any error (this command generates its
+// traces in memory; it never ingests untrusted trace files).
 package main
 
 import (

@@ -7,6 +7,9 @@
 //
 //	noisereport trace.lttn
 //	noisereport -top 20 -timeline -paraver out trace.lttn
+//
+// Exit codes: 0 on success, 1 on operational errors, 2 when the trace
+// file is corrupt or exceeds the format limits.
 package main
 
 import (
@@ -24,6 +27,13 @@ import (
 	"osnoise/internal/trace"
 	"osnoise/internal/tracetool"
 )
+
+// fatal prints a one-line diagnostic and exits with the documented
+// code: 2 for corrupt/over-limit trace input, 1 for everything else.
+func fatal(err error) {
+	log.Print(err)
+	os.Exit(tracetool.ExitCode(err))
+}
 
 // analyze dispatches to the sequential or sharded analyzer; both produce
 // bit-identical reports, so the choice is purely about wall-clock time.
@@ -61,7 +71,7 @@ func main() {
 
 	tr, err := tracetool.Load(flag.Arg(0), *parallel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("trace: %d events on %d CPUs, %.3f s, %d lost\n",
 		len(tr.Events), tr.CPUs, tr.DurationSeconds(), tr.Lost)
@@ -127,7 +137,7 @@ func main() {
 	if *compare != "" {
 		tr2, err := tracetool.Load(*compare, *parallel)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		rep2 := analyze(tr2, opts, *parallel)
 		fmt.Printf("\ndiff vs %s:\n", *compare)

@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	tracetool dump  [-limit N] trace.lttn
-//	tracetool stat  trace.lttn
+//	tracetool dump   [-limit N] trace.lttn
+//	tracetool stat   trace.lttn
+//	tracetool verify trace.lttn
 //	tracetool filter -cpu 0 -from 1000000 -to 2000000 -events irq_entry,irq_exit -o out.lttn trace.lttn
 //	tracetool convert -compress -o out.lttnz trace.lttn
 //	tracetool merge -o merged.lttn node0.lttn node1.lttn ...
+//
+// Exit codes: 0 on success, 1 on operational errors (missing files,
+// write failures), 2 when a trace file is corrupt or exceeds the
+// format limits.
 package main
 
 import (
@@ -26,7 +31,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracetool: ")
 	if len(os.Args) < 2 {
-		log.Fatal("usage: tracetool <dump|stat|filter|convert|merge> [flags] <trace...>")
+		log.Fatal("usage: tracetool <dump|stat|verify|filter|convert|merge> [flags] <trace...>")
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
@@ -46,6 +51,15 @@ func main() {
 		if err := tracetool.Stat(load(fs.Arg(0), *parallel)).Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+	case "verify":
+		fs := flag.NewFlagSet("verify", flag.ExitOnError)
+		parse(fs, args, 1)
+		res, err := tracetool.Verify(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: ok (%s format, %d events on %d CPUs, %d lost, %d procs)\n",
+			fs.Arg(0), res.Format, res.Events, res.CPUs, res.Lost, res.Procs)
 	case "filter":
 		fs := flag.NewFlagSet("filter", flag.ExitOnError)
 		cpu := fs.Int("cpu", -1, "keep only this CPU (-1 = all)")
@@ -125,10 +139,18 @@ func parallelFlag(fs *flag.FlagSet) *int {
 	return fs.Int("parallel", runtime.GOMAXPROCS(0), "decode shards for fixed-format traces (1 = sequential)")
 }
 
+// fatal prints a one-line diagnostic and exits with the documented
+// code: 2 for corrupt/over-limit trace input, 1 for everything else.
+// Corrupt input must never surface as a panic's goroutine dump.
+func fatal(err error) {
+	log.Print(err)
+	os.Exit(tracetool.ExitCode(err))
+}
+
 func load(path string, workers int) *trace.Trace {
 	tr, err := tracetool.Load(path, workers)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	return tr
 }

@@ -106,7 +106,7 @@ func Analyze(tr *trace.Trace, opts Options) *Report {
 		if windowed && (ev.TS < opts.FromNS || (opts.ToNS > 0 && ev.TS > opts.ToNS)) {
 			continue
 		}
-		if int(ev.CPU) >= len(cpus) {
+		if ev.CPU < 0 || int(ev.CPU) >= len(cpus) {
 			r.Dropped++
 			continue
 		}

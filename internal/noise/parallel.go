@@ -190,7 +190,7 @@ func partition(events []trace.Event, opts Options, ncpu, workers int) (perCPU []
 				if !opts.inWindow(ev.TS) {
 					continue
 				}
-				if int(ev.CPU) >= ncpu {
+				if ev.CPU < 0 || int(ev.CPU) >= ncpu {
 					drops[ci]++
 					continue
 				}
@@ -251,7 +251,7 @@ func partition(events []trace.Event, opts Options, ncpu, workers int) (perCPU []
 				if !opts.inWindow(ev.TS) {
 					continue
 				}
-				if int(ev.CPU) >= ncpu {
+				if ev.CPU < 0 || int(ev.CPU) >= ncpu {
 					continue
 				}
 				switch {
@@ -345,7 +345,7 @@ func partitionRaw(rt *trace.RawTrace, opts Options, workers int) (segs [][][]tra
 						continue
 					}
 					cpu := trace.PeekCPU(rec)
-					if int(cpu) >= ncpu {
+					if cpu < 0 || int(cpu) >= ncpu {
 						out.dropped++
 						continue
 					}
@@ -1072,7 +1072,7 @@ func AnalyzeStream(d *trace.Decoder, opts Options, shards int) (*Report, error) 
 			if !opts.inWindow(ev.TS) {
 				continue
 			}
-			if int(ev.CPU) >= ncpu {
+			if ev.CPU < 0 || int(ev.CPU) >= ncpu {
 				dropped++
 				continue
 			}

@@ -3,8 +3,6 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
-	"fmt"
 	"io"
 )
 
@@ -35,11 +33,36 @@ const FormatVersion = 2
 // ReadParallel can split across workers.
 func IsFixedFormat(head [8]byte) bool { return head == magic }
 
-// ErrBadMagic is returned when decoding a stream that is not a trace.
-var ErrBadMagic = errors.New("trace: bad magic, not an LTTNOISE trace")
+// maxPrealloc caps the speculative []Event preallocation when decoding
+// a stream whose size cannot be determined (a pipe): the header's event
+// count is then an unverified claim, and a crafted 32-byte input must
+// not be able to demand an arbitrarily large allocation. Beyond the cap
+// the readers grow as they decode.
+const maxPrealloc = 1 << 18
+
+// checkWritable validates a trace about to be encoded, mirroring the
+// decode-time header validation so everything Write produces, Read
+// accepts.
+func checkWritable(tr *Trace) error {
+	if tr.CPUs < 1 || tr.CPUs > MaxCPUs {
+		return limitf("trace: cannot encode a trace with %d CPUs (want 1..%d)", tr.CPUs, MaxCPUs)
+	}
+	if len(tr.Procs) > MaxProcs {
+		return limitf("trace: cannot encode %d process-table entries (maximum %d)", len(tr.Procs), MaxProcs)
+	}
+	for _, p := range tr.Procs {
+		if len(p.Name) > MaxProcNameLen {
+			return limitf("trace: cannot encode process name of %d bytes (maximum %d)", len(p.Name), MaxProcNameLen)
+		}
+	}
+	return nil
+}
 
 // Write encodes tr to w.
 func Write(w io.Writer, tr *Trace) error {
+	if err := checkWritable(tr); err != nil {
+		return err
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
@@ -92,30 +115,46 @@ func writeProcs(w io.Writer, procs []ProcInfo) error {
 	return nil
 }
 
-func readProcs(r io.Reader) ([]ProcInfo, error) {
+// readProcs parses the process table. base is the byte offset of the
+// table within the input (-1 when unknown), used to report where a
+// malformed entry sits.
+func readProcs(r io.Reader, base int64) ([]ProcInfo, error) {
+	off := func(rel int64) int64 {
+		if base < 0 {
+			return -1
+		}
+		return base + rel
+	}
 	var n [4]byte
 	if _, err := io.ReadFull(r, n[:]); err != nil {
-		return nil, err
+		return nil, wrapRead(off(0), err, "trace: reading process-table length")
 	}
 	count := binary.LittleEndian.Uint32(n[:])
-	const maxProcs = 1 << 20
-	if count > maxProcs {
-		return nil, fmt.Errorf("trace: implausible process count %d", count)
+	if count > MaxProcs {
+		return nil, limitf("trace: process table declares %d entries, maximum is %d", count, MaxProcs)
 	}
-	procs := make([]ProcInfo, 0, count)
+	pos := int64(4)
+	// The entries are at least 16 bytes each; cap the preallocation so a
+	// corrupt length cannot demand more memory than the stream can back.
+	alloc := count
+	if alloc > maxPrealloc {
+		alloc = maxPrealloc
+	}
+	procs := make([]ProcInfo, 0, alloc)
 	for i := uint32(0); i < count; i++ {
 		var hdr [16]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil, fmt.Errorf("trace: process %d: %w", i, err)
+			return nil, wrapRead(off(pos), err, "trace: reading process entry %d of %d", i, count)
 		}
 		nameLen := binary.LittleEndian.Uint32(hdr[12:])
-		if nameLen > 4096 {
-			return nil, fmt.Errorf("trace: process %d name length %d", i, nameLen)
+		if nameLen > MaxProcNameLen {
+			return nil, limitf("trace: process %d declares a %d-byte name, maximum is %d", i, nameLen, MaxProcNameLen)
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(r, name); err != nil {
-			return nil, fmt.Errorf("trace: process %d name: %w", i, err)
+			return nil, wrapRead(off(pos+16), err, "trace: reading process %d name", i)
 		}
+		pos += 16 + int64(nameLen)
 		procs = append(procs, ProcInfo{
 			PID:  int64(binary.LittleEndian.Uint64(hdr[0:])),
 			Kind: ProcKind(binary.LittleEndian.Uint32(hdr[8:])),
@@ -126,16 +165,25 @@ func readProcs(r io.Reader) ([]ProcInfo, error) {
 }
 
 // Read decodes a trace from r. It is the sequential counterpart of
-// ReadParallel, implemented on the streaming Decoder.
+// ReadParallel, implemented on the streaming Decoder. When r's size can
+// be determined (a file, an in-memory reader), the header's event count
+// is validated against it before allocating; otherwise the reader grows
+// as it decodes, so a corrupt header cannot demand an implausible
+// allocation either way.
 func Read(r io.Reader) (*Trace, error) {
 	d, err := NewDecoder(r)
 	if err != nil {
 		return nil, err
 	}
+	return readDecoded(d)
+}
+
+// readDecoded drains a decoder into a materialised Trace.
+func readDecoded(d *Decoder) (*Trace, error) {
 	tr := &Trace{CPUs: d.CPUs(), Lost: d.Lost()}
-	const maxPrealloc = 1 << 22 // cap preallocation against corrupt headers
 	alloc := d.EventCount()
-	if alloc > maxPrealloc {
+	if !d.Sized() && alloc > maxPrealloc {
+		// Unverifiable header claim: start capped, grow as bytes arrive.
 		alloc = maxPrealloc
 	}
 	tr.Events = make([]Event, 0, alloc)

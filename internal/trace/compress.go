@@ -3,7 +3,6 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"io"
 )
 
@@ -32,8 +31,32 @@ var magicZ = [8]byte{'L', 'T', 'T', 'N', 'O', 'I', 'S', 'Z'}
 // CompressedFormatVersion identifies the varint trace format.
 const CompressedFormatVersion = 3
 
+// minCompressedEventSize is the smallest possible encoding of one event
+// in the varint format: six fields of at least one byte each. It bounds
+// how many events a stream of known size can possibly hold, which is
+// what lets ReadCompressed validate the header's count up front.
+const minCompressedEventSize = 6
+
+// countReader counts the bytes pulled from an underlying reader so the
+// compressed decoder — whose records have no fixed width — can still
+// report the byte offset of a corrupt field.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+// Read implements io.Reader, accumulating the byte count.
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // WriteCompressed encodes tr with delta+varint compression.
 func WriteCompressed(w io.Writer, tr *Trace) error {
+	if err := checkWritable(tr); err != nil {
+		return err
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(magicZ[:]); err != nil {
 		return err
@@ -92,67 +115,111 @@ func WriteCompressed(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// ReadCompressed decodes a compressed trace.
+// ReadCompressed decodes a compressed trace. Truncated or malformed
+// streams report ErrCorrupt-family errors carrying the byte offset of
+// the field that failed; header fields are validated against the format
+// limits — and, when r's size can be determined, against the bytes that
+// actually follow — before any allocation derived from them.
 func ReadCompressed(r io.Reader) (*Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	return readCompressed(r, sizeHint(r))
+}
+
+// readCompressed is ReadCompressed with the input size (counted from
+// the magic; -1 = unknown) already measured by the caller.
+func readCompressed(r io.Reader, limit int64) (*Trace, error) {
+	cr := &countReader{r: r}
+	br := bufio.NewReaderSize(cr, 1<<16)
+	// The byte offset of the next unread byte: everything pulled from
+	// the underlying stream minus what still sits in the buffer.
+	off := func() int64 { return cr.n - int64(br.Buffered()) }
+
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, wrapRead(0, err, "trace: reading magic")
 	}
 	if m != magicZ {
 		return nil, ErrBadMagic
 	}
-	version, err := binary.ReadUvarint(br)
+	getU := func(what string) (uint64, error) {
+		at := off()
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, wrapRead(at, err, "trace: reading %s", what)
+		}
+		return v, nil
+	}
+	version, err := getU("compressed header version")
 	if err != nil {
 		return nil, err
 	}
 	if version != 2 && version != CompressedFormatVersion {
-		return nil, fmt.Errorf("trace: unsupported compressed version %d", version)
+		return nil, corruptf(8, nil, "trace: unsupported compressed version %d", version)
 	}
-	cpus, err := binary.ReadUvarint(br)
+	cpus, err := getU("compressed header cpus")
 	if err != nil {
 		return nil, err
 	}
-	lost, err := binary.ReadUvarint(br)
+	if cpus == 0 {
+		return nil, corruptf(off(), nil, "trace: header declares zero CPUs")
+	}
+	if cpus > MaxCPUs {
+		return nil, limitf("trace: header declares %d CPUs, format maximum is %d", cpus, MaxCPUs)
+	}
+	lost, err := getU("compressed header lost counter")
 	if err != nil {
 		return nil, err
 	}
-	count, err := binary.ReadUvarint(br)
+	count, err := getU("compressed header event count")
 	if err != nil {
 		return nil, err
+	}
+	if limit >= 0 && count > uint64(limit)/minCompressedEventSize {
+		return nil, corruptf(off(), nil,
+			"trace: header promises %d events but only %d bytes follow the header (≥ %d bytes/event)",
+			count, limit-off(), minCompressedEventSize)
 	}
 	tr := &Trace{CPUs: int(cpus), Lost: lost}
-	const maxPrealloc = 1 << 22
 	alloc := count
-	if alloc > maxPrealloc {
+	if limit < 0 && alloc > maxPrealloc {
+		// Unverifiable header claim: start capped, grow as bytes arrive.
 		alloc = maxPrealloc
 	}
 	tr.Events = make([]Event, 0, alloc)
+	getI := func(i uint64, what string) (int64, error) {
+		at := off()
+		v, err := binary.ReadVarint(br)
+		if err != nil {
+			return 0, wrapRead(at, err, "trace: event %d of %d: reading %s", i, count, what)
+		}
+		return v, nil
+	}
 	prev := int64(0)
 	for i := uint64(0); i < count; i++ {
-		delta, err := binary.ReadVarint(br)
+		delta, err := getI(i, "ts delta")
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d ts: %w", i, err)
+			return nil, err
 		}
+		at := off()
 		cpu, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d cpu: %w", i, err)
+			return nil, wrapRead(at, err, "trace: event %d of %d: reading cpu", i, count)
 		}
+		at = off()
 		id, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d id: %w", i, err)
+			return nil, wrapRead(at, err, "trace: event %d of %d: reading id", i, count)
 		}
-		a1, err := binary.ReadVarint(br)
+		a1, err := getI(i, "arg1")
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d arg1: %w", i, err)
+			return nil, err
 		}
-		a2, err := binary.ReadVarint(br)
+		a2, err := getI(i, "arg2")
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d arg2: %w", i, err)
+			return nil, err
 		}
-		a3, err := binary.ReadVarint(br)
+		a3, err := getI(i, "arg3")
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d arg3: %w", i, err)
+			return nil, err
 		}
 		prev += delta
 		tr.Events = append(tr.Events, Event{
@@ -161,7 +228,7 @@ func ReadCompressed(r io.Reader) (*Trace, error) {
 		})
 	}
 	if version >= 3 {
-		procs, err := readProcs(br)
+		procs, err := readProcs(br, off())
 		if err != nil {
 			return nil, err
 		}
@@ -170,18 +237,26 @@ func ReadCompressed(r io.Reader) (*Trace, error) {
 	return tr, nil
 }
 
-// ReadAny decodes either trace format by sniffing the magic.
+// ReadAny decodes either trace format by sniffing the magic. Both paths
+// get the same hardening as Read/ReadCompressed: the input size is
+// measured before the stream is buffered, so header-vs-size validation
+// works on files and in-memory readers even through the sniffing layer.
 func ReadAny(r io.Reader) (*Trace, error) {
+	limit := sizeHint(r)
 	br := bufio.NewReaderSize(r, 1<<16)
 	head, err := br.Peek(8)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, wrapRead(0, err, "trace: reading magic")
 	}
 	switch {
 	case string(head) == string(magicZ[:]):
-		return ReadCompressed(br)
+		return readCompressed(br, limit)
 	case string(head) == string(magic[:]):
-		return Read(br)
+		d, err := newDecoder(br, limit)
+		if err != nil {
+			return nil, err
+		}
+		return readDecoded(d)
 	default:
 		return nil, ErrBadMagic
 	}

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 	"testing/quick"
 )
@@ -120,7 +122,23 @@ func TestCompressedTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	if _, err := ReadCompressed(bytes.NewReader(raw[:len(raw)/2])); err == nil {
-		t.Fatal("truncated compressed trace decoded without error")
+	// A sized truncated stream is rejected by the header-vs-size
+	// cross-check before any event decodes.
+	if _, err := ReadCompressed(bytes.NewReader(raw[:len(raw)/2])); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated compressed trace: err = %v, want ErrCorrupt family", err)
+	}
+	// An unsized stream decodes until the bytes run out, then reports
+	// the corruption with the byte offset where the stream broke.
+	cut := len(raw) / 2
+	_, err := ReadCompressed(io.LimitReader(bytes.NewReader(raw), int64(cut)))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unsized truncated trace: err = %v, want ErrCorrupt family", err)
+	}
+	if off := Offset(err); off < 0 || off > int64(cut) {
+		t.Fatalf("truncation offset %d outside [0, %d]", off, cut)
+	}
+	// Same contract through the format-sniffing entry point.
+	if _, err := ReadAny(io.LimitReader(bytes.NewReader(raw), int64(cut))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadAny on truncated trace: err = %v, want ErrCorrupt family", err)
 	}
 }

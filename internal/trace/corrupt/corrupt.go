@@ -1,0 +1,178 @@
+// Package corrupt is a deterministic trace-corruption fault injector.
+//
+// It mutates encoded trace bytes — truncating, bit-flipping, splicing,
+// duplicating, zeroing, and rewriting header fields — to exercise the
+// trace readers' corruption handling. Every mutation is driven by the
+// simulation engine's seeded RNG, so a failing case is reproducible from
+// its (mutation, seed) pair alone; there is no wall-clock or global
+// randomness anywhere in the injector.
+//
+// The package is the proving half of the panic-free ingestion contract
+// (see docs/ARCHITECTURE.md): the corruption test suite feeds every
+// mutation of every format through every reader entry point and asserts
+// that the outcome is either a successful decode or a typed
+// ErrCorrupt/ErrLimit-family error — never a panic.
+package corrupt
+
+import (
+	"encoding/binary"
+
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+)
+
+// Mutation is one named corruption strategy over an encoded trace.
+type Mutation struct {
+	// Name identifies the strategy in test names and diagnostics.
+	Name string
+	// Apply returns a corrupted copy of enc. It must not modify enc.
+	// The RNG makes the mutation deterministic per seed.
+	Apply func(rng *sim.RNG, enc []byte) []byte
+}
+
+// clone copies enc so mutators can edit freely.
+func clone(enc []byte) []byte {
+	out := make([]byte, len(enc))
+	copy(out, enc)
+	return out
+}
+
+// intn returns a value in [0, n), tolerating n <= 0 (returns 0) so
+// mutators need no special-casing for tiny inputs.
+func intn(rng *sim.RNG, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return rng.Intn(n)
+}
+
+// Truncate cuts the input at a random point, modelling a writer killed
+// mid-flush or a partially transferred file.
+var Truncate = Mutation{
+	Name: "truncate",
+	Apply: func(rng *sim.RNG, enc []byte) []byte {
+		return clone(enc)[:intn(rng, len(enc))]
+	},
+}
+
+// BitFlip flips between one and eight random bits anywhere in the
+// stream, modelling storage or transport corruption.
+var BitFlip = Mutation{
+	Name: "bitflip",
+	Apply: func(rng *sim.RNG, enc []byte) []byte {
+		out := clone(enc)
+		if len(out) == 0 {
+			return out
+		}
+		for i, n := 0, 1+intn(rng, 8); i < n; i++ {
+			pos := intn(rng, len(out))
+			out[pos] ^= 1 << uint(intn(rng, 8))
+		}
+		return out
+	},
+}
+
+// Splice removes a random interior span, modelling a lost write: the
+// stream stays well-formed at the byte level but records shift out of
+// alignment and the header's promises no longer match the body.
+var Splice = Mutation{
+	Name: "splice",
+	Apply: func(rng *sim.RNG, enc []byte) []byte {
+		out := clone(enc)
+		if len(out) < 2 {
+			return out
+		}
+		start := intn(rng, len(out)-1)
+		n := 1 + intn(rng, len(out)-start-1)
+		return append(out[:start], out[start+n:]...)
+	},
+}
+
+// Duplicate repeats a random span in place, modelling a replayed write.
+// The stream grows, so size-vs-header cross-checks see a surplus rather
+// than a deficit.
+var Duplicate = Mutation{
+	Name: "duplicate",
+	Apply: func(rng *sim.RNG, enc []byte) []byte {
+		out := clone(enc)
+		if len(out) == 0 {
+			return out
+		}
+		start := intn(rng, len(out))
+		n := 1 + intn(rng, len(out)-start)
+		dup := append(clone(out[:start+n]), out[start:]...)
+		return dup
+	},
+}
+
+// Zero clears a random span, modelling a hole left by a sparse file or
+// an unwritten page.
+var Zero = Mutation{
+	Name: "zero",
+	Apply: func(rng *sim.RNG, enc []byte) []byte {
+		out := clone(enc)
+		if len(out) == 0 {
+			return out
+		}
+		start := intn(rng, len(out))
+		n := 1 + intn(rng, len(out)-start)
+		for i := start; i < start+n; i++ {
+			out[i] = 0
+		}
+		return out
+	},
+}
+
+// headerCountExtremes are the event-count values HeaderCount cycles
+// through: the overflow boundary cases that untrusted-allocation bugs
+// hide behind.
+var headerCountExtremes = []uint64{
+	0, 1, 1 << 20, 1 << 32, 1<<63 - 1, 1<<64 - 1,
+}
+
+// HeaderCount overwrites the fixed-format header's event count with an
+// extreme value, directly attacking the count→allocation path. It only
+// applies to the fixed format (where the field has a fixed offset);
+// other inputs pass through unchanged.
+var HeaderCount = Mutation{
+	Name: "headercount",
+	Apply: func(rng *sim.RNG, enc []byte) []byte {
+		out := clone(enc)
+		var head [8]byte
+		if len(out) < 32 || copy(head[:], out) != 8 || !trace.IsFixedFormat(head) {
+			return out
+		}
+		v := headerCountExtremes[intn(rng, len(headerCountExtremes))]
+		binary.LittleEndian.PutUint64(out[24:], v)
+		return out
+	},
+}
+
+// headerCPUExtremes are the CPU-count values HeaderCPUs cycles through:
+// zero and values beyond trace.MaxCPUs, both of which decoders must
+// reject before any per-CPU allocation.
+var headerCPUExtremes = []uint32{
+	0, trace.MaxCPUs + 1, 1 << 24, 1<<32 - 1,
+}
+
+// HeaderCPUs overwrites the fixed-format header's CPU count with an
+// out-of-range value. Like HeaderCount it is a no-op on non-fixed
+// inputs.
+var HeaderCPUs = Mutation{
+	Name: "headercpus",
+	Apply: func(rng *sim.RNG, enc []byte) []byte {
+		out := clone(enc)
+		var head [8]byte
+		if len(out) < 32 || copy(head[:], out) != 8 || !trace.IsFixedFormat(head) {
+			return out
+		}
+		v := headerCPUExtremes[intn(rng, len(headerCPUExtremes))]
+		binary.LittleEndian.PutUint32(out[12:], v)
+		return out
+	},
+}
+
+// All lists every mutation, for table-driven sweeps.
+var All = []Mutation{
+	Truncate, BitFlip, Splice, Duplicate, Zero, HeaderCount, HeaderCPUs,
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 )
@@ -12,6 +13,74 @@ import (
 // headerSize is the fixed prefix of the LTTNOISE format: magic plus the
 // version/cpus/lost/count header, preceding the event section.
 const headerSize = 8 + 24
+
+// Byte offsets of the fixed header fields, used to report where
+// validation failed.
+const (
+	offVersion = 8
+	offCPUs    = 12
+	offCount   = 24
+)
+
+// sizeHint returns the number of bytes remaining in r, or -1 when r
+// cannot tell. It inspects r without consuming anything: in-memory
+// readers report their unread length, seekable readers (files, section
+// readers) are measured with a seek-and-restore. A *bufio.Reader hides
+// its underlying source, so it always reports unknown — callers that
+// want header-vs-size validation must measure before wrapping.
+func sizeHint(r io.Reader) int64 {
+	if _, ok := r.(*bufio.Reader); ok {
+		return -1
+	}
+	if l, ok := r.(interface{ Len() int }); ok {
+		return int64(l.Len())
+	}
+	if s, ok := r.(io.Seeker); ok {
+		cur, err := s.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return -1
+		}
+		end, err := s.Seek(0, io.SeekEnd)
+		if err != nil {
+			return -1
+		}
+		if _, err := s.Seek(cur, io.SeekStart); err != nil {
+			return -1
+		}
+		return end - cur
+	}
+	return -1
+}
+
+// validateHeader checks every field of a fixed-format header against
+// the format limits and, when the total input size is known (limit >=
+// 0, counted from the start of the magic), against the bytes that
+// actually follow. Nothing downstream may allocate based on a header
+// field that has not passed this gate.
+func validateHeader(version, cpus uint32, count uint64, limit int64) error {
+	if version != 1 && version != FormatVersion {
+		return corruptf(offVersion, nil, "trace: unsupported format version %d", version)
+	}
+	if cpus == 0 {
+		return corruptf(offCPUs, nil, "trace: header declares zero CPUs")
+	}
+	if cpus > MaxCPUs {
+		return limitf("trace: header declares %d CPUs, format maximum is %d", cpus, MaxCPUs)
+	}
+	// Overflow gate: beyond this, count*EventSize does not fit in int64
+	// and no real file can hold the events anyway.
+	if count > (math.MaxInt64-headerSize)/EventSize {
+		return corruptf(offCount, nil, "trace: implausible event count %d", count)
+	}
+	if limit >= 0 {
+		if need := int64(headerSize) + int64(count)*EventSize; need > limit {
+			return corruptf(offCount, nil,
+				"trace: header promises %d events (%d bytes) but only %d bytes follow the header",
+				count, need-headerSize, limit-headerSize)
+		}
+	}
+	return nil
+}
 
 // Decoder streams events out of a fixed-format (LTTNOISE) trace without
 // materialising the whole event section in memory. It is the building
@@ -29,38 +98,52 @@ type Decoder struct {
 	lost    uint64
 	count   uint64 // events promised by the header
 	read    uint64 // events decoded so far
+	sized   bool   // header count was validated against the input size
 	procs   []ProcInfo
 	gotProc bool
 }
 
 // NewDecoder reads the trace header from r and returns a streaming
-// decoder positioned at the first event.
+// decoder positioned at the first event. The header is fully validated
+// before anything is allocated from it: version, CPU count (within
+// [1, MaxCPUs]) and — when r's size can be determined without consuming
+// it — the promised event count against the bytes that actually follow.
 func NewDecoder(r io.Reader) (*Decoder, error) {
+	limit := sizeHint(r)
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReaderSize(r, 1<<16)
 	}
+	return newDecoder(br, limit)
+}
+
+// newDecoder parses and validates the header. limit is the total input
+// size in bytes counted from the magic, or -1 when unknown.
+func newDecoder(br *bufio.Reader, limit int64) (*Decoder, error) {
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, wrapRead(0, err, "trace: reading magic")
 	}
 	if m != magic {
 		return nil, ErrBadMagic
 	}
 	var hdr [24]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		return nil, wrapRead(8, err, "trace: reading header")
 	}
 	version := binary.LittleEndian.Uint32(hdr[0:])
-	if version != 1 && version != FormatVersion {
-		return nil, fmt.Errorf("trace: unsupported format version %d", version)
+	cpus := binary.LittleEndian.Uint32(hdr[4:])
+	count := binary.LittleEndian.Uint64(hdr[16:])
+	if err := validateHeader(version, cpus, count, limit); err != nil {
+		return nil, err
 	}
 	return &Decoder{
 		br:      br,
 		version: version,
-		cpus:    int(binary.LittleEndian.Uint32(hdr[4:])),
+		cpus:    int(cpus),
 		lost:    binary.LittleEndian.Uint64(hdr[8:]),
-		count:   binary.LittleEndian.Uint64(hdr[16:]),
+		count:   count,
+		sized:   limit >= 0,
 	}, nil
 }
 
@@ -73,12 +156,19 @@ func (d *Decoder) Lost() uint64 { return d.lost }
 // EventCount returns the number of events the header promises.
 func (d *Decoder) EventCount() uint64 { return d.count }
 
+// Sized reports whether the header's event count was cross-checked
+// against the input size at construction. When false (the input was a
+// pipe or an opaque stream), the count is a claim, not a fact — readers
+// should grow as they decode rather than preallocate it.
+func (d *Decoder) Sized() bool { return d.sized }
+
 // Remaining returns the number of events not yet decoded.
 func (d *Decoder) Remaining() uint64 { return d.count - d.read }
 
 // Next decodes up to len(dst) events into dst and returns how many were
 // filled. It returns io.EOF (with n == 0) once the event section is
-// exhausted; any other error means the stream is truncated or corrupt.
+// exhausted; any other error means the stream is truncated (ErrCorrupt)
+// or failed to read.
 func (d *Decoder) Next(dst []Event) (int, error) {
 	if d.read >= d.count {
 		return 0, io.EOF
@@ -90,7 +180,8 @@ func (d *Decoder) Next(dst []Event) (int, error) {
 	var rec [EventSize]byte
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(d.br, rec[:]); err != nil {
-			return int(i), fmt.Errorf("trace: reading event %d of %d: %w", d.read+i, d.count, err)
+			off := int64(headerSize) + int64(d.read+i)*EventSize
+			return int(i), wrapRead(off, err, "trace: reading event %d of %d", d.read+i, d.count)
 		}
 		dst[i] = decodeEvent(&rec)
 	}
@@ -109,7 +200,7 @@ func (d *Decoder) Procs() ([]ProcInfo, error) {
 		return d.procs, nil
 	}
 	if d.version >= 2 {
-		procs, err := readProcs(d.br)
+		procs, err := readProcs(d.br, int64(headerSize)+int64(d.count)*EventSize)
 		if err != nil {
 			return nil, err
 		}
@@ -172,22 +263,17 @@ type RawTrace struct {
 
 // OpenRaw validates the header of a fixed-format trace held in a
 // random-access byte source of the given total size. Like ReadParallel,
-// the event count promised by the header is checked against the size up
-// front.
+// the event count promised by the header is checked against the size
+// (overflow-safe) before anything is allocated from it.
 func OpenRaw(ra io.ReaderAt, size int64) (*RawTrace, error) {
 	hr := io.NewSectionReader(ra, 0, size)
-	d, err := NewDecoder(bufio.NewReaderSize(hr, headerSize))
+	d, err := newDecoder(bufio.NewReaderSize(hr, headerSize), size)
 	if err != nil {
 		return nil, err
 	}
-	count := d.EventCount()
-	if need := int64(headerSize) + int64(count)*EventSize; need < 0 || need > size {
-		return nil, fmt.Errorf("trace: header promises %d events but only %d bytes follow",
-			count, size-headerSize)
-	}
 	return &RawTrace{
 		ra: ra, size: size,
-		version: d.version, cpus: d.CPUs(), lost: d.Lost(), count: count,
+		version: d.version, cpus: d.CPUs(), lost: d.Lost(), count: d.EventCount(),
 	}, nil
 }
 
@@ -209,7 +295,7 @@ type BytesReaderAt []byte
 // ReadAt implements io.ReaderAt over the in-memory image.
 func (b BytesReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 || off > int64(len(b)) {
-		return 0, fmt.Errorf("trace: read at offset %d outside %d-byte image", off, len(b))
+		return 0, io.EOF
 	}
 	n := copy(p, b[off:])
 	if n < len(p) {
@@ -223,7 +309,8 @@ func (b BytesReaderAt) ReadAt(p []byte, off int64) (int, error) {
 // at record `start` — to fn. The chunk slice is only valid during the
 // callback. Concurrent Scans over disjoint ranges are safe when the
 // underlying reader supports concurrent ReadAt (files and bytes.Readers
-// do).
+// do). A short read inside the validated event section reports
+// ErrCorrupt: the file shrank after OpenRaw measured it.
 func (t *RawTrace) Scan(lo, hi uint64, fn func(start uint64, chunk []byte) error) error {
 	if hi > t.count {
 		hi = t.count
@@ -243,8 +330,9 @@ func (t *RawTrace) Scan(lo, hi uint64, fn func(start uint64, chunk []byte) error
 			n = rem
 		}
 		b := buf[:n*EventSize]
-		if _, err := t.ra.ReadAt(b, int64(headerSize)+int64(i)*EventSize); err != nil {
-			return fmt.Errorf("trace: reading events %d..%d of %d: %w", i, i+n, t.count, err)
+		off := int64(headerSize) + int64(i)*EventSize
+		if _, err := t.ra.ReadAt(b, off); err != nil {
+			return wrapRead(off, err, "trace: reading events %d..%d of %d", i, i+n, t.count)
 		}
 		if err := fn(i, b); err != nil {
 			return err
@@ -254,11 +342,16 @@ func (t *RawTrace) Scan(lo, hi uint64, fn func(start uint64, chunk []byte) error
 	return nil
 }
 
-// Event decodes the single record at index i.
+// Event decodes the single record at index i, which must be below
+// EventCount.
 func (t *RawTrace) Event(i uint64) (Event, error) {
+	if i >= t.count {
+		return Event{}, fmt.Errorf("trace: event index %d out of range (%d events)", i, t.count)
+	}
 	var rec [EventSize]byte
-	if _, err := t.ra.ReadAt(rec[:], int64(headerSize)+int64(i)*EventSize); err != nil {
-		return Event{}, fmt.Errorf("trace: reading event %d of %d: %w", i, t.count, err)
+	off := int64(headerSize) + int64(i)*EventSize
+	if _, err := t.ra.ReadAt(rec[:], off); err != nil {
+		return Event{}, wrapRead(off, err, "trace: reading event %d of %d", i, t.count)
 	}
 	return DecodeEvent(rec[:]), nil
 }
@@ -270,7 +363,7 @@ func (t *RawTrace) Procs() ([]ProcInfo, error) {
 		return nil, nil
 	}
 	off := int64(headerSize) + int64(t.count)*EventSize
-	return readProcs(bufio.NewReaderSize(io.NewSectionReader(t.ra, off, t.size-off), 1<<16))
+	return readProcs(bufio.NewReaderSize(io.NewSectionReader(t.ra, off, t.size-off), 1<<16), off)
 }
 
 // ReadParallel decodes a fixed-format trace of the given total size from
@@ -279,9 +372,9 @@ func (t *RawTrace) Procs() ([]ProcInfo, error) {
 // same bytes: records are fixed-width, so each worker decodes a disjoint
 // contiguous range directly into its slot of the shared event slice.
 //
-// Unlike Read, the event count promised by the header is validated
-// against the file size before allocation, so a corrupt header cannot
-// cause an implausible allocation.
+// Unlike Read on an opaque stream, the event count promised by the
+// header is always validated against the file size before allocation,
+// so a corrupt header cannot cause an implausible allocation.
 func ReadParallel(ra io.ReaderAt, size int64, workers int) (*Trace, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -290,6 +383,7 @@ func ReadParallel(ra io.ReaderAt, size int64, workers int) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Safe: OpenRaw bounded count by size/EventSize.
 	count := rt.count
 	tr := &Trace{CPUs: rt.cpus, Lost: rt.lost, Events: make([]Event, count)}
 

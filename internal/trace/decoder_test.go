@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"reflect"
 	"testing"
@@ -72,18 +73,38 @@ func TestDecoderTruncated(t *testing.T) {
 	if err := Write(&buf, tr); err != nil {
 		t.Fatal(err)
 	}
-	d, err := NewDecoder(bytes.NewReader(buf.Bytes()[:headerSize+50*EventSize+13]))
+	cut := buf.Bytes()[:headerSize+50*EventSize+13]
+
+	// A sized input (Len/Seek available) is rejected at NewDecoder: the
+	// header promises more event bytes than the stream holds.
+	if _, err := NewDecoder(bytes.NewReader(cut)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sized truncated stream: err = %v, want ErrCorrupt", err)
+	}
+
+	// An unsized stream (a pipe) cannot be cross-checked up front; the
+	// decoder yields every whole event, then reports the truncation as a
+	// corruption error rather than a clean EOF.
+	d, err := NewDecoder(io.LimitReader(bytes.NewReader(cut), int64(len(cut))))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if d.Sized() {
+		t.Fatal("LimitReader input must be unsized")
 	}
 	batch := make([]Event, 4096)
 	var total int
 	for {
-		n, err := d.Next(batch)
+		n, nextErr := d.Next(batch)
 		total += n
-		if err != nil {
-			if err == io.EOF {
+		if nextErr != nil {
+			if nextErr == io.EOF {
 				t.Fatal("truncated stream must not reach clean EOF")
+			}
+			if !errors.Is(nextErr, ErrCorrupt) {
+				t.Fatalf("truncation err = %v, want ErrCorrupt", nextErr)
+			}
+			if Offset(nextErr) != int64(headerSize+50*EventSize) {
+				t.Fatalf("truncation offset %d, want %d", Offset(nextErr), headerSize+50*EventSize)
 			}
 			break
 		}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The ingestion boundary of this package never panics on file input:
+// every malformed byte sequence a decoder can be fed maps to an error in
+// one of two sentinel families, so callers can tell "bad input" from
+// "bug in the caller" (which still panics, loudly, at the call site).
+//
+//   - ErrCorrupt: the bytes are structurally broken — wrong magic, a
+//     truncated section, a header promising more data than the stream
+//     holds, an impossible field value.
+//   - ErrLimit: the bytes parse but declare something beyond the
+//     documented format limits (MaxCPUs, MaxProcs, MaxProcNameLen),
+//     which a well-formed trace can never do.
+//
+// Both families wrap their cause, so errors.Is also matches the
+// underlying I/O error (e.g. io.ErrUnexpectedEOF) when there is one.
+var (
+	// ErrCorrupt is the sentinel matched (via errors.Is) by every
+	// decoding error caused by structurally broken input.
+	ErrCorrupt = errors.New("trace: corrupt input")
+	// ErrLimit is the sentinel matched (via errors.Is) by every decoding
+	// error caused by input exceeding the documented format limits.
+	ErrLimit = errors.New("trace: input exceeds format limits")
+)
+
+// ErrBadMagic is returned when decoding a stream that is not a trace.
+// It belongs to the ErrCorrupt family.
+var ErrBadMagic error = &wireError{sentinel: ErrCorrupt, off: -1, msg: "trace: bad magic, not an LTTNOISE trace"}
+
+// Documented format limits. Values above them are rejected at decode
+// time with an ErrLimit error, which keeps a corrupt or hostile header
+// from driving allocations: every size the decoders allocate is bounded
+// by either these limits or the input size itself.
+const (
+	// MaxCPUs is the largest CPU count a trace header may declare:
+	// 8192 nodes of 8 CPUs in a merged cluster trace. A header outside
+	// [1, MaxCPUs] is rejected before any per-CPU state is allocated.
+	MaxCPUs = 1 << 16
+	// MaxProcs is the largest process-table length a trace may declare.
+	MaxProcs = 1 << 20
+	// MaxProcNameLen is the longest comm name a process-table entry may
+	// carry, matching the generous side of the kernel's TASK_COMM_LEN.
+	MaxProcNameLen = 4096
+)
+
+// IsInputError reports whether err (or anything it wraps) is a typed
+// bad-input error — either family, ErrCorrupt or ErrLimit. CLIs use it
+// to pick the "corrupt trace" exit code; anything else is an
+// operational failure (I/O, permissions) or a bug.
+func IsInputError(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrLimit)
+}
+
+// wireError is the concrete error type behind both sentinel families:
+// a message, the byte offset where parsing failed (-1 when unknown),
+// and the wrapped cause, if any.
+type wireError struct {
+	sentinel error // ErrCorrupt or ErrLimit
+	off      int64 // byte offset in the input, -1 when unknown
+	msg      string
+	cause    error
+}
+
+// Error renders the message with its byte offset and cause.
+func (e *wireError) Error() string {
+	s := e.msg
+	if e.off >= 0 {
+		s = fmt.Sprintf("%s (byte offset %d)", e.msg, e.off)
+	}
+	if e.cause != nil {
+		s += ": " + e.cause.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the cause so errors.Is/As can keep walking.
+func (e *wireError) Unwrap() error { return e.cause }
+
+// Is makes the error match its sentinel family under errors.Is.
+func (e *wireError) Is(target error) bool { return target == e.sentinel }
+
+// Offset returns the byte offset at which a decoding error was
+// detected, or -1 when the error carries none (including non-trace
+// errors).
+func Offset(err error) int64 {
+	var we *wireError
+	if errors.As(err, &we) {
+		return we.off
+	}
+	return -1
+}
+
+// corruptf builds an ErrCorrupt-family error at byte offset off
+// (-1 = unknown) wrapping cause (nil = none).
+func corruptf(off int64, cause error, format string, args ...any) error {
+	return &wireError{sentinel: ErrCorrupt, off: off, msg: fmt.Sprintf(format, args...), cause: cause}
+}
+
+// limitf builds an ErrLimit-family error.
+func limitf(format string, args ...any) error {
+	return &wireError{sentinel: ErrLimit, off: -1, msg: fmt.Sprintf(format, args...)}
+}
+
+// wrapRead classifies an I/O error hit while parsing a structure the
+// header promised. An EOF-family error means the stream ended inside
+// that structure — truncation, i.e. corruption. A varint overflow means
+// the bytes themselves are impossible — also corruption. Anything else
+// is a genuine I/O failure and passes through untyped (wrapped, so the
+// parse context is kept).
+func wrapRead(off int64, cause error, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if errors.Is(cause, io.EOF) || errors.Is(cause, io.ErrUnexpectedEOF) ||
+		strings.Contains(cause.Error(), "varint overflows") {
+		return &wireError{sentinel: ErrCorrupt, off: off, msg: msg, cause: cause}
+	}
+	return fmt.Errorf("%s: %w", msg, cause)
+}

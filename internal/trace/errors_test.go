@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWireErrorFamilies(t *testing.T) {
+	c := corruptf(40, io.ErrUnexpectedEOF, "trace: event %d of %d: reading ts", 1, 9)
+	if !errors.Is(c, ErrCorrupt) {
+		t.Fatal("corruptf error not in the ErrCorrupt family")
+	}
+	if errors.Is(c, ErrLimit) {
+		t.Fatal("corruptf error leaked into the ErrLimit family")
+	}
+	if !errors.Is(c, io.ErrUnexpectedEOF) {
+		t.Fatal("cause not reachable through Unwrap")
+	}
+	if Offset(c) != 40 {
+		t.Fatalf("offset %d, want 40", Offset(c))
+	}
+	if msg := c.Error(); !strings.Contains(msg, "byte offset 40") || !strings.Contains(msg, "event 1 of 9") {
+		t.Fatalf("unhelpful message: %q", msg)
+	}
+
+	l := limitf("trace: header declares %d CPUs", 1<<20)
+	if !errors.Is(l, ErrLimit) || errors.Is(l, ErrCorrupt) {
+		t.Fatalf("limitf family wrong: %v", l)
+	}
+	if Offset(l) != -1 {
+		t.Fatalf("limit errors carry no offset, got %d", Offset(l))
+	}
+
+	for _, err := range []error{c, l, ErrBadMagic, fmt.Errorf("path: %w", c)} {
+		if !IsInputError(err) {
+			t.Errorf("IsInputError(%v) = false", err)
+		}
+	}
+	for _, err := range []error{nil, io.EOF, errors.New("disk on fire")} {
+		if IsInputError(err) {
+			t.Errorf("IsInputError(%v) = true", err)
+		}
+	}
+}
+
+func TestWrapReadClassification(t *testing.T) {
+	// Truncation-shaped causes become corruption; other I/O failures
+	// stay out of the input-error families (the file system, not the
+	// file, is at fault) while remaining unwrappable.
+	if err := wrapRead(8, io.ErrUnexpectedEOF, "trace: reading header"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unexpected EOF not classified corrupt: %v", err)
+	}
+	if err := wrapRead(0, io.EOF, "trace: reading magic"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("EOF not classified corrupt: %v", err)
+	}
+	cause := errors.New("read /dev/sda: input/output error")
+	err := wrapRead(64, cause, "trace: reading event")
+	if IsInputError(err) {
+		t.Fatalf("I/O failure misclassified as input error: %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+func TestErrBadMagicIdentity(t *testing.T) {
+	// Existing callers compare with ==; the sentinel must stay a single
+	// comparable value as well as a member of the ErrCorrupt family.
+	if _, err := Read(strings.NewReader("XXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX")); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic identity", err)
+	}
+	if !errors.Is(ErrBadMagic, ErrCorrupt) {
+		t.Fatal("ErrBadMagic not in the ErrCorrupt family")
+	}
+}

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -37,11 +36,23 @@ type Ring struct {
 	stopped   atomic.Bool
 }
 
-// NewRing creates a ring with nSubBufs sub-buffers of subBufLen slots
-// each. Both must be powers of two.
-func NewRing(nSubBufs, subBufLen int, mode Mode) *Ring {
+// ringGeometry validates a ring's sub-buffer geometry, returning an
+// ErrLimit-family error when it is not a pair of positive powers of
+// two. Shared by NewRing's panic and Config.Validate's error path.
+func ringGeometry(nSubBufs, subBufLen int) error {
 	if nSubBufs <= 0 || subBufLen <= 0 || nSubBufs&(nSubBufs-1) != 0 || subBufLen&(subBufLen-1) != 0 {
-		panic(fmt.Sprintf("trace: ring geometry must be powers of two, got %d x %d", nSubBufs, subBufLen))
+		return limitf("trace: ring geometry must be powers of two, got %d x %d", nSubBufs, subBufLen)
+	}
+	return nil
+}
+
+// NewRing creates a ring with nSubBufs sub-buffers of subBufLen slots
+// each. Both must be powers of two. Like NewSession, the panic reports
+// a programming error — ring geometry never comes from file input;
+// untrusted configurations go through Config.Validate first.
+func NewRing(nSubBufs, subBufLen int, mode Mode) *Ring {
+	if err := ringGeometry(nSubBufs, subBufLen); err != nil {
+		panic(err)
 	}
 	cap := nSubBufs * subBufLen
 	return &Ring{

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,6 +27,38 @@ func DefaultConfig(cpus int) Config {
 	return Config{CPUs: cpus, SubBufs: 8, SubBufLen: 4096, Mode: Discard}
 }
 
+// Validate checks the session geometry against the format limits,
+// returning an ErrLimit-family error describing the first violation.
+// Zero SubBufs/SubBufLen are valid: NewSession fills in defaults.
+// Callers deriving a Config from anything untrusted should Validate it
+// before NewSession, whose panic is reserved for programming errors.
+func (cfg Config) Validate() error {
+	if cfg.CPUs < 1 {
+		return limitf("trace: session needs at least one CPU, got %d", cfg.CPUs)
+	}
+	if cfg.CPUs > MaxCPUs {
+		return limitf("trace: session declares %d CPUs, maximum is %d", cfg.CPUs, MaxCPUs)
+	}
+	if cfg.SubBufs != 0 || cfg.SubBufLen != 0 {
+		subBufs, subBufLen := cfg.SubBufs, cfg.SubBufLen
+		if subBufs == 0 {
+			subBufs = 8
+		}
+		if subBufLen == 0 {
+			subBufLen = 4096
+		}
+		if err := ringGeometry(subBufs, subBufLen); err != nil {
+			return err
+		}
+	}
+	for _, id := range cfg.Enabled {
+		if int(id) >= NumIDs {
+			return limitf("trace: cannot enable unknown tracepoint id %d (max %d)", id, NumIDs-1)
+		}
+	}
+	return nil
+}
+
 // Session is the tracing control object: one ring per CPU plus the
 // tracepoint filter. It corresponds to an LTTng tracing session with one
 // channel per CPU.
@@ -36,6 +67,7 @@ type Session struct {
 	rings    []*Ring
 	enabled  [NumIDs]atomic.Bool
 	recorded atomic.Uint64
+	oorLost  atomic.Uint64 // events dropped for an out-of-range CPU
 	started  atomic.Bool
 
 	procMu sync.Mutex
@@ -43,10 +75,13 @@ type Session struct {
 }
 
 // NewSession creates a session. It panics on invalid geometry so that
-// misconfiguration fails loudly at setup, not silently during a run.
+// misconfiguration fails loudly at setup, not silently during a run;
+// the panic is a programming-error report, never reachable from file
+// input — callers holding an untrusted Config must call Config.Validate
+// first and handle the typed error themselves.
 func NewSession(cfg Config) *Session {
-	if cfg.CPUs <= 0 {
-		panic("trace: session needs at least one CPU")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.SubBufs == 0 {
 		cfg.SubBufs = 8
@@ -112,13 +147,17 @@ func (s *Session) Enabled(id ID) bool { return s.enabled[id].Load() }
 
 // Emit records an event on the given CPU's channel. It reports the
 // simulated tracer overhead in nanoseconds to charge to that CPU (zero
-// when the event is filtered or the session is stopped).
+// when the event is filtered or the session is stopped). An event whose
+// CPU is outside the session's range is dropped and counted as lost
+// rather than panicking: replaying a decoded — possibly corrupt — trace
+// through a session must never crash the process.
 func (s *Session) Emit(ev Event) int64 {
-	if !s.started.Load() || !s.enabled[ev.ID].Load() {
+	if !s.started.Load() || int(ev.ID) >= NumIDs || !s.enabled[ev.ID].Load() {
 		return 0
 	}
-	if int(ev.CPU) >= len(s.rings) {
-		panic(fmt.Sprintf("trace: event for cpu %d beyond session's %d CPUs", ev.CPU, len(s.rings)))
+	if ev.CPU < 0 || int(ev.CPU) >= len(s.rings) {
+		s.oorLost.Add(1)
+		return 0
 	}
 	if s.rings[ev.CPU].Write(ev) {
 		s.recorded.Add(1)
@@ -129,9 +168,11 @@ func (s *Session) Emit(ev Event) int64 {
 // Recorded returns the number of events successfully stored.
 func (s *Session) Recorded() uint64 { return s.recorded.Load() }
 
-// Lost returns the total number of events dropped across all CPUs.
+// Lost returns the total number of events dropped across all CPUs,
+// including events dropped for naming a CPU outside the session's
+// range.
 func (s *Session) Lost() uint64 {
-	var n uint64
+	n := s.oorLost.Load()
 	for _, r := range s.rings {
 		n += r.Lost()
 	}
@@ -221,9 +262,14 @@ func (t *Trace) DurationSeconds() float64 {
 }
 
 // PerCPU splits the trace into per-CPU event slices, preserving order.
+// Events naming a CPU outside [0, CPUs) — possible only in a corrupt
+// trace — are skipped, matching the analyzers' dropped-event handling.
 func (t *Trace) PerCPU() [][]Event {
 	out := make([][]Event, t.CPUs)
 	for _, ev := range t.Events {
+		if ev.CPU < 0 || int(ev.CPU) >= len(out) {
+			continue
+		}
 		out[ev.CPU] = append(out[ev.CPU], ev)
 	}
 	return out

@@ -77,15 +77,22 @@ func TestSessionOverhead(t *testing.T) {
 	}
 }
 
-func TestSessionBadCPUPanics(t *testing.T) {
+func TestSessionBadCPUDropped(t *testing.T) {
 	s := NewSession(Config{CPUs: 1, SubBufs: 2, SubBufLen: 8})
 	s.Start()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for out-of-range CPU")
-		}
-	}()
-	s.Emit(Event{TS: 1, CPU: 5, ID: EvIRQEntry})
+	// Events naming a CPU outside the session's range — which can only
+	// come from replaying a corrupt trace — are dropped and counted as
+	// lost instead of panicking.
+	if oh := s.Emit(Event{TS: 1, CPU: 5, ID: EvIRQEntry}); oh != 0 {
+		t.Fatalf("out-of-range CPU charged overhead %d", oh)
+	}
+	s.Emit(Event{TS: 2, CPU: -3, ID: EvIRQEntry})
+	if got := s.Lost(); got != 2 {
+		t.Fatalf("lost = %d, want 2", got)
+	}
+	if got := s.Recorded(); got != 0 {
+		t.Fatalf("recorded = %d, want 0", got)
+	}
 }
 
 func TestTraceSpanAndFilter(t *testing.T) {

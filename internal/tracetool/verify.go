@@ -1,0 +1,101 @@
+package tracetool
+
+import (
+	"io"
+	"os"
+
+	"osnoise/internal/trace"
+)
+
+// CLI exit codes shared by the trace-consuming commands. A wrapper
+// script can distinguish "the tool failed" from "the trace is bad"
+// without parsing diagnostics.
+const (
+	// ExitOK is the success exit code.
+	ExitOK = 0
+	// ExitError reports an operational failure: a missing file, a
+	// permission problem, a write error.
+	ExitError = 1
+	// ExitBadTrace reports corrupt or over-limit trace input — an
+	// ErrCorrupt/ErrLimit-family error from the trace readers.
+	ExitBadTrace = 2
+)
+
+// ExitCode maps an error to the documented CLI exit code: ExitOK for
+// nil, ExitBadTrace for typed trace-input errors (anywhere in the
+// wrap chain), ExitError otherwise.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case trace.IsInputError(err):
+		return ExitBadTrace
+	default:
+		return ExitError
+	}
+}
+
+// VerifyResult summarises a trace file that passed verification.
+type VerifyResult struct {
+	// Format is "fixed" or "compressed".
+	Format string
+	// CPUs is the header's CPU count.
+	CPUs int
+	// Events is the number of event records decoded.
+	Events uint64
+	// Lost is the tracer-side dropped-event counter from the header.
+	Lost uint64
+	// Procs is the number of process-table entries.
+	Procs int
+}
+
+// Verify decodes every byte of a trace file and reports what it holds.
+// Fixed-format traces stream through the Decoder in constant memory, so
+// verification of a large trace never materialises it; compressed
+// traces decode fully (their varint records cannot be skipped). A
+// non-nil error satisfies errors.Is against trace.ErrCorrupt or
+// trace.ErrLimit exactly when the file — not the tool — is at fault.
+func Verify(path string) (*VerifyResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var head [8]byte
+	if n, err := f.ReadAt(head[:], 0); err == nil && n == 8 && trace.IsFixedFormat(head) {
+		d, err := trace.NewDecoder(f)
+		if err != nil {
+			return nil, err
+		}
+		res := &VerifyResult{Format: "fixed", CPUs: d.CPUs(), Lost: d.Lost()}
+		batch := make([]trace.Event, 4096)
+		for {
+			n, err := d.Next(batch)
+			res.Events += uint64(n)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		procs, err := d.Procs()
+		if err != nil {
+			return nil, err
+		}
+		res.Procs = len(procs)
+		return res, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	tr, err := trace.ReadAny(f)
+	if err != nil {
+		return nil, err
+	}
+	return &VerifyResult{
+		Format: "compressed", CPUs: tr.CPUs,
+		Events: uint64(len(tr.Events)), Lost: tr.Lost, Procs: len(tr.Procs),
+	}, nil
+}

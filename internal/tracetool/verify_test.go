@@ -1,0 +1,135 @@
+package tracetool
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"osnoise/internal/trace"
+)
+
+// writeFile encodes sample() to a temp file in the requested format.
+func writeFile(t *testing.T, compress bool) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := trace.Write
+	name := "t.lttn"
+	if compress {
+		enc = trace.WriteCompressed
+		name = "t.lttnz"
+	}
+	if err := enc(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyFixed(t *testing.T) {
+	res, err := Verify(writeFile(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Format != "fixed" || res.CPUs != 2 || res.Events != 5 || res.Lost != 1 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestVerifyCompressed(t *testing.T) {
+	res, err := Verify(writeFile(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Format != "compressed" || res.CPUs != 2 || res.Events != 5 || res.Lost != 1 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestVerifyTruncated(t *testing.T) {
+	path := writeFile(t, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-30], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Verify(path)
+	if !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt family", err)
+	}
+	if got := ExitCode(err); got != ExitBadTrace {
+		t.Fatalf("exit code %d, want %d", got, ExitBadTrace)
+	}
+}
+
+func TestVerifyGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("definitely not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(path); !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt family", err)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("disk on fire"), ExitError},
+		{os.ErrNotExist, ExitError},
+		{trace.ErrBadMagic, ExitBadTrace},
+		// Wrapped input errors must still map to ExitBadTrace: Load
+		// prefixes errors with the path.
+		{wrap("t.lttn", trace.ErrBadMagic), ExitBadTrace},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// wrap mimics Load's path-prefixed error wrapping.
+func wrap(path string, err error) error {
+	return &wrappedErr{path: path, err: err}
+}
+
+// wrappedErr is a minimal wrapping error for the ExitCode test.
+type wrappedErr struct {
+	path string
+	err  error
+}
+
+func (w *wrappedErr) Error() string { return w.path + ": " + w.err.Error() }
+func (w *wrappedErr) Unwrap() error { return w.err }
+
+func TestLoadCorruptReportsTypedError(t *testing.T) {
+	path := writeFile(t, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the header's event count with an absurd value: every
+	// loader path must reject it with a typed error, not an OOM or a
+	// panic.
+	for i := 24; i < 32; i++ {
+		data[i] = 0xff
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		if _, err := Load(path, workers); !trace.IsInputError(err) {
+			t.Fatalf("workers=%d: err = %v, want typed input error", workers, err)
+		}
+	}
+}

@@ -195,6 +195,23 @@ var (
 	ReadAnyTrace = trace.ReadAny
 )
 
+// Trace-input error classification. The readers never panic on
+// untrusted bytes; failures caused by the input match one of these
+// sentinel families under errors.Is.
+var (
+	// ErrTraceCorrupt is the family of errors reporting bytes that
+	// contradict the trace format (bad magic, truncation, lying
+	// headers). Errors in this family carry the byte offset of the
+	// offending field when it is known.
+	ErrTraceCorrupt = trace.ErrCorrupt
+	// ErrTraceLimit is the family of errors reporting well-formed input
+	// that exceeds a documented format limit (CPUs, process table).
+	ErrTraceLimit = trace.ErrLimit
+	// IsTraceInputError reports whether err blames the trace bytes —
+	// either family — rather than the reading machinery.
+	IsTraceInputError = trace.IsInputError
+)
+
 // ExportChromeTrace writes the analysis in Chrome Trace Event Format
 // (viewable in ui.perfetto.dev or chrome://tracing).
 func ExportChromeTrace(w io.Writer, r *Report) error { return chrometrace.Export(w, r) }

@@ -27,11 +27,21 @@ go run ./cmd/noisevet -only doccomment ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== fuzz smoke: trace codec"
+echo "== corruption suite (trace fault injector, race-instrumented)"
+# The deterministic fault injector sweeps every mutation over every
+# encoding and feeds the result to every reader entry point; any panic
+# or untyped error from corrupted bytes fails the run. Part of the
+# -race suite above, but a dedicated step keeps the failure legible.
+go test -race -run 'TestCorruption|TestMutations|TestValidTrace|TestWrongMagic' \
+    ./internal/trace/corrupt
+
+echo "== fuzz smoke: trace codec + decoder surfaces"
 # -fuzz accepts a single target per invocation; smoke each codec fuzzer
 # briefly. FuzzParse (paraver) is covered by its seed corpus in the
-# regular run above.
-for target in FuzzRead FuzzReadCompressed FuzzReadAny; do
+# regular run above; the checked-in corpora under
+# internal/trace/testdata/fuzz replay during the plain test run too.
+for target in FuzzRead FuzzReadCompressed FuzzReadAny \
+              FuzzDecoder FuzzOpenRaw FuzzReadParallel; do
     go test ./internal/trace -run="^$" -fuzz="^${target}\$" -fuzztime=10s
 done
 
