@@ -9,6 +9,7 @@
 package osnoise_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -396,11 +397,13 @@ func BenchmarkClusterRun(b *testing.B) {
 	model := cluster.NoiseModel{RatePerSec: 100, Durations: []int64{10_000, 50_000, 500_000}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cluster.Run(cluster.Config{
+		if _, err := cluster.Run(context.Background(), cluster.Config{
 			Nodes: 256, RanksPerNode: 8,
 			Granularity: sim.Millisecond, Iterations: 100,
 			Seed: uint64(i), Model: model,
-		})
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

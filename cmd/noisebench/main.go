@@ -1,6 +1,6 @@
 // Command noisebench regenerates the paper's evaluation: every table
 // (I–VI) and figure (1–10), the tracer-overhead measurement and the
-// noise-at-scale extension.
+// noise-at-scale extensions.
 //
 // Usage:
 //
@@ -8,13 +8,17 @@
 //	noisebench -exp table1,fig4        # selected experiments
 //	noisebench -duration 60s -seed 7   # longer runs, different seed
 //	noisebench -data out/              # also dump CSV series per experiment
+//	noisebench -faults -json results/BENCH_faults.json
 //
-// Exit codes: 0 on success, 1 on any error (this command generates its
+// Exit codes: 0 on success, 1 on any error, 3 when a -timeout deadline
+// cancelled the run before it finished (this command generates its
 // traces in memory; it never ingests untrusted trace files).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +35,97 @@ import (
 	"osnoise/internal/export"
 	"osnoise/internal/sim"
 )
+
+// exitCancelled is the documented exit code for runs cut short by the
+// -timeout deadline (matches tracetool.ExitCancelled).
+const exitCancelled = 3
+
+// fatal prints the error and exits 3 for cancellation, 1 otherwise.
+func fatal(err error) {
+	log.Print(err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		os.Exit(exitCancelled)
+	}
+	os.Exit(1)
+}
+
+// mkctx builds the command context: background, or cancelled after the
+// -timeout duration. The context lives exactly as long as the process,
+// so the timer-held cancel is release enough.
+func mkctx(timeout time.Duration) context.Context {
+	if timeout <= 0 {
+		return context.Background()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(timeout, cancel)
+	return ctx
+}
+
+// writeJSON marshals v to path, creating parent directories.
+func writeJSON(path string, v any) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runFaults executes the fault-injection benchmark and optionally
+// writes the machine-readable result (results/BENCH_faults.json).
+func runFaults(ctx context.Context, seed uint64, intervalList, jsonPath string) {
+	var intervals []int
+	if intervalList != "" {
+		for _, s := range strings.Split(intervalList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 0 {
+				log.Fatalf("bad -fault-intervals entry %q", s)
+			}
+			intervals = append(intervals, n)
+		}
+	}
+	b, err := experiments.RunFaultBench(ctx, seed, intervals)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(b.Render())
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, b); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fault benchmark written to %s\n", jsonPath)
+	}
+}
+
+// runExperiments executes the selected paper experiments, converting a
+// cancelled simulation (raised as *experiments.RunError) into an error.
+func runExperiments(c *experiments.Context, exps string) (results []*experiments.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(*experiments.RunError)
+			if !ok {
+				panic(r)
+			}
+			results, err = nil, re
+		}
+	}()
+	if exps == "all" {
+		return experiments.All(c), nil
+	}
+	for _, id := range strings.Split(exps, ",") {
+		id = strings.TrimSpace(id)
+		r := experiments.ByID(c, id)
+		if r == nil {
+			log.Fatalf("unknown experiment %q (use -list)", id)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
 
 // runPipeline executes the analysis-pipeline benchmark and optionally
 // writes the machine-readable result.
@@ -80,7 +175,10 @@ func main() {
 		pipeEvents = flag.Int("pipeline-events", 1_000_000, "minimum trace size for -pipeline, in events")
 		pipeShards = flag.String("pipeline-shards", "1,2,4,8", "comma-separated shard counts for -pipeline")
 		pipeReps   = flag.Int("pipeline-reps", 3, "repetitions per -pipeline configuration (best wall kept)")
-		jsonOut    = flag.String("json", "", "write the -pipeline result as JSON here (e.g. results/BENCH_pipeline.json)")
+		faults     = flag.Bool("faults", false, "benchmark fault recovery vs checkpoint interval instead of the paper experiments")
+		faultIvals = flag.String("fault-intervals", "", "comma-separated checkpoint intervals for -faults (default 0,5,10,25,50,100)")
+		jsonOut    = flag.String("json", "", "write the -pipeline/-faults result as JSON here (e.g. results/BENCH_faults.json)")
+		timeout    = flag.Duration("timeout", 0, "cancel the run after this duration (exit code 3)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile here")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile here")
 	)
@@ -120,26 +218,23 @@ func main() {
 		}()
 	}
 
+	runCtx := mkctx(*timeout)
 	if *pipeline {
 		runPipeline(*pipeEvents, *pipeShards, *seed, *pipeReps, *jsonOut)
+		return
+	}
+	if *faults {
+		runFaults(runCtx, *seed, *faultIvals, *jsonOut)
 		return
 	}
 
 	ctx := experiments.NewContext(sim.Duration((*duration).Nanoseconds()), *seed)
 	ctx.FTQDuration = sim.Duration((*ftqDur).Nanoseconds())
+	ctx.Ctx = runCtx
 
-	var results []*experiments.Result
-	if *exps == "all" {
-		results = experiments.All(ctx)
-	} else {
-		for _, id := range strings.Split(*exps, ",") {
-			id = strings.TrimSpace(id)
-			r := experiments.ByID(ctx, id)
-			if r == nil {
-				log.Fatalf("unknown experiment %q (use -list)", id)
-			}
-			results = append(results, r)
-		}
+	results, err := runExperiments(ctx, *exps)
+	if err != nil {
+		fatal(err)
 	}
 
 	for _, r := range results {

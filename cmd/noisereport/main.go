@@ -9,10 +9,12 @@
 //	noisereport -top 20 -timeline -paraver out trace.lttn
 //
 // Exit codes: 0 on success, 1 on operational errors, 2 when the trace
-// file is corrupt or exceeds the format limits.
+// file is corrupt or exceeds the format limits, 3 when a -timeout
+// deadline cancelled the run before it finished.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +31,8 @@ import (
 )
 
 // fatal prints a one-line diagnostic and exits with the documented
-// code: 2 for corrupt/over-limit trace input, 1 for everything else.
+// code: 3 for a cancelled run, 2 for corrupt/over-limit trace input,
+// 1 for everything else.
 func fatal(err error) {
 	log.Print(err)
 	os.Exit(tracetool.ExitCode(err))
@@ -37,11 +40,12 @@ func fatal(err error) {
 
 // analyze dispatches to the sequential or sharded analyzer; both produce
 // bit-identical reports, so the choice is purely about wall-clock time.
-func analyze(tr *trace.Trace, opts noise.Options, shards int) *noise.Report {
+// The sequential path honours the budget but has no cancellation points.
+func analyze(ctx context.Context, tr *trace.Trace, opts noise.Options, shards int) (*noise.Report, error) {
 	if shards == 1 {
-		return noise.Analyze(tr, opts)
+		return noise.Analyze(tr, opts), nil
 	}
-	return noise.AnalyzeParallel(tr, opts, shards)
+	return noise.AnalyzeParallel(ctx, tr, opts, shards)
 }
 
 func main() {
@@ -63,13 +67,25 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the analysis summary as JSON here")
 		compare   = flag.String("compare", "", "second trace: print a before/after noise diff")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "decode+analysis shards (1 = sequential)")
+		timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (exit code 3)")
+		budget    = flag.String("budget", "", "resource caps: events=N,bytes=N,interruptions=N")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: noisereport [flags] <trace file>")
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	bud, err := tracetool.ParseBudget(*budget)
+	if err != nil {
+		fatal(err)
+	}
 
-	tr, err := tracetool.Load(flag.Arg(0), *parallel)
+	tr, err := tracetool.Load(ctx, flag.Arg(0), *parallel)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,7 +98,22 @@ func main() {
 	opts.GapNS = *gap
 	opts.FromNS = *fromNS
 	opts.ToNS = *toNS
-	rep := analyze(tr, opts, *parallel)
+	opts.Budget = bud
+	rep, err := analyze(ctx, tr, opts, *parallel)
+	if err != nil {
+		if rep != nil {
+			log.Printf("partial result: %d events consumed, %d CPUs finished",
+				rep.EventsConsumed, rep.CPUsFinished)
+		}
+		fatal(err)
+	}
+	if rep.Incomplete {
+		fmt.Printf("(budget reached: analysis covers the first %d events)\n", rep.EventsConsumed)
+	}
+	if rep.InterruptionsSampled {
+		fmt.Printf("(interruption cap reached: showing %d of %d interruptions)\n",
+			len(rep.Interruptions), rep.InterruptionsTotal)
+	}
 
 	fmt.Println()
 	fmt.Print(rep.BreakdownString())
@@ -135,11 +166,14 @@ func main() {
 		fmt.Print(chart.Legend())
 	}
 	if *compare != "" {
-		tr2, err := tracetool.Load(*compare, *parallel)
+		tr2, err := tracetool.Load(ctx, *compare, *parallel)
 		if err != nil {
 			fatal(err)
 		}
-		rep2 := analyze(tr2, opts, *parallel)
+		rep2, err := analyze(ctx, tr2, opts, *parallel)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("\ndiff vs %s:\n", *compare)
 		fmt.Print(noise.DiffString(rep, rep2))
 	}

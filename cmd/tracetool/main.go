@@ -13,15 +13,17 @@
 //
 // Exit codes: 0 on success, 1 on operational errors (missing files,
 // write failures), 2 when a trace file is corrupt or exceeds the
-// format limits.
+// format limits, 3 when a -timeout deadline cancelled the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"time"
 
 	"osnoise/internal/trace"
 	"osnoise/internal/tracetool"
@@ -39,16 +41,18 @@ func main() {
 		fs := flag.NewFlagSet("dump", flag.ExitOnError)
 		limit := fs.Int("limit", 0, "maximum lines (0 = all)")
 		parallel := parallelFlag(fs)
+		timeout := timeoutFlag(fs)
 		parse(fs, args, 1)
-		tr := load(fs.Arg(0), *parallel)
+		tr := load(mkctx(*timeout), fs.Arg(0), *parallel)
 		if err := tracetool.Dump(os.Stdout, tr, *limit); err != nil {
 			log.Fatal(err)
 		}
 	case "stat":
 		fs := flag.NewFlagSet("stat", flag.ExitOnError)
 		parallel := parallelFlag(fs)
+		timeout := timeoutFlag(fs)
 		parse(fs, args, 1)
-		if err := tracetool.Stat(load(fs.Arg(0), *parallel)).Render(os.Stdout); err != nil {
+		if err := tracetool.Stat(load(mkctx(*timeout), fs.Arg(0), *parallel)).Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	case "verify":
@@ -68,6 +72,7 @@ func main() {
 		events := fs.String("events", "", "comma-separated tracepoint names to keep")
 		out := fs.String("o", "", "output file (required)")
 		parallel := parallelFlag(fs)
+		timeout := timeoutFlag(fs)
 		parse(fs, args, 1)
 		if *out == "" {
 			log.Fatal("filter: -o required")
@@ -76,30 +81,33 @@ func main() {
 		if *events != "" {
 			f.Names = splitComma(*events)
 		}
-		save(*out, f.Apply(load(fs.Arg(0), *parallel)), false)
+		save(*out, f.Apply(load(mkctx(*timeout), fs.Arg(0), *parallel)), false)
 	case "convert":
 		fs := flag.NewFlagSet("convert", flag.ExitOnError)
 		compress := fs.Bool("compress", false, "write the varint-compressed format")
 		out := fs.String("o", "", "output file (required)")
 		parallel := parallelFlag(fs)
+		timeout := timeoutFlag(fs)
 		parse(fs, args, 1)
 		if *out == "" {
 			log.Fatal("convert: -o required")
 		}
-		save(*out, load(fs.Arg(0), *parallel), *compress)
+		save(*out, load(mkctx(*timeout), fs.Arg(0), *parallel), *compress)
 	case "merge":
 		fs := flag.NewFlagSet("merge", flag.ExitOnError)
 		out := fs.String("o", "", "output file (required)")
 		parallel := parallelFlag(fs)
+		timeout := timeoutFlag(fs)
 		if err := fs.Parse(args); err != nil {
 			log.Fatal(err)
 		}
 		if *out == "" || fs.NArg() == 0 {
 			log.Fatal("merge: -o and at least one input required")
 		}
+		ctx := mkctx(*timeout)
 		traces := make([]*trace.Trace, 0, fs.NArg())
 		for _, path := range fs.Args() {
-			traces = append(traces, load(path, *parallel))
+			traces = append(traces, load(ctx, path, *parallel))
 		}
 		merged := tracetool.Merge(traces...)
 		save(*out, merged, false)
@@ -139,16 +147,36 @@ func parallelFlag(fs *flag.FlagSet) *int {
 	return fs.Int("parallel", runtime.GOMAXPROCS(0), "decode shards for fixed-format traces (1 = sequential)")
 }
 
+// timeoutFlag registers the shared -timeout flag on a subcommand's flag
+// set: a wall-clock deadline after which the run is cancelled and the
+// tool exits with code 3.
+func timeoutFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0, "cancel the run after this duration (exit code 3)")
+}
+
+// mkctx builds the command context: background, or cancelled after the
+// -timeout duration. The context lives exactly as long as the process,
+// so the timer-held cancel is release enough.
+func mkctx(timeout time.Duration) context.Context {
+	if timeout <= 0 {
+		return context.Background()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(timeout, cancel)
+	return ctx
+}
+
 // fatal prints a one-line diagnostic and exits with the documented
-// code: 2 for corrupt/over-limit trace input, 1 for everything else.
-// Corrupt input must never surface as a panic's goroutine dump.
+// code: 3 for a cancelled run, 2 for corrupt/over-limit trace input,
+// 1 for everything else. Corrupt input must never surface as a panic's
+// goroutine dump.
 func fatal(err error) {
 	log.Print(err)
 	os.Exit(tracetool.ExitCode(err))
 }
 
-func load(path string, workers int) *trace.Trace {
-	tr, err := tracetool.Load(path, workers)
+func load(ctx context.Context, path string, workers int) *trace.Trace {
+	tr, err := tracetool.Load(ctx, path, workers)
 	if err != nil {
 		fatal(err)
 	}

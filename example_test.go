@@ -1,6 +1,7 @@
 package osnoise_test
 
 import (
+	"context"
 	"fmt"
 
 	"osnoise"
@@ -36,12 +37,16 @@ func ExampleInterruption_Describe() {
 
 // ExampleRunCluster scales a synthetic noise model to 64 nodes.
 func ExampleRunCluster() {
-	res := osnoise.RunCluster(osnoise.ClusterConfig{
+	res, err := osnoise.RunCluster(context.Background(), osnoise.ClusterConfig{
 		Nodes: 64, RanksPerNode: 8,
 		Granularity: osnoise.Millisecond,
 		Iterations:  100, Seed: 1,
 		Model: osnoise.NoiseModel{RatePerSec: 100, Durations: []int64{50_000}},
 	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
 	fmt.Printf("slowdown at 64 nodes: %.2f\n", res.Slowdown())
 	// Output: slowdown at 64 nodes: 1.10
 }

@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"osnoise"
 )
@@ -37,8 +39,14 @@ func main() {
 		cfgF.Model = full
 		cfgM := base
 		cfgM.Model = mitigated
-		rf := osnoise.RunCluster(cfgF)
-		rm := osnoise.RunCluster(cfgM)
+		rf, err := osnoise.RunCluster(context.Background(), cfgF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rm, err := osnoise.RunCluster(context.Background(), cfgM)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%8d %12.3f %12.3f %11.2fx\n",
 			nodes, rf.Slowdown(), rm.Slowdown(), rf.Slowdown()/rm.Slowdown())
 	}

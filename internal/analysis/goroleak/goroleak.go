@@ -1,0 +1,220 @@
+// Package goroleak implements the noisevet analyzer that enforces the
+// resilience contract's goroutine-shutdown guarantee: every goroutine
+// spawned in the parallel analysis and simulation packages must be
+// joinable or cancellable, so that cancelling an entry point can never
+// strand a worker.
+//
+// A `go func(){…}()` statement in a configured package is flagged
+// unless the goroutine body satisfies one of:
+//
+//   - WaitGroup-joined on every path: each control-flow path from entry
+//     to function exit passes a sync.WaitGroup Done() call. The
+//     dominant `defer wg.Done()` idiom satisfies this structurally —
+//     defer blocks lie on the exit path in the internal/analysis/cfg
+//     graph. A Done() reachable on only some paths is still a leak: the
+//     parent's Wait() blocks forever on the path that skips it.
+//
+//   - Bounded by a shutdown signal: the body receives from a
+//     done/cancel-style channel (`<-done`, `<-ctx.Done()`, a select
+//     case on either) or ranges over a channel (the parent terminates
+//     the worker by closing it).
+//
+// A body that can neither terminate (no path to exit, no panic) nor
+// observe a signal is flagged even if it calls Done — a goroutine stuck
+// in `for {}` leaks past its own defer.
+//
+// The check is intra-procedural and syntactic about the spawn site:
+// `go namedFunc(...)` is skipped (the body is out of view), which is a
+// documented limitation — the repository's worker pools all spawn
+// literals.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/cfg"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Packages are package-path prefixes the analyzer applies to; an
+	// empty list means every target package.
+	Packages []string
+}
+
+// cancelName matches channel identifiers that signal shutdown.
+var cancelName = regexp.MustCompile(`(?i)done|cancel|stop|quit`)
+
+// New returns a goroleak analyzer.
+func New(cfgc Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "goroleak",
+		Doc: "require every spawned goroutine to be WaitGroup-joined on all paths or bounded by a done/cancel receive\n\n" +
+			"The cancellation contract guarantees that AnalyzeParallel/AnalyzeStream/ReadParallel/cluster.Run\n" +
+			"leak zero goroutines when their context fires; a worker that is neither joined nor able to\n" +
+			"observe shutdown outlives the call that spawned it.",
+	}
+	a.Run = func(pass *analysis.Pass) (interface{}, error) {
+		if len(cfgc.Packages) > 0 && !matchAny(cfgc.Packages, pass.Pkg.Path()) {
+			return nil, nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true // go namedFunc(...): body out of view
+				}
+				checkGoroutine(pass, gs, lit)
+				return true
+			})
+		}
+		return nil, nil
+	}
+	return a
+}
+
+// checkGoroutine applies the join-or-signal rule to one spawned literal.
+func checkGoroutine(pass *analysis.Pass, gs *ast.GoStmt, lit *ast.FuncLit) {
+	if hasShutdownReceive(pass, lit.Body) {
+		return
+	}
+	g := cfg.New(lit.Body, nil)
+	leak, terminates := walkPaths(pass, g)
+	if leak {
+		pass.Reportf(gs.Pos(), "goroutine is neither WaitGroup-joined on every path nor bounded by a done/cancel receive; it can outlive cancellation (defer wg.Done() or select on a done channel)")
+		return
+	}
+	if !terminates {
+		pass.Reportf(gs.Pos(), "goroutine never terminates and observes no done/cancel signal; it leaks for the life of the process")
+	}
+}
+
+// walkPaths explores every path from entry. leak reports a path that
+// reaches the function exit without passing a sync.WaitGroup Done();
+// terminates reports that at least one path ends at all — at the exit
+// or in a no-return block (panic and friends). An unreachable exit with
+// no panicking path means the goroutine spins or blocks forever.
+func walkPaths(pass *analysis.Pass, g *cfg.Graph) (leak, terminates bool) {
+	seen := map[*cfg.Block]bool{}
+	var visit func(b *cfg.Block, joined bool)
+	visit = func(b *cfg.Block, joined bool) {
+		if b == g.Exit {
+			terminates = true
+			if !joined {
+				leak = true
+			}
+			return
+		}
+		if b.NoReturn {
+			terminates = true // panic/os.Exit tears the goroutine down
+		}
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if joined {
+				break
+			}
+			if hasWaitGroupDone(pass, n) {
+				joined = true
+			}
+		}
+		for _, s := range b.Succs {
+			visit(s, joined)
+		}
+	}
+	visit(g.Entry, false)
+	return leak, terminates
+}
+
+// hasWaitGroupDone reports whether the node calls Done on a
+// sync.WaitGroup (directly or via any receiver expression).
+func hasWaitGroupDone(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	cfg.Walk(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// hasShutdownReceive reports whether the body observes a shutdown
+// signal: a receive from a done/cancel-named channel or from a Done()
+// call (context.Context), or a range over a channel (closed by the
+// parent to terminate the worker).
+func hasShutdownReceive(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	cfg.Walk(body, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && isShutdownChan(pass, m.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChan(pass, m.X) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isShutdownChan reports whether the received-from expression looks
+// like a shutdown signal: any X.Done() call (context.Context and
+// friends), or a channel whose spelling names done/cancel/stop/quit.
+func isShutdownChan(pass *analysis.Pass, x ast.Expr) bool {
+	x = ast.Unparen(x)
+	if call, ok := x.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+		return false
+	}
+	return isChan(pass, x) && cancelName.MatchString(types.ExprString(x))
+}
+
+// isChan reports whether the expression has channel type.
+func isChan(pass *analysis.Pass, x ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func matchAny(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if analysis.PathPrefixMatch(p, path) {
+			return true
+		}
+	}
+	return false
+}

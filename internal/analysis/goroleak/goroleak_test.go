@@ -1,0 +1,13 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+	"osnoise/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	a := goroleak.New(goroleak.Config{Packages: []string{"a"}})
+	analysistest.Run(t, "testdata", a, "a", "b")
+}

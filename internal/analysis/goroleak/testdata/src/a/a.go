@@ -1,0 +1,123 @@
+// Package a exercises the goroleak analyzer (in scope).
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func work()     {}
+func use(v int) {}
+
+// joined is the canonical pool worker: defer Done lies on every path.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// joinedExplicit calls Done without defer but still on every path.
+func joinedExplicit(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if cond {
+			work()
+			wg.Done()
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// partialDone joins on one branch only: the parent's Wait can hang.
+func partialDone(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `neither WaitGroup-joined on every path`
+		if cond {
+			wg.Done()
+			return
+		}
+		work()
+	}()
+	wg.Wait()
+}
+
+// ctxBounded selects on ctx.Done — cancellable, never joined.
+func ctxBounded(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				use(v)
+			}
+		}
+	}()
+}
+
+// quitChan receives from a shutdown-named channel.
+func quitChan(quit chan struct{}) {
+	go func() {
+		<-quit
+		work()
+	}()
+}
+
+// rangeWorker terminates when the parent closes the work channel.
+func rangeWorker(ch chan int) {
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+}
+
+// fieldDone joins through a struct-held WaitGroup.
+type pool struct{ wg sync.WaitGroup }
+
+func (p *pool) spawn() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+// unjoined exits cleanly but nothing observes it finish.
+func unjoined() {
+	go func() { // want `neither WaitGroup-joined on every path`
+		work()
+	}()
+}
+
+// spinner never terminates: its own defer Done can never run.
+func spinner(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `never terminates`
+		defer wg.Done()
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// panics is exempt: a panic tears the goroutine (and process) down.
+func panics() {
+	go func() {
+		panic("deliberate")
+	}()
+}
+
+// named spawns are out of view — documented limitation, no diagnostic.
+func named() {
+	go work()
+}

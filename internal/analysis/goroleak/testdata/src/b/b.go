@@ -1,0 +1,12 @@
+// Package b is outside the configured scope: its blatant leak must not
+// be reported.
+package b
+
+func leak() {
+	ch := make(chan int)
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}

@@ -11,6 +11,7 @@ import (
 	"osnoise/internal/analysis/doccomment"
 	"osnoise/internal/analysis/eventpair"
 	"osnoise/internal/analysis/exhaustive"
+	"osnoise/internal/analysis/goroleak"
 	"osnoise/internal/analysis/lockbalance"
 	"osnoise/internal/analysis/timeunits"
 	"osnoise/internal/analysis/writecheck"
@@ -95,6 +96,19 @@ var DocCommentConfig = doccomment.Config{
 	},
 }
 
+// GoroleakConfig scopes the goroutine-leak analyzer to the packages
+// bound by the resilience contract (docs/ARCHITECTURE.md §5): their
+// parallel entry points promise to leak zero goroutines under
+// cancellation, so every worker they spawn must be joined on all paths
+// or bounded by a done/cancel receive.
+var GoroleakConfig = goroleak.Config{
+	Packages: []string{
+		"osnoise/internal/noise",
+		"osnoise/internal/trace",
+		"osnoise/internal/cluster",
+	},
+}
+
 // LockBalanceConfig applies lock balancing everywhere: a mutex leaked
 // on any path is a bug no matter which package holds it.
 var LockBalanceConfig = lockbalance.Config{}
@@ -113,6 +127,7 @@ func Analyzers() []*analysis.Analyzer {
 		eventpair.New(EventPairConfig),
 		doccomment.New(DocCommentConfig),
 		lockbalance.New(LockBalanceConfig),
+		goroleak.New(GoroleakConfig),
 		writecheck.New(WriteCheckConfig),
 	}
 }

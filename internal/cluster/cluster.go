@@ -13,15 +13,30 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
 
+	"osnoise/internal/cluster/fault"
 	"osnoise/internal/noise"
 	"osnoise/internal/sim"
 )
+
+// ErrCancelled is the sentinel wrapped by Run when its context is
+// cancelled or times out mid-simulation. The returned error also wraps
+// the context's own error, so callers may test either
+// errors.Is(err, cluster.ErrCancelled) or errors.Is(err,
+// context.DeadlineExceeded).
+var ErrCancelled = errors.New("cluster: run cancelled")
+
+// cancelErr builds the typed cancellation error for a done context.
+func cancelErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+}
 
 // NoiseModel samples the aggregate noise a rank suffers during one
 // compute window.
@@ -135,6 +150,91 @@ type Config struct {
 	// same moment and the per-iteration maximum equals the per-rank
 	// noise instead of the order statistic over all ranks.
 	Synchronized bool
+	// Faults is an optional deterministic fault schedule (see
+	// cluster/fault). Nil or empty runs the exact fault-free
+	// simulation; a non-empty plan engages the recovery semantics in
+	// Recovery and fills Result.Resilience.
+	Faults *fault.Plan
+	// Recovery tunes the fault-recovery model; the zero value uses the
+	// documented defaults (and no checkpointing). Ignored when Faults
+	// is empty.
+	Recovery RecoveryConfig
+}
+
+// RecoveryConfig is the virtual-time fault-recovery model of a faulted
+// cluster run: collective timeouts with exponential backoff, rank
+// exclusion (shrinking the communicator), and periodic
+// checkpoint/restart.
+type RecoveryConfig struct {
+	// Timeout is the collective's base wait for an unresponsive rank;
+	// zero defaults to 10× Config.Granularity. Retries double it each
+	// time, so a rank is excluded after Timeout·(2^(MaxRetries+1)−1)
+	// of virtual waiting.
+	Timeout sim.Duration
+	// MaxRetries is the number of timeout doublings before the
+	// collective gives up on a rank (zero defaults to 3).
+	MaxRetries int
+	// CheckpointInterval is the number of iterations between barrier
+	// checkpoints; zero disables checkpointing (crashed ranks are then
+	// always excluded).
+	CheckpointInterval int
+	// CheckpointCost is the virtual time one checkpoint barrier adds
+	// to the run.
+	CheckpointCost sim.Duration
+	// RestartCost is the virtual time a crashed rank spends restarting
+	// before it replays forward from the last checkpoint.
+	RestartCost sim.Duration
+}
+
+// backoffWindow returns the total virtual time a collective waits for
+// an unresponsive rank before excluding it: Timeout + 2·Timeout + … —
+// MaxRetries+1 attempts of exponential backoff.
+func (rc RecoveryConfig) backoffWindow(granularity sim.Duration) int64 {
+	t := int64(rc.Timeout)
+	if t <= 0 {
+		t = 10 * int64(granularity)
+	}
+	retries := rc.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	var window int64
+	for i := 0; i <= retries; i++ {
+		window += t << i
+	}
+	return window
+}
+
+// ResilienceStats summarises fault injection and recovery during one
+// run; the zero value means the run was fault-free. All durations are
+// virtual time.
+type ResilienceStats struct {
+	// FaultsInjected counts scheduled faults that actually struck a
+	// live rank (faults on already-excluded ranks are skipped).
+	FaultsInjected int
+	// Crashes counts injected fail-stop faults.
+	Crashes int
+	// Stragglers counts injected straggler episodes.
+	Stragglers int
+	// Hangs counts injected hangs.
+	Hangs int
+	// Recovered counts crashes that rejoined via checkpoint/restart
+	// within the collective's timeout window.
+	Recovered int
+	// ExcludedRanks lists the ranks permanently removed from the
+	// communicator, in exclusion order.
+	ExcludedRanks []int
+	// DegradedIterations counts iterations run with a shrunken
+	// communicator (at least one rank excluded).
+	DegradedIterations int
+	// CheckpointNS is the virtual time spent in checkpoint barriers.
+	CheckpointNS int64
+	// RecoveryNS is the virtual time collectives spent waiting for
+	// crashed ranks to restart and replay.
+	RecoveryNS int64
+	// TimeoutNS is the virtual time collectives spent in backoff
+	// windows that ended in rank exclusion.
+	TimeoutNS int64
 }
 
 // Result summarises a cluster run.
@@ -149,6 +249,9 @@ type Result struct {
 	NoiseShareSingleRank float64
 	// MaxIterDelayNS is the largest single-iteration delay.
 	MaxIterDelayNS int64
+	// Resilience summarises fault injection and recovery; the zero
+	// value means the run was fault-free.
+	Resilience ResilienceStats
 }
 
 // Slowdown returns ActualNS / IdealNS.
@@ -178,8 +281,15 @@ func (r *Result) String() string {
 // across workers; each worker produces the per-iteration maximum delay
 // over its ranks, and the partial maxima are folded. Deterministic for
 // a given (Config.Seed, rank count, iteration count) regardless of
-// worker count.
-func Run(cfg Config) *Result {
+// worker count, and — with a fault plan — bit-identical across repeated
+// runs of the same Config.
+//
+// Cancellation is cooperative: Run checks ctx at rank and iteration
+// boundaries, joins every worker goroutine before returning, and on
+// cancellation returns a nil Result and an error wrapping both
+// ErrCancelled and ctx.Err(). Per-worker errors are collected and
+// joined with errors.Join, never dropped.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
@@ -188,19 +298,32 @@ func Run(cfg Config) *Result {
 	}
 	ranks := cfg.Nodes * cfg.RanksPerNode
 	if ranks <= 0 {
-		panic("cluster: no ranks")
+		return nil, errors.New("cluster: no ranks")
+	}
+	if err := cfg.Faults.Validate(ranks, cfg.Iterations); err != nil {
+		return nil, fmt.Errorf("cluster: invalid fault plan: %w", err)
 	}
 	res := &Result{
 		Config:  cfg,
 		IdealNS: int64(cfg.Granularity) * int64(cfg.Iterations),
 	}
-
 	workers := cfg.Workers
 	if workers > ranks {
 		workers = ranks
 	}
+	if cfg.Faults.Len() == 0 {
+		return runFaultFree(ctx, cfg, res, ranks, workers)
+	}
+	return runFaulted(ctx, cfg, res, ranks, workers)
+}
+
+// runFaultFree is the original noise-amplification simulation: no fault
+// plan, so no per-rank delay matrix is materialised — each worker folds
+// its ranks' delays into per-iteration partial maxima on the fly.
+func runFaultFree(ctx context.Context, cfg Config, res *Result, ranks, workers int) (*Result, error) {
 	partialMax := make([][]int64, workers)
 	partialSum := make([]int64, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
@@ -210,6 +333,10 @@ func Run(cfg Config) *Result {
 			maxes := make([]int64, cfg.Iterations)
 			var sum int64
 			for rank := w; rank < ranks; rank += workers {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				// Per-rank deterministic stream independent of worker
 				// partitioning. Synchronized noise gives every rank the
 				// SAME stream: all ranks are interrupted together.
@@ -231,6 +358,12 @@ func Run(cfg Config) *Result {
 		}()
 	}
 	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		if ctx.Err() != nil {
+			return nil, cancelErr(ctx)
+		}
+		return nil, err
+	}
 
 	var total, rankNoise int64
 	var maxDelay int64
@@ -254,7 +387,191 @@ func Run(cfg Config) *Result {
 	if res.IdealNS > 0 && ranks > 0 {
 		res.NoiseShareSingleRank = float64(rankNoise) / float64(ranks) / float64(res.IdealNS)
 	}
-	return res
+	return res, nil
+}
+
+// sampleDelays pre-draws the full per-rank, per-iteration noise matrix
+// in parallel. The per-rank streams are identical to runFaultFree's, so
+// a faulted Config with an empty plan would see the exact same draws.
+func sampleDelays(ctx context.Context, cfg Config, ranks, workers int) ([][]int64, int64, error) {
+	delays := make([][]int64, ranks)
+	sums := make([]int64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum int64
+			for rank := w; rank < ranks; rank += workers {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				streamID := uint64(rank + 1)
+				if cfg.Synchronized {
+					streamID = 1
+				}
+				rng := sim.NewRNG(cfg.Seed ^ (0x9e3779b97f4a7c15 * streamID))
+				d := make([]int64, cfg.Iterations)
+				for it := 0; it < cfg.Iterations; it++ {
+					d[it] = cfg.Model.Sample(rng, cfg.Granularity)
+					sum += d[it]
+				}
+				delays[rank] = d
+			}
+			sums[w] = sum
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		if ctx.Err() != nil {
+			return nil, 0, cancelErr(ctx)
+		}
+		return nil, 0, err
+	}
+	var rankNoise int64
+	for _, s := range sums {
+		rankNoise += s
+	}
+	return delays, rankNoise, nil
+}
+
+// runFaulted replays the BSP loop against a fault plan: noise delays are
+// pre-sampled in parallel (phase 1, identical streams to the fault-free
+// path), then the iterations are walked sequentially (phase 2) applying
+// faults, collective timeouts with exponential backoff, rank exclusion,
+// and checkpoint/restart — all in virtual time, bit-identical per seed.
+func runFaulted(ctx context.Context, cfg Config, res *Result, ranks, workers int) (*Result, error) {
+	delays, rankNoise, err := sampleDelays(ctx, cfg, ranks, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	granNS := int64(cfg.Granularity)
+	window := cfg.Recovery.backoffWindow(cfg.Granularity)
+	rs := &res.Resilience
+	alive := make([]bool, ranks)
+	for i := range alive {
+		alive[i] = true
+	}
+	liveCount := ranks
+	stragglerUntil := make([]int, ranks) // exclusive end of episode
+	stragglerFactor := make([]float64, ranks)
+	recovering := make([]bool, ranks) // rank replaying a checkpoint this iteration
+	var recoveringNow []int
+	lastCheckpoint := 0 // iteration 0 starts from pristine state
+
+	var total, maxDelay int64
+	for it := 0; it < cfg.Iterations; it++ {
+		if it&63 == 0 && ctx.Err() != nil {
+			return nil, cancelErr(ctx)
+		}
+		if c := cfg.Recovery.CheckpointInterval; c > 0 && it > 0 && it%c == 0 {
+			// Checkpoint barrier: everyone pays the cost in lockstep.
+			total += int64(cfg.Recovery.CheckpointCost)
+			rs.CheckpointNS += int64(cfg.Recovery.CheckpointCost)
+			lastCheckpoint = it
+		}
+
+		// Virtual time the collective spends waiting on faulted ranks
+		// this iteration (restarts and exclusion timeouts overlap the
+		// surviving ranks' compute; the iteration takes the max).
+		var iterWait int64
+		for _, f := range cfg.Faults.At(it) {
+			if !alive[f.Rank] {
+				continue // fault on an already-excluded rank: moot
+			}
+			rs.FaultsInjected++
+			switch f.Kind {
+			case fault.Straggler:
+				rs.Stragglers++
+				stragglerFactor[f.Rank] = f.Factor
+				stragglerUntil[f.Rank] = it + f.Iters
+			case fault.Hang:
+				// A hung rank never responds: the collective burns its
+				// whole backoff window, then shrinks the communicator.
+				rs.Hangs++
+				alive[f.Rank] = false
+				liveCount--
+				rs.ExcludedRanks = append(rs.ExcludedRanks, f.Rank)
+				rs.TimeoutNS += window
+				if window > iterWait {
+					iterWait = window
+				}
+			case fault.Crash:
+				rs.Crashes++
+				if cfg.Recovery.CheckpointInterval > 0 {
+					// Restart from the last checkpoint and replay
+					// forward, including this iteration's compute.
+					recovery := int64(cfg.Recovery.RestartCost) +
+						int64(it-lastCheckpoint)*granNS +
+						granNS + delays[f.Rank][it]
+					if recovery <= window {
+						rs.Recovered++
+						rs.RecoveryNS += recovery
+						recovering[f.Rank] = true
+						recoveringNow = append(recoveringNow, f.Rank)
+						if recovery > iterWait {
+							iterWait = recovery
+						}
+						continue
+					}
+				}
+				// No checkpoint to restart from (or replay would blow
+				// the timeout budget): exclude the rank.
+				alive[f.Rank] = false
+				liveCount--
+				rs.ExcludedRanks = append(rs.ExcludedRanks, f.Rank)
+				rs.TimeoutNS += window
+				if window > iterWait {
+					iterWait = window
+				}
+			}
+		}
+		if liveCount == 0 {
+			return nil, errors.New("cluster: all ranks failed")
+		}
+
+		// Per-iteration max over live ranks that computed normally; a
+		// recovering rank's compute is already inside its recovery time.
+		var m int64
+		for rank := 0; rank < ranks; rank++ {
+			if !alive[rank] || recovering[rank] {
+				continue
+			}
+			dl := delays[rank][it]
+			if it < stragglerUntil[rank] {
+				dl = int64(float64(granNS+dl)*stragglerFactor[rank]) - granNS
+			}
+			if dl > m {
+				m = dl
+			}
+		}
+		iterTime := granNS + m
+		if iterWait > iterTime {
+			iterTime = iterWait
+		}
+		total += iterTime
+		if iterTime-granNS > maxDelay {
+			maxDelay = iterTime - granNS
+		}
+		if liveCount < ranks {
+			rs.DegradedIterations++
+		}
+		for _, r := range recoveringNow {
+			recovering[r] = false
+		}
+		recoveringNow = recoveringNow[:0]
+	}
+
+	res.ActualNS = total
+	res.MaxIterDelayNS = maxDelay
+	if res.IdealNS > 0 && ranks > 0 {
+		res.NoiseShareSingleRank = float64(rankNoise) / float64(ranks) / float64(res.IdealNS)
+	}
+	return res, nil
 }
 
 // ScalingPoint is one point of a slowdown-vs-scale curve.
@@ -263,17 +580,21 @@ type ScalingPoint struct {
 	Slowdown float64 // Result.Slowdown at that size
 }
 
-// ScalingCurve runs the experiment across node counts.
-func ScalingCurve(base Config, nodeCounts []int) []ScalingPoint {
+// ScalingCurve runs the experiment across node counts. It stops at the
+// first failed run (typically cancellation) and returns its error.
+func ScalingCurve(ctx context.Context, base Config, nodeCounts []int) ([]ScalingPoint, error) {
 	out := make([]ScalingPoint, 0, len(nodeCounts))
 	for _, n := range nodeCounts {
 		cfg := base
 		cfg.Nodes = n
-		r := Run(cfg)
+		r, err := Run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, ScalingPoint{Nodes: n, Slowdown: r.Slowdown()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Nodes < out[j].Nodes })
-	return out
+	return out, nil
 }
 
 // ExpectedMaxFactor estimates how the expected per-iteration maximum

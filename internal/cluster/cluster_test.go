@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"osnoise/internal/noise"
@@ -13,8 +14,18 @@ func testModel() NoiseModel {
 	return NoiseModel{RatePerSec: 100, Durations: []int64{50_000}}
 }
 
+// mustRun runs the simulation and fails the test on error.
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
 func TestRunBasics(t *testing.T) {
-	r := Run(Config{
+	r := mustRun(t, Config{
 		Nodes: 16, RanksPerNode: 8,
 		Granularity: sim.Millisecond, Iterations: 200,
 		Seed: 1, Model: testModel(),
@@ -42,7 +53,10 @@ func TestSlowdownGrowsWithScale(t *testing.T) {
 		Iterations: 300, Seed: 2,
 		Model: NoiseModel{RatePerSec: 20, Durations: []int64{20_000, 50_000, 400_000, 2_000_000}},
 	}
-	curve := ScalingCurve(base, []int{1, 8, 64, 512})
+	curve, err := ScalingCurve(context.Background(), base, []int{1, 8, 64, 512})
+	if err != nil {
+		t.Fatalf("ScalingCurve: %v", err)
+	}
 	for i := 1; i < len(curve); i++ {
 		if curve[i].Slowdown < curve[i-1].Slowdown {
 			t.Fatalf("slowdown not monotone: %+v", curve)
@@ -57,7 +71,7 @@ func TestSlowdownGrowsWithScale(t *testing.T) {
 // ranks across goroutines).
 func TestWorkerCountInvariance(t *testing.T) {
 	mk := func(workers int) *Result {
-		return Run(Config{
+		return mustRun(t, Config{
 			Nodes: 32, RanksPerNode: 4,
 			Granularity: 500 * sim.Microsecond, Iterations: 100,
 			Seed: 3, Model: testModel(), Workers: workers,
@@ -103,7 +117,7 @@ func TestMitigationImproves(t *testing.T) {
 	cfgFull.Model = full
 	cfgRed := base
 	cfgRed.Model = reduced
-	rf, rr := Run(cfgFull), Run(cfgRed)
+	rf, rr := mustRun(t, cfgFull), mustRun(t, cfgRed)
 	improvement := float64(rf.ActualNS) / float64(rr.ActualNS)
 	if improvement <= 1.05 {
 		t.Fatalf("mitigation improvement %.3f, want > 1.05 (full %.3f, reduced %.3f)",
@@ -119,17 +133,15 @@ func TestExpectedMaxFactorGrows(t *testing.T) {
 	}
 }
 
-func TestRunPanicsWithoutRanks(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for zero ranks")
-		}
-	}()
-	Run(Config{Granularity: sim.Millisecond, Iterations: 1, Model: testModel()})
+func TestRunErrorsWithoutRanks(t *testing.T) {
+	r, err := Run(context.Background(), Config{Granularity: sim.Millisecond, Iterations: 1, Model: testModel()})
+	if err == nil {
+		t.Fatalf("no error for zero ranks (got %+v)", r)
+	}
 }
 
 func TestZeroNoiseModel(t *testing.T) {
-	r := Run(Config{
+	r := mustRun(t, Config{
 		Nodes: 4, RanksPerNode: 2,
 		Granularity: sim.Millisecond, Iterations: 50,
 		Seed: 8, Model: NoiseModel{},
@@ -151,10 +163,10 @@ func TestSynchronizedNoiseRemovesAmplification(t *testing.T) {
 		Granularity: sim.Millisecond, Iterations: 200, Seed: 10,
 		Model: NoiseModel{RatePerSec: 50, Durations: []int64{20_000, 200_000}},
 	}
-	unsync := Run(base)
+	unsync := mustRun(t, base)
 	syncCfg := base
 	syncCfg.Synchronized = true
-	synced := Run(syncCfg)
+	synced := mustRun(t, syncCfg)
 	if synced.Slowdown() >= unsync.Slowdown() {
 		t.Fatalf("synchronization did not help: %.3f vs %.3f",
 			synced.Slowdown(), unsync.Slowdown())

@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"context"
 	"fmt"
 
 	"osnoise/internal/cluster"
@@ -12,7 +13,7 @@ import (
 // small bulk-synchronous cluster. The slowdown exceeds the single-rank
 // noise share because every iteration waits for the slowest rank.
 func ExampleRun() {
-	res := cluster.Run(cluster.Config{
+	res, err := cluster.Run(context.Background(), cluster.Config{
 		Nodes:        4,
 		RanksPerNode: 2,
 		Granularity:  sim.Millisecond,
@@ -20,6 +21,10 @@ func ExampleRun() {
 		Seed:         1,
 		Model:        cluster.NoiseModel{RatePerSec: 1000, Durations: []int64{50_000}},
 	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
 	fmt.Println(res)
 	// Output:
 	// 4 nodes × 2 ranks, 1ms granularity: slowdown 1.129 (single-rank noise 5.044%)

@@ -1,0 +1,205 @@
+// Package fault provides deterministic fault injection for the cluster
+// simulation: rank crashes, stragglers, and hangs, scheduled entirely
+// on virtual time from a sim.RNG seed. A Plan is data, not behaviour —
+// cluster.Run interprets it — so the same seed always produces the same
+// schedule and, with the same Config, a bit-identical Result,
+// regardless of worker count or wall-clock conditions.
+//
+// The fault classes mirror what long-running HPC collectives actually
+// survive: a crash is fail-stop (the rank can restart from a
+// checkpoint), a straggler is a multiplicative compute slowdown (the
+// Petrini-style noise resonance in its grossest form), and a hang is a
+// rank that stops responding without dying — detectable only by a
+// collective timeout.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"osnoise/internal/sim"
+)
+
+// Kind enumerates the injected fault classes.
+type Kind uint8
+
+const (
+	// Crash is a fail-stop rank failure at the start of an iteration.
+	// With checkpointing enabled the rank restarts from the last
+	// checkpoint and replays forward; otherwise it is excluded after
+	// the collective's timeout window.
+	Crash Kind = iota
+	// Straggler multiplies a rank's compute time by Fault.Factor for
+	// Fault.Iters consecutive iterations (a thermal throttle, a
+	// misplaced daemon, a failing disk behind a swap path).
+	Straggler
+	// Hang stalls a rank indefinitely: it neither computes nor
+	// responds, so the collective waits its full exponential-backoff
+	// timeout window and then excludes the rank for good.
+	Hang
+)
+
+// String names the fault kind for logs and experiment output.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Straggler:
+		return "straggler"
+	case Hang:
+		return "hang"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", uint8(k))
+}
+
+// Fault is one scheduled fault: a kind landing on a rank at the start
+// of an iteration.
+type Fault struct {
+	// Kind is the fault class.
+	Kind Kind
+	// Rank is the victim rank (0-based, global).
+	Rank int
+	// Iteration is the 0-based BSP iteration the fault strikes at.
+	Iteration int
+	// Factor is the straggler's compute-time multiplier (> 1);
+	// unused for other kinds.
+	Factor float64
+	// Iters is the straggler's duration in iterations; unused for
+	// other kinds.
+	Iters int
+}
+
+// Plan is a complete, deterministic fault schedule for one cluster run,
+// sorted by iteration then rank.
+type Plan struct {
+	// Ranks is the rank count the plan was drawn for.
+	Ranks int
+	// Iterations is the iteration count the plan was drawn for.
+	Iterations int
+	// Faults is the schedule, sorted by (Iteration, Rank, Kind).
+	Faults []Fault
+}
+
+// Len returns the number of scheduled faults (0 for a nil plan).
+func (p *Plan) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Faults)
+}
+
+// At returns the faults striking at the given iteration, in rank order
+// (a subslice of the sorted schedule; empty for a nil plan).
+func (p *Plan) At(it int) []Fault {
+	if p == nil {
+		return nil
+	}
+	lo := sort.Search(len(p.Faults), func(i int) bool { return p.Faults[i].Iteration >= it })
+	hi := sort.Search(len(p.Faults), func(i int) bool { return p.Faults[i].Iteration > it })
+	return p.Faults[lo:hi]
+}
+
+// Counts tallies the schedule per kind.
+func (p *Plan) Counts() (crashes, stragglers, hangs int) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case Crash:
+			crashes++
+		case Straggler:
+			stragglers++
+		case Hang:
+			hangs++
+		}
+	}
+	return crashes, stragglers, hangs
+}
+
+// Validate checks the plan against a run's shape: every fault must name
+// a valid rank and iteration, stragglers need a factor above 1, and the
+// schedule must be sorted (At depends on it).
+func (p *Plan) Validate(ranks, iterations int) error {
+	if p == nil {
+		return nil
+	}
+	for i, f := range p.Faults {
+		if f.Rank < 0 || f.Rank >= ranks {
+			return fmt.Errorf("fault %d: rank %d out of range [0,%d)", i, f.Rank, ranks)
+		}
+		if f.Iteration < 0 || f.Iteration >= iterations {
+			return fmt.Errorf("fault %d: iteration %d out of range [0,%d)", i, f.Iteration, iterations)
+		}
+		if f.Kind == Straggler && (f.Factor <= 1 || f.Iters <= 0) {
+			return fmt.Errorf("fault %d: straggler needs factor > 1 and iters > 0, got %g × %d", i, f.Factor, f.Iters)
+		}
+		if i > 0 {
+			prev := p.Faults[i-1]
+			if f.Iteration < prev.Iteration || (f.Iteration == prev.Iteration && f.Rank < prev.Rank) {
+				return fmt.Errorf("fault %d: schedule not sorted by (iteration, rank)", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Rates parameterises Schedule: independent per-rank-per-iteration
+// hazard probabilities for each fault kind, plus the straggler shape.
+// The zero value schedules nothing.
+type Rates struct {
+	// CrashPerRankIter is the probability a live rank crashes at the
+	// start of any one iteration.
+	CrashPerRankIter float64
+	// StragglerPerRankIter is the probability a rank begins a
+	// straggler episode at any one iteration.
+	StragglerPerRankIter float64
+	// HangPerRankIter is the probability a rank hangs at any one
+	// iteration.
+	HangPerRankIter float64
+	// StragglerFactor is the compute-time multiplier of scheduled
+	// stragglers (default 4).
+	StragglerFactor float64
+	// StragglerIters is the episode length of scheduled stragglers in
+	// iterations (default 5).
+	StragglerIters int
+}
+
+// Schedule draws a fault plan from a seed: iteration-major, rank-minor,
+// one independent uniform draw per hazard per (iteration, rank) cell,
+// so the schedule is a pure function of (seed, ranks, iterations,
+// rates). At most one fault lands per cell — crash beats hang beats
+// straggler when several hazards fire together.
+func Schedule(seed uint64, ranks, iterations int, r Rates) *Plan {
+	factor := r.StragglerFactor
+	if factor <= 1 {
+		factor = 4
+	}
+	iters := r.StragglerIters
+	if iters <= 0 {
+		iters = 5
+	}
+	rng := sim.NewRNG(seed)
+	p := &Plan{Ranks: ranks, Iterations: iterations}
+	for it := 0; it < iterations; it++ {
+		for rank := 0; rank < ranks; rank++ {
+			// Always burn all three draws so one hazard's rate never
+			// perturbs another's stream.
+			crash := rng.Float64() < r.CrashPerRankIter
+			hang := rng.Float64() < r.HangPerRankIter
+			straggle := rng.Float64() < r.StragglerPerRankIter
+			switch {
+			case crash:
+				p.Faults = append(p.Faults, Fault{Kind: Crash, Rank: rank, Iteration: it})
+			case hang:
+				p.Faults = append(p.Faults, Fault{Kind: Hang, Rank: rank, Iteration: it})
+			case straggle:
+				p.Faults = append(p.Faults, Fault{
+					Kind: Straggler, Rank: rank, Iteration: it,
+					Factor: factor, Iters: iters,
+				})
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	r := Rates{CrashPerRankIter: 1e-3, StragglerPerRankIter: 2e-3, HangPerRankIter: 5e-4}
+	a := Schedule(42, 64, 500, r)
+	b := Schedule(42, 64, 500, r)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if a.Len() == 0 {
+		t.Fatal("schedule empty; rates too low for the test")
+	}
+	c := Schedule(43, 64, 500, r)
+	if reflect.DeepEqual(a.Faults, c.Faults) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleIsSortedAndValid(t *testing.T) {
+	p := Schedule(7, 32, 300, Rates{CrashPerRankIter: 5e-3, StragglerPerRankIter: 5e-3, HangPerRankIter: 5e-3})
+	if err := p.Validate(32, 300); err != nil {
+		t.Fatalf("schedule fails its own validation: %v", err)
+	}
+	cr, st, hg := p.Counts()
+	if cr+st+hg != p.Len() {
+		t.Fatalf("counts %d+%d+%d != len %d", cr, st, hg, p.Len())
+	}
+	if cr == 0 || st == 0 || hg == 0 {
+		t.Fatalf("expected all kinds at these rates: %d/%d/%d", cr, st, hg)
+	}
+}
+
+func TestAtReturnsIterationSlice(t *testing.T) {
+	p := &Plan{Ranks: 4, Iterations: 10, Faults: []Fault{
+		{Kind: Crash, Rank: 0, Iteration: 2},
+		{Kind: Hang, Rank: 1, Iteration: 2},
+		{Kind: Crash, Rank: 3, Iteration: 7},
+	}}
+	if got := p.At(2); len(got) != 2 || got[0].Rank != 0 || got[1].Rank != 1 {
+		t.Fatalf("At(2) = %+v", got)
+	}
+	if got := p.At(7); len(got) != 1 || got[0].Rank != 3 {
+		t.Fatalf("At(7) = %+v", got)
+	}
+	if got := p.At(5); len(got) != 0 {
+		t.Fatalf("At(5) = %+v, want empty", got)
+	}
+	var nilPlan *Plan
+	if nilPlan.At(0) != nil || nilPlan.Len() != 0 {
+		t.Fatal("nil plan not inert")
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := []Plan{
+		{Faults: []Fault{{Kind: Crash, Rank: -1, Iteration: 0}}},
+		{Faults: []Fault{{Kind: Crash, Rank: 0, Iteration: 99}}},
+		{Faults: []Fault{{Kind: Straggler, Rank: 0, Iteration: 0, Factor: 0.5, Iters: 5}}},
+		{Faults: []Fault{{Kind: Straggler, Rank: 0, Iteration: 0, Factor: 4, Iters: 0}}},
+		{Faults: []Fault{
+			{Kind: Crash, Rank: 0, Iteration: 5},
+			{Kind: Crash, Rank: 0, Iteration: 2},
+		}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(4, 10); err == nil {
+			t.Errorf("case %d: bad plan accepted", i)
+		}
+	}
+	if err := (*Plan)(nil).Validate(4, 10); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Crash.String() != "crash" || Straggler.String() != "straggler" || Hang.String() != "hang" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}

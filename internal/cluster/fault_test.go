@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"osnoise/internal/cluster/fault"
+	"osnoise/internal/sim"
+)
+
+// faultedBase is a small faulted run shared by the recovery tests.
+func faultedBase() Config {
+	return Config{
+		Nodes: 8, RanksPerNode: 4,
+		Granularity: sim.Millisecond, Iterations: 100,
+		Seed: 11, Model: testModel(),
+	}
+}
+
+// withCheckpoints enables a cheap periodic checkpoint.
+func withCheckpoints() RecoveryConfig {
+	return RecoveryConfig{
+		CheckpointInterval: 10,
+		CheckpointCost:     50 * sim.Microsecond,
+		RestartCost:        sim.Millisecond,
+	}
+}
+
+// Faulted runs must be bit-identical across repeats and worker counts:
+// the whole resilience layer lives on virtual time.
+func TestFaultedRunDeterministic(t *testing.T) {
+	cfg := faultedBase()
+	cfg.Faults = fault.Schedule(99, cfg.Nodes*cfg.RanksPerNode, cfg.Iterations,
+		fault.Rates{CrashPerRankIter: 2e-3, StragglerPerRankIter: 2e-3, HangPerRankIter: 1e-3})
+	cfg.Recovery = withCheckpoints()
+	if cfg.Faults.Len() == 0 {
+		t.Fatal("schedule drew no faults; pick better rates")
+	}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.ActualNS != b.ActualNS || !reflect.DeepEqual(a.Resilience, b.Resilience) {
+		t.Fatalf("repeat run diverged:\n%+v\nvs\n%+v", a.Resilience, b.Resilience)
+	}
+	cfg.Workers = 1
+	c := mustRun(t, cfg)
+	cfg.Workers = 7
+	d := mustRun(t, cfg)
+	if c.ActualNS != a.ActualNS || d.ActualNS != a.ActualNS {
+		t.Fatalf("worker count changed faulted result: %d / %d / %d",
+			a.ActualNS, c.ActualNS, d.ActualNS)
+	}
+}
+
+// A crash without checkpointing costs a full timeout window and
+// permanently shrinks the communicator.
+func TestCrashWithoutCheckpointExcludes(t *testing.T) {
+	cfg := faultedBase()
+	cfg.Faults = &fault.Plan{
+		Ranks: 32, Iterations: cfg.Iterations,
+		Faults: []fault.Fault{{Kind: fault.Crash, Rank: 3, Iteration: 20}},
+	}
+	r := mustRun(t, cfg)
+	rs := r.Resilience
+	if rs.Crashes != 1 || rs.Recovered != 0 {
+		t.Fatalf("crashes %d recovered %d", rs.Crashes, rs.Recovered)
+	}
+	if !reflect.DeepEqual(rs.ExcludedRanks, []int{3}) {
+		t.Fatalf("excluded %v, want [3]", rs.ExcludedRanks)
+	}
+	if rs.TimeoutNS != cfg.Recovery.backoffWindow(cfg.Granularity) {
+		t.Fatalf("timeout ns %d, want the full backoff window %d",
+			rs.TimeoutNS, cfg.Recovery.backoffWindow(cfg.Granularity))
+	}
+	if rs.DegradedIterations != cfg.Iterations-20 {
+		t.Fatalf("degraded iterations %d, want %d", rs.DegradedIterations, cfg.Iterations-20)
+	}
+	noFault := cfg
+	noFault.Faults = nil
+	base := mustRun(t, noFault)
+	if r.ActualNS <= base.ActualNS {
+		t.Fatal("crash did not cost virtual time")
+	}
+}
+
+// The same crash with checkpointing recovers: the rank replays from the
+// last checkpoint and the communicator stays whole.
+func TestCheckpointRecoversCrash(t *testing.T) {
+	cfg := faultedBase()
+	cfg.Faults = &fault.Plan{
+		Ranks: 32, Iterations: cfg.Iterations,
+		Faults: []fault.Fault{{Kind: fault.Crash, Rank: 3, Iteration: 20}},
+	}
+	cfg.Recovery = withCheckpoints()
+	r := mustRun(t, cfg)
+	rs := r.Resilience
+	if rs.Recovered != 1 || len(rs.ExcludedRanks) != 0 {
+		t.Fatalf("recovered %d excluded %v", rs.Recovered, rs.ExcludedRanks)
+	}
+	if rs.CheckpointNS == 0 || rs.RecoveryNS == 0 {
+		t.Fatalf("checkpoint %d / recovery %d ns, want both > 0", rs.CheckpointNS, rs.RecoveryNS)
+	}
+	if rs.DegradedIterations != 0 {
+		t.Fatalf("degraded iterations %d, want 0", rs.DegradedIterations)
+	}
+	// Recovery (restart + replay ≤ window) must be cheaper than the
+	// exclusion path's full backoff window.
+	noCkpt := cfg
+	noCkpt.Recovery = RecoveryConfig{}
+	if excl := mustRun(t, noCkpt); r.ActualNS >= excl.ActualNS {
+		t.Fatalf("checkpointed run (%d ns) not cheaper than exclusion (%d ns)",
+			r.ActualNS, excl.ActualNS)
+	}
+}
+
+// A hung rank is detectable only by timeout: the collective burns the
+// whole backoff window and excludes it.
+func TestHangExcludesAfterTimeout(t *testing.T) {
+	cfg := faultedBase()
+	cfg.Recovery = withCheckpoints() // checkpoints don't help a hang
+	cfg.Faults = &fault.Plan{
+		Ranks: 32, Iterations: cfg.Iterations,
+		Faults: []fault.Fault{{Kind: fault.Hang, Rank: 7, Iteration: 50}},
+	}
+	r := mustRun(t, cfg)
+	rs := r.Resilience
+	if rs.Hangs != 1 || !reflect.DeepEqual(rs.ExcludedRanks, []int{7}) {
+		t.Fatalf("hangs %d excluded %v", rs.Hangs, rs.ExcludedRanks)
+	}
+	if rs.TimeoutNS == 0 || rs.Recovered != 0 {
+		t.Fatalf("timeout %d recovered %d", rs.TimeoutNS, rs.Recovered)
+	}
+}
+
+// A straggler inflates its episode's iterations without shrinking the
+// communicator.
+func TestStragglerSlowsWithoutExclusion(t *testing.T) {
+	cfg := faultedBase()
+	cfg.Faults = &fault.Plan{
+		Ranks: 32, Iterations: cfg.Iterations,
+		Faults: []fault.Fault{{Kind: fault.Straggler, Rank: 0, Iteration: 10, Factor: 8, Iters: 30}},
+	}
+	r := mustRun(t, cfg)
+	rs := r.Resilience
+	if rs.Stragglers != 1 || len(rs.ExcludedRanks) != 0 || rs.DegradedIterations != 0 {
+		t.Fatalf("resilience %+v", rs)
+	}
+	noFault := cfg
+	noFault.Faults = nil
+	base := mustRun(t, noFault)
+	if r.ActualNS <= base.ActualNS {
+		t.Fatal("straggler did not slow the run")
+	}
+	// An 8× straggler for 30 of 100 iterations costs at least 30 × 7 ms.
+	if extra := r.ActualNS - base.ActualNS; extra < 30*7*int64(sim.Millisecond)/2 {
+		t.Fatalf("straggler cost only %d ns", extra)
+	}
+}
+
+// Degraded-mode allreduce: many crashes, no checkpoints — the run still
+// completes on the shrunken communicator (acceptance criterion).
+func TestDegradedAllreduceCompletes(t *testing.T) {
+	cfg := faultedBase()
+	cfg.Faults = &fault.Plan{
+		Ranks: 32, Iterations: cfg.Iterations,
+		Faults: []fault.Fault{
+			{Kind: fault.Crash, Rank: 1, Iteration: 5},
+			{Kind: fault.Hang, Rank: 2, Iteration: 10},
+			{Kind: fault.Crash, Rank: 3, Iteration: 15},
+		},
+	}
+	r := mustRun(t, cfg)
+	rs := r.Resilience
+	if len(rs.ExcludedRanks) != 3 {
+		t.Fatalf("excluded %v, want 3 ranks", rs.ExcludedRanks)
+	}
+	if rs.DegradedIterations == 0 || r.ActualNS <= r.IdealNS {
+		t.Fatalf("degraded %d actual %d", rs.DegradedIterations, r.ActualNS)
+	}
+}
+
+// When every rank fails, the collective cannot complete.
+func TestAllRanksFailedErrors(t *testing.T) {
+	cfg := Config{
+		Nodes: 1, RanksPerNode: 1,
+		Granularity: sim.Millisecond, Iterations: 10,
+		Seed: 1, Model: testModel(),
+		Faults: &fault.Plan{Ranks: 1, Iterations: 10,
+			Faults: []fault.Fault{{Kind: fault.Crash, Rank: 0, Iteration: 2}}},
+	}
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("no error when the whole communicator died")
+	}
+}
+
+// A fault on an already-excluded rank is skipped, not double-counted.
+func TestFaultOnDeadRankSkipped(t *testing.T) {
+	cfg := faultedBase()
+	cfg.Faults = &fault.Plan{
+		Ranks: 32, Iterations: cfg.Iterations,
+		Faults: []fault.Fault{
+			{Kind: fault.Crash, Rank: 4, Iteration: 10},
+			{Kind: fault.Crash, Rank: 4, Iteration: 30},
+		},
+	}
+	r := mustRun(t, cfg)
+	if rs := r.Resilience; rs.FaultsInjected != 1 || rs.Crashes != 1 {
+		t.Fatalf("injected %d crashes %d, want 1/1", rs.FaultsInjected, rs.Crashes)
+	}
+}
+
+// Plans that do not fit the run's shape are rejected up front.
+func TestInvalidPlanRejected(t *testing.T) {
+	cfg := faultedBase()
+	cfg.Faults = &fault.Plan{Ranks: 32, Iterations: cfg.Iterations,
+		Faults: []fault.Fault{{Kind: fault.Crash, Rank: 999, Iteration: 0}}}
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+// Cancellation returns the typed sentinel from both the fault-free and
+// the faulted path.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, faulted := range []bool{false, true} {
+		cfg := faultedBase()
+		if faulted {
+			cfg.Faults = &fault.Plan{Ranks: 32, Iterations: cfg.Iterations,
+				Faults: []fault.Fault{{Kind: fault.Crash, Rank: 0, Iteration: 1}}}
+		}
+		_, err := Run(ctx, cfg)
+		if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("faulted=%v: err %v, want ErrCancelled wrapping context.Canceled", faulted, err)
+		}
+	}
+}

@@ -17,8 +17,8 @@ func shortCtx() *Context {
 func TestAllExperimentsProduceOutput(t *testing.T) {
 	c := shortCtx()
 	results := All(c)
-	if len(results) != 24 {
-		t.Fatalf("results = %d, want 24", len(results))
+	if len(results) != 25 {
+		t.Fatalf("results = %d, want 25", len(results))
 	}
 	seen := map[string]bool{}
 	for _, r := range results {

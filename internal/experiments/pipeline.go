@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -130,7 +131,7 @@ func RunPipelineBench(targetEvents int, shardCounts []int, seed uint64, reps int
 	for _, shards := range shardCounts {
 		var parRep *noise.Report
 		wall, alloc := timed(reps, func() {
-			rep, err := noise.AnalyzeRaw(trace.BytesReaderAt(raw), int64(len(raw)), opts, shards)
+			rep, err := noise.AnalyzeRaw(context.Background(), trace.BytesReaderAt(raw), int64(len(raw)), opts, shards)
 			if err != nil {
 				panic(err)
 			}

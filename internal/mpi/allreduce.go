@@ -15,12 +15,19 @@
 package mpi
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"osnoise/internal/cluster"
 	"osnoise/internal/sim"
 )
+
+// ErrCancelled is the sentinel wrapped by Run when its context is
+// cancelled mid-simulation; the returned error also wraps ctx.Err().
+var ErrCancelled = errors.New("mpi: run cancelled")
 
 // Config describes an iterated allreduce benchmark.
 type Config struct {
@@ -79,9 +86,13 @@ func depth(n int) int {
 //
 // Rank noise sampling is parallelised across workers; tree combining is
 // O(ranks · log ranks) per iteration, single-threaded but cheap.
-func Run(cfg Config) *Result {
+//
+// Cancellation is cooperative: Run checks ctx at rank and iteration
+// boundaries, always joins its sampling goroutines, and on cancellation
+// returns a nil Result and an error wrapping ErrCancelled and ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Ranks <= 0 {
-		panic("mpi: need at least one rank")
+		return nil, errors.New("mpi: need at least one rank")
 	}
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 1
@@ -100,6 +111,7 @@ func Run(cfg Config) *Result {
 	if workers > cfg.Ranks {
 		workers = cfg.Ranks
 	}
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
@@ -107,6 +119,10 @@ func Run(cfg Config) *Result {
 		go func() {
 			defer wg.Done()
 			for rank := w; rank < cfg.Ranks; rank += workers {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				rng := sim.NewRNG(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(rank+1)))
 				col := make([]int64, cfg.Iterations)
 				for it := 0; it < cfg.Iterations; it++ {
@@ -117,6 +133,12 @@ func Run(cfg Config) *Result {
 		}()
 	}
 	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+		}
+		return nil, err
+	}
 
 	hop := int64(cfg.HopLatency)
 	start := make([]int64, cfg.Ranks)  // per-rank iteration start time
@@ -124,6 +146,9 @@ func Run(cfg Config) *Result {
 	arrive := make([]int64, cfg.Ranks) // broadcast arrival time
 	var clockEnd int64
 	for it := 0; it < cfg.Iterations; it++ {
+		if it&63 == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+		}
 		for r := 0; r < cfg.Ranks; r++ {
 			ready[r] = start[r] + int64(cfg.Granularity) + noise[r][it]
 		}
@@ -159,5 +184,5 @@ func Run(cfg Config) *Result {
 		}
 	}
 	res.ActualNS = clockEnd
-	return res
+	return res, nil
 }

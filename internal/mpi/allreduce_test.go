@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"osnoise/internal/cluster"
@@ -13,6 +15,16 @@ func noisy() cluster.NoiseModel {
 	return cluster.NoiseModel{RatePerSec: 100, Durations: []int64{50_000, 200_000}}
 }
 
+// mustRun runs the allreduce and fails the test on error.
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
 func TestDepth(t *testing.T) {
 	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 1024: 10, 1025: 11}
 	for n, want := range cases {
@@ -23,7 +35,7 @@ func TestDepth(t *testing.T) {
 }
 
 func TestNoiseFreeMatchesIdeal(t *testing.T) {
-	r := Run(Config{
+	r := mustRun(t, Config{
 		Ranks: 64, Granularity: sim.Millisecond,
 		HopLatency: 2 * sim.Microsecond, Iterations: 50,
 		Seed: 1, Model: quiet(),
@@ -40,7 +52,7 @@ func TestNoiseFreeMatchesIdeal(t *testing.T) {
 }
 
 func TestNoiseSlowsAllreduce(t *testing.T) {
-	r := Run(Config{
+	r := mustRun(t, Config{
 		Ranks: 256, Granularity: sim.Millisecond,
 		HopLatency: 2 * sim.Microsecond, Iterations: 100,
 		Seed: 2, Model: noisy(),
@@ -53,7 +65,7 @@ func TestNoiseSlowsAllreduce(t *testing.T) {
 func TestSlowdownGrowsWithRanks(t *testing.T) {
 	prev := 0.0
 	for _, ranks := range []int{8, 64, 512} {
-		r := Run(Config{
+		r := mustRun(t, Config{
 			Ranks: ranks, Granularity: sim.Millisecond,
 			HopLatency: sim.Microsecond, Iterations: 150,
 			Seed: 3, Model: noisy(),
@@ -73,14 +85,17 @@ func TestSlowdownGrowsWithRanks(t *testing.T) {
 // must show the same amplification regime).
 func TestTreeAgreesWithFlatModel(t *testing.T) {
 	m := noisy()
-	tree := Run(Config{
+	tree := mustRun(t, Config{
 		Ranks: 512, Granularity: sim.Millisecond,
 		HopLatency: 0, Iterations: 200, Seed: 4, Model: m,
 	})
-	flat := cluster.Run(cluster.Config{
+	flat, err := cluster.Run(context.Background(), cluster.Config{
 		Nodes: 64, RanksPerNode: 8,
 		Granularity: sim.Millisecond, Iterations: 200, Seed: 4, Model: m,
 	})
+	if err != nil {
+		t.Fatalf("cluster.Run: %v", err)
+	}
 	ratio := tree.Slowdown() / flat.Slowdown()
 	if ratio < 0.8 || ratio > 1.25 {
 		t.Fatalf("tree %.3f vs flat %.3f (ratio %.3f) disagree", tree.Slowdown(), flat.Slowdown(), ratio)
@@ -94,7 +109,7 @@ func TestZeroHopEqualsMax(t *testing.T) {
 		Ranks: 33, Granularity: 100 * sim.Microsecond,
 		HopLatency: 0, Iterations: 7, Seed: 5, Model: noisy(),
 	}
-	r := Run(cfg)
+	r := mustRun(t, cfg)
 	// Recompute by brute force.
 	var total int64
 	for it := 0; it < cfg.Iterations; it++ {
@@ -118,7 +133,7 @@ func TestZeroHopEqualsMax(t *testing.T) {
 
 func TestWorkerInvariance(t *testing.T) {
 	mk := func(workers int) int64 {
-		return Run(Config{
+		return mustRun(t, Config{
 			Ranks: 100, Granularity: sim.Millisecond,
 			HopLatency: sim.Microsecond, Iterations: 40,
 			Seed: 6, Model: noisy(), Workers: workers,
@@ -130,9 +145,9 @@ func TestWorkerInvariance(t *testing.T) {
 }
 
 func TestHopLatencyAddsTreeDepth(t *testing.T) {
-	base := Run(Config{Ranks: 1024, Granularity: sim.Millisecond,
+	base := mustRun(t, Config{Ranks: 1024, Granularity: sim.Millisecond,
 		HopLatency: 0, Iterations: 10, Seed: 7, Model: quiet()})
-	withHops := Run(Config{Ranks: 1024, Granularity: sim.Millisecond,
+	withHops := mustRun(t, Config{Ranks: 1024, Granularity: sim.Millisecond,
 		HopLatency: 5 * sim.Microsecond, Iterations: 10, Seed: 7, Model: quiet()})
 	wantExtra := int64(10) * 2 * 10 * int64(5*sim.Microsecond) // iters × 2 trees × depth × hop
 	if got := withHops.ActualNS - base.ActualNS; got != wantExtra {
@@ -140,11 +155,20 @@ func TestHopLatencyAddsTreeDepth(t *testing.T) {
 	}
 }
 
-func TestRunPanicsWithoutRanks(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	Run(Config{Granularity: sim.Millisecond})
+func TestRunErrorsWithoutRanks(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Granularity: sim.Millisecond}); err == nil {
+		t.Fatal("no error for zero ranks")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Config{
+		Ranks: 64, Granularity: sim.Millisecond,
+		Iterations: 50, Seed: 1, Model: noisy(),
+	})
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want ErrCancelled wrapping context.Canceled", err)
+	}
 }

@@ -35,6 +35,12 @@ type Options struct {
 	// Events outside the window are ignored; spans straddling the
 	// boundary are dropped like any other truncated span.
 	FromNS, ToNS int64
+
+	// Budget bounds the resources the analysis may consume; the zero
+	// value imposes no limits. Event/byte caps truncate ingestion to a
+	// prefix (the report is marked Incomplete), the interruption cap
+	// reservoir-samples the retained detail records. See Budget.
+	Budget Budget
 }
 
 // DefaultOptions returns the analysis configuration used throughout the
@@ -70,9 +76,18 @@ type cpuState struct {
 	current int64 // pid currently running (0 = idle)
 }
 
-// Analyze runs the full noise analysis over a collected trace.
+// Analyze runs the full noise analysis over a collected trace. An
+// event/byte budget in opts truncates the analysis to the trace's
+// prefix (the report is then marked Incomplete and Seconds covers the
+// consumed prefix only).
 func Analyze(tr *trace.Trace, opts Options) *Report {
+	events, truncated := opts.Budget.truncate(tr.Events)
 	r := &Report{CPUs: tr.CPUs, Seconds: tr.DurationSeconds()}
+	if truncated {
+		r.Incomplete = true
+		r.Seconds = spanSeconds(events)
+	}
+	r.EventsConsumed = uint64(len(events))
 	if opts.ToNS > opts.FromNS && (opts.FromNS != 0 || opts.ToNS != 0) {
 		r.Seconds = float64(opts.ToNS-opts.FromNS) / 1e9
 	}
@@ -102,7 +117,7 @@ func Analyze(tr *trace.Trace, opts Options) *Report {
 	record := func(s Span) { r.record(s, opts.KeepDurations) }
 
 	windowed := opts.FromNS != 0 || opts.ToNS != 0
-	for _, ev := range tr.Events {
+	for _, ev := range events {
 		if windowed && (ev.TS < opts.FromNS || (opts.ToNS > 0 && ev.TS > opts.ToNS)) {
 			continue
 		}
@@ -224,6 +239,7 @@ func Analyze(tr *trace.Trace, opts Options) *Report {
 	r.Dropped += len(windows)
 
 	r.buildInterruptions(opts.GapNS)
+	r.applyInterruptionBudget(opts.Budget)
 	return r
 }
 

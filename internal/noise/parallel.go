@@ -33,9 +33,16 @@
 // exactly-sized slices — the sequential analyzer cannot know those
 // counts without a second pass, which is how the pipeline stays ahead
 // even before any shard runs concurrently.
+//
+// Every entry point takes a context.Context and checks it at batch and
+// shard boundaries (see resilience.go): each phase joins its workers
+// before returning, so cancellation never leaks a goroutine, and a
+// cancelled run returns a Report marked Incomplete together with an
+// error wrapping ErrCancelled.
 package noise
 
 import (
+	"context"
 	"io"
 	"math"
 	"runtime"
@@ -45,6 +52,12 @@ import (
 
 	"osnoise/internal/trace"
 )
+
+// cancelStride is how many event records a worker processes between
+// cooperative cancellation checks. Large enough that the ctx.Err() load
+// is invisible on the hot path, small enough that cancellation lands
+// within microseconds.
+const cancelStride = 8192
 
 // spanRec is one reconstructed kernel-activity span before scheduler
 // attribution (owner pid and noise classification are replay-phase
@@ -162,7 +175,12 @@ func (o *Options) inWindow(ts int64) bool {
 // the walkers scan contiguous memory instead of striding through the
 // full interleaved stream. dropped counts events outside the CPU range
 // (mirroring Analyze's Dropped accounting for them).
-func partition(events []trace.Event, opts Options, ncpu, workers int) (perCPU [][]trace.Event, ctl ctlStream, dropped int) {
+//
+// Both passes check ctx every cancelStride records; on cancellation the
+// chunk workers stop where they are, the pass still joins every worker,
+// and the context's error is returned. prog.events counts records
+// scanned by the first (counting) pass, at chunk-stride granularity.
+func partition(ctx context.Context, events []trace.Event, opts Options, ncpu, workers int, prog *progress) (perCPU [][]trace.Event, ctl ctlStream, dropped int, err error) {
 	nchunk := workers
 	if nchunk < 1 {
 		nchunk = 1
@@ -186,31 +204,45 @@ func partition(events []trace.Event, opts Options, ncpu, workers int) (perCPU []
 		go func(ci int) {
 			defer wg.Done()
 			cnt := make([]int, ncpu)
-			for _, ev := range events[bounds[ci]:bounds[ci+1]] {
-				if !opts.inWindow(ev.TS) {
-					continue
+			chunk := events[bounds[ci]:bounds[ci+1]]
+			for base := 0; base < len(chunk); base += cancelStride {
+				if ctx.Err() != nil {
+					return
 				}
-				if ev.CPU < 0 || int(ev.CPU) >= ncpu {
-					drops[ci]++
-					continue
+				end := base + cancelStride
+				if end > len(chunk) {
+					end = len(chunk)
 				}
-				switch {
-				case ev.ID.IsEntry():
-					cnt[ev.CPU]++
-				case ev.ID.IsExit():
-					cnt[ev.CPU]++
-					exitCounts[ci]++
-				case ev.ID == trace.EvSchedSwitch:
-					schedCounts[ci]++
-					switchCounts[ci]++
-				case ev.ID == trace.EvSchedMigrate, ev.ID == trace.EvProcessExit:
-					schedCounts[ci]++
+				for _, ev := range chunk[base:end] {
+					if !opts.inWindow(ev.TS) {
+						continue
+					}
+					if ev.CPU < 0 || int(ev.CPU) >= ncpu {
+						drops[ci]++
+						continue
+					}
+					switch {
+					case ev.ID.IsEntry():
+						cnt[ev.CPU]++
+					case ev.ID.IsExit():
+						cnt[ev.CPU]++
+						exitCounts[ci]++
+					case ev.ID == trace.EvSchedSwitch:
+						schedCounts[ci]++
+						switchCounts[ci]++
+					case ev.ID == trace.EvSchedMigrate, ev.ID == trace.EvProcessExit:
+						schedCounts[ci]++
+					}
 				}
+				prog.events.Add(uint64(end - base))
 			}
 			counts[ci] = cnt
 		}(ci)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, ctl, 0, err
+	}
 
 	// Exclusive prefix sums: where each chunk writes, per CPU and in the
 	// control stream. Chunk order equals stream order, so concatenating
@@ -247,41 +279,54 @@ func partition(events []trace.Event, opts Options, ncpu, workers int) (perCPU []
 			pos := offs[ci]
 			exitPos := exitOffs[ci]
 			schedPos := schedOffs[ci]
-			for _, ev := range events[bounds[ci]:bounds[ci+1]] {
-				if !opts.inWindow(ev.TS) {
-					continue
+			chunk := events[bounds[ci]:bounds[ci+1]]
+			for base := 0; base < len(chunk); base += cancelStride {
+				if ctx.Err() != nil {
+					return
 				}
-				if ev.CPU < 0 || int(ev.CPU) >= ncpu {
-					continue
+				end := base + cancelStride
+				if end > len(chunk) {
+					end = len(chunk)
 				}
-				switch {
-				case ev.ID.IsEntry():
-					perCPU[ev.CPU][pos[ev.CPU]] = ev
-					pos[ev.CPU]++
-				case ev.ID.IsExit():
-					perCPU[ev.CPU][pos[ev.CPU]] = ev
-					pos[ev.CPU]++
-					ctl.exitCPU[exitPos] = ev.CPU
-					exitPos++
-				case ev.ID == trace.EvSchedSwitch, ev.ID == trace.EvSchedMigrate, ev.ID == trace.EvProcessExit:
-					kind := ctlSwitch
-					if ev.ID == trace.EvSchedMigrate {
-						kind = ctlMigrate
-					} else if ev.ID == trace.EvProcessExit {
-						kind = ctlProcExit
+				for _, ev := range chunk[base:end] {
+					if !opts.inWindow(ev.TS) {
+						continue
 					}
-					ctl.sched[schedPos] = schedRec{
-						kind: kind, cpu: ev.CPU, ts: ev.TS,
-						a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
-						exitsBefore: int32(exitPos),
+					if ev.CPU < 0 || int(ev.CPU) >= ncpu {
+						continue
 					}
-					schedPos++
+					switch {
+					case ev.ID.IsEntry():
+						perCPU[ev.CPU][pos[ev.CPU]] = ev
+						pos[ev.CPU]++
+					case ev.ID.IsExit():
+						perCPU[ev.CPU][pos[ev.CPU]] = ev
+						pos[ev.CPU]++
+						ctl.exitCPU[exitPos] = ev.CPU
+						exitPos++
+					case ev.ID == trace.EvSchedSwitch, ev.ID == trace.EvSchedMigrate, ev.ID == trace.EvProcessExit:
+						kind := ctlSwitch
+						if ev.ID == trace.EvSchedMigrate {
+							kind = ctlMigrate
+						} else if ev.ID == trace.EvProcessExit {
+							kind = ctlProcExit
+						}
+						ctl.sched[schedPos] = schedRec{
+							kind: kind, cpu: ev.CPU, ts: ev.TS,
+							a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
+							exitsBefore: int32(exitPos),
+						}
+						schedPos++
+					}
 				}
 			}
 		}(ci)
 	}
 	wg.Wait()
-	return perCPU, ctl, dropped
+	if err := ctx.Err(); err != nil {
+		return nil, ctl, 0, err
+	}
+	return perCPU, ctl, dropped, nil
 }
 
 // partitionRaw is partition operating directly on the undecoded event
@@ -297,9 +342,13 @@ func partition(events []trace.Event, opts Options, ncpu, workers int) (perCPU []
 // so nothing is ever concatenated. Only the small control stream is
 // stitched, offsetting each chunk's exitsBefore by the exits that came
 // before it.
-func partitionRaw(rt *trace.RawTrace, opts Options, workers int) (segs [][][]trace.Event, ctl ctlStream, dropped int, err error) {
+// count is the number of records to partition — the full event count,
+// or less when an event/byte budget truncates ingestion to a prefix.
+// The scan workers check ctx once per scanned block and count progress
+// into prog.events; on cancellation every worker is still joined and
+// the context's error is returned.
+func partitionRaw(ctx context.Context, rt *trace.RawTrace, opts Options, workers int, count uint64, prog *progress) (segs [][][]trace.Event, ctl ctlStream, dropped int, err error) {
 	ncpu := rt.CPUs()
-	count := rt.EventCount()
 	nchunk := workers
 	if nchunk < 1 {
 		nchunk = 1
@@ -339,6 +388,10 @@ func partitionRaw(rt *trace.RawTrace, opts Options, workers int) (segs [][][]tra
 			}
 			out.exitCPU = make([]int32, 0, nrec/2+64)
 			errs[ci] = rt.Scan(bounds[ci], bounds[ci+1], func(_ uint64, b []byte) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				prog.events.Add(uint64(len(b) / trace.EventSize))
 				for o := 0; o < len(b); o += trace.EventSize {
 					rec := b[o:]
 					if !opts.inWindow(trace.PeekTS(rec)) {
@@ -379,6 +432,9 @@ func partitionRaw(rt *trace.RawTrace, opts Options, workers int) (segs [][][]tra
 		}(ci)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, ctl, 0, err
+	}
 	for _, e := range errs {
 		if e != nil {
 			return nil, ctl, 0, e
@@ -409,8 +465,10 @@ func partitionRaw(rt *trace.RawTrace, opts Options, workers int) (segs [][][]tra
 
 // runWalkersSegs is runWalkers over chunk-segmented sub-streams: each
 // CPU\'s walker steps through its segment of every chunk in chunk order,
-// which is exactly the CPU\'s global event order.
-func runWalkersSegs(segs [][][]trace.Event, ncpu int, attributeNesting bool, workers int) []cpuWalker {
+// which is exactly the CPU\'s global event order. Workers check ctx at
+// every CPU claim and every cancelStride steps within a CPU; finished
+// walkers are counted into prog.cpus.
+func runWalkersSegs(ctx context.Context, segs [][][]trace.Event, ncpu int, attributeNesting bool, workers int, prog *progress) ([]cpuWalker, error) {
 	walkers := make([]cpuWalker, ncpu)
 	if workers > ncpu {
 		workers = ncpu
@@ -425,6 +483,9 @@ func runWalkersSegs(segs [][][]trace.Event, ncpu int, attributeNesting bool, wor
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				c := int(next.Add(1)) - 1
 				if c >= ncpu {
 					return
@@ -438,21 +499,34 @@ func runWalkersSegs(segs [][][]trace.Event, ncpu int, attributeNesting bool, wor
 				// Roughly half the sub-stream is exits, each closing at
 				// most one span.
 				wk.spans = make([]spanRec, 0, total/2+1)
+				stepped := 0
 				for ci := range segs {
 					for _, ev := range segs[ci][c] {
 						wk.step(ev)
+						if stepped++; stepped >= cancelStride {
+							stepped = 0
+							if ctx.Err() != nil {
+								return
+							}
+						}
 					}
 				}
+				prog.cpus.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
-	return walkers
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return walkers, nil
 }
 
 // runWalkers reconstructs spans for every CPU sub-stream using a pool of
-// at most `workers` goroutines.
-func runWalkers(perCPU [][]trace.Event, attributeNesting bool, workers int) []cpuWalker {
+// at most `workers` goroutines. Workers check ctx at every CPU claim and
+// every cancelStride steps within a CPU; finished walkers are counted
+// into prog.cpus.
+func runWalkers(ctx context.Context, perCPU [][]trace.Event, attributeNesting bool, workers int, prog *progress) ([]cpuWalker, error) {
 	walkers := make([]cpuWalker, len(perCPU))
 	if workers > len(perCPU) {
 		workers = len(perCPU)
@@ -467,6 +541,9 @@ func runWalkers(perCPU [][]trace.Event, attributeNesting bool, workers int) []cp
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				c := int(next.Add(1)) - 1
 				if c >= len(perCPU) {
 					return
@@ -476,14 +553,28 @@ func runWalkers(perCPU [][]trace.Event, attributeNesting bool, workers int) []cp
 				// Roughly half the sub-stream is exits, each closing at
 				// most one span.
 				wk.spans = make([]spanRec, 0, len(perCPU[c])/2+1)
-				for _, ev := range perCPU[c] {
-					wk.step(ev)
+				stream := perCPU[c]
+				for base := 0; base < len(stream); base += cancelStride {
+					if ctx.Err() != nil {
+						return
+					}
+					end := base + cancelStride
+					if end > len(stream) {
+						end = len(stream)
+					}
+					for _, ev := range stream[base:end] {
+						wk.step(ev)
+					}
 				}
+				prog.cpus.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
-	return walkers
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return walkers, nil
 }
 
 // replay is the sequential phase: it walks the control stream once,
@@ -494,7 +585,11 @@ func runWalkers(perCPU [][]trace.Event, attributeNesting bool, workers int) []cp
 // windows still open at the end of the trace (dropped, like unclosed
 // spans) and, per CPU, the indices of the noise spans in r.Spans —
 // collected on the fly so interruption grouping needs no re-scan.
-func (r *Report) replay(ctl ctlStream, walkers []cpuWalker, opts Options, isApp func(int64) bool) (map[int64]*window, [][]int32) {
+//
+// The replay checks ctx every cancelStride exits and every few thousand
+// scheduler records; on cancellation it returns immediately with the
+// state it has (the caller detects ctx.Err() and marks the report).
+func (r *Report) replay(ctx context.Context, ctl ctlStream, walkers []cpuWalker, opts Options, isApp func(int64) bool) (map[int64]*window, [][]int32) {
 	ncpu := len(walkers)
 	cpus := make([]cpuState, ncpu)
 	windows := make(map[int64]*window)
@@ -544,7 +639,13 @@ func (r *Report) replay(ctl ctlStream, walkers []cpuWalker, opts Options, isApp 
 	pos := 0
 	for i := range ctl.sched {
 		sr := &ctl.sched[i]
+		if i&4095 == 0 && ctx.Err() != nil {
+			return windows, noiseIdx
+		}
 		for pos < int(sr.exitsBefore) {
+			if pos&(cancelStride-1) == 0 && ctx.Err() != nil {
+				return windows, noiseIdx
+			}
 			doExit(ctl.exitCPU[pos])
 			pos++
 		}
@@ -608,6 +709,9 @@ func (r *Report) replay(ctl ctlStream, walkers []cpuWalker, opts Options, isApp 
 		}
 	}
 	for pos < len(ctl.exitCPU) {
+		if pos&(cancelStride-1) == 0 && ctx.Err() != nil {
+			return windows, noiseIdx
+		}
 		doExit(ctl.exitCPU[pos])
 		pos++
 	}
@@ -797,7 +901,10 @@ func (r *Report) fillInterruptions(cpu int32, keys []ispanKey, gap int64, out []
 // order, so the output is identical to the sequential builder's: each
 // CPU's noise spans are gathered from r.Spans in record order, exactly
 // the sequence noiseByCPU produces.
-func (r *Report) buildInterruptionsParallel(noiseIdx [][]int32, gap int64, workers int) {
+//
+// Workers check ctx at every CPU claim; on cancellation both pools are
+// still joined and the context's error is returned.
+func (r *Report) buildInterruptionsParallel(ctx context.Context, noiseIdx [][]int32, gap int64, workers int) error {
 	var cpuIDs []int32
 	for c := range noiseIdx {
 		if len(noiseIdx[c]) > 0 {
@@ -805,7 +912,7 @@ func (r *Report) buildInterruptionsParallel(noiseIdx [][]int32, gap int64, worke
 		}
 	}
 	if len(cpuIDs) == 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > len(cpuIDs) {
 		workers = len(cpuIDs)
@@ -823,6 +930,9 @@ func (r *Report) buildInterruptionsParallel(noiseIdx [][]int32, gap int64, worke
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(cpuIDs) {
 					return
@@ -833,6 +943,9 @@ func (r *Report) buildInterruptionsParallel(noiseIdx [][]int32, gap int64, worke
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	// Exclusive prefix sums: each CPU's slot in the interruption list
 	// and the component arena.
@@ -851,6 +964,9 @@ func (r *Report) buildInterruptionsParallel(noiseIdx [][]int32, gap int64, worke
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(cpuIDs) {
 					return
@@ -862,6 +978,7 @@ func (r *Report) buildInterruptionsParallel(noiseIdx [][]int32, gap int64, worke
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // appMatcher builds the application-pid predicate from an explicit pid
@@ -879,31 +996,51 @@ func appMatcher(appPIDs map[int64]bool) func(int64) bool {
 }
 
 // finish shares the tail of the parallel paths: boundary-drop
-// accounting and interruption grouping.
-func (r *Report) finish(walkers []cpuWalker, windows map[int64]*window, noiseIdx [][]int32, opts Options, shards int) {
+// accounting, interruption grouping, and the interruption budget. A
+// non-nil error is the context's own (the caller wraps it).
+func (r *Report) finish(ctx context.Context, walkers []cpuWalker, windows map[int64]*window, noiseIdx [][]int32, opts Options, shards int) error {
 	for i := range walkers {
 		r.Dropped += walkers[i].dropped + len(walkers[i].stack)
 	}
 	r.Dropped += len(windows)
-	r.buildInterruptionsParallel(noiseIdx, opts.GapNS, shards)
+	if err := r.buildInterruptionsParallel(ctx, noiseIdx, opts.GapNS, shards); err != nil {
+		return err
+	}
+	r.applyInterruptionBudget(opts.Budget)
+	return nil
 }
 
 // AnalyzeParallel runs the full noise analysis sharded across per-CPU
 // event streams using up to `shards` workers (≤ 0 means GOMAXPROCS).
 // The report it produces is bit-identical to Analyze's on the same
-// trace: per-CPU span reconstruction is exact (nesting never crosses a
-// CPU) and the final accumulation replays in sequential order.
-func AnalyzeParallel(tr *trace.Trace, opts Options, shards int) *Report {
+// trace and options — budgets included: per-CPU span reconstruction is
+// exact (nesting never crosses a CPU) and the final accumulation
+// replays in sequential order.
+//
+// Cancelling ctx stops the run at the next batch boundary with no
+// leaked goroutines; the partial Report (marked Incomplete, with
+// EventsConsumed/CPUsFinished) is returned together with an error
+// wrapping both ErrCancelled and ctx.Err().
+func AnalyzeParallel(ctx context.Context, tr *trace.Trace, opts Options, shards int) (*Report, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	if len(tr.Events) > math.MaxInt32 {
+	var prog progress
+	events, truncated := opts.Budget.truncate(tr.Events)
+	if len(events) > math.MaxInt32 {
 		// The control stream counts exits in int32 (schedRec.exitsBefore);
 		// beyond that (an ~86 GB trace) fall back to the sequential
 		// analyzer, which produces the identical report.
-		return Analyze(tr, opts)
+		if ctx.Err() != nil {
+			return (&Report{CPUs: tr.CPUs}).markCancelled(&prog), cancelErr(ctx)
+		}
+		return Analyze(tr, opts), nil
 	}
 	r := &Report{CPUs: tr.CPUs, Seconds: tr.DurationSeconds()}
+	if truncated {
+		r.Incomplete = true
+		r.Seconds = spanSeconds(events)
+	}
 	if opts.ToNS > opts.FromNS && (opts.FromNS != 0 || opts.ToNS != 0) {
 		r.Seconds = float64(opts.ToNS-opts.FromNS) / 1e9
 	}
@@ -915,13 +1052,25 @@ func AnalyzeParallel(tr *trace.Trace, opts Options, shards int) *Report {
 		appPIDs = tr.AppPIDs()
 	}
 
-	perCPU, ctl, dropped := partition(tr.Events, opts, tr.CPUs, shards)
+	perCPU, ctl, dropped, err := partition(ctx, events, opts, tr.CPUs, shards, &prog)
+	if err != nil {
+		return r.markCancelled(&prog), cancelErr(ctx)
+	}
 	r.Dropped += dropped
-	walkers := runWalkers(perCPU, opts.AttributeNesting, shards)
+	walkers, err := runWalkers(ctx, perCPU, opts.AttributeNesting, shards, &prog)
+	if err != nil {
+		return r.markCancelled(&prog), cancelErr(ctx)
+	}
 	r.prealloc(walkers, ctl.switches, opts.KeepDurations)
-	windows, noiseIdx := r.replay(ctl, walkers, opts, appMatcher(appPIDs))
-	r.finish(walkers, windows, noiseIdx, opts, shards)
-	return r
+	windows, noiseIdx := r.replay(ctx, ctl, walkers, opts, appMatcher(appPIDs))
+	if ctx.Err() != nil {
+		return r.markCancelled(&prog), cancelErr(ctx)
+	}
+	if err := r.finish(ctx, walkers, windows, noiseIdx, opts, shards); err != nil {
+		return r.markCancelled(&prog), cancelErr(ctx)
+	}
+	r.EventsConsumed = uint64(len(events))
+	return r, nil
 }
 
 // AnalyzeRaw runs the sharded analysis directly over the undecoded
@@ -935,7 +1084,13 @@ func AnalyzeParallel(tr *trace.Trace, opts Options, shards int) *Report {
 //
 // This is the fastest path from trace bytes to a Report and the one the
 // noisebench pipeline benchmark exercises.
-func AnalyzeRaw(ra io.ReaderAt, size int64, opts Options, shards int) (*Report, error) {
+//
+// Cancelling ctx stops the run at the next batch boundary with no
+// leaked goroutines; the partial Report (marked Incomplete, with
+// EventsConsumed/CPUsFinished) is returned together with an error
+// wrapping both ErrCancelled and ctx.Err(). An event/byte budget
+// truncates the scan to the trace's prefix without reading the rest.
+func AnalyzeRaw(ctx context.Context, ra io.ReaderAt, size int64, opts Options, shards int) (*Report, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
@@ -943,20 +1098,29 @@ func AnalyzeRaw(ra io.ReaderAt, size int64, opts Options, shards int) (*Report, 
 	if err != nil {
 		return nil, err
 	}
+	var prog progress
 	count := rt.EventCount()
+	truncated := false
+	if limit := opts.Budget.eventCap(); count > limit {
+		count, truncated = limit, true
+	}
 	if count > math.MaxInt32 {
-		tr, err := trace.ReadParallel(ra, size, shards)
+		tr, err := trace.ReadParallel(ctx, ra, size, shards)
 		if err != nil {
+			if ctx.Err() != nil {
+				return (&Report{CPUs: rt.CPUs()}).markCancelled(&prog), cancelErr(ctx)
+			}
 			return nil, err
 		}
 		return Analyze(tr, opts), nil
 	}
-	r := &Report{CPUs: rt.CPUs()}
+	r := &Report{CPUs: rt.CPUs(), Incomplete: truncated}
 	for k := Key(0); k < NumKeys; k++ {
 		r.PerKey[k] = &KeyStats{Key: k}
 	}
 	// Trace.DurationSeconds spans the first to the last record; only two
-	// records need decoding to reproduce it.
+	// records need decoding to reproduce it. Under a budget the span
+	// covers the consumed prefix, like spanSeconds in the other paths.
 	if count > 0 {
 		first, err := rt.Event(0)
 		if err != nil {
@@ -980,15 +1144,27 @@ func AnalyzeRaw(ra io.ReaderAt, size int64, opts Options, shards int) (*Report, 
 		appPIDs = (&trace.Trace{Procs: procs}).AppPIDs()
 	}
 
-	segs, ctl, dropped, err := partitionRaw(rt, opts, shards)
+	segs, ctl, dropped, err := partitionRaw(ctx, rt, opts, shards, count, &prog)
 	if err != nil {
+		if ctx.Err() != nil {
+			return r.markCancelled(&prog), cancelErr(ctx)
+		}
 		return nil, err
 	}
 	r.Dropped += dropped
-	walkers := runWalkersSegs(segs, rt.CPUs(), opts.AttributeNesting, shards)
+	walkers, err := runWalkersSegs(ctx, segs, rt.CPUs(), opts.AttributeNesting, shards, &prog)
+	if err != nil {
+		return r.markCancelled(&prog), cancelErr(ctx)
+	}
 	r.prealloc(walkers, ctl.switches, opts.KeepDurations)
-	windows, noiseIdx := r.replay(ctl, walkers, opts, appMatcher(appPIDs))
-	r.finish(walkers, windows, noiseIdx, opts, shards)
+	windows, noiseIdx := r.replay(ctx, ctl, walkers, opts, appMatcher(appPIDs))
+	if ctx.Err() != nil {
+		return r.markCancelled(&prog), cancelErr(ctx)
+	}
+	if err := r.finish(ctx, walkers, windows, noiseIdx, opts, shards); err != nil {
+		return r.markCancelled(&prog), cancelErr(ctx)
+	}
+	r.EventsConsumed = count
 	return r, nil
 }
 
@@ -1007,7 +1183,14 @@ type streamBatch struct {
 //
 // If opts.AppPIDs is nil the application set is taken from the trace's
 // process table, which the decoder reads after the last event.
-func AnalyzeStream(d *trace.Decoder, opts Options, shards int) (*Report, error) {
+//
+// Cancelling ctx stops the run at the next decode batch with no leaked
+// goroutines (the walker pool is always drained and joined); the
+// partial Report (marked Incomplete, with EventsConsumed) is returned
+// together with an error wrapping both ErrCancelled and ctx.Err(). An
+// event/byte budget stops decoding at the cap and degrades to a
+// prefix-complete report.
+func AnalyzeStream(ctx context.Context, d *trace.Decoder, opts Options, shards int) (*Report, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
@@ -1043,17 +1226,28 @@ func AnalyzeStream(d *trace.Decoder, opts Options, shards int) (*Report, error) 
 			}
 		}(chans[w])
 	}
+	// join drains and joins the walker pool; every return path runs it,
+	// which is what guarantees zero leaked goroutines on cancellation.
+	join := func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+	}
 
 	const batchLen = 4096
 	var (
-		ctl     ctlStream
-		pending = make([][]trace.Event, ncpu)
-		batch   = make([]trace.Event, batchLen)
-		firstTS int64
-		lastTS  int64
-		any     bool
-		dropped int
-		readErr error
+		prog      progress
+		eventCap  = opts.Budget.eventCap()
+		truncated bool
+		ctl       ctlStream
+		pending   = make([][]trace.Event, ncpu)
+		batch     = make([]trace.Event, batchLen)
+		firstTS   int64
+		lastTS    int64
+		any       bool
+		dropped   int
+		readErr   error
 	)
 	flush := func(cpu int32) {
 		if len(pending[cpu]) == 0 {
@@ -1063,8 +1257,17 @@ func AnalyzeStream(d *trace.Decoder, opts Options, shards int) (*Report, error) 
 		pending[cpu] = nil
 	}
 	for {
+		if ctx.Err() != nil {
+			join()
+			return r.markCancelled(&prog), cancelErr(ctx)
+		}
 		n, err := d.Next(batch)
-		for _, ev := range batch[:n] {
+		evs := batch[:n]
+		if left := eventCap - prog.events.Load(); uint64(len(evs)) > left {
+			evs, truncated = evs[:left], true
+		}
+		prog.events.Add(uint64(len(evs)))
+		for _, ev := range evs {
 			if !any {
 				firstTS, any = ev.TS, true
 			}
@@ -1108,6 +1311,9 @@ func AnalyzeStream(d *trace.Decoder, opts Options, shards int) (*Report, error) 
 				})
 			}
 		}
+		if truncated {
+			break
+		}
 		if err == io.EOF {
 			break
 		}
@@ -1119,13 +1325,11 @@ func AnalyzeStream(d *trace.Decoder, opts Options, shards int) (*Report, error) 
 	for c := int32(0); c < int32(ncpu); c++ {
 		flush(c)
 	}
-	for _, ch := range chans {
-		close(ch)
-	}
-	wg.Wait()
+	join()
 	if readErr != nil {
 		return nil, readErr
 	}
+	r.Incomplete = truncated
 
 	if any {
 		r.Seconds = float64(lastTS-firstTS) / 1e9
@@ -1135,6 +1339,11 @@ func AnalyzeStream(d *trace.Decoder, opts Options, shards int) (*Report, error) 
 	}
 	appPIDs := opts.AppPIDs
 	if appPIDs == nil {
+		// A budget cap leaves undecoded events ahead of the process
+		// table; skip them unparsed so classification still works.
+		if err := d.Skip(); err != nil {
+			return nil, err
+		}
 		procs, err := d.Procs()
 		if err != nil {
 			return nil, err
@@ -1144,7 +1353,13 @@ func AnalyzeStream(d *trace.Decoder, opts Options, shards int) (*Report, error) 
 
 	r.Dropped += dropped
 	r.prealloc(walkers, ctl.switches, opts.KeepDurations)
-	windows, noiseIdx := r.replay(ctl, walkers, opts, appMatcher(appPIDs))
-	r.finish(walkers, windows, noiseIdx, opts, shards)
+	windows, noiseIdx := r.replay(ctx, ctl, walkers, opts, appMatcher(appPIDs))
+	if ctx.Err() != nil {
+		return r.markCancelled(&prog), cancelErr(ctx)
+	}
+	if err := r.finish(ctx, walkers, windows, noiseIdx, opts, shards); err != nil {
+		return r.markCancelled(&prog), cancelErr(ctx)
+	}
+	r.EventsConsumed = prog.events.Load()
 	return r, nil
 }

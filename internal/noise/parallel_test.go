@@ -2,6 +2,7 @@ package noise_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -106,7 +107,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 			want := noise.Analyze(tr, opts)
 			for _, shards := range []int{1, 2, 4, 8, tr.CPUs*2 + 3} {
 				t.Run(fmt.Sprintf("seed%d/%s/shards%d", seed, name, shards), func(t *testing.T) {
-					compareReports(t, want, noise.AnalyzeParallel(tr, opts, shards))
+					got, err := noise.AnalyzeParallel(context.Background(), tr, opts, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareReports(t, want, got)
 				})
 			}
 		}
@@ -128,7 +133,7 @@ func TestStreamMatchesSequential(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					got, err := noise.AnalyzeStream(d, opts, shards)
+					got, err := noise.AnalyzeStream(context.Background(), d, opts, shards)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -154,7 +159,7 @@ func TestRawMatchesSequential(t *testing.T) {
 			want := noise.Analyze(tr, opts)
 			for _, shards := range []int{1, 3, 8} {
 				t.Run(fmt.Sprintf("seed%d/%s/shards%d", seed, name, shards), func(t *testing.T) {
-					got, err := noise.AnalyzeRaw(bytes.NewReader(raw), int64(len(raw)), opts, shards)
+					got, err := noise.AnalyzeRaw(context.Background(), bytes.NewReader(raw), int64(len(raw)), opts, shards)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -200,10 +205,14 @@ func TestParallelHandmade(t *testing.T) {
 		want := noise.Analyze(tr, opts)
 		for _, shards := range []int{1, 2, 8} {
 			t.Run(fmt.Sprintf("%s/shards%d", name, shards), func(t *testing.T) {
-				compareReports(t, want, noise.AnalyzeParallel(tr, opts, shards))
+				got, err := noise.AnalyzeParallel(context.Background(), tr, opts, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareReports(t, want, got)
 			})
 			t.Run(fmt.Sprintf("%s/shards%d/raw", name, shards), func(t *testing.T) {
-				got, err := noise.AnalyzeRaw(bytes.NewReader(raw), int64(len(raw)), opts, shards)
+				got, err := noise.AnalyzeRaw(context.Background(), bytes.NewReader(raw), int64(len(raw)), opts, shards)
 				if err != nil {
 					t.Fatal(err)
 				}

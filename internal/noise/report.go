@@ -110,6 +110,30 @@ type Report struct {
 	// NoiseLost counts exits without entries / unclosed spans dropped at
 	// trace boundaries.
 	Dropped int
+
+	// Incomplete marks a report whose ingestion stopped before the end
+	// of the input: the analysis was cancelled mid-run, or an
+	// event/byte budget capped it. Totals cover only the consumed
+	// prefix.
+	Incomplete bool
+	// EventsConsumed counts the event records ingested from the input
+	// (before window and CPU filtering). On a complete run it equals
+	// the input's event count; on a cancelled run it is the best-effort
+	// progress at the moment of cancellation.
+	EventsConsumed uint64
+	// CPUsFinished counts the per-CPU span walkers that completed. It
+	// is meaningful only on a cancelled parallel analysis and stays
+	// zero otherwise — on a complete run every CPU finished by
+	// definition.
+	CPUsFinished int
+	// InterruptionsTotal is the exact interruption count before budget
+	// sampling reduced the Interruptions list. Zero when no sampling
+	// occurred: len(Interruptions) is then the total.
+	InterruptionsTotal int
+	// InterruptionsSampled marks that Interruptions is a deterministic
+	// reservoir sample capped by Budget.MaxInterruptions; counts and
+	// noise totals elsewhere in the report remain exact.
+	InterruptionsSampled bool
 }
 
 // Stats returns the aggregate for one activity type (never nil).

@@ -2,6 +2,7 @@ package corrupt
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -102,7 +103,7 @@ func readers() []reader {
 			return err
 		}},
 		{"ReadParallel", func(data []byte) error {
-			_, err := trace.ReadParallel(trace.BytesReaderAt(data), int64(len(data)), 4)
+			_, err := trace.ReadParallel(context.Background(), trace.BytesReaderAt(data), int64(len(data)), 4)
 			return err
 		}},
 		{"OpenRawScan", func(data []byte) error {
@@ -124,7 +125,7 @@ func readers() []reader {
 			return err
 		}},
 		{"AnalyzeRaw", func(data []byte) error {
-			_, err := noise.AnalyzeRaw(trace.BytesReaderAt(data), int64(len(data)), noise.Options{}, 4)
+			_, err := noise.AnalyzeRaw(context.Background(), trace.BytesReaderAt(data), int64(len(data)), noise.Options{}, 4)
 			return err
 		}},
 		{"AnalyzeStream", func(data []byte) error {
@@ -132,7 +133,7 @@ func readers() []reader {
 			if err != nil {
 				return err
 			}
-			_, err = noise.AnalyzeStream(d, noise.Options{}, 4)
+			_, err = noise.AnalyzeStream(context.Background(), d, noise.Options{}, 4)
 			return err
 		}},
 	}

@@ -2,13 +2,21 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
 	"sync"
 )
+
+// ErrCancelled is the sentinel wrapped by ReadParallel when its context
+// is cancelled or times out mid-read. The returned error also wraps the
+// context's own error, so callers may test either errors.Is(err,
+// trace.ErrCancelled) or errors.Is(err, context.DeadlineExceeded).
+var ErrCancelled = errors.New("trace: read cancelled")
 
 // headerSize is the fixed prefix of the LTTNOISE format: magic plus the
 // version/cpus/lost/count header, preceding the event section.
@@ -189,9 +197,27 @@ func (d *Decoder) Next(dst []Event) (int, error) {
 	return int(n), nil
 }
 
+// Skip discards every event record not yet decoded, leaving the
+// decoder positioned at the process table. A budget-truncated streaming
+// analysis uses it to reach Procs without decoding events it will not
+// ingest; the records stream through a fixed buffer, so skipping costs
+// I/O but no memory. A no-op when the event section is exhausted.
+func (d *Decoder) Skip() error {
+	rem := d.count - d.read
+	if rem == 0 {
+		return nil
+	}
+	if _, err := io.CopyN(io.Discard, d.br, int64(rem)*EventSize); err != nil {
+		off := int64(headerSize) + int64(d.read)*EventSize
+		return wrapRead(off, err, "trace: skipping %d events", rem)
+	}
+	d.read = d.count
+	return nil
+}
+
 // Procs reads the process table that follows the event section. It must
-// be called only after Next has returned io.EOF; version-1 traces carry
-// no table and yield nil.
+// be called only after Next has returned io.EOF or Skip has discarded
+// the remainder; version-1 traces carry no table and yield nil.
 func (d *Decoder) Procs() ([]ProcInfo, error) {
 	if d.read < d.count {
 		return nil, fmt.Errorf("trace: process table read with %d events still pending", d.count-d.read)
@@ -375,7 +401,11 @@ func (t *RawTrace) Procs() ([]ProcInfo, error) {
 // Unlike Read on an opaque stream, the event count promised by the
 // header is always validated against the file size before allocation,
 // so a corrupt header cannot cause an implausible allocation.
-func ReadParallel(ra io.ReaderAt, size int64, workers int) (*Trace, error) {
+//
+// Cancelling ctx stops the decode at the next read chunk: every worker
+// is joined before returning (no goroutine leaks) and the error wraps
+// both ErrCancelled and ctx.Err().
+func ReadParallel(ctx context.Context, ra io.ReaderAt, size int64, workers int) (*Trace, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -406,6 +436,9 @@ func ReadParallel(ra io.ReaderAt, size int64, workers int) (*Trace, error) {
 			// fewer reader calls and bounds checks than a per-record
 			// io.ReadFull loop.
 			errs[w] = rt.Scan(lo, hi, func(start uint64, b []byte) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				for j := uint64(0); j*EventSize < uint64(len(b)); j++ {
 					tr.Events[start+j] = DecodeEvent(b[j*EventSize:])
 				}
@@ -414,6 +447,9 @@ func ReadParallel(ra io.ReaderAt, size int64, workers int) (*Trace, error) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -2,10 +2,13 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 )
 
 // testTrace builds a deterministic multi-CPU trace with a process table.
@@ -126,7 +129,7 @@ func TestReadParallelMatchesRead(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 3, 8} {
-			got, err := ReadParallel(bytes.NewReader(buf.Bytes()), int64(buf.Len()), workers)
+			got, err := ReadParallel(context.Background(), bytes.NewReader(buf.Bytes()), int64(buf.Len()), workers)
 			if err != nil {
 				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
 			}
@@ -145,7 +148,72 @@ func TestReadParallelRejectsLyingHeader(t *testing.T) {
 	}
 	b := buf.Bytes()
 	b[8+16] = 0xff // bump the event count far past the file size
-	if _, err := ReadParallel(bytes.NewReader(b), int64(len(b)), 4); err == nil {
+	if _, err := ReadParallel(context.Background(), bytes.NewReader(b), int64(len(b)), 4); err == nil {
 		t.Fatal("corrupt count must be rejected before allocation")
+	}
+}
+
+// TestDecoderSkipToProcs locks the budget-truncation escape hatch: after
+// decoding a prefix, Skip must discard the rest undecoded and leave the
+// process table readable.
+func TestDecoderSkipToProcs(t *testing.T) {
+	tr := testTrace(5000)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Event, 137)
+	if _, err := d.Next(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Skip(); err != nil {
+		t.Fatal(err)
+	}
+	if rem := d.Remaining(); rem != 0 {
+		t.Fatalf("%d events remain after Skip", rem)
+	}
+	if n, err := d.Next(batch); n != 0 || err != io.EOF {
+		t.Fatalf("Next after Skip = %d, %v; want 0, EOF", n, err)
+	}
+	procs, err := d.Procs()
+	if err != nil {
+		t.Fatalf("Procs after Skip: %v", err)
+	}
+	if !reflect.DeepEqual(procs, tr.Procs) {
+		t.Fatalf("proc table differs after Skip: %+v", procs)
+	}
+	// Skip on an exhausted decoder is a no-op.
+	if err := d.Skip(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadParallelCancelled checks the typed-error contract and that a
+// cancelled parallel read joins every worker it started.
+func TestReadParallelCancelled(t *testing.T) {
+	tr := testTrace(50_000)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	baseline := runtime.NumGoroutine()
+	for _, workers := range []int{1, 2, 4, 8} {
+		_, err := ReadParallel(ctx, bytes.NewReader(buf.Bytes()), int64(buf.Len()), workers)
+		if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err %v, want ErrCancelled wrapping context.Canceled", workers, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d live, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

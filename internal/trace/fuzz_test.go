@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -173,7 +174,7 @@ func FuzzOpenRaw(f *testing.F) {
 func FuzzReadParallel(f *testing.F) {
 	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		got, err := ReadParallel(BytesReaderAt(data), int64(len(data)), 3)
+		got, err := ReadParallel(context.Background(), BytesReaderAt(data), int64(len(data)), 3)
 		if err != nil {
 			if !IsInputError(err) {
 				t.Fatalf("untyped ReadParallel error: %v", err)

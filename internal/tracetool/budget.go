@@ -1,0 +1,46 @@
+package tracetool
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"osnoise/internal/noise"
+)
+
+// ParseBudget parses the CLI -budget flag shared by the trace-consuming
+// commands: a comma-separated list of caps, each `events=N`, `bytes=N`,
+// or `interruptions=N` (N a non-negative integer, 0 = unlimited). The
+// empty string is the zero Budget (no limits). Example:
+//
+//	-budget events=1000000,interruptions=5000
+func ParseBudget(s string) (noise.Budget, error) {
+	var b noise.Budget
+	if s == "" {
+		return b, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return b, fmt.Errorf("budget: %q is not key=value", part)
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return b, fmt.Errorf("budget: bad value in %q: %v", part, err)
+		}
+		switch key {
+		case "events":
+			b.MaxEvents = n
+		case "bytes":
+			b.MaxBytes = n
+		case "interruptions":
+			if n > uint64(int(^uint(0)>>1)) {
+				return b, fmt.Errorf("budget: interruptions cap %d overflows int", n)
+			}
+			b.MaxInterruptions = int(n)
+		default:
+			return b, fmt.Errorf("budget: unknown cap %q (want events, bytes, or interruptions)", key)
+		}
+	}
+	return b, nil
+}

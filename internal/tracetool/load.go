@@ -1,6 +1,7 @@
 package tracetool
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -12,7 +13,12 @@ import (
 // file allows random access (≤ 0 means GOMAXPROCS, 1 forces the
 // sequential reader). Compressed traces decode sequentially regardless:
 // their varint encoding has no record boundaries to split on.
-func Load(path string, workers int) (*trace.Trace, error) {
+// Cancelling ctx aborts a parallel decode at the next read chunk with
+// an error that maps to ExitCancelled.
+func Load(ctx context.Context, path string, workers int) (*trace.Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -24,7 +30,7 @@ func Load(path string, workers int) (*trace.Trace, error) {
 		if n, err := f.ReadAt(head[:], 0); err == nil && n == 8 && trace.IsFixedFormat(head) {
 			st, err := f.Stat()
 			if err == nil && st.Mode().IsRegular() {
-				tr, err := trace.ReadParallel(f, st.Size(), workers)
+				tr, err := trace.ReadParallel(ctx, f, st.Size(), workers)
 				if err != nil {
 					return nil, fmt.Errorf("%s: %w", path, err)
 				}

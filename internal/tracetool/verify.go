@@ -1,6 +1,8 @@
 package tracetool
 
 import (
+	"context"
+	"errors"
 	"io"
 	"os"
 
@@ -19,15 +21,22 @@ const (
 	// ExitBadTrace reports corrupt or over-limit trace input — an
 	// ErrCorrupt/ErrLimit-family error from the trace readers.
 	ExitBadTrace = 2
+	// ExitCancelled reports a run cut short by cancellation — a
+	// -timeout deadline expiring or an interrupt propagated through the
+	// context. The run shut down cleanly; any partial output is marked.
+	ExitCancelled = 3
 )
 
 // ExitCode maps an error to the documented CLI exit code: ExitOK for
-// nil, ExitBadTrace for typed trace-input errors (anywhere in the
-// wrap chain), ExitError otherwise.
+// nil, ExitCancelled for context cancellation or deadline expiry,
+// ExitBadTrace for typed trace-input errors (anywhere in the wrap
+// chain), ExitError otherwise.
 func ExitCode(err error) int {
 	switch {
 	case err == nil:
 		return ExitOK
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ExitCancelled
 	case trace.IsInputError(err):
 		return ExitBadTrace
 	default:

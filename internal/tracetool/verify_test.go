@@ -2,7 +2,9 @@ package tracetool
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -90,6 +92,12 @@ func TestExitCode(t *testing.T) {
 		// Wrapped input errors must still map to ExitBadTrace: Load
 		// prefixes errors with the path.
 		{wrap("t.lttn", trace.ErrBadMagic), ExitBadTrace},
+		// Cancellation maps to the documented code 3, both flavours,
+		// wrapped or bare — this is what a -timeout run exits with.
+		{context.Canceled, ExitCancelled},
+		{context.DeadlineExceeded, ExitCancelled},
+		{wrap("t.lttn", context.Canceled), ExitCancelled},
+		{fmt.Errorf("noise: analysis cancelled: %w", context.DeadlineExceeded), ExitCancelled},
 	}
 	for _, c := range cases {
 		if got := ExitCode(c.err); got != c.want {
@@ -128,7 +136,7 @@ func TestLoadCorruptReportsTypedError(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
-		if _, err := Load(path, workers); !trace.IsInputError(err) {
+		if _, err := Load(context.Background(), path, workers); !trace.IsInputError(err) {
 			t.Fatalf("workers=%d: err = %v, want typed input error", workers, err)
 		}
 	}

@@ -252,6 +252,8 @@ type (
 // Cluster entry points.
 var (
 	// RunCluster simulates the bulk-synchronous application at scale.
+	// It honours context cancellation and returns all rank errors
+	// joined; see cluster.Run.
 	RunCluster = cluster.Run
 	// NoiseModelFromReport builds a rank noise model from an analysis.
 	NoiseModelFromReport = cluster.FromReport

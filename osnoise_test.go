@@ -2,6 +2,7 @@ package osnoise_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -68,11 +69,14 @@ func TestPublicCluster(t *testing.T) {
 	tr := run.Execute()
 	report := osnoise.Analyze(tr, run.AnalysisOptions())
 	model := osnoise.NoiseModelFromReport(report)
-	res := osnoise.RunCluster(osnoise.ClusterConfig{
+	res, err := osnoise.RunCluster(context.Background(), osnoise.ClusterConfig{
 		Nodes: 64, RanksPerNode: 8,
 		Granularity: osnoise.Millisecond, Iterations: 100,
 		Seed: 4, Model: model,
 	})
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
 	if res.Slowdown() <= 1 {
 		t.Fatalf("slowdown %.3f", res.Slowdown())
 	}

@@ -45,6 +45,46 @@ for target in FuzzRead FuzzReadCompressed FuzzReadAny \
     go test ./internal/trace -run="^$" -fuzz="^${target}\$" -fuzztime=10s
 done
 
+echo "== fault-injection suite (cluster crash/straggler/hang, race-instrumented)"
+# The resilience layer: seeded crash/straggler/hang schedules executed
+# on virtual time across worker counts, checkpoint/restart recovery,
+# degraded-mode allreduce, and the seed-determinism (bit-identical
+# twice) checks. Part of the -race suite above; the dedicated step
+# keeps the failure mode legible.
+go test -race -run 'TestFaulted|TestCrash|TestCheckpoint|TestHang|TestStraggler|TestDegraded|TestAllRanksFailed|TestFaultOnDeadRank|TestSchedule' \
+    ./internal/cluster/...
+
+echo "== cancellation suite (goroutine-leak regression, race-instrumented)"
+# Cancelling every parallel entry point mid-run across shard counts
+# must return the typed ErrCancelled error with a partial result and
+# leave runtime.NumGoroutine() at its baseline.
+go test -race -run 'TestCancel|TestRunCancelled|TestReadParallelCancelled' \
+    ./internal/noise ./internal/trace ./internal/cluster/... ./internal/mpi
+
+echo "== cancellation smoke: -timeout exits with the documented code"
+# A 1 ms deadline against a multi-second analysis must exit 3 — cleanly
+# and promptly, never a deadlock or a goroutine dump. `timeout 60`
+# guards the "never hangs" half of the contract. The binaries are built
+# first because `go run` collapses every program failure to exit 1.
+smokedir="$(mktemp -d)"
+go build -o "$smokedir/" ./cmd/lttng-noise ./cmd/noisereport ./cmd/noisebench
+"$smokedir/lttng-noise" -app AMG -duration 30s -report=false \
+    -trace "$smokedir/smoke.lttn"
+rc=0
+timeout 60 "$smokedir/noisereport" -parallel 4 -timeout 1ms \
+    "$smokedir/smoke.lttn" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "cancellation smoke: noisereport -timeout 1ms exited $rc, want 3" >&2
+    exit 1
+fi
+rc=0
+timeout 60 "$smokedir/noisebench" -exp ext1 -timeout 1ms >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "cancellation smoke: noisebench -timeout 1ms exited $rc, want 3" >&2
+    exit 1
+fi
+rm -rf "$smokedir"
+
 echo "== pipeline benchmark smoke"
 # A small-trace run of the analysis-pipeline benchmark: exercises the
 # sequential baseline, the sharded raw path at each shard count, and
