@@ -7,19 +7,21 @@
 //
 // Usage:
 //
-//	noisevet [-list] [-json] [-stats] [-only a,b] [-dir DIR] [package patterns]
+//	noisevet [-list] [-json] [-stats] [-timing] [-only a,b] [-dir DIR] [package patterns]
 //
 // With no patterns it checks ./... . Findings print one per line as
 // file:line:col: message (analyzer); -json instead emits a JSON array
-// of {analyzer, file, line, col, message} objects, and -stats appends
-// a per-analyzer findings count to stderr (CI publishes it next to the
-// run log). The exit status is 1 if there are findings, 2 on load
-// errors, 0 when clean. A finding can be acknowledged in source with a
-// trailing or preceding “//noisevet:ignore [analyzer,...]” comment.
+// of {analyzer, file, line, col, message} objects (the schema is
+// documented in docs/ARCHITECTURE.md and locked by a golden test),
+// -stats appends a per-analyzer findings count to stderr (CI publishes
+// it next to the run log), and -timing appends per-analyzer wall time
+// so the suite's cost stays observable. The exit status is 1 if there
+// are findings, 2 on load errors, 0 when clean. A finding can be
+// acknowledged in source with a trailing or preceding
+// “//noisevet:ignore [analyzer,...]” comment.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,19 +31,11 @@ import (
 	"osnoise/internal/analysis/noisevet"
 )
 
-// jsonFinding is the -json wire form of one finding.
-type jsonFinding struct {
-	Analyzer string `json:"analyzer"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Message  string `json:"message"`
-}
-
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	stats := flag.Bool("stats", false, "print a per-analyzer findings count to stderr")
+	timing := flag.Bool("timing", false, "print per-analyzer wall time to stderr")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: the full suite)")
 	dir := flag.String("dir", ".", "directory to resolve package patterns from")
 	flag.Parse()
@@ -81,7 +75,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "noisevet:", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.Check(fset, pkgs, analyzers)
+	findings, timings, err := analysis.CheckTimed(fset, pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noisevet:", err)
 		os.Exit(2)
@@ -91,19 +85,7 @@ func main() {
 	}
 
 	if *asJSON {
-		out := make([]jsonFinding, 0, len(findings))
-		for _, f := range findings {
-			out = append(out, jsonFinding{
-				Analyzer: f.Analyzer,
-				File:     f.Pos.Filename,
-				Line:     f.Pos.Line,
-				Col:      f.Pos.Column,
-				Message:  f.Message,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := analysis.EncodeJSON(os.Stdout, findings); err != nil {
 			fmt.Fprintln(os.Stderr, "noisevet:", err)
 			os.Exit(2)
 		}
@@ -113,6 +95,11 @@ func main() {
 		}
 	}
 
+	if *timing {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "noisevet: %-12s %8.1fms\n", tm.Analyzer, float64(tm.Elapsed.Microseconds())/1000)
+		}
+	}
 	if *stats {
 		counts := make(map[string]int)
 		for _, f := range findings {

@@ -23,8 +23,9 @@ import (
 )
 
 // Analyzer describes one static check. Unlike x/tools, there is no
-// Requires/Fact machinery: every analyzer here is a pure per-package
-// syntax+types pass, which is all the noisevet suite needs.
+// Requires/Fact machinery: an analyzer here is either a pure
+// per-package syntax+types pass (Run) or a whole-module interprocedural
+// pass (RunModule), which is all the noisevet suite needs.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //noisevet:ignore directives. By convention it is a single
@@ -37,8 +38,16 @@ type Analyzer struct {
 
 	// Run applies the analyzer to one package, reporting diagnostics
 	// through pass.Report. The returned value is ignored by the driver
-	// (kept in the signature for x/tools compatibility).
+	// (kept in the signature for x/tools compatibility). Exactly one of
+	// Run and RunModule must be set.
 	Run func(pass *Pass) (interface{}, error)
+
+	// RunModule applies the analyzer once to the whole loaded module
+	// instead of package by package. Interprocedural analyzers (call
+	// graph, reachability, bottom-up summaries) use this form: they need
+	// every package's syntax and types at once to resolve calls across
+	// package boundaries.
+	RunModule func(pass *ModulePass) error
 }
 
 // Pass provides one analyzer run with a single type-checked package and
@@ -65,6 +74,56 @@ type Pass struct {
 	// Report delivers one diagnostic. The driver attaches the analyzer
 	// name and applies //noisevet:ignore suppression.
 	Report func(Diagnostic)
+}
+
+// Module is the whole-program view a module-level analyzer runs over:
+// every loaded package (targets and in-module dependencies) sharing one
+// FileSet. The checker builds a single Module per run and hands it to
+// every RunModule analyzer, so expensive shared structures — the
+// repo-wide call graph above all — are built once and memoized here.
+type Module struct {
+	// Fset maps token.Pos values across every package's syntax.
+	Fset *token.FileSet
+
+	// Pkgs are the loaded packages in dependency order (dependencies
+	// before dependents). Pkgs with Target set matched the load patterns
+	// directly; analyzers report findings only in target packages but
+	// may resolve calls through any of them.
+	Pkgs []*Package
+
+	shared map[string]interface{}
+}
+
+// Cache memoizes an expensive shared structure under key, building it
+// on first use. The call-graph engine uses it so that several
+// interprocedural analyzers in one run share a single graph.
+func (m *Module) Cache(key string, build func() interface{}) interface{} {
+	if m.shared == nil {
+		m.shared = make(map[string]interface{})
+	}
+	if v, ok := m.shared[key]; ok {
+		return v
+	}
+	v := build()
+	m.shared[key] = v
+	return v
+}
+
+// ModulePass provides one module-level analyzer run with the whole
+// loaded module and a sink for diagnostics.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+
+	// Report delivers one diagnostic. The driver attaches the analyzer
+	// name and applies //noisevet:ignore suppression exactly as for
+	// per-package passes.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
 // Diagnostic is one finding at a source position.

@@ -56,9 +56,74 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	}
 }
 
+// RunModule loads every fixture package in paths (and, recursively,
+// the fixture packages they import) into one module, applies the
+// module-level analyzer once over the whole set, and checks the
+// diagnostics against the "// want" expectations of all files of the
+// listed packages. Interprocedural analyzers are tested this way: a
+// fixture package "a" can call into fixture package "a/impl" and the
+// expectations can assert cross-package resolution.
+//
+// The listed paths become target packages (analyzers report findings
+// there); packages pulled in only as imports are loaded but
+// non-target, mirroring the real checker.
+func RunModule(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	if a.RunModule == nil {
+		t.Fatalf("analysistest: %s has no RunModule; use Run", a.Name)
+	}
+	ld := &loader{
+		root:     filepath.Join(testdata, "src"),
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*fixturePkg),
+		checking: make(map[string]bool),
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	targets := make(map[string]bool, len(paths))
+	for _, path := range paths {
+		targets[path] = true
+		if _, err := ld.load(path); err != nil {
+			t.Fatalf("analysistest: loading fixture %q: %v", path, err)
+		}
+	}
+
+	var pkgs []*analysis.Package
+	var wantFiles []*ast.File
+	for _, p := range ld.order {
+		var goFiles []string
+		for _, f := range p.files {
+			goFiles = append(goFiles, ld.fset.Position(f.Pos()).Filename)
+		}
+		pkgs = append(pkgs, &analysis.Package{
+			PkgPath: p.path,
+			Dir:     p.dir,
+			GoFiles: goFiles,
+			Files:   p.files,
+			Types:   p.types,
+			Info:    p.info,
+			Target:  targets[p.path],
+		})
+		if targets[p.path] {
+			wantFiles = append(wantFiles, p.files...)
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.ModulePass{
+		Analyzer: a,
+		Module:   &analysis.Module{Fset: ld.fset, Pkgs: pkgs},
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.RunModule(pass); err != nil {
+		t.Fatalf("analysistest: %s (module pass): %v", a.Name, err)
+	}
+	diffWants(t, ld.fset, diags, wantFiles)
+}
+
 // fixturePkg is one loaded fixture package.
 type fixturePkg struct {
 	path  string
+	dir   string
 	files []*ast.File
 	types *types.Package
 	info  *types.Info
@@ -69,6 +134,7 @@ type loader struct {
 	root     string
 	fset     *token.FileSet
 	pkgs     map[string]*fixturePkg
+	order    []*fixturePkg   // completed packages, dependencies first
 	checking map[string]bool // import cycle guard
 	fallback types.Importer
 }
@@ -120,8 +186,9 @@ func (l *loader) load(path string) (*fixturePkg, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkg := &fixturePkg{path: path, files: files, types: tpkg, info: info}
+	pkg := &fixturePkg{path: path, dir: dir, files: files, types: tpkg, info: info}
 	l.pkgs[path] = pkg
+	l.order = append(l.order, pkg)
 	return pkg, nil
 }
 
@@ -162,9 +229,15 @@ func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *fixture
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg.path, err)
 	}
+	diffWants(t, fset, diags, pkg.files)
+}
 
+// diffWants matches reported diagnostics against the files' "// want"
+// expectations, reporting both unexpected diagnostics and unmet wants.
+func diffWants(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic, files []*ast.File) {
+	t.Helper()
 	var wants []*expectation
-	for _, f := range pkg.files {
+	for _, f := range files {
 		ws, err := parseWants(fset, f)
 		if err != nil {
 			t.Fatalf("analysistest: %v", err)

@@ -1,0 +1,46 @@
+package analysistest
+
+import (
+	"go/ast"
+	"testing"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/callgraph"
+)
+
+// TestRunModuleCrossPackage is the regression test for multi-package
+// fixtures: a throwaway module analyzer reports every call site that
+// statically resolves to a function in a different package, and the
+// fixture asserts exactly the xpkg -> xpkg/lib edge. If RunModule stops
+// loading fixture imports into one module, or the call graph stops
+// resolving across package boundaries, the want goes unmet.
+func TestRunModuleCrossPackage(t *testing.T) {
+	a := &analysis.Analyzer{
+		Name: "xresolve",
+		Doc:  "test-only: report cross-package static call resolutions",
+	}
+	a.RunModule = func(pass *analysis.ModulePass) error {
+		g := callgraph.Of(pass.Module)
+		for _, n := range g.Nodes {
+			if n.Pkg == nil || !n.Pkg.Target {
+				continue
+			}
+			pkg := n.Pkg
+			n.Walk(func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				targets, _ := g.CalleesOf(call)
+				for _, target := range targets {
+					if target.Pkg != nil && target.Pkg != pkg {
+						pass.Reportf(call.Pos(), "resolves to %s", target.Name)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	RunModule(t, "testdata", a, "xpkg", "xpkg/lib")
+}

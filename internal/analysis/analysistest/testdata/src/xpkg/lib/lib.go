@@ -1,0 +1,5 @@
+// Package lib is imported by xpkg; Helper is the cross-package target.
+package lib
+
+// Helper is called from xpkg.Top.
+func Helper() int { return 42 }

@@ -1,0 +1,14 @@
+// Package xpkg checks that RunModule loads fixture imports into the
+// same module and that the call graph resolves across the boundary.
+package xpkg
+
+import "xpkg/lib"
+
+// Top calls one local and one cross-package function; only the latter
+// resolves to a node in another package.
+func Top() int {
+	local()
+	return lib.Helper() // want `resolves to xpkg/lib\.Helper`
+}
+
+func local() {}

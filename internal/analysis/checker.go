@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one resolved diagnostic: a position, a message, and the
@@ -22,39 +23,93 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
 }
 
+// Timing is one analyzer's total wall time across a Check run: the sum
+// of its per-package passes, or the single module pass for
+// interprocedural analyzers.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
 // Check runs every analyzer over every target package and returns the
 // surviving findings sorted by position. Findings on lines carrying a
 // //noisevet:ignore directive (on the same line or the line directly
 // above) are suppressed.
 func Check(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := CheckTimed(fset, pkgs, analyzers)
+	return findings, err
+}
+
+// CheckTimed is Check exposing per-analyzer wall time, in the
+// analyzers' registration order. Per-package analyzers run first,
+// package by package; module-level analyzers run once each over the
+// whole loaded module, sharing one Module (and therefore one cached
+// call graph).
+func CheckTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing, error) {
 	var findings []Finding
+	elapsed := make(map[string]time.Duration)
+
+	// Ignore directives for every target file: per-package passes and
+	// module passes share the same suppression rules.
+	ignored := make(map[string][]ignoreDirective)
 	for _, pkg := range pkgs {
 		if !pkg.Target {
 			continue
 		}
-		ignored := make(map[string][]ignoreDirective)
 		for i, f := range pkg.Files {
 			ignored[pkg.GoFiles[i]] = ignoreDirectives(fset, f)
 		}
+	}
+	report := func(name string) func(Diagnostic) {
+		return func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if suppressed(ignored[pos.Filename], name, pos.Line) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+	}
+
+	for _, pkg := range pkgs {
+		if !pkg.Target {
+			continue
+		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Report:    report(a.Name),
 			}
-			pass.Report = func(d Diagnostic) {
-				pos := fset.Position(d.Pos)
-				if suppressed(ignored[pos.Filename], a.Name, pos.Line) {
-					return
-				}
-				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
-			}
+			start := time.Now()
 			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
+			elapsed[a.Name] += time.Since(start)
 		}
+	}
+
+	mod := &Module{Fset: fset, Pkgs: pkgs}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		pass := &ModulePass{Analyzer: a, Module: mod, Report: report(a.Name)}
+		start := time.Now()
+		if err := a.RunModule(pass); err != nil {
+			return nil, nil, fmt.Errorf("analysis: %s (module pass): %w", a.Name, err)
+		}
+		elapsed[a.Name] += time.Since(start)
+	}
+
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: elapsed[a.Name]})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -69,7 +124,7 @@ func Check(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Findi
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return findings, timings, nil
 }
 
 // ignoreDirective is one //noisevet:ignore comment: the line it sits

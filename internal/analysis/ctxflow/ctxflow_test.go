@@ -1,0 +1,12 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	a := New(Config{Roots: []string{"flow.Run"}})
+	analysistest.RunModule(t, "testdata", a, "flow", "flow/dep")
+}

@@ -1,0 +1,31 @@
+// Package dep is reached from package flow; its functions prove
+// cross-package summary propagation and reachability scoping.
+package dep
+
+import "context"
+
+// Consume observes cancellation directly at a stride boundary.
+func Consume(ctx context.Context, items []int) error {
+	for i := range items {
+		if i%100 == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+	}
+	return nil
+}
+
+// Reload accepts a context but has no loops; nothing to observe.
+func Reload(ctx context.Context) error {
+	return nil
+}
+
+// Orbit loops without observing, but nothing reachable from flow.Run
+// calls it: no finding.
+func Orbit(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+	}
+}

@@ -1,0 +1,74 @@
+// Package flow exercises the ctxflow analyzer: transitive observation
+// through helpers and closures, the per-function loop rule, dropped
+// contexts, and reachability scoping.
+package flow
+
+import (
+	"context"
+
+	"flow/dep"
+)
+
+// Run is the configured entry-point root. Its own loop is covered by
+// strideCheck, which observes ctx; no finding here.
+func Run(ctx context.Context, items []int) error {
+	for _, it := range items {
+		if err := strideCheck(ctx, it); err != nil {
+			return err
+		}
+	}
+	spin(ctx, items)
+	if err := dep.Consume(ctx, items); err != nil {
+		return err
+	}
+	refresh(ctx)
+	Fan(ctx, items)
+	if err := Pipeline(ctx, items); err != nil {
+		return err
+	}
+	return nil
+}
+
+// strideCheck is the boundary observation helper: callers that pass
+// their context here observe transitively.
+func strideCheck(ctx context.Context, it int) error {
+	if it%8192 == 0 {
+		return ctx.Err()
+	}
+	return nil
+}
+
+func spin(ctx context.Context, items []int) { // want `flow\.spin loops but never observes`
+	total := 0
+	for _, it := range items {
+		total += it
+	}
+	_ = total
+}
+
+// refresh has no loops, so the loop rule does not apply — but it
+// discards the context it holds.
+func refresh(ctx context.Context) {
+	_ = dep.Reload(context.Background()) // want `context\.Background\(\) discards`
+}
+
+// Fan's loop is covered by the closure it spawns, which observes the
+// captured context.
+func Fan(ctx context.Context, items []int) {
+	for range items {
+	}
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Pipeline observes directly, but the worker literal it defines takes
+// its own ctx parameter, loops, and never consults it.
+func Pipeline(ctx context.Context, items []int) error {
+	work := func(ctx context.Context) { // want `flow\.Pipeline\$1 loops but never observes`
+		for range items {
+		}
+	}
+	work(ctx)
+	return ctx.Err()
+}

@@ -1,0 +1,11 @@
+package hotpath
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.RunModule(t, "testdata", New(), "hot", "hot/impl")
+}

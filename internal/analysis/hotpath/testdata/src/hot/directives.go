@@ -1,0 +1,13 @@
+package hot
+
+// Directive validation: typos and misplaced annotations are findings,
+// so a misspelled hotpath cannot silently disable enforcement.
+
+//noisevet:hotpah // want `unknown directive`
+var mis1 = 1
+
+//noisevet:hotpath // want `must be part of a function declaration`
+var mis2 = 2
+
+//noisevet:hotpath // want `function without a body`
+func External()

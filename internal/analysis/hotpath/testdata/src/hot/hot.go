@@ -1,0 +1,116 @@
+// Package hot exercises the hotpath analyzer: reachability from
+// annotated roots, the coldpath barrier, interface dispatch, and every
+// violation class.
+package hot
+
+import (
+	"fmt"
+
+	"hot/impl"
+)
+
+// Event is a minimal stand-in for a trace record.
+type Event struct{ TS uint64 }
+
+// Process is a hot root; everything it reaches is checked.
+//
+//noisevet:hotpath
+func Process(events []Event) int {
+	total := 0
+	for _, e := range events {
+		total += step(e)
+	}
+	impl.Walk(len(events))
+	return total
+}
+
+// step is reachable from Process, so its fmt call is hot.
+func step(e Event) int {
+	if e.TS == 0 {
+		fmt.Println("zero timestamp") // want `call into fmt`
+	}
+	return int(e.TS)
+}
+
+// Validate demonstrates the coldpath barrier: the error constructor
+// may allocate.
+//
+//noisevet:hotpath
+func Validate(ts uint64) error {
+	if ts == 0 {
+		return badEvent(ts)
+	}
+	return nil
+}
+
+// badEvent is the sanctioned slow path; nothing below it is checked.
+//
+//noisevet:coldpath
+func badEvent(ts uint64) error {
+	return fmt.Errorf("bad event at %d", ts)
+}
+
+type pair struct{ a, b int }
+
+// Tally exercises map iteration and interface-escaping assignment.
+//
+//noisevet:hotpath
+func Tally(counts map[int]int) int {
+	total := 0
+	for _, v := range counts { // want `range over map`
+		total += v
+	}
+	var sink interface{}
+	sink = pair{1, 2} // want `escapes into interface assignment`
+	_ = sink
+	return total
+}
+
+func consume(v interface{}) { _ = v }
+
+// Feed exercises interface-escaping call arguments.
+//
+//noisevet:hotpath
+func Feed() {
+	consume(pair{3, 4}) // want `escapes into interface argument`
+}
+
+// SpawnWorkers exercises the closure rules: a per-iteration literal is
+// flagged, a goroutine-spawn operand is not.
+//
+//noisevet:hotpath
+func SpawnWorkers(n int) {
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func(slot int) { results[slot] = slot }(i)
+		f := func() int { return i } // want `closure allocated`
+		_ = f()
+	}
+}
+
+// Sink dispatches through an interface; every in-repo implementation
+// joins the hot set.
+type Sink interface{ Emit(int) }
+
+type printSink struct{}
+
+func (printSink) Emit(v int) {
+	fmt.Println(v) // want `call into fmt`
+}
+
+// Drive is hot and calls through Sink, pulling printSink.Emit in.
+//
+//noisevet:hotpath
+func Drive(s Sink, vs []int) {
+	for _, v := range vs {
+		s.Emit(v)
+	}
+}
+
+// unreachable is never called from a hot root: its violations are not
+// findings.
+func unreachable(m map[int]int) {
+	for range m {
+		fmt.Println("cold by omission")
+	}
+}

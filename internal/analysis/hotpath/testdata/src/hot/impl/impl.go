@@ -1,0 +1,19 @@
+// Package impl is reached from package hot across the package
+// boundary; its findings prove interprocedural, cross-package
+// propagation.
+package impl
+
+// Walk is called by hot.Process.
+func Walk(n int) {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append grows out`
+	}
+	_ = out
+
+	pre := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		pre = append(pre, i) // preallocated: no finding
+	}
+	_ = pre
+}

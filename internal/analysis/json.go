@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is the stable wire form of one finding, emitted by
+// `noisevet -json`. The schema is documented in docs/ARCHITECTURE.md
+// and locked by TestJSONGolden: tools parse it, so field names, order,
+// and types may not drift. File is as reported by the loader (absolute,
+// or relative to the invocation directory when the CLI can shorten it);
+// Line and Col are 1-based.
+type JSONFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// EncodeJSON writes the findings to w as an indented JSON array of
+// JSONFinding objects — `[]` (not null) when there are none, so
+// consumers can always range over the result.
+func EncodeJSON(w io.Writer, findings []Finding) error {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

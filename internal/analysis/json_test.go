@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"testing"
+)
+
+// TestJSONGolden locks the `noisevet -json` wire format against
+// testdata/golden.json. The schema is documented in
+// docs/ARCHITECTURE.md; a diff here means either an accidental schema
+// break (fix the code) or a deliberate schema change (update the
+// golden file AND the doc in the same commit).
+func TestJSONGolden(t *testing.T) {
+	findings := []Finding{
+		{
+			Analyzer: "hotpath",
+			Pos:      token.Position{Filename: "internal/noise/analyzer.go", Line: 42, Column: 7},
+			Message:  "hot path: call into fmt allocates per call",
+		},
+		{
+			Analyzer: "ctxflow",
+			Pos:      token.Position{Filename: "internal/trace/decoder.go", Line: 180, Column: 1},
+			Message:  "cancellable path: trace.scan loops but never observes its context",
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, findings); err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	want, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from testdata/golden.json\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestJSONEmpty pins the no-findings form: an empty array, never null.
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, nil); err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty findings encode as %q, want %q", got, "[]\n")
+	}
+}

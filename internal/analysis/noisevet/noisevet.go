@@ -7,11 +7,13 @@ package noisevet
 import (
 	"osnoise/internal/analysis"
 	"osnoise/internal/analysis/atomicfield"
+	"osnoise/internal/analysis/ctxflow"
 	"osnoise/internal/analysis/determinism"
 	"osnoise/internal/analysis/doccomment"
 	"osnoise/internal/analysis/eventpair"
 	"osnoise/internal/analysis/exhaustive"
 	"osnoise/internal/analysis/goroleak"
+	"osnoise/internal/analysis/hotpath"
 	"osnoise/internal/analysis/lockbalance"
 	"osnoise/internal/analysis/timeunits"
 	"osnoise/internal/analysis/writecheck"
@@ -117,7 +119,26 @@ var LockBalanceConfig = lockbalance.Config{}
 // suite runs; exporters live in cmd/ but helpers could move.
 var WriteCheckConfig = writecheck.Config{}
 
-// Analyzers returns the production suite in reporting order.
+// CtxFlowConfig names the cancellable entry points (the functions
+// docs/ARCHITECTURE.md §5 promises are prompt under cancellation):
+// every loop-bearing function they reach that holds a context must
+// observe it. Roots are node names in callgraph.FuncName form; a name
+// that does not resolve is skipped, so a rename shows up as the
+// self-validation test failing, not a silently narrower analysis.
+var CtxFlowConfig = ctxflow.Config{
+	Roots: []string{
+		"osnoise/internal/noise.AnalyzeParallel",
+		"osnoise/internal/noise.AnalyzeStream",
+		"osnoise/internal/noise.AnalyzeRaw",
+		"osnoise/internal/trace.ReadParallel",
+		"osnoise/internal/cluster.Run",
+	},
+}
+
+// Analyzers returns the production suite in reporting order. The two
+// module-wide analyzers (hotpath, ctxflow) run last: they share one
+// cached repo-wide call graph, built after every package has been
+// type-checked.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.New(DeterminismConfig),
@@ -129,5 +150,7 @@ func Analyzers() []*analysis.Analyzer {
 		lockbalance.New(LockBalanceConfig),
 		goroleak.New(GoroleakConfig),
 		writecheck.New(WriteCheckConfig),
+		hotpath.New(),
+		ctxflow.New(CtxFlowConfig),
 	}
 }

@@ -1,0 +1,184 @@
+// Package summary computes bottom-up function summaries over the
+// repo-wide call graph. A summary is any comparable per-function fact
+// that depends on the facts of the function's callees — "observes
+// context cancellation", "may allocate", "maximum loop depth below
+// here". The framework handles the graph shape so analyzers only write
+// the local transfer function: strongly connected components (mutual
+// recursion) are condensed with Tarjan's algorithm and iterated to a
+// fixpoint, components are processed callees-first, so by the time a
+// function is summarized every callee outside its own cycle is final.
+package summary
+
+import (
+	"osnoise/internal/analysis/callgraph"
+)
+
+// Compute evaluates summarize bottom-up over the graph and returns the
+// final summary of every node.
+//
+// follow selects which edges summaries propagate along; nil follows
+// every edge. ctxflow, for instance, follows only Static/Go/Defer and
+// Closure edges — an interface dispatch does not prove anything about
+// which implementation actually runs.
+//
+// summarize computes one node's summary. It reads callee summaries
+// through get, which returns the callee's current value — final for
+// callees outside the node's own strongly connected component, and the
+// in-progress fixpoint iterate for callees inside it (starting from the
+// zero value of T). summarize must be monotone in its callees' values
+// for the fixpoint to converge; iteration within a component stops when
+// a full round changes nothing, with a hard cap to bound pathological
+// transfer functions.
+func Compute[T comparable](
+	g *callgraph.Graph,
+	follow func(*callgraph.Edge) bool,
+	summarize func(n *callgraph.Node, get func(*callgraph.Node) T) T,
+) map[*callgraph.Node]T {
+	comps := SCCs(g, follow)
+	out := make(map[*callgraph.Node]T, len(g.Nodes))
+	get := func(n *callgraph.Node) T { return out[n] }
+
+	// Tarjan emits components callees-first (a component pops only
+	// after every component it points into), which is exactly the
+	// bottom-up order.
+	for _, comp := range comps {
+		if len(comp) == 1 {
+			// Fast path; a self-loop still converges below, but a
+			// non-recursive node needs exactly one evaluation.
+			n := comp[0]
+			if !selfLoop(n, follow) {
+				out[n] = summarize(n, get)
+				continue
+			}
+		}
+		// Mutual recursion: iterate the component to a fixpoint. Each
+		// round re-evaluates every member; a monotone transfer function
+		// over a finite lattice stabilizes in at most |comp| rounds of
+		// real change, the cap guards non-monotone mistakes.
+		for round := 0; round <= len(comp)+1; round++ {
+			changed := false
+			for _, n := range comp {
+				next := summarize(n, get)
+				if next != out[n] {
+					out[n] = next
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// selfLoop reports whether n has a followed edge to itself.
+func selfLoop(n *callgraph.Node, follow func(*callgraph.Edge) bool) bool {
+	for _, e := range n.Out {
+		if e.Callee == n && (follow == nil || follow(e)) {
+			return true
+		}
+	}
+	return false
+}
+
+// SCCs returns the strongly connected components of the graph restricted
+// to the followed edges, in reverse topological order of the
+// condensation: every component appears after the components it calls
+// into. follow nil means every edge.
+func SCCs(g *callgraph.Graph, follow func(*callgraph.Edge) bool) [][]*callgraph.Node {
+	t := &tarjan{
+		index:   make(map[*callgraph.Node]int, len(g.Nodes)),
+		lowlink: make(map[*callgraph.Node]int, len(g.Nodes)),
+		onStack: make(map[*callgraph.Node]bool, len(g.Nodes)),
+		follow:  follow,
+	}
+	for _, n := range g.Nodes {
+		if _, visited := t.index[n]; !visited {
+			t.strongConnect(n)
+		}
+	}
+	return t.comps
+}
+
+// tarjan is the iterative Tarjan SCC state. The traversal is explicit —
+// deep call chains in a large module would overflow the goroutine stack
+// under naive recursion long before they trouble an explicit one.
+type tarjan struct {
+	counter int
+	index   map[*callgraph.Node]int
+	lowlink map[*callgraph.Node]int
+	stack   []*callgraph.Node
+	onStack map[*callgraph.Node]bool
+	follow  func(*callgraph.Edge) bool
+	comps   [][]*callgraph.Node
+}
+
+// frame is one suspended DFS visit: the node and the index of the next
+// out-edge to examine.
+type frame struct {
+	n    *callgraph.Node
+	edge int
+}
+
+func (t *tarjan) strongConnect(root *callgraph.Node) {
+	work := []frame{{n: root}}
+	t.visit(root)
+	for len(work) > 0 {
+		f := &work[len(work)-1]
+		n := f.n
+		advanced := false
+		for f.edge < len(n.Out) {
+			e := n.Out[f.edge]
+			f.edge++
+			if t.follow != nil && !t.follow(e) {
+				continue
+			}
+			m := e.Callee
+			if _, visited := t.index[m]; !visited {
+				t.visit(m)
+				work = append(work, frame{n: m})
+				advanced = true
+				break
+			}
+			if t.onStack[m] {
+				if t.index[m] < t.lowlink[n] {
+					t.lowlink[n] = t.index[m]
+				}
+			}
+		}
+		if advanced {
+			continue
+		}
+		// n is finished: pop its component if it is a root, then fold
+		// its lowlink into its parent.
+		if t.lowlink[n] == t.index[n] {
+			var comp []*callgraph.Node
+			for {
+				m := t.stack[len(t.stack)-1]
+				t.stack = t.stack[:len(t.stack)-1]
+				t.onStack[m] = false
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			t.comps = append(t.comps, comp)
+		}
+		work = work[:len(work)-1]
+		if len(work) > 0 {
+			parent := work[len(work)-1].n
+			if t.lowlink[n] < t.lowlink[parent] {
+				t.lowlink[parent] = t.lowlink[n]
+			}
+		}
+	}
+}
+
+func (t *tarjan) visit(n *callgraph.Node) {
+	t.index[n] = t.counter
+	t.lowlink[n] = t.counter
+	t.counter++
+	t.stack = append(t.stack, n)
+	t.onStack[n] = true
+}

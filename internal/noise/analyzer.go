@@ -80,6 +80,8 @@ type cpuState struct {
 // event/byte budget in opts truncates the analysis to the trace's
 // prefix (the report is then marked Incomplete and Seconds covers the
 // consumed prefix only).
+//
+//noisevet:hotpath
 func Analyze(tr *trace.Trace, opts Options) *Report {
 	events, truncated := opts.Budget.truncate(tr.Events)
 	r := &Report{CPUs: tr.CPUs, Seconds: tr.DurationSeconds()}
@@ -263,20 +265,24 @@ func (r *Report) record(s Span, keep bool) {
 	r.Spans = append(r.Spans, s)
 }
 
-// noiseByCPU groups the report's noise spans per CPU and returns the
-// occupied CPU ids in ascending order.
-func (r *Report) noiseByCPU() (map[int32][]Span, []int32) {
-	byCPU := make(map[int32][]Span)
+// noiseByCPU groups the report's noise spans per CPU, indexed by CPU id
+// (span CPUs are validated against the CPU count at ingestion, so the
+// index is always in range), and returns the occupied CPU ids in
+// ascending order. The slice index replaces a map so the grouping is
+// iteration-order-free and allocation-light on the Analyze hot path.
+func (r *Report) noiseByCPU() ([][]Span, []int32) {
+	byCPU := make([][]Span, r.CPUs)
 	for _, s := range r.Spans {
 		if s.Noise {
 			byCPU[s.CPU] = append(byCPU[s.CPU], s)
 		}
 	}
 	cpuIDs := make([]int32, 0, len(byCPU))
-	for cpu := range byCPU {
-		cpuIDs = append(cpuIDs, cpu)
+	for cpu, spans := range byCPU {
+		if len(spans) > 0 {
+			cpuIDs = append(cpuIDs, int32(cpu))
+		}
 	}
-	sort.Slice(cpuIDs, func(i, j int) bool { return cpuIDs[i] < cpuIDs[j] })
 	return byCPU, cpuIDs
 }
 
@@ -292,7 +298,9 @@ func interruptionsForCPU(cpu int32, spans []Span, gap int64) []Interruption {
 		}
 		return spans[i].Start+spans[i].Wall > spans[j].Start+spans[j].Wall
 	})
-	var out []Interruption
+	// Worst case every span is its own interruption; the slice is copied
+	// into the report and discarded, so the over-cap is transient.
+	out := make([]Interruption, 0, len(spans))
 	var cur *Interruption
 	for _, s := range spans {
 		end := s.Start + s.Wall

@@ -85,6 +85,8 @@ type cpuWalker struct {
 
 // step feeds one entry or exit event through the walker. Events that
 // are neither are ignored (the partition phase never routes them here).
+//
+//noisevet:hotpath
 func (w *cpuWalker) step(ev trace.Event) {
 	switch {
 	case ev.ID.IsEntry():
@@ -347,6 +349,8 @@ func partition(ctx context.Context, events []trace.Event, opts Options, ncpu, wo
 // The scan workers check ctx once per scanned block and count progress
 // into prog.events; on cancellation every worker is still joined and
 // the context's error is returned.
+//
+//noisevet:hotpath
 func partitionRaw(ctx context.Context, rt *trace.RawTrace, opts Options, workers int, count uint64, prog *progress) (segs [][][]trace.Event, ctl ctlStream, dropped int, err error) {
 	ncpu := rt.CPUs()
 	nchunk := workers
@@ -468,6 +472,8 @@ func partitionRaw(ctx context.Context, rt *trace.RawTrace, opts Options, workers
 // which is exactly the CPU\'s global event order. Workers check ctx at
 // every CPU claim and every cancelStride steps within a CPU; finished
 // walkers are counted into prog.cpus.
+//
+//noisevet:hotpath
 func runWalkersSegs(ctx context.Context, segs [][][]trace.Event, ncpu int, attributeNesting bool, workers int, prog *progress) ([]cpuWalker, error) {
 	walkers := make([]cpuWalker, ncpu)
 	if workers > ncpu {
@@ -526,6 +532,8 @@ func runWalkersSegs(ctx context.Context, segs [][][]trace.Event, ncpu int, attri
 // at most `workers` goroutines. Workers check ctx at every CPU claim and
 // every cancelStride steps within a CPU; finished walkers are counted
 // into prog.cpus.
+//
+//noisevet:hotpath
 func runWalkers(ctx context.Context, perCPU [][]trace.Event, attributeNesting bool, workers int, prog *progress) ([]cpuWalker, error) {
 	walkers := make([]cpuWalker, len(perCPU))
 	if workers > len(perCPU) {

@@ -39,6 +39,8 @@ import (
 var ErrCancelled = errors.New("noise: analysis cancelled")
 
 // cancelErr builds the typed cancellation error for a done context.
+//
+//noisevet:coldpath
 func cancelErr(ctx context.Context) error {
 	return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
 }

@@ -18,6 +18,14 @@ import (
 // trace.ErrCancelled) or errors.Is(err, context.DeadlineExceeded).
 var ErrCancelled = errors.New("trace: read cancelled")
 
+// cancelled wraps a context error in the ErrCancelled family, outlined
+// so the parallel readers' hot bodies perform no formatting.
+//
+//noisevet:coldpath
+func cancelled(ctxErr error) error {
+	return fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
+}
+
 // headerSize is the fixed prefix of the LTTNOISE format: magic plus the
 // version/cpus/lost/count header, preceding the event section.
 const headerSize = 8 + 24
@@ -107,9 +115,15 @@ type Decoder struct {
 	count   uint64 // events promised by the header
 	read    uint64 // events decoded so far
 	sized   bool   // header count was validated against the input size
+	buf     []byte // reused batch-read staging buffer (Next)
 	procs   []ProcInfo
 	gotProc bool
 }
+
+// nextBatchEvents is how many wire records Next stages per bulk read:
+// 512 × EventSize = 20 KiB, small enough to live in L1/L2 yet large
+// enough that the bufio copy and call overhead amortise to noise.
+const nextBatchEvents = 512
 
 // NewDecoder reads the trace header from r and returns a streaming
 // decoder positioned at the first event. The header is fully validated
@@ -177,6 +191,12 @@ func (d *Decoder) Remaining() uint64 { return d.count - d.read }
 // filled. It returns io.EOF (with n == 0) once the event section is
 // exhausted; any other error means the stream is truncated (ErrCorrupt)
 // or failed to read.
+//
+// Records are staged through one bulk ReadFull per nextBatchEvents
+// rather than one per record: the per-event cost is a 40-byte decode,
+// not a reader call (ROADMAP item 3).
+//
+//noisevet:hotpath
 func (d *Decoder) Next(dst []Event) (int, error) {
 	if d.read >= d.count {
 		return 0, io.EOF
@@ -185,13 +205,31 @@ func (d *Decoder) Next(dst []Event) (int, error) {
 	if rem := d.count - d.read; n > rem {
 		n = rem
 	}
-	var rec [EventSize]byte
-	for i := uint64(0); i < n; i++ {
-		if _, err := io.ReadFull(d.br, rec[:]); err != nil {
-			off := int64(headerSize) + int64(d.read+i)*EventSize
-			return int(i), wrapRead(off, err, "trace: reading event %d of %d", d.read+i, d.count)
+	if d.buf == nil {
+		d.buf = make([]byte, nextBatchEvents*EventSize)
+	}
+	for filled := uint64(0); filled < n; {
+		b := n - filled
+		if b > nextBatchEvents {
+			b = nextBatchEvents
 		}
-		dst[i] = decodeEvent(&rec)
+		m, err := io.ReadFull(d.br, d.buf[:b*EventSize])
+		full := uint64(m) / EventSize
+		for j := uint64(0); j < full; j++ {
+			dst[filled+j] = DecodeEvent(d.buf[j*EventSize:])
+		}
+		if err != nil {
+			// Equivalent to the per-record loop: the failing record is
+			// the first incomplete one, and a stream ending exactly on a
+			// record boundary reads as io.EOF there, not UnexpectedEOF.
+			got := filled + full
+			if err == io.ErrUnexpectedEOF && uint64(m) == full*EventSize {
+				err = io.EOF
+			}
+			off := int64(headerSize) + int64(d.read+got)*EventSize
+			return int(got), wrapRead(off, err, "trace: reading event %d of %d", d.read+got, d.count)
+		}
+		filled += b
 	}
 	d.read += n
 	return int(n), nil
@@ -240,6 +278,8 @@ func (d *Decoder) Procs() ([]ProcInfo, error) {
 // hold at least EventSize bytes. Together with RawTrace.Scan and the
 // Peek accessors it lets an analyzer decode records lazily, skipping
 // the fields — or whole records — it does not need.
+//
+//noisevet:hotpath
 func DecodeEvent(b []byte) Event {
 	b = b[:EventSize]
 	return Event{
@@ -253,25 +293,19 @@ func DecodeEvent(b []byte) Event {
 }
 
 // PeekTS reads just the timestamp of the wire record at the head of b.
+//
+//noisevet:hotpath
 func PeekTS(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b[0:8])) }
 
 // PeekCPU reads just the CPU of the wire record at the head of b.
+//
+//noisevet:hotpath
 func PeekCPU(b []byte) int32 { return int32(binary.LittleEndian.Uint32(b[8:12])) }
 
 // PeekID reads just the event ID of the wire record at the head of b.
+//
+//noisevet:hotpath
 func PeekID(b []byte) ID { return ID(binary.LittleEndian.Uint16(b[12:14])) }
-
-// decodeEvent unpacks one wire record.
-func decodeEvent(rec *[EventSize]byte) Event {
-	return Event{
-		TS:   int64(binary.LittleEndian.Uint64(rec[0:])),
-		CPU:  int32(binary.LittleEndian.Uint32(rec[8:])),
-		ID:   ID(binary.LittleEndian.Uint16(rec[12:])),
-		Arg1: int64(binary.LittleEndian.Uint64(rec[16:])),
-		Arg2: int64(binary.LittleEndian.Uint64(rec[24:])),
-		Arg3: int64(binary.LittleEndian.Uint64(rec[32:])),
-	}
-}
 
 // RawTrace is random access to a fixed-format trace without decoding
 // it: the validated header plus the byte layout of the event section.
@@ -337,6 +371,8 @@ func (b BytesReaderAt) ReadAt(p []byte, off int64) (int, error) {
 // underlying reader supports concurrent ReadAt (files and bytes.Readers
 // do). A short read inside the validated event section reports
 // ErrCorrupt: the file shrank after OpenRaw measured it.
+//
+//noisevet:hotpath
 func (t *RawTrace) Scan(lo, hi uint64, fn func(start uint64, chunk []byte) error) error {
 	if hi > t.count {
 		hi = t.count
@@ -370,9 +406,11 @@ func (t *RawTrace) Scan(lo, hi uint64, fn func(start uint64, chunk []byte) error
 
 // Event decodes the single record at index i, which must be below
 // EventCount.
+//
+//noisevet:hotpath
 func (t *RawTrace) Event(i uint64) (Event, error) {
 	if i >= t.count {
-		return Event{}, fmt.Errorf("trace: event index %d out of range (%d events)", i, t.count)
+		return Event{}, errEventRange(i, t.count)
 	}
 	var rec [EventSize]byte
 	off := int64(headerSize) + int64(i)*EventSize
@@ -380,6 +418,14 @@ func (t *RawTrace) Event(i uint64) (Event, error) {
 		return Event{}, wrapRead(off, err, "trace: reading event %d of %d", i, t.count)
 	}
 	return DecodeEvent(rec[:]), nil
+}
+
+// errEventRange builds the out-of-range error for RawTrace.Event,
+// outlined so the accessor's hot body performs no formatting.
+//
+//noisevet:coldpath
+func errEventRange(i, count uint64) error {
+	return fmt.Errorf("trace: event index %d out of range (%d events)", i, count)
 }
 
 // Procs reads the process table that follows the event section;
@@ -405,6 +451,8 @@ func (t *RawTrace) Procs() ([]ProcInfo, error) {
 // Cancelling ctx stops the decode at the next read chunk: every worker
 // is joined before returning (no goroutine leaks) and the error wraps
 // both ErrCancelled and ctx.Err().
+//
+//noisevet:hotpath
 func ReadParallel(ctx context.Context, ra io.ReaderAt, size int64, workers int) (*Trace, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -448,7 +496,7 @@ func ReadParallel(ctx context.Context, ra io.ReaderAt, size int64, workers int) 
 	}
 	wg.Wait()
 	if ctxErr := ctx.Err(); ctxErr != nil {
-		return nil, fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
+		return nil, cancelled(ctxErr)
 	}
 	for _, err := range errs {
 		if err != nil {

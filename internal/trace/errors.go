@@ -99,11 +99,15 @@ func Offset(err error) int64 {
 
 // corruptf builds an ErrCorrupt-family error at byte offset off
 // (-1 = unknown) wrapping cause (nil = none).
+//
+//noisevet:coldpath
 func corruptf(off int64, cause error, format string, args ...any) error {
 	return &wireError{sentinel: ErrCorrupt, off: off, msg: fmt.Sprintf(format, args...), cause: cause}
 }
 
 // limitf builds an ErrLimit-family error.
+//
+//noisevet:coldpath
 func limitf(format string, args ...any) error {
 	return &wireError{sentinel: ErrLimit, off: -1, msg: fmt.Sprintf(format, args...)}
 }
@@ -114,6 +118,8 @@ func limitf(format string, args ...any) error {
 // the bytes themselves are impossible — also corruption. Anything else
 // is a genuine I/O failure and passes through untyped (wrapped, so the
 // parse context is kept).
+//
+//noisevet:coldpath
 func wrapRead(off int64, cause error, format string, args ...any) error {
 	msg := fmt.Sprintf(format, args...)
 	if errors.Is(cause, io.EOF) || errors.Is(cause, io.ErrUnexpectedEOF) ||

@@ -18,6 +18,31 @@ echo "== noisevet (internal/analysis suite)"
 # shows each analyzer ran, even when the tree is clean.
 go run ./cmd/noisevet -stats ./...
 
+echo "== noisevet timing budget"
+# The suite must stay cheap enough to run on every push: the full
+# 11-analyzer run over ./... (load + type-check + analyses) has to
+# finish inside the budget. -timing prints the per-analyzer split to
+# stderr so a regression is attributable from the CI log alone. The
+# binary is prebuilt so compile time is not billed to the suite.
+vetdir="$(mktemp -d)"
+go build -o "$vetdir/noisevet" ./cmd/noisevet
+budget_ms=30000
+start_ns="$(date +%s%N)"
+"$vetdir/noisevet" -timing ./...
+elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+rm -rf "$vetdir"
+echo "noisevet suite: ${elapsed_ms} ms (budget ${budget_ms} ms)"
+if [ "$elapsed_ms" -gt "$budget_ms" ]; then
+    echo "noisevet suite blew its ${budget_ms} ms budget (${elapsed_ms} ms)" >&2
+    exit 1
+fi
+
+echo "== escape-analysis baseline (//noisevet:hotpath files)"
+# One-sided gate: a NEW compiler-reported heap escape in a hot-path
+# file fails the run (the hotpath analyzer catches patterns; this
+# catches what only the compiler's escape analysis can see).
+scripts/escape_baseline.sh
+
 echo "== doc lint (noisevet doccomment analyzer)"
 # Redundant with the full suite above, but a dedicated step keeps the
 # failure mode legible: this one is "an exported identifier in the

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Escape-analysis regression gate for the hot-path packages.
+#
+# Rebuilds internal/noise and internal/trace with -gcflags=-m, keeps the
+# compiler's escape verdicts ("escapes to heap" / "moved to heap") for
+# the files that carry a //noisevet:hotpath annotation, normalises the
+# line:col positions away (position churn would make every unrelated
+# edit a baseline diff), and compares the result against
+# results/escape_baseline.txt.
+#
+#   scripts/escape_baseline.sh          # check: fail on NEW escape sites
+#   scripts/escape_baseline.sh -update  # rewrite the baseline
+#
+# The gate is one-sided on purpose: new escape sites in hot-path files
+# fail CI (someone re-introduced a per-event allocation the noisevet
+# hotpath analyzer cannot see, e.g. a compiler-decided spill); escape
+# sites that disappear only print a note, and the baseline is shrunk
+# with -update in the same commit that earned the improvement.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=results/escape_baseline.txt
+pkgs=(./internal/noise ./internal/trace)
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+
+# -a forces real compiles: a build-cache hit silently swallows the -m
+# diagnostics and the gate would pass vacuously.
+if ! raw="$(go build -a -gcflags=-m "${pkgs[@]}" 2>&1 >/dev/null)"; then
+    printf '%s\n' "$raw" >&2
+    echo "escape_baseline: go build failed" >&2
+    exit 1
+fi
+
+# Files under the gate: exactly those declaring a //noisevet:hotpath
+# root or reachable-by-annotation hot code in the built packages.
+hotfiles="$(grep -rl --include='*.go' '^//noisevet:hotpath$' \
+    internal/noise internal/trace | grep -v '/testdata/' | sort || true)"
+if [ -z "$hotfiles" ]; then
+    echo "escape_baseline: no //noisevet:hotpath files found; nothing to gate" >&2
+    exit 1
+fi
+filter="$(printf '%s\n' "$hotfiles" | paste -sd'|' - | sed 's/\./\\./g')"
+
+printf '%s\n' "$raw" \
+    | grep -E 'escapes to heap|moved to heap' \
+    | grep -E "^($filter):" \
+    | sed -E 's/^([^:]+):[0-9]+:[0-9]+:[[:space:]]*/\1: /' \
+    | sort -u >"$current"
+
+if [ "${1:-}" = "-update" ]; then
+    {
+        echo "# Escape-analysis baseline for //noisevet:hotpath files."
+        echo "# Regenerate with: scripts/escape_baseline.sh -update"
+        echo "# $(go version)"
+        cat "$current"
+    } >"$baseline"
+    echo "escape_baseline: wrote $(wc -l <"$current") site(s) to $baseline"
+    exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+    echo "escape_baseline: $baseline missing; run scripts/escape_baseline.sh -update" >&2
+    exit 1
+fi
+
+want="$(mktemp)"
+trap 'rm -f "$current" "$want"' EXIT
+grep -v '^#' "$baseline" | sort -u >"$want"
+
+removed="$(comm -23 "$want" "$current" || true)"
+if [ -n "$removed" ]; then
+    echo "escape_baseline: escape sites no longer present (shrink the baseline with -update):"
+    printf '  %s\n' "$removed"
+fi
+
+new="$(comm -13 "$want" "$current" || true)"
+if [ -n "$new" ]; then
+    echo "escape_baseline: NEW heap-escape sites in hot-path files:" >&2
+    printf '  %s\n' "$new" >&2
+    echo "escape_baseline: fix the allocation, or update $baseline deliberately with -update" >&2
+    exit 1
+fi
+
+echo "escape_baseline: OK ($(wc -l <"$current") site(s), no new escapes)"
