@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"osnoise/internal/analysis"
+)
+
+// benchEntry is one dated suite-timing record. The bench file is a
+// JSON array of these, appended to on every CI run so the suite's
+// cost over time is inspectable from the repository alone.
+type benchEntry struct {
+	Date      string             `json:"date"`
+	Analyzers int                `json:"analyzers"`
+	TotalMs   float64            `json:"total_ms"`
+	TimingsMs map[string]float64 `json:"timings_ms"`
+}
+
+// appendBenchEntry appends a dated entry built from timings to the
+// JSON array in path, creating the file when absent and extending —
+// never replacing — an existing history.
+func appendBenchEntry(path string, timings []analysis.Timing) error {
+	entry := benchEntry{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Analyzers: len(timings),
+		TimingsMs: make(map[string]float64, len(timings)),
+	}
+	for _, tm := range timings {
+		ms := float64(tm.Elapsed.Microseconds()) / 1000
+		entry.TimingsMs[tm.Analyzer] = ms
+		entry.TotalMs += ms
+	}
+
+	var history []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &history); err != nil {
+			return fmt.Errorf("%s: existing content is not a JSON array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	raw, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	history = append(history, raw)
+	out, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

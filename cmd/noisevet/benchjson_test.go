@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"osnoise/internal/analysis"
+)
+
+func TestAppendBenchEntryExtends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_noisevet.json")
+	timings := []analysis.Timing{
+		{Analyzer: "lockorder", Elapsed: 30 * time.Millisecond},
+		{Analyzer: "chanlive", Elapsed: 2 * time.Millisecond},
+	}
+
+	for run := 1; run <= 3; run++ {
+		if err := appendBenchEntry(path, timings); err != nil {
+			t.Fatalf("append run %d: %v", run, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		var history []benchEntry
+		if err := json.Unmarshal(data, &history); err != nil {
+			t.Fatalf("bench file is not a JSON array after run %d: %v", run, err)
+		}
+		if len(history) != run {
+			t.Fatalf("after run %d the history has %d entries; appends must extend, not replace", run, len(history))
+		}
+		last := history[len(history)-1]
+		if last.Analyzers != 2 || last.TimingsMs["lockorder"] != 30 || last.TotalMs != 32 {
+			t.Errorf("entry %d = %+v; want 2 analyzers, lockorder 30ms, total 32ms", run, last)
+		}
+		if _, err := time.Parse(time.RFC3339, last.Date); err != nil {
+			t.Errorf("entry date %q is not RFC3339: %v", last.Date, err)
+		}
+	}
+}
+
+func TestAppendBenchEntryRejectsNonArray(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_noisevet.json")
+	if err := os.WriteFile(path, []byte(`{"not":"an array"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendBenchEntry(path, nil); err == nil {
+		t.Fatal("appendBenchEntry overwrote a non-array file instead of erroring")
+	}
+}

@@ -2,12 +2,18 @@
 // (see internal/analysis and DESIGN.md §“Static invariants”): the
 // determinism, exhaustive, atomicfield, and timeunits analyzers that
 // mechanically enforce the invariants the deterministic-replay property
-// rests on, plus the CFG-based eventpair, lockbalance, and writecheck
-// analyzers that chase the same invariants along control-flow paths.
+// rests on, the CFG-based eventpair, lockbalance, and writecheck
+// analyzers that chase the same invariants along control-flow paths,
+// and the interprocedural module passes — hotpath, ctxflow, and the
+// concurrency layer (lockorder's acquisition-order graph and
+// //noisevet:lockrank hierarchy, chanlive's channel ownership and
+// liveness, locksets' write-write race check) — that walk the
+// repo-wide call graph.
 //
 // Usage:
 //
-//	noisevet [-list] [-json] [-stats] [-timing] [-only a,b] [-dir DIR] [package patterns]
+//	noisevet [-list] [-json] [-stats] [-timing] [-benchjson FILE]
+//	         [-only a,b] [-staleignore] [-dir DIR] [package patterns]
 //
 // With no patterns it checks ./... . Findings print one per line as
 // file:line:col: message (analyzer); -json instead emits a JSON array
@@ -15,9 +21,14 @@
 // documented in docs/ARCHITECTURE.md and locked by a golden test),
 // -stats appends a per-analyzer findings count to stderr (CI publishes
 // it next to the run log), and -timing appends per-analyzer wall time
-// so the suite's cost stays observable. The exit status is 1 if there
-// are findings, 2 on load errors, 0 when clean. A finding can be
-// acknowledged in source with a trailing or preceding
+// so the suite's cost stays observable; -benchjson additionally
+// appends the dated per-analyzer split to a JSON history file
+// (results/BENCH_noisevet.json in CI). -only runs a named subset and
+// rejects unknown names with the valid-analyzer table; -staleignore
+// also reports //noisevet:ignore and //noisevet:coldpath directives
+// that suppress nothing. The exit status is 1 if there are findings,
+// 2 on load errors, 0 when clean. A finding can be acknowledged in
+// source with a trailing or preceding
 // “//noisevet:ignore [analyzer,...]” comment.
 package main
 
@@ -37,27 +48,15 @@ func main() {
 	stats := flag.Bool("stats", false, "print a per-analyzer findings count to stderr")
 	timing := flag.Bool("timing", false, "print per-analyzer wall time to stderr")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: the full suite)")
+	staleIgnore := flag.Bool("staleignore", false, "report //noisevet:ignore and //noisevet:coldpath directives that suppress nothing")
+	benchJSON := flag.String("benchjson", "", "append a dated per-analyzer timing entry to this JSON file")
 	dir := flag.String("dir", ".", "directory to resolve package patterns from")
 	flag.Parse()
 
-	analyzers := noisevet.Analyzers()
-	if *only != "" {
-		keep := make(map[string]bool)
-		for _, name := range strings.Split(*only, ",") {
-			keep[strings.TrimSpace(name)] = true
-		}
-		var filtered []*analysis.Analyzer
-		for _, a := range analyzers {
-			if keep[a.Name] {
-				filtered = append(filtered, a)
-				delete(keep, a.Name)
-			}
-		}
-		for name := range keep {
-			fmt.Fprintf(os.Stderr, "noisevet: unknown analyzer %q in -only (use -list)\n", name)
-			os.Exit(2)
-		}
-		analyzers = filtered
+	analyzers, err := noisevet.Select(noisevet.Suite(noisevet.SuiteOptions{StaleIgnore: *staleIgnore}), *only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noisevet:", err)
+		os.Exit(2)
 	}
 	if *list {
 		for _, a := range analyzers {
@@ -75,7 +74,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "noisevet:", err)
 		os.Exit(2)
 	}
-	findings, timings, err := analysis.CheckTimed(fset, pkgs, analyzers)
+	findings, timings, err := analysis.CheckOpts(fset, pkgs, analyzers, analysis.Options{StaleIgnore: *staleIgnore})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noisevet:", err)
 		os.Exit(2)
@@ -98,6 +97,12 @@ func main() {
 	if *timing {
 		for _, tm := range timings {
 			fmt.Fprintf(os.Stderr, "noisevet: %-12s %8.1fms\n", tm.Analyzer, float64(tm.Elapsed.Microseconds())/1000)
+		}
+	}
+	if *benchJSON != "" {
+		if err := appendBenchEntry(*benchJSON, timings); err != nil {
+			fmt.Fprintln(os.Stderr, "noisevet: benchjson:", err)
+			os.Exit(2)
 		}
 	}
 	if *stats {

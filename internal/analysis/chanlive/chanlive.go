@@ -1,0 +1,744 @@
+// Package chanlive checks the lifecycle of channels created in the
+// measurement-critical packages: every send needs a reachable
+// receiver (and every receive a sender or a close), closes stay with
+// the function that created the channel, and no path sends on or
+// re-closes an already-closed channel.
+//
+// The analyzer tracks each `make(chan T)` site through the module:
+// local aliases, stores into slices/arrays/maps of channels, captures
+// by function literals, and arguments to statically resolved calls
+// (including interface dispatch to in-repo implementations and
+// goroutine spawns). A channel that flows somewhere the tracker
+// cannot follow — returned, stored in a struct or package variable,
+// passed to an external or dynamic call, sent over another channel —
+// escapes, and the analyzer stays silent about it rather than guess.
+//
+// For fully tracked channels it reports:
+//
+//   - sends with no receive anywhere the channel flows (each send
+//     eventually blocks, or the buffer fills and is never drained);
+//   - receives with neither a send nor a close anywhere (the receive
+//     blocks forever);
+//   - a send reachable after a close of the same channel on the
+//     creating function's CFG, including a goroutine spawned after
+//     the close whose body sends (send on closed channel panics);
+//   - a second close reachable after a first (double close panics);
+//   - a close outside the creating function and its literals
+//     (ownership convention: whoever makes the channel closes it).
+//
+// Collections are tracked at collection granularity: `chans[i] <- v`
+// and `for _, ch := range chans { close(ch) }` are operations on the
+// one tracker owning every element made into `chans`.
+package chanlive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/callgraph"
+	"osnoise/internal/analysis/cfg"
+	"osnoise/internal/analysis/concurrency"
+)
+
+// Config selects which packages' channel creation sites are checked.
+type Config struct {
+	// Packages lists package-path prefixes whose make(chan) sites the
+	// analyzer owns. Empty means every target package in the module.
+	Packages []string
+}
+
+// New returns the chanlive analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "chanlive",
+		Doc: "check channel lifecycle in measurement packages: reachable " +
+			"receivers for every send, creator-owned close, no send after " +
+			"close, no double close",
+		RunModule: func(pass *analysis.ModulePass) error {
+			return run(pass, cfg)
+		},
+	}
+}
+
+// binding names one value the tracker follows: either a channel
+// variable or a container (slice, array, map) whose elements are the
+// tracked channels.
+type binding struct {
+	obj  *types.Var
+	elem bool // obj holds the channels, not a channel
+}
+
+// opRef records one channel operation and the function it occurs in.
+type opRef struct {
+	node *callgraph.Node
+	pos  token.Pos
+}
+
+// tracker accumulates everything known about the channels made at one
+// make(chan) site.
+type tracker struct {
+	name    string // display name of the first binding
+	creator *callgraph.Node
+	makePos token.Pos
+	escaped bool
+
+	sends, recvs, closes []opRef
+	seenOp               map[token.Pos]bool
+}
+
+func (t *tracker) addOp(list *[]opRef, n *callgraph.Node, pos token.Pos) {
+	if t.seenOp[pos] {
+		return
+	}
+	t.seenOp[pos] = true
+	*list = append(*list, opRef{node: n, pos: pos})
+}
+
+// engine carries the per-run caches shared by all trackers.
+type engine struct {
+	pass    *analysis.ModulePass
+	graph   *callgraph.Graph
+	parents map[*callgraph.Node]map[ast.Node]ast.Node
+	cfgs    map[*callgraph.Node]*cfg.Graph
+}
+
+func run(pass *analysis.ModulePass, config Config) error {
+	info := concurrency.Of(pass.Module)
+	e := &engine{
+		pass:    pass,
+		graph:   info.Graph,
+		parents: make(map[*callgraph.Node]map[ast.Node]ast.Node),
+		cfgs:    make(map[*callgraph.Node]*cfg.Graph),
+	}
+
+	var trackers []*tracker
+	for _, n := range e.graph.Nodes {
+		if n.Pkg == nil || !n.Pkg.Target || n.Body() == nil {
+			continue
+		}
+		if !pkgSelected(config.Packages, n.Pkg.PkgPath) {
+			continue
+		}
+		for _, mk := range e.makeSites(n) {
+			trackers = append(trackers, e.trace(n, mk))
+		}
+	}
+
+	sort.Slice(trackers, func(i, j int) bool { return trackers[i].makePos < trackers[j].makePos })
+	for _, t := range trackers {
+		e.check(t)
+	}
+	return nil
+}
+
+func pkgSelected(prefixes []string, path string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// makeSites returns the make(chan T) calls lexically owned by n
+// (function literals are their own nodes and report their own makes).
+func (e *engine) makeSites(n *callgraph.Node) []*ast.CallExpr {
+	var sites []*ast.CallExpr
+	info := n.Pkg.Info
+	n.Walk(func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if _, isChan := info.TypeOf(call).(*types.Chan); isChan {
+			sites = append(sites, call)
+		}
+		return true
+	})
+	return sites
+}
+
+// workItem is one (function, binding) pair awaiting a scan.
+type workItem struct {
+	node *callgraph.Node
+	b    binding
+}
+
+// trace follows the channels made at mk from their creation site
+// through every flow the tracker understands, recording operations
+// and marking the tracker escaped at the first flow it cannot follow.
+func (e *engine) trace(creator *callgraph.Node, mk *ast.CallExpr) *tracker {
+	t := &tracker{
+		name:    "make(chan)",
+		creator: creator,
+		makePos: mk.Pos(),
+		seenOp:  make(map[token.Pos]bool),
+	}
+
+	var queue []workItem
+	visited := make(map[workItem]bool)
+	enqueue := func(n *callgraph.Node, b binding) {
+		if b.obj == nil {
+			return
+		}
+		if t.name == "make(chan)" {
+			t.name = b.obj.Name()
+		}
+		// A package-level binding is visible module-wide without any
+		// call-graph flow; that is beyond the tracker.
+		if b.obj.Parent() == b.obj.Pkg().Scope() {
+			t.escaped = true
+			return
+		}
+		w := workItem{node: n, b: b}
+		if !visited[w] {
+			visited[w] = true
+			queue = append(queue, w)
+		}
+	}
+
+	// The make call itself is the first appearance: its parent context
+	// establishes the initial binding (or an immediate escape).
+	e.classify(t, creator, mk, enqueue)
+
+	for len(queue) > 0 && !t.escaped {
+		w := queue[0]
+		queue = queue[1:]
+		e.scan(t, w.node, w.b, enqueue)
+		// Literals defined in this function capture its locals; they
+		// see the same binding objects.
+		for _, edge := range w.node.Out {
+			if edge.Callee.Parent == w.node && edge.Callee.Lit != nil {
+				child := workItem{node: edge.Callee, b: w.b}
+				if !visited[child] {
+					visited[child] = true
+					queue = append(queue, child)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// scan visits every appearance of b inside n and classifies it.
+func (e *engine) scan(t *tracker, n *callgraph.Node, b binding, enqueue func(*callgraph.Node, binding)) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	parents := e.parentsOf(n)
+	var idents []*ast.Ident
+	walkOwned(body, func(m ast.Node) {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj, ok := identVar(info, id); ok && obj == b.obj {
+				idents = append(idents, id)
+			}
+		}
+	})
+	for _, id := range idents {
+		if t.escaped {
+			return
+		}
+		e.classifyIdent(t, n, parents, id, b.elem, enqueue)
+	}
+}
+
+// identVar resolves an identifier to the variable it uses or defines.
+func identVar(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+// classifyIdent lifts an identifier appearance through parens and —
+// for container bindings — one index expression, then classifies the
+// resulting channel- or container-valued expression.
+func (e *engine) classifyIdent(t *tracker, n *callgraph.Node, parents map[ast.Node]ast.Node, id *ast.Ident, elem bool, enqueue func(*callgraph.Node, binding)) {
+	expr := ast.Expr(id)
+	for {
+		switch p := parents[expr].(type) {
+		case *ast.ParenExpr:
+			expr = p
+			continue
+		case *ast.IndexExpr:
+			if elem && p.X == expr {
+				expr, elem = p, false
+				continue
+			}
+		}
+		break
+	}
+	if elem {
+		e.classifyContainer(t, n, parents, expr, enqueue)
+		return
+	}
+	e.classify(t, n, expr, enqueue)
+}
+
+// classifyContainer handles an appearance of a container-of-channels
+// binding that was not indexed down to an element.
+func (e *engine) classifyContainer(t *tracker, n *callgraph.Node, parents map[ast.Node]ast.Node, expr ast.Expr, enqueue func(*callgraph.Node, binding)) {
+	info := n.Pkg.Info
+	switch p := parents[expr].(type) {
+	case *ast.RangeStmt:
+		if p.X != expr {
+			return // expr is the Key/Value being (re)bound: not a new flow
+		}
+		// Ranging a container of channels binds each element in turn.
+		if v, ok := p.Value.(*ast.Ident); ok && v.Name != "_" {
+			if obj, ok := identVar(info, v); ok {
+				enqueue(n, binding{obj: obj})
+				return
+			}
+		}
+		if p.Value == nil {
+			return // index-only range: no element flows out
+		}
+		t.escaped = true
+	case *ast.AssignStmt:
+		e.classifyAssign(t, n, p, expr, true, enqueue)
+	case *ast.ValueSpec:
+		e.classifyValueSpec(t, n, p, expr, true, enqueue)
+	case *ast.CallExpr:
+		e.classifyCallArg(t, n, p, expr, true, enqueue)
+	case *ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt:
+		// Comparisons and conditions (chans == nil) don't move the value.
+	default:
+		t.escaped = true
+	}
+}
+
+// classify handles a channel-valued expression appearance (including
+// the make call itself) by the statement or expression containing it.
+func (e *engine) classify(t *tracker, n *callgraph.Node, expr ast.Expr, enqueue func(*callgraph.Node, binding)) {
+	parents := e.parentsOf(n)
+	switch p := parents[expr].(type) {
+	case *ast.SendStmt:
+		if p.Chan == expr {
+			t.addOp(&t.sends, n, expr.Pos())
+			return
+		}
+		t.escaped = true // the channel itself is the value being sent
+	case *ast.UnaryExpr:
+		if p.Op == token.ARROW {
+			t.addOp(&t.recvs, n, expr.Pos())
+			return
+		}
+		t.escaped = true // &ch and friends
+	case *ast.RangeStmt:
+		if p.X == expr {
+			t.addOp(&t.recvs, n, expr.Pos())
+			return
+		}
+		// expr sits in Key/Value position: a rebind of an already
+		// tracked variable, not a new flow.
+	case *ast.CallExpr:
+		e.classifyCallArg(t, n, p, expr, false, enqueue)
+	case *ast.AssignStmt:
+		e.classifyAssign(t, n, p, expr, false, enqueue)
+	case *ast.ValueSpec:
+		e.classifyValueSpec(t, n, p, expr, false, enqueue)
+	case *ast.BinaryExpr, *ast.CaseClause, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt:
+		// Comparisons (ch == nil, case ch:) don't move the value.
+	case *ast.ExprStmt:
+		// A bare receive/send lives under UnaryExpr/SendStmt; anything
+		// else here is inert.
+	default:
+		t.escaped = true
+	}
+}
+
+// classifyCallArg resolves expr's role as a call argument: a builtin
+// channel operation, a statically resolved parameter flow, or an
+// escape into code the tracker cannot see.
+func (e *engine) classifyCallArg(t *tracker, n *callgraph.Node, call *ast.CallExpr, expr ast.Expr, elem bool, enqueue func(*callgraph.Node, binding)) {
+	if call.Fun == expr {
+		return // calling a channel is impossible; defensive
+	}
+	info := n.Pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "close":
+				if !elem {
+					t.addOp(&t.closes, n, call.Pos())
+					return
+				}
+			case "len", "cap":
+				return
+			}
+			t.escaped = true // append, copy, … lose track of elements
+			return
+		}
+	}
+
+	argIdx := -1
+	for i, a := range call.Args {
+		if a == expr {
+			argIdx = i
+			break
+		}
+	}
+	if argIdx < 0 {
+		t.escaped = true // inside a composite arg the tracker can't model
+		return
+	}
+	targets, known := e.graph.CalleesOf(call)
+	if !known || len(targets) == 0 {
+		t.escaped = true // external, dynamic, or unresolved callee
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		t.escaped = true
+		return
+	}
+	for _, callee := range targets {
+		param := calleeParam(callee, argIdx)
+		if param == nil || callee.Body() == nil {
+			t.escaped = true // variadic tail or bodyless callee
+			return
+		}
+		enqueue(callee, binding{obj: param, elem: elem})
+	}
+}
+
+// calleeParam returns the parameter variable at index i of the callee,
+// or nil when i lands in a variadic tail or out of range.
+func calleeParam(callee *callgraph.Node, i int) *types.Var {
+	var sig *types.Signature
+	switch {
+	case callee.Obj != nil:
+		sig = callee.Obj.Type().(*types.Signature)
+	case callee.Lit != nil:
+		s, ok := callee.Pkg.Info.TypeOf(callee.Lit).(*types.Signature)
+		if !ok {
+			return nil
+		}
+		sig = s
+	default:
+		return nil
+	}
+	params := sig.Params()
+	if i >= params.Len() || (sig.Variadic() && i >= params.Len()-1) {
+		return nil
+	}
+	return params.At(i)
+}
+
+func (e *engine) classifyAssign(t *tracker, n *callgraph.Node, p *ast.AssignStmt, expr ast.Expr, elem bool, enqueue func(*callgraph.Node, binding)) {
+	for i, r := range p.Rhs {
+		if r != expr {
+			continue
+		}
+		if len(p.Lhs) != len(p.Rhs) {
+			t.escaped = true
+			return
+		}
+		e.bindLHS(t, n, p.Lhs[i], elem, enqueue)
+		return
+	}
+	// expr on the LHS: an overwrite of an already tracked binding.
+}
+
+func (e *engine) classifyValueSpec(t *tracker, n *callgraph.Node, p *ast.ValueSpec, expr ast.Expr, elem bool, enqueue func(*callgraph.Node, binding)) {
+	for i, v := range p.Values {
+		if v != expr {
+			continue
+		}
+		if len(p.Names) != len(p.Values) {
+			t.escaped = true
+			return
+		}
+		e.bindLHS(t, n, p.Names[i], elem, enqueue)
+		return
+	}
+}
+
+// bindLHS classifies the destination of an assignment whose RHS is a
+// tracked value: a variable alias, a store into a container, or an
+// escape into a struct field or dereference.
+func (e *engine) bindLHS(t *tracker, n *callgraph.Node, lhs ast.Expr, elem bool, enqueue func(*callgraph.Node, binding)) {
+	info := n.Pkg.Info
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		if obj, ok := identVar(info, l); ok {
+			enqueue(n, binding{obj: obj, elem: elem})
+			return
+		}
+		t.escaped = true
+	case *ast.IndexExpr:
+		if elem {
+			t.escaped = true // container stored into a container: too deep
+			return
+		}
+		if base, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if obj, ok := identVar(info, base); ok {
+				enqueue(n, binding{obj: obj, elem: true})
+				return
+			}
+		}
+		t.escaped = true
+	default:
+		t.escaped = true // struct field, dereference, …
+	}
+}
+
+// --- checks -----------------------------------------------------------
+
+func (e *engine) check(t *tracker) {
+	if t.escaped {
+		return // the channel flows beyond the tracker; stay silent
+	}
+	pass := e.pass
+
+	if len(t.sends) > 0 && len(t.recvs) == 0 {
+		pass.Reportf(t.makePos,
+			"channel %s is sent on (%s) but never received from anywhere it flows; sends block forever once the buffer fills",
+			t.name, e.position(t.sends[0].pos))
+	}
+	if len(t.recvs) > 0 && len(t.sends) == 0 && len(t.closes) == 0 {
+		pass.Reportf(t.makePos,
+			"channel %s is received from (%s) but never sent on or closed; the receive blocks forever",
+			t.name, e.position(t.recvs[0].pos))
+	}
+
+	owners := ownerSet(t.creator)
+	for _, c := range t.closes {
+		if !owners[c.node] {
+			pass.Reportf(c.pos,
+				"close(%s) in %s, but the channel is created by %s; the creating function (or its literals) owns the close",
+				t.name, concurrency.FuncDisplay(c.node), concurrency.FuncDisplay(t.creator))
+		}
+		// A send textually later in the same function that remains
+		// reachable after the close.
+		for _, s := range t.sends {
+			if s.node == c.node && e.reachableAfter(c.node, c.pos, s.pos) {
+				pass.Reportf(s.pos,
+					"send on %s is reachable after its close at %s; send on a closed channel panics",
+					t.name, e.position(c.pos))
+			}
+		}
+		// A goroutine spawned after the close whose body sends.
+		for _, edge := range c.node.Out {
+			if edge.Kind != callgraph.KindGo {
+				continue
+			}
+			if !sendsOn(t, edge.Callee) || !e.reachableAfter(c.node, c.pos, edge.Pos) {
+				continue
+			}
+			pass.Reportf(edge.Pos,
+				"goroutine started after close(%s) at %s sends on it; send on a closed channel panics",
+				t.name, e.position(c.pos))
+		}
+	}
+
+	// Double close: two distinct close sites in one function with a CFG
+	// path from one to the other.
+	closes := append([]opRef(nil), t.closes...)
+	sort.Slice(closes, func(i, j int) bool { return closes[i].pos < closes[j].pos })
+	for i := 0; i < len(closes); i++ {
+		for j := i + 1; j < len(closes); j++ {
+			a, b := closes[i], closes[j]
+			if a.node != b.node {
+				continue
+			}
+			switch {
+			case e.reachableAfter(a.node, a.pos, b.pos):
+				pass.Reportf(b.pos,
+					"second close(%s) is reachable after the close at %s; closing a closed channel panics",
+					t.name, e.position(a.pos))
+			case e.reachableAfter(a.node, b.pos, a.pos):
+				pass.Reportf(a.pos,
+					"second close(%s) is reachable after the close at %s; closing a closed channel panics",
+					t.name, e.position(b.pos))
+			}
+		}
+	}
+}
+
+// sendsOn reports whether n (or a literal defined in it) holds one of
+// the tracker's send sites.
+func sendsOn(t *tracker, n *callgraph.Node) bool {
+	for _, s := range t.sends {
+		for m := s.node; m != nil; m = m.Parent {
+			if m == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ownerSet returns the creator and every literal lexically defined
+// under it: the functions allowed to close the channel.
+func ownerSet(creator *callgraph.Node) map[*callgraph.Node]bool {
+	owners := map[*callgraph.Node]bool{creator: true}
+	stack := []*callgraph.Node{creator}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, edge := range n.Out {
+			if edge.Callee.Parent == n && edge.Callee.Lit != nil && !owners[edge.Callee] {
+				owners[edge.Callee] = true
+				stack = append(stack, edge.Callee)
+			}
+		}
+	}
+	return owners
+}
+
+// --- CFG reachability -------------------------------------------------
+
+// reachableAfter reports whether execution can reach `to` after
+// executing `from` within n's body: same block and later statement, or
+// a successor-path to the block containing `to`.
+func (e *engine) reachableAfter(n *callgraph.Node, from, to token.Pos) bool {
+	g := e.cfgOf(n)
+	if g == nil {
+		return false
+	}
+	fb, fi := locate(g, from)
+	tb, ti := locate(g, to)
+	if fb == nil || tb == nil {
+		return false
+	}
+	if fb == tb && ti > fi {
+		return true
+	}
+	seen := make(map[*cfg.Block]bool)
+	stack := append([]*cfg.Block(nil), fb.Succs...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if b == tb {
+			return true
+		}
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// locate finds the block and statement index whose innermost span
+// contains pos.
+func locate(g *cfg.Graph, pos token.Pos) (*cfg.Block, int) {
+	var (
+		bestBlock *cfg.Block
+		bestIdx   int
+		bestSpan  = token.Pos(-1)
+	)
+	for _, b := range g.Blocks {
+		for i, nd := range b.Nodes {
+			if nd.Pos() <= pos && pos < nd.End() {
+				span := nd.End() - nd.Pos()
+				if bestSpan < 0 || span < bestSpan {
+					bestBlock, bestIdx, bestSpan = b, i, span
+				}
+			}
+		}
+	}
+	return bestBlock, bestIdx
+}
+
+func (e *engine) cfgOf(n *callgraph.Node) *cfg.Graph {
+	if g, ok := e.cfgs[n]; ok {
+		return g
+	}
+	var g *cfg.Graph
+	if body := n.Body(); body != nil {
+		g = cfg.New(body, nil)
+	}
+	e.cfgs[n] = g
+	return g
+}
+
+// --- helpers ----------------------------------------------------------
+
+func (e *engine) parentsOf(n *callgraph.Node) map[ast.Node]ast.Node {
+	if p, ok := e.parents[n]; ok {
+		return p
+	}
+	p := buildParents(n.Body())
+	e.parents[n] = p
+	return p
+}
+
+// buildParents maps every node lexically owned by root to its parent.
+// Function literal subtrees belong to their own call-graph nodes and
+// are not descended into (the literal itself is mapped, so a make
+// assigned from a literal-valued context still classifies).
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	if root == nil {
+		return parents
+	}
+	var stack []ast.Node
+	ast.Inspect(root, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[m] = stack[len(stack)-1]
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		stack = append(stack, m)
+		return true
+	})
+	return parents
+}
+
+// walkOwned visits the nodes lexically owned by root, skipping nested
+// function literals (they are separate call-graph nodes).
+func walkOwned(root ast.Node, f func(ast.Node)) {
+	ast.Inspect(root, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		f(m)
+		return true
+	})
+}
+
+func (e *engine) position(pos token.Pos) string {
+	p := e.pass.Module.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", trimPath(p.Filename), p.Line)
+}
+
+func trimPath(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,11 @@
+package chanlive
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+)
+
+func TestChanlive(t *testing.T) {
+	analysistest.RunModule(t, "testdata", New(Config{}), "cl")
+}

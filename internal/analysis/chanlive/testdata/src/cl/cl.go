@@ -1,0 +1,140 @@
+// Package cl exercises the chanlive tracker: the fan-out/join worker
+// pool it must stay silent on, each lifecycle violation it must
+// report, and the escapes that must silence it.
+package cl
+
+// pool mirrors the production stream fan-out: a slice of channels,
+// spawned receivers bound through call arguments, a sending closure,
+// and a closing closure. Fully tracked; no findings.
+func pool(n int) {
+	chans := make([]chan int, n)
+	for i := range chans {
+		chans[i] = make(chan int, 4)
+		go func(ch chan int) {
+			for range ch {
+			}
+		}(chans[i])
+	}
+	send := func(i, v int) { chans[i%n] <- v }
+	join := func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}
+	send(0, 1)
+	join()
+}
+
+// deferred closes on every exit path via defer; the send before the
+// function returns precedes the deferred close on the CFG, so no
+// send-after-close is reported.
+func deferred() {
+	ch := make(chan int, 1)
+	defer close(ch)
+	go func() { <-ch }()
+	ch <- 1
+}
+
+// aliased flows through a local copy; the receive is found through
+// the alias captured by the goroutine.
+func aliased() {
+	ch := make(chan int, 1)
+	dup := ch
+	go func() { <-dup }()
+	ch <- 1
+	close(ch)
+}
+
+// drainer dispatches the channel through an interface; the in-repo
+// implementation's receive keeps the channel live.
+type drainer interface{ drain(ch chan int) }
+
+type sink struct{}
+
+func (sink) drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func viaInterface(d drainer) {
+	ch := make(chan int, 2)
+	ch <- 1
+	d.drain(ch)
+	close(ch)
+}
+
+// done is the close-as-broadcast idiom: received from and closed,
+// never sent on. The close is the sender; no finding.
+func done() {
+	quit := make(chan struct{})
+	go func() { <-quit }()
+	close(quit)
+}
+
+func sendNoRecv() {
+	batches := make(chan int, 8) // want `channel batches is sent on .* but never received from anywhere it flows; sends block forever once the buffer fills`
+	for i := 0; i < 4; i++ {
+		batches <- i
+	}
+}
+
+func recvNoSend() {
+	acks := make(chan struct{}) // want `channel acks is received from .* but never sent on or closed; the receive blocks forever`
+	<-acks
+}
+
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	go func() { <-ch }()
+	close(ch)
+	ch <- 1 // want `send on ch is reachable after its close at .*; send on a closed channel panics`
+}
+
+func goAfterClose() {
+	ch := make(chan int, 1)
+	go func() { <-ch }()
+	close(ch)
+	go func() { ch <- 2 }() // want `goroutine started after close\(ch\) at .* sends on it; send on a closed channel panics`
+}
+
+func doubleClose(cond bool) {
+	ch := make(chan struct{})
+	go func() { <-ch }()
+	close(ch)
+	if cond {
+		close(ch) // want `second close\(ch\) is reachable after the close at .*; closing a closed channel panics`
+	}
+}
+
+// branchClose closes on exclusive branches: exactly one close runs,
+// no finding.
+func branchClose(cond bool) {
+	ch := make(chan struct{})
+	go func() { <-ch }()
+	if cond {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+
+func nonOwnerClose() {
+	ch := make(chan int)
+	go func() { <-ch }()
+	shutdown(ch)
+}
+
+func shutdown(ch chan int) {
+	close(ch) // want `close\(ch\) in cl\.shutdown, but the channel is created by cl\.nonOwnerClose; the creating function \(or its literals\) owns the close`
+}
+
+// holder absorbs a channel into a struct field: the tracker loses it
+// and stays silent even though nothing ever receives.
+type holder struct{ ch chan int }
+
+func escapes() *holder {
+	ch := make(chan int, 1)
+	h := &holder{ch: ch}
+	ch <- 1
+	return h
+}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"osnoise/internal/analysis/directive"
 )
 
 // Finding is one resolved diagnostic: a position, a message, and the
@@ -31,6 +33,23 @@ type Timing struct {
 	Elapsed  time.Duration
 }
 
+// Options tunes one Check run beyond the analyzer list.
+type Options struct {
+	// StaleIgnore adds a finding (analyzer "staleignore") for every
+	// //noisevet:ignore directive that suppressed nothing in this run:
+	// dead annotations rot fastest, and a stale ignore is one refactor
+	// away from silencing a real finding. Meaningful only when the full
+	// suite runs — a directive naming an analyzer excluded via -only
+	// legitimately suppresses nothing.
+	StaleIgnore bool
+}
+
+// StaleIgnoreAnalyzer is the analyzer name stale-directive findings are
+// reported under. It is a checker-level pseudo-analyzer: the findings
+// come from the suppression layer itself, not from any registered
+// Analyzer, and are not themselves suppressible.
+const StaleIgnoreAnalyzer = "staleignore"
+
 // Check runs every analyzer over every target package and returns the
 // surviving findings sorted by position. Findings on lines carrying a
 // //noisevet:ignore directive (on the same line or the line directly
@@ -41,23 +60,33 @@ func Check(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Findi
 }
 
 // CheckTimed is Check exposing per-analyzer wall time, in the
-// analyzers' registration order. Per-package analyzers run first,
-// package by package; module-level analyzers run once each over the
-// whole loaded module, sharing one Module (and therefore one cached
-// call graph).
+// analyzers' registration order.
 func CheckTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing, error) {
+	return CheckOpts(fset, pkgs, analyzers, Options{})
+}
+
+// CheckOpts is the full checker entry point: per-analyzer wall time in
+// the analyzers' registration order, plus Options. Per-package
+// analyzers run first, package by package; module-level analyzers run
+// once each over the whole loaded module, sharing one Module (and
+// therefore one cached call graph).
+func CheckOpts(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, opts Options) ([]Finding, []Timing, error) {
 	var findings []Finding
 	elapsed := make(map[string]time.Duration)
 
 	// Ignore directives for every target file: per-package passes and
-	// module passes share the same suppression rules.
-	ignored := make(map[string][]ignoreDirective)
+	// module passes share the same suppression rules. Directives are
+	// pointers so suppression hits mark the shared record.
+	ignored := make(map[string][]*ignoreDirective)
+	var allDirectives []*ignoreDirective
 	for _, pkg := range pkgs {
 		if !pkg.Target {
 			continue
 		}
 		for i, f := range pkg.Files {
-			ignored[pkg.GoFiles[i]] = ignoreDirectives(fset, f)
+			dirs := ignoreDirectives(fset, f)
+			ignored[pkg.GoFiles[i]] = dirs
+			allDirectives = append(allDirectives, dirs...)
 		}
 	}
 	report := func(name string) func(Diagnostic) {
@@ -107,6 +136,23 @@ func CheckTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]
 		elapsed[a.Name] += time.Since(start)
 	}
 
+	if opts.StaleIgnore {
+		for _, d := range allDirectives {
+			if d.hits > 0 {
+				continue
+			}
+			what := "any analyzer"
+			if len(d.analyzers) > 0 {
+				what = strings.Join(d.analyzers, ", ")
+			}
+			findings = append(findings, Finding{
+				Analyzer: StaleIgnoreAnalyzer,
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("stale //noisevet:ignore: suppresses no finding from %s; remove it", what),
+			})
+		}
+	}
+
 	timings := make([]Timing, 0, len(analyzers))
 	for _, a := range analyzers {
 		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: elapsed[a.Name]})
@@ -127,22 +173,26 @@ func CheckTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]
 	return findings, timings, nil
 }
 
-// ignoreDirective is one //noisevet:ignore comment: the line it sits
-// on, whether it trails code on that line, and the analyzer names it
-// lists (empty = all analyzers).
+// ignoreDirective is one //noisevet:ignore comment: where it sits,
+// whether it trails code on that line, the analyzer names it lists
+// (empty = all analyzers), and how many findings it suppressed in this
+// run (for stale detection).
 type ignoreDirective struct {
+	pos       token.Position
 	line      int
 	trailing  bool
 	analyzers []string
+	hits      int
 }
 
-const ignorePrefix = "//noisevet:ignore"
-
-// ignoreDirectives extracts the //noisevet:ignore directives of a file.
-// A directive trailing a statement suppresses matching findings on its
-// own line; a directive on a line of its own suppresses findings on the
-// line directly below it.
-func ignoreDirectives(fset *token.FileSet, f *ast.File) []ignoreDirective {
+// ignoreDirectives extracts the //noisevet:ignore directives of a file
+// via the shared directive parser. A directive trailing a statement
+// suppresses matching findings on its own line; a directive on a line
+// of its own suppresses findings on the line directly below it.
+// Malformed //noisevet: comments are the hotpath analyzer's findings,
+// not the checker's, so non-ignore and unparsable directives are
+// skipped here.
+func ignoreDirectives(fset *token.FileSet, f *ast.File) []*ignoreDirective {
 	codeLines := make(map[int]bool)
 	ast.Inspect(f, func(n ast.Node) bool {
 		if n == nil {
@@ -158,41 +208,41 @@ func ignoreDirectives(fset *token.FileSet, f *ast.File) []ignoreDirective {
 		codeLines[fset.Position(n.End()).Line] = true
 		return true
 	})
-	var out []ignoreDirective
+	var out []*ignoreDirective
 	for _, group := range f.Comments {
 		for _, c := range group.List {
-			if !strings.HasPrefix(c.Text, ignorePrefix) {
+			d, err := directive.Parse(c.Text)
+			if err != nil || d == nil || d.Name != directive.Ignore {
 				continue
 			}
-			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-			var names []string
-			if rest != "" {
-				for _, n := range strings.Split(rest, ",") {
-					if n = strings.TrimSpace(n); n != "" {
-						names = append(names, n)
-					}
-				}
-			}
-			line := fset.Position(c.Slash).Line
-			out = append(out, ignoreDirective{line: line, trailing: codeLines[line], analyzers: names})
+			pos := fset.Position(c.Slash)
+			out = append(out, &ignoreDirective{
+				pos:       pos,
+				line:      pos.Line,
+				trailing:  codeLines[pos.Line],
+				analyzers: d.Analyzers,
+			})
 		}
 	}
 	return out
 }
 
 // suppressed reports whether a finding from analyzer on line is covered
-// by one of the directives.
-func suppressed(dirs []ignoreDirective, analyzer string, line int) bool {
+// by one of the directives, counting a hit on the directive that covers
+// it.
+func suppressed(dirs []*ignoreDirective, analyzer string, line int) bool {
 	for _, d := range dirs {
 		covered := line == d.line || (!d.trailing && line == d.line+1)
 		if !covered {
 			continue
 		}
 		if len(d.analyzers) == 0 {
+			d.hits++
 			return true
 		}
 		for _, n := range d.analyzers {
 			if n == analyzer {
+				d.hits++
 				return true
 			}
 		}

@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-func parseForDirectives(t *testing.T, src string) (*token.FileSet, []ignoreDirective) {
+func parseForDirectives(t *testing.T, src string) (*token.FileSet, []*ignoreDirective) {
 	t.Helper()
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
@@ -100,6 +100,35 @@ func f() {
 		if got := suppressed(dirs, c.analyzer, c.line); got != c.want {
 			t.Errorf("suppressed(%q, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
 		}
+	}
+}
+
+// TestSuppressedCountsHits pins the stale-detection bookkeeping: a
+// directive that covers a finding records the hit, one that never
+// matches stays at zero.
+func TestSuppressedCountsHits(t *testing.T) {
+	src := `package x
+
+func f() {
+	_ = 1 //noisevet:ignore
+	_ = 2 //noisevet:ignore timeunits
+}
+`
+	_, dirs := parseForDirectives(t, src)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2", len(dirs))
+	}
+	if !suppressed(dirs, "anything", 4) {
+		t.Fatal("line 4 should be suppressed")
+	}
+	if suppressed(dirs, "determinism", 5) {
+		t.Fatal("line 5 lists only timeunits; determinism must stay reported")
+	}
+	if dirs[0].hits != 1 {
+		t.Errorf("bare directive hits = %d, want 1", dirs[0].hits)
+	}
+	if dirs[1].hits != 0 {
+		t.Errorf("unmatched directive hits = %d, want 0", dirs[1].hits)
 	}
 }
 

@@ -1,0 +1,388 @@
+// Package concurrency computes the shared substrate of the noisevet
+// concurrency analyzers (lockorder, chanlive, locksets): canonical lock
+// identities, per-function lock facts from a CFG dataflow, bottom-up
+// transitive-acquisition summaries over the call graph, top-down
+// entry-lockset context, and the module's goroutine-spawn inventory.
+//
+// The paper's measurement pipeline is trustworthy only if its own
+// synchronization is: a deadlock in the tracer stalls the workload it
+// observes, and a data race in the analyzer corrupts the statistics the
+// reproduction reports. Each concurrency analyzer needs the same three
+// ingredients — which lock is this expression (identity), which locks
+// are held here (dataflow), and what does this call acquire below
+// (interprocedural summary) — so they are computed once per checker run
+// and memoized on the Module, exactly like the call graph they build
+// on.
+//
+// Lock identity is field-based: every acquisition of trace.Session's
+// procMu is the same Class no matter which Session instance or receiver
+// variable the source spells, which is the standard abstraction of
+// Eraser-style static lock analysis and exact for the field-guard idiom
+// this repository uses. An element of a mutex slice collapses to the
+// slice object. sync.Once participates as a lock class of its own:
+// once.Do(f) acquires the class, runs f with it held, and releases it.
+package concurrency
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/callgraph"
+)
+
+// Class is one canonical lock identity: a sync.Mutex/RWMutex/Once
+// field, package-level variable, or local variable. Classes are
+// interned per Info, so pointer equality is identity.
+type Class struct {
+	// Obj is the canonical object: the field variable for field
+	// guards (shared by every instance), the package-level or local
+	// variable otherwise, the collection variable for an indexed
+	// element.
+	Obj types.Object
+	// Name is the stable display name: "trace.Session.procMu" for
+	// fields, "trace.ringMu" for package vars, "mu" for locals.
+	Name string
+	// RW marks a sync.RWMutex (read acquisitions possible).
+	RW bool
+	// Once marks a sync.Once modeled as a lock around its Do callback.
+	Once bool
+}
+
+// HeldLock is one lock known held at a program point: the class, the
+// mode it is held in, and the position of the acquisition that put it
+// there (the witness spelled out in findings).
+type HeldLock struct {
+	Class *Class
+	// Read marks the hold as read-side (RLock); a write hold excludes
+	// writers and readers both.
+	Read bool
+	// Pos is a representative acquisition site.
+	Pos token.Pos
+}
+
+// AcquireSite is one lock acquisition with its must-held context: the
+// locks this goroutine already holds when it acquires Class. The
+// lock-order graph is exactly the union of Held×{Class} over all
+// acquire sites plus the interprocedural closure through calls.
+type AcquireSite struct {
+	Class *Class
+	Read  bool
+	Pos   token.Pos
+	// Held is the must-held set immediately before this acquisition,
+	// deterministic order (by class name).
+	Held []HeldLock
+}
+
+// CallSite is one call that can transfer control to an in-repo body,
+// with the must-held set at the call. Go marks a goroutine spawn: the
+// spawned body starts with an empty lockset, so spawns contribute no
+// lock-order edges and break must-held propagation.
+type CallSite struct {
+	Pos     token.Pos
+	Callees []*callgraph.Node
+	Held    []HeldLock
+	Go      bool
+}
+
+// SpawnSite is one `go` statement resolved to an in-repo body: the
+// goroutine root inventory locksets and chanlive quantify over.
+type SpawnSite struct {
+	// Caller is the spawning function, Callee the spawned body (a
+	// declared function, method, or the go statement's literal).
+	Caller *callgraph.Node
+	Callee *callgraph.Node
+	Pos    token.Pos
+	// InLoop marks a spawn site inside a for/range body: one site,
+	// many concurrent instances of the same body.
+	InLoop bool
+	// Partitioned holds the callee parameters that receive an element
+	// of an indexed collection at this spawn site (`go worker(&s[i])`):
+	// writes through such a parameter are per-instance by construction
+	// and exempt from lockset intersection.
+	Partitioned map[*types.Var]bool
+}
+
+// FuncInfo is the per-function concurrency summary of one call-graph
+// node.
+type FuncInfo struct {
+	Node *callgraph.Node
+	// Acquires lists every lock acquisition in the body with its
+	// must-held context, in source order.
+	Acquires []AcquireSite
+	// Calls lists every call site with in-repo callees (including
+	// sync.Once.Do callbacks) and the must-held set at the call.
+	Calls []CallSite
+	// ExitHeld is the must-held set at function exit: locks acquired
+	// here and handed to the caller still held (a lock() helper).
+	ExitHeld []HeldLock
+	// heldAt records the must-held set before selected statements for
+	// the analyzers' access-site queries, keyed by position.
+	heldAt map[token.Pos][]HeldLock
+	// claimedRefs marks function-value expression positions consumed
+	// by a sync.Once.Do call site, so the raw Closure/Ref edge they
+	// also produced is not double-counted as an unknown caller.
+	claimedRefs map[token.Pos]bool
+}
+
+// HeldAt returns the must-held set recorded immediately before the
+// given position (an access site previously registered by the walk),
+// or nil when the position was not an interesting point.
+func (fi *FuncInfo) HeldAt(pos token.Pos) []HeldLock { return fi.heldAt[pos] }
+
+// Info is the module-wide concurrency substrate, memoized on the
+// Module under "concurrency" so the three analyzers of one checker run
+// share it.
+type Info struct {
+	Graph *callgraph.Graph
+	// Funcs holds the per-node summaries; nodes without a body
+	// (<init>) map to an empty FuncInfo.
+	Funcs map[*callgraph.Node]*FuncInfo
+	// Spawns is every resolved `go` statement in target packages, in
+	// graph (package/file/source) order.
+	Spawns []*SpawnSite
+
+	classes map[types.Object]*Class
+	// trans maps node → class → witness of the shallowest acquisition
+	// of that class reachable from the node through synchronous calls.
+	trans map[*callgraph.Node]map[*Class]Witness
+	// entry maps node → the locks provably held on every synchronous
+	// path reaching it (nil = no synchronous callers / unknown).
+	entry map[*callgraph.Node]map[*Class]HeldLock
+}
+
+// Witness explains how a node comes to acquire a class: a local
+// acquisition at Pos (Via == nil), or a call at Pos into Via which
+// acquires it further down. Chasing Via reconstructs the full path.
+type Witness struct {
+	Pos  token.Pos
+	Read bool
+	Via  *callgraph.Node
+}
+
+// cacheKey is the Module.Cache slot the substrate lives under.
+const cacheKey = "concurrency"
+
+// Of returns the module's concurrency substrate, building it on first
+// use.
+func Of(m *analysis.Module) *Info {
+	return m.Cache(cacheKey, func() interface{} { return Compute(m) }).(*Info)
+}
+
+// Compute builds the substrate: call graph, per-function lock facts,
+// interprocedural closures, and the spawn inventory.
+func Compute(m *analysis.Module) *Info {
+	info := &Info{
+		Graph:   callgraph.Of(m),
+		Funcs:   make(map[*callgraph.Node]*FuncInfo),
+		classes: make(map[types.Object]*Class),
+	}
+	// Callees-first over synchronous edges so a call to a lock()
+	// helper sees the helper's ExitHeld when its caller is summarized.
+	for _, comp := range sccOrder(info.Graph) {
+		for _, n := range comp {
+			info.Funcs[n] = info.analyzeNode(n)
+		}
+	}
+	// Spawns accumulate in SCC order; restore source order.
+	sort.Slice(info.Spawns, func(a, b int) bool { return info.Spawns[a].Pos < info.Spawns[b].Pos })
+	info.computeTrans()
+	info.computeEntry()
+	return info
+}
+
+// TransAcquires returns the classes node n (or anything it reaches
+// through synchronous calls) may acquire, with one witness each.
+func (i *Info) TransAcquires(n *callgraph.Node) map[*Class]Witness { return i.trans[n] }
+
+// EntryHeld returns the locks provably held whenever n is entered:
+// the intersection of the must-held sets at every synchronous call
+// site targeting n. Goroutine spawns, escaping references, and plain
+// closure definitions contribute the empty set.
+func (i *Info) EntryHeld(n *callgraph.Node) map[*Class]HeldLock { return i.entry[n] }
+
+// ClassOf resolves a lock-guard expression (the X of mu.Lock()'s
+// selector) to its canonical class, or nil when the expression does
+// not denote a trackable lock. pkg provides the type info of the
+// expression's package.
+func (i *Info) ClassOf(pkg *analysis.Package, expr ast.Expr) *Class {
+	tinfo := pkg.Info
+	e := ast.Unparen(expr)
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+			continue
+		case *ast.IndexExpr:
+			// locks[i].mu → the collection stands for all elements.
+			e = ast.Unparen(x.X)
+			continue
+		}
+		break
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, ok := tinfo.ObjectOf(x).(*types.Var)
+		if !ok {
+			return nil
+		}
+		return i.intern(v, identName(v))
+	case *ast.SelectorExpr:
+		obj := tinfo.ObjectOf(x.Sel)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return nil
+		}
+		if v.IsField() {
+			return i.intern(v, fieldName(tinfo, x, v))
+		}
+		// Qualified package-level var (pkg.mu).
+		return i.intern(v, identName(v))
+	}
+	return nil
+}
+
+// ClassByObj resolves an already-known variable (a lockrank-annotated
+// field or package var) to its class, interning with the given display
+// name on first sight.
+func (i *Info) ClassByObj(v *types.Var, name string) *Class { return i.intern(v, name) }
+
+// intern returns the canonical class of obj, creating it with the
+// display name and type flags on first sight.
+func (i *Info) intern(v *types.Var, name string) *Class {
+	if c, ok := i.classes[v]; ok {
+		return c
+	}
+	c := &Class{Obj: v, Name: name}
+	t := v.Type()
+	// Collections collapse to their element type for the RW/Once
+	// flags.
+	for {
+		switch tt := t.Underlying().(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Slice:
+			t = tt.Elem()
+			continue
+		case *types.Array:
+			t = tt.Elem()
+			continue
+		}
+		break
+	}
+	switch typeName(t) {
+	case "sync.RWMutex":
+		c.RW = true
+	case "sync.Once":
+		c.Once = true
+	}
+	i.classes[v] = c
+	return c
+}
+
+// identName renders a non-field lock variable: package-qualified for
+// package-level vars, bare for locals.
+func identName(v *types.Var) string {
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return shortPkg(v.Pkg().Path()) + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// fieldName renders a field guard as "pkg.Type.field", falling back to
+// the source spelling when the receiver type is unnamed.
+func fieldName(tinfo *types.Info, sel *ast.SelectorExpr, v *types.Var) string {
+	t := tinfo.TypeOf(sel.X)
+	for t != nil {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		pkg := ""
+		if obj.Pkg() != nil {
+			pkg = shortPkg(obj.Pkg().Path()) + "."
+		}
+		return pkg + obj.Name() + "." + v.Name()
+	}
+	return types.ExprString(sel)
+}
+
+// shortPkg keeps the last path element: "osnoise/internal/trace" →
+// "trace". Findings stay readable; ambiguity is acceptable in a
+// message.
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// typeName renders a named type as "pkg.Name" using the full package
+// path only for the sync match.
+func typeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// String renders a held set for findings: "trace.Session.procMu,
+// trace.ringMu (read)".
+func HeldString(held []HeldLock) string {
+	parts := make([]string, len(held))
+	for i, h := range held {
+		parts[i] = h.Class.Name
+		if h.Read {
+			parts[i] += " (read)"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// FuncDisplay renders a node name without the module prefix noise for
+// findings: "trace.Session.RegisterProcess".
+func FuncDisplay(n *callgraph.Node) string {
+	name := n.Name
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// PathString reconstructs the acquisition path a Witness encodes,
+// starting at n: "f → g → h". A nil Via means the acquisition is local
+// to the last node.
+func (i *Info) PathString(n *callgraph.Node, c *Class) string {
+	var steps []string
+	seen := make(map[*callgraph.Node]bool)
+	for n != nil && !seen[n] {
+		seen[n] = true
+		steps = append(steps, FuncDisplay(n))
+		w, ok := i.trans[n][c]
+		if !ok || w.Via == nil {
+			break
+		}
+		n = w.Via
+	}
+	return strings.Join(steps, " → ")
+}
+
+// Position renders a token position against the graph's fset.
+func (i *Info) Position(pos token.Pos) string {
+	p := i.Graph.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

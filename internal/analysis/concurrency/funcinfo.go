@@ -1,0 +1,419 @@
+package concurrency
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/callgraph"
+	"osnoise/internal/analysis/cfg"
+	"osnoise/internal/analysis/summary"
+)
+
+// factKey identifies one held lock in the dataflow fact: the class and
+// the mode (read/write) it is held in.
+type factKey struct {
+	c    *Class
+	read bool
+}
+
+// lockFact is the must-held lattice: class+mode → hold depth (> 0).
+// Absence means "not provably held"; the join intersects keys and
+// takes the minimum depth, so a fact entry survives only when every
+// path to the point holds the lock.
+type lockFact map[factKey]int8
+
+func cloneFact(f lockFact) lockFact {
+	out := make(lockFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// opEvent is one concurrency-relevant point hit during a block replay.
+type opEvent struct {
+	acquire bool // Lock/RLock (or once.Do entry)
+	release bool // Unlock/RUnlock
+	class   *Class
+	read    bool
+	pos     token.Pos
+
+	// call is set for call sites with in-repo callees, including the
+	// sync.Once.Do callback.
+	call     *ast.CallExpr
+	targets  []*callgraph.Node
+	spawned  bool      // the call is the operand of a go statement
+	claimPos token.Pos // once.Do's callback expression position
+}
+
+// analyzeNode runs the must-held dataflow over one function body and
+// extracts its acquire sites, call sites, spawn sites, and exit-held
+// set.
+func (i *Info) analyzeNode(n *callgraph.Node) *FuncInfo {
+	fi := &FuncInfo{
+		Node:        n,
+		heldAt:      make(map[token.Pos][]HeldLock),
+		claimedRefs: make(map[token.Pos]bool),
+	}
+	body := n.Body()
+	if body == nil {
+		return fi // <init> nodes: initializer expressions do not lock
+	}
+
+	// Pre-scan with the same traversal the replay uses: go-statement
+	// operands (their callees start with an empty lockset) and loop
+	// extents (a spawn inside a loop is one site, many goroutines).
+	goCalls := make(map[*ast.CallExpr]bool)
+	type span struct{ lo, hi token.Pos }
+	var loops []span
+	cfg.Walk(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			goCalls[m.Call] = true
+		case *ast.ForStmt:
+			if m.Body != nil {
+				loops = append(loops, span{m.Body.Pos(), m.Body.End()})
+			}
+		case *ast.RangeStmt:
+			if m.Body != nil {
+				loops = append(loops, span{m.Body.Pos(), m.Body.End()})
+			}
+		}
+		return true
+	})
+	inLoop := func(p token.Pos) bool {
+		for _, s := range loops {
+			if s.lo <= p && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	g := cfg.New(body, nil)
+	fl := &flow{info: i, fi: fi, goCalls: goCalls}
+	res := cfg.Forward(g, fl)
+
+	// Witness positions: the first acquisition of each key anywhere in
+	// the body, used when rendering held sets.
+	acqPos := make(map[factKey]token.Pos)
+
+	// Recording replay over every reachable block.
+	for _, blk := range g.Blocks {
+		in, ok := res.In[blk].(lockFact)
+		if !ok {
+			continue
+		}
+		fact := cloneFact(in)
+		for _, stmt := range blk.Nodes {
+			i.replay(fi, goCalls, fact, stmt, func(ev opEvent) {
+				switch {
+				case ev.acquire:
+					k := factKey{ev.class, ev.read}
+					if _, seen := acqPos[k]; !seen {
+						acqPos[k] = ev.pos
+					}
+					fi.Acquires = append(fi.Acquires, AcquireSite{
+						Class: ev.class,
+						Read:  ev.read,
+						Pos:   ev.pos,
+						Held:  heldList(fact, acqPos),
+					})
+				case ev.call != nil:
+					if ev.claimPos.IsValid() {
+						fi.claimedRefs[ev.claimPos] = true
+					}
+					fi.Calls = append(fi.Calls, CallSite{
+						Pos:     ev.pos,
+						Callees: ev.targets,
+						Held:    heldList(fact, acqPos),
+						Go:      ev.spawned,
+					})
+					if ev.spawned {
+						for _, callee := range ev.targets {
+							i.Spawns = append(i.Spawns, &SpawnSite{
+								Caller:      n,
+								Callee:      callee,
+								Pos:         ev.pos,
+								InLoop:      inLoop(ev.pos),
+								Partitioned: partitionedParams(n.Pkg, ev.call, callee),
+							})
+						}
+					}
+				}
+			})
+		}
+	}
+
+	if exit, ok := res.In[g.Exit].(lockFact); ok {
+		fi.ExitHeld = heldList(exit, acqPos)
+	}
+
+	// Block iteration order is CFG construction order, not source
+	// order; normalize for deterministic consumers.
+	sort.Slice(fi.Acquires, func(a, b int) bool { return fi.Acquires[a].Pos < fi.Acquires[b].Pos })
+	sort.Slice(fi.Calls, func(a, b int) bool { return fi.Calls[a].Pos < fi.Calls[b].Pos })
+	return fi
+}
+
+// replay walks one block AST node in source order, firing events and
+// applying their lock effects to fact. Snapshot points for HeldAt are
+// recorded on fi when record is non-nil (the recording pass).
+func (i *Info) replay(fi *FuncInfo, goCalls map[*ast.CallExpr]bool, fact lockFact, stmt ast.Node, record func(opEvent)) {
+	cfg.Walk(stmt, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt:
+			if record != nil {
+				fi.heldAt[m.Pos()] = heldListIfAbsent(fi, m.Pos(), fact)
+			}
+		case *ast.CallExpr:
+			if record != nil {
+				fi.heldAt[m.Pos()] = heldListIfAbsent(fi, m.Pos(), fact)
+			}
+			if ev, ok := i.syncOp(fi.Node.Pkg, m); ok {
+				if ev.class == nil {
+					return true // unclassifiable receiver: skip the op
+				}
+				if ev.class.Once {
+					// once.Do(f): acquire, run f with the class held,
+					// release. Net-zero on the fact; the callback call
+					// site carries the held class.
+					fire(record, opEvent{acquire: true, class: ev.class, pos: m.Pos()})
+					apply(fact, factKey{ev.class, false}, +1)
+					fire(record, opEvent{call: m, pos: m.Pos(), targets: ev.targets, claimPos: ev.claimPos})
+					apply(fact, factKey{ev.class, false}, -1)
+					return false // the callback expression is claimed
+				}
+				if ev.acquire {
+					fire(record, opEvent{acquire: true, class: ev.class, read: ev.read, pos: m.Pos()})
+					apply(fact, factKey{ev.class, ev.read}, +1)
+				} else {
+					fire(record, opEvent{release: true, class: ev.class, read: ev.read, pos: m.Pos()})
+					apply(fact, factKey{ev.class, ev.read}, -1)
+				}
+				return true
+			}
+			if targets, _ := i.Graph.CalleesOf(m); len(targets) > 0 {
+				spawned := goCalls[m]
+				fire(record, opEvent{call: m, pos: m.Pos(), targets: targets, spawned: spawned})
+				// A synchronous single-target call to a lock() helper
+				// leaves the helper's exit-held locks held here.
+				if !spawned && len(targets) == 1 {
+					if callee := i.Funcs[targets[0]]; callee != nil {
+						for _, h := range callee.ExitHeld {
+							apply(fact, factKey{h.Class, h.Read}, +1)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fire invokes the record callback when present (the recording pass);
+// the fixpoint pass passes nil and only wants the fact effects.
+func fire(record func(opEvent), ev opEvent) {
+	if record != nil {
+		record(ev)
+	}
+}
+
+// apply adjusts one fact entry by delta, deleting entries that reach
+// zero so facts stay canonical for the fixpoint's Equal.
+func apply(f lockFact, k factKey, delta int8) {
+	v := f[k] + delta
+	if v <= 0 {
+		delete(f, k)
+		return
+	}
+	f[k] = v
+}
+
+// syncOp classifies a call as a sync.Mutex/RWMutex/Once operation. ok
+// reports the call is one; ev.class may still be nil when the receiver
+// expression is not trackable.
+func (i *Info) syncOp(pkg *analysis.Package, call *ast.CallExpr) (ev opEvent, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return ev, false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ev, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		ev.acquire = true
+	case "RLock":
+		ev.acquire, ev.read = true, true
+	case "Unlock":
+		ev.release = true
+	case "RUnlock":
+		ev.release, ev.read = true, true
+	case "Do":
+		c := i.ClassOf(pkg, sel.X)
+		if c == nil || !c.Once {
+			return ev, false
+		}
+		ev.class = c
+		if len(call.Args) == 1 {
+			ev.targets, ev.claimPos = i.resolveFuncValue(pkg, call.Args[0])
+		}
+		return ev, true
+	default:
+		return ev, false // TryLock, RLocker, …: conditional or indirect
+	}
+	ev.class = i.ClassOf(pkg, sel.X)
+	return ev, true
+}
+
+// resolveFuncValue resolves a function-valued argument (a literal, a
+// named function, or a method value) to its call-graph node(s) and the
+// expression position to claim.
+func (i *Info) resolveFuncValue(pkg *analysis.Package, arg ast.Expr) ([]*callgraph.Node, token.Pos) {
+	e := ast.Unparen(arg)
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		if n := i.Graph.NodeOfLit(x); n != nil {
+			return []*callgraph.Node{n}, x.Pos()
+		}
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[x].(*types.Func); ok {
+			if n := i.Graph.NodeOf(fn); n != nil {
+				return []*callgraph.Node{n}, x.Pos()
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[x.Sel].(*types.Func); ok {
+			if n := i.Graph.NodeOf(fn); n != nil {
+				return []*callgraph.Node{n}, x.Sel.Pos()
+			}
+		}
+	}
+	return nil, token.NoPos
+}
+
+// heldList renders a fact as a deterministic HeldLock slice. acqPos
+// supplies witness positions when available.
+func heldList(f lockFact, acqPos map[factKey]token.Pos) []HeldLock {
+	if len(f) == 0 {
+		return nil
+	}
+	out := make([]HeldLock, 0, len(f))
+	for k := range f {
+		h := HeldLock{Class: k.c, Read: k.read}
+		if acqPos != nil {
+			h.Pos = acqPos[k]
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Class.Name != out[b].Class.Name {
+			return out[a].Class.Name < out[b].Class.Name
+		}
+		return !out[a].Read && out[b].Read
+	})
+	return out
+}
+
+// heldListIfAbsent keeps the first (earliest-replayed) snapshot for a
+// position: a statement can be revisited when a block replays.
+func heldListIfAbsent(fi *FuncInfo, pos token.Pos, fact lockFact) []HeldLock {
+	if prev, ok := fi.heldAt[pos]; ok {
+		return prev
+	}
+	return heldList(fact, nil)
+}
+
+// partitionedParams maps spawn-call arguments of the form coll[i] or
+// &coll[i] to the callee parameters receiving them.
+func partitionedParams(pkg *analysis.Package, call *ast.CallExpr, callee *callgraph.Node) map[*types.Var]bool {
+	var sig *types.Signature
+	switch {
+	case callee.Obj != nil:
+		sig, _ = callee.Obj.Type().(*types.Signature)
+	case callee.Lit != nil:
+		sig, _ = pkg.Info.TypeOf(callee.Lit).(*types.Signature)
+	}
+	if sig == nil {
+		return nil
+	}
+	var out map[*types.Var]bool
+	for idx, arg := range call.Args {
+		if idx >= sig.Params().Len() || (sig.Variadic() && idx >= sig.Params().Len()-1) {
+			break
+		}
+		a := ast.Unparen(arg)
+		if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			a = ast.Unparen(u.X)
+		}
+		if _, ok := a.(*ast.IndexExpr); ok {
+			if out == nil {
+				out = make(map[*types.Var]bool)
+			}
+			out[sig.Params().At(idx)] = true
+		}
+	}
+	return out
+}
+
+// flow is the must-held forward dataflow problem.
+type flow struct {
+	info    *Info
+	fi      *FuncInfo
+	goCalls map[*ast.CallExpr]bool
+}
+
+func (f *flow) Entry() cfg.Fact { return lockFact{} }
+
+func (f *flow) Join(a, b cfg.Fact) cfg.Fact {
+	am, bm := a.(lockFact), b.(lockFact)
+	out := make(lockFact)
+	for k, av := range am {
+		if bv, ok := bm[k]; ok {
+			if bv < av {
+				av = bv
+			}
+			out[k] = av
+		}
+	}
+	return out
+}
+
+func (f *flow) Equal(a, b cfg.Fact) bool {
+	am, bm := a.(lockFact), b.(lockFact)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		if w, ok := bm[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *flow) Transfer(blk *cfg.Block, in cfg.Fact) cfg.Fact {
+	fact := cloneFact(in.(lockFact))
+	for _, stmt := range blk.Nodes {
+		f.info.replay(f.fi, f.goCalls, fact, stmt, nil)
+	}
+	return fact
+}
+
+// sccOrder returns the call-graph components callees-first over
+// synchronous edges, the order analyzeNode needs so helper ExitHeld
+// sets exist before their callers are summarized.
+func sccOrder(g *callgraph.Graph) [][]*callgraph.Node {
+	return summary.SCCs(g, func(e *callgraph.Edge) bool {
+		switch e.Kind {
+		case callgraph.KindStatic, callgraph.KindDefer, callgraph.KindInterface:
+			return true
+		}
+		return false
+	})
+}

@@ -1,0 +1,165 @@
+package concurrency
+
+import (
+	"osnoise/internal/analysis/callgraph"
+)
+
+// computeTrans closes the per-function acquire sets over synchronous
+// call sites: trans[n] holds every class n may acquire while the
+// caller's goroutine is inside n, with one witness each. Goroutine
+// spawns are excluded — a lock acquired by a spawned body is acquired
+// by a different goroutine and orders nothing in this one.
+//
+// Propagation follows the precise CallSites (static, interface, defer,
+// immediately invoked literals, and sync.Once callbacks) rather than
+// raw graph edges, so a plain closure definition or an escaping
+// function reference does not smear its acquires into every function
+// that mentions it. A global fixpoint handles cycles the synchronous
+// SCC order cannot see (e.g. recursion through a Once callback); the
+// sets only grow over a finite universe, so it terminates.
+func (i *Info) computeTrans() {
+	i.trans = make(map[*callgraph.Node]map[*Class]Witness, len(i.Graph.Nodes))
+	for _, n := range i.Graph.Nodes {
+		m := make(map[*Class]Witness)
+		for _, a := range i.Funcs[n].Acquires {
+			if _, ok := m[a.Class]; !ok {
+				m[a.Class] = Witness{Pos: a.Pos, Read: a.Read}
+			}
+		}
+		i.trans[n] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range i.Graph.Nodes {
+			mine := i.trans[n]
+			for _, cs := range i.Funcs[n].Calls {
+				if cs.Go {
+					continue
+				}
+				for _, callee := range cs.Callees {
+					for c, w := range i.trans[callee] {
+						if _, ok := mine[c]; !ok {
+							mine[c] = Witness{Pos: cs.Pos, Read: w.Read, Via: callee}
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// computeEntry solves the top-down dual: entry[n] is the set of locks
+// held on every synchronous path into n — the context locksets adds to
+// a function's local must-held set at an access site. Contributions
+// intersect across call sites; a goroutine spawn, an escaping function
+// reference, or a plain closure definition contributes the empty set
+// (the body can run with nothing held), except references a
+// sync.Once.Do call site claimed, which carry the Once class instead.
+func (i *Info) computeEntry() {
+	i.entry = make(map[*callgraph.Node]map[*Class]HeldLock, len(i.Graph.Nodes))
+	known := make(map[*callgraph.Node]bool, len(i.Graph.Nodes))
+
+	// Call-site index: for each node, the (caller, site) pairs that
+	// can enter it synchronously.
+	type inSite struct {
+		caller *callgraph.Node
+		cs     *CallSite
+	}
+	sites := make(map[*callgraph.Node][]inSite)
+	empty := make(map[*callgraph.Node]bool) // nodes with a nothing-held entry path
+	for _, n := range i.Graph.Nodes {
+		fi := i.Funcs[n]
+		for idx := range fi.Calls {
+			cs := &fi.Calls[idx]
+			for _, callee := range cs.Callees {
+				if cs.Go {
+					empty[callee] = true
+					continue
+				}
+				sites[callee] = append(sites[callee], inSite{caller: n, cs: cs})
+			}
+		}
+		// Raw escape edges not represented as call sites.
+		for _, e := range n.Out {
+			switch e.Kind {
+			case callgraph.KindClosure, callgraph.KindRef:
+				if !fi.claimedRefs[e.Pos] {
+					empty[e.Callee] = true
+				}
+			case callgraph.KindGo:
+				empty[e.Callee] = true
+			}
+		}
+	}
+
+	intersect := func(dst map[*Class]HeldLock, src map[*Class]HeldLock) map[*Class]HeldLock {
+		out := make(map[*Class]HeldLock)
+		for c, h := range dst {
+			if s, ok := src[c]; ok {
+				// The weaker mode survives: a read hold on one path and
+				// a write hold on another only guarantees read.
+				if s.Read {
+					h.Read = true
+				}
+				out[c] = h
+			}
+		}
+		return out
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, n := range i.Graph.Nodes {
+			var acc map[*Class]HeldLock
+			decided := false
+			if empty[n] {
+				acc, decided = map[*Class]HeldLock{}, true
+			}
+			for _, s := range sites[n] {
+				contribution := make(map[*Class]HeldLock)
+				for _, h := range s.cs.Held {
+					contribution[h.Class] = h
+				}
+				// An unknown caller contributes only its local held set;
+				// entry sets start from that bottom and grow
+				// monotonically as caller contexts resolve, so the
+				// fixpoint terminates.
+				if known[s.caller] {
+					for c, h := range i.entry[s.caller] {
+						if _, ok := contribution[c]; !ok {
+							contribution[c] = h
+						}
+					}
+				}
+				if !decided {
+					acc, decided = contribution, true
+				} else {
+					acc = intersect(acc, contribution)
+				}
+			}
+			if !decided {
+				continue // no entries at all: stays unknown
+			}
+			if !known[n] || !heldMapEqual(i.entry[n], acc) {
+				i.entry[n] = acc
+				known[n] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// heldMapEqual compares two entry locksets by class and mode.
+func heldMapEqual(a, b map[*Class]HeldLock) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c, h := range a {
+		g, ok := b[c]
+		if !ok || g.Read != h.Read {
+			return false
+		}
+	}
+	return true
+}

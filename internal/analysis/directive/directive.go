@@ -1,0 +1,158 @@
+// Package directive parses the //noisevet: source-directive namespace
+// shared by the checker and the analyzers. One grammar in one place
+// keeps the directive surface honest: the suppression layer
+// (//noisevet:ignore), the hot-path annotations (//noisevet:hotpath,
+// //noisevet:coldpath), and the lock-hierarchy declarations
+// (//noisevet:lockrank) all round-trip through Parse, so a malformed
+// directive fails the same way everywhere and the fuzz target in this
+// package covers every consumer at once.
+//
+// Grammar, one directive per comment, no space after the // marker
+// (mirroring //go: directives):
+//
+//	//noisevet:ignore[ analyzer[,analyzer...]]
+//	//noisevet:hotpath
+//	//noisevet:coldpath
+//	//noisevet:lockrank <hierarchy> <level>
+//
+// ignore takes an optional comma-separated analyzer list (empty = all
+// analyzers). hotpath and coldpath take no arguments. lockrank takes a
+// hierarchy name ([A-Za-z][A-Za-z0-9_-]*, so hierarchies can be grepped
+// for) and a non-negative integer level; within one hierarchy locks
+// must be acquired in strictly increasing level order. A nested
+// "// remark" inside the comment is ignored, so a directive can carry
+// its rationale inline.
+package directive
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prefix introduces every noisevet source directive.
+const Prefix = "//noisevet:"
+
+// Directive names, in the order they joined the namespace.
+const (
+	// Ignore suppresses findings on the directive's line (trailing) or
+	// the line below (standalone); consumed by the checker.
+	Ignore = "ignore"
+	// Hotpath marks a function as an allocation-free hot-path root;
+	// consumed by the hotpath analyzer.
+	Hotpath = "hotpath"
+	// Coldpath stops hot-path propagation at the annotated function;
+	// consumed by the hotpath analyzer.
+	Coldpath = "coldpath"
+	// Lockrank declares a lock's position in a named hierarchy;
+	// consumed by the lockorder analyzer.
+	Lockrank = "lockrank"
+)
+
+// maxLevel bounds lockrank levels: a hierarchy deeper than this is a
+// typo, not a design.
+const maxLevel = 1 << 20
+
+// Directive is one parsed //noisevet: comment.
+type Directive struct {
+	// Name is the directive keyword: ignore, hotpath, coldpath, or
+	// lockrank.
+	Name string
+	// Args are the raw whitespace-separated arguments after the name.
+	Args []string
+	// Analyzers is the ignore directive's analyzer list (nil = suppress
+	// every analyzer).
+	Analyzers []string
+	// Hierarchy and Level are the lockrank directive's declared
+	// hierarchy name and rank level.
+	Hierarchy string
+	Level     int
+}
+
+// IsDirective reports whether the comment text is in the //noisevet:
+// namespace at all. Parse errors only apply to comments that are.
+func IsDirective(text string) bool { return strings.HasPrefix(text, Prefix) }
+
+// Parse parses one comment's text. It returns (nil, nil) when the
+// comment is not a //noisevet: directive, and a descriptive error when
+// it is one but is malformed — unknown name, wrong arity, or bad
+// lockrank arguments. Callers turn the error into a finding at the
+// comment's position.
+func Parse(text string) (*Directive, error) {
+	if !IsDirective(text) {
+		return nil, nil
+	}
+	rest := strings.TrimPrefix(text, Prefix)
+	// A nested "// prose" inside the comment is a trailing remark, not
+	// part of the directive — fixtures lean on this for // want
+	// expectations, and humans for rationale.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = strings.TrimRight(rest[:i], " \t")
+	}
+	name := rest
+	var argText string
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, argText = rest[:i], rest[i+1:]
+	}
+	d := &Directive{Name: name, Args: strings.Fields(argText)}
+	switch name {
+	case Ignore:
+		// Analyzer names arrive comma-separated, tolerating spaces
+		// around the commas ("a, b").
+		for _, field := range d.Args {
+			for _, part := range strings.Split(field, ",") {
+				if part = strings.TrimSpace(part); part != "" {
+					d.Analyzers = append(d.Analyzers, part)
+				}
+			}
+		}
+		return d, nil
+	case Hotpath, Coldpath:
+		if len(d.Args) != 0 {
+			return nil, fmt.Errorf("//noisevet:%s takes no arguments (got %q)", name, argText)
+		}
+		return d, nil
+	case Lockrank:
+		if len(d.Args) != 2 {
+			return nil, fmt.Errorf("//noisevet:lockrank wants <hierarchy> <level>, got %d argument(s)", len(d.Args))
+		}
+		if !validHierarchy(d.Args[0]) {
+			return nil, fmt.Errorf("//noisevet:lockrank hierarchy %q must match [A-Za-z][A-Za-z0-9_-]*", d.Args[0])
+		}
+		level, err := strconv.Atoi(d.Args[1])
+		if err != nil {
+			return nil, fmt.Errorf("//noisevet:lockrank level %q is not an integer", d.Args[1])
+		}
+		if level < 0 || level > maxLevel {
+			return nil, fmt.Errorf("//noisevet:lockrank level %d out of range [0, %d]", level, maxLevel)
+		}
+		d.Hierarchy, d.Level = d.Args[0], level
+		return d, nil
+	case "":
+		return nil, fmt.Errorf("//noisevet: directive missing a name (valid: %s)", ValidNames())
+	default:
+		return nil, fmt.Errorf("unknown directive //noisevet:%s (valid: %s)", name, ValidNames())
+	}
+}
+
+// ValidNames lists the recognized directive names for error messages.
+func ValidNames() string {
+	return strings.Join([]string{Ignore, Hotpath, Coldpath, Lockrank}, ", ")
+}
+
+// validHierarchy reports whether s is a legal hierarchy name:
+// [A-Za-z][A-Za-z0-9_-]*.
+func validHierarchy(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case i > 0 && (r >= '0' && r <= '9' || r == '_' || r == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}

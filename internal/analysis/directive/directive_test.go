@@ -1,0 +1,103 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		text string
+		want Directive
+	}{
+		{"//noisevet:ignore", Directive{Name: "ignore"}},
+		{"//noisevet:ignore lockbalance", Directive{Name: "ignore", Analyzers: []string{"lockbalance"}}},
+		{"//noisevet:ignore lockorder,locksets", Directive{Name: "ignore", Analyzers: []string{"lockorder", "locksets"}}},
+		{"//noisevet:ignore lockorder, locksets", Directive{Name: "ignore", Analyzers: []string{"lockorder", "locksets"}}},
+		{"//noisevet:hotpath", Directive{Name: "hotpath"}},
+		{"//noisevet:coldpath", Directive{Name: "coldpath"}},
+		{"//noisevet:lockrank trace 1", Directive{Name: "lockrank", Hierarchy: "trace", Level: 1}},
+		{"//noisevet:lockrank io-path 0", Directive{Name: "lockrank", Hierarchy: "io-path", Level: 0}},
+		{"//noisevet:lockrank a_b 42", Directive{Name: "lockrank", Hierarchy: "a_b", Level: 42}},
+		{"//noisevet:hotpath // trailing remark", Directive{Name: "hotpath"}},
+		{"//noisevet:lockrank trace 2 // session before ring", Directive{Name: "lockrank", Hierarchy: "trace", Level: 2}},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.text)
+		if err != nil {
+			t.Errorf("Parse(%q): unexpected error %v", c.text, err)
+			continue
+		}
+		if d == nil {
+			t.Errorf("Parse(%q) = nil, want directive", c.text)
+			continue
+		}
+		if d.Name != c.want.Name || d.Hierarchy != c.want.Hierarchy || d.Level != c.want.Level {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.text, d, c.want)
+		}
+		if len(d.Analyzers) != len(c.want.Analyzers) {
+			t.Errorf("Parse(%q).Analyzers = %v, want %v", c.text, d.Analyzers, c.want.Analyzers)
+			continue
+		}
+		for i := range d.Analyzers {
+			if d.Analyzers[i] != c.want.Analyzers[i] {
+				t.Errorf("Parse(%q).Analyzers = %v, want %v", c.text, d.Analyzers, c.want.Analyzers)
+			}
+		}
+	}
+}
+
+func TestParseNotADirective(t *testing.T) {
+	for _, text := range []string{
+		"// plain comment",
+		"//noisevet", // no colon: outside the namespace
+		"// noisevet:ignore",
+		"//go:build linux",
+		"/* noisevet:ignore */",
+	} {
+		d, err := Parse(text)
+		if d != nil || err != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", text, d, err)
+		}
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := []struct {
+		text    string
+		errPart string
+	}{
+		{"//noisevet:", "missing a name"},
+		{"//noisevet:hotpah", "unknown directive"},
+		{"//noisevet:hotpath extra", "takes no arguments"},
+		{"//noisevet:coldpath x y", "takes no arguments"},
+		{"//noisevet:lockrank", "wants <hierarchy> <level>"},
+		{"//noisevet:lockrank trace", "wants <hierarchy> <level>"},
+		{"//noisevet:lockrank trace 1 2", "wants <hierarchy> <level>"},
+		{"//noisevet:lockrank 1trace 2", "must match"},
+		{"//noisevet:lockrank tr@ce 2", "must match"},
+		{"//noisevet:lockrank trace one", "not an integer"},
+		{"//noisevet:lockrank trace -1", "out of range"},
+		{"//noisevet:lockrank trace 99999999999", "out of range"},
+		{"//noisevet:lockrank trace 9999999", "out of range"},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.text)
+		if err == nil {
+			t.Errorf("Parse(%q) = %+v, want error containing %q", c.text, d, c.errPart)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("Parse(%q) error = %q, want it to contain %q", c.text, err, c.errPart)
+		}
+	}
+}
+
+func TestValidNamesListsEveryDirective(t *testing.T) {
+	names := ValidNames()
+	for _, want := range []string{Ignore, Hotpath, Coldpath, Lockrank} {
+		if !strings.Contains(names, want) {
+			t.Errorf("ValidNames() = %q, missing %q", names, want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package directive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the directive grammar: whatever the comment text,
+// Parse must never panic, must return a directive or an error only for
+// text inside the //noisevet: namespace, and must keep the invariants
+// the consumers rely on (a parsed lockrank always carries a valid
+// hierarchy and an in-range level; a parsed ignore never returns empty
+// analyzer names).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := Parse(text)
+		if !strings.HasPrefix(text, Prefix) {
+			if d != nil || err != nil {
+				t.Fatalf("Parse(%q) = %v, %v outside the namespace; want nil, nil", text, d, err)
+			}
+			return
+		}
+		if (d == nil) == (err == nil) {
+			t.Fatalf("Parse(%q) = %v, %v; want exactly one of directive, error", text, d, err)
+		}
+		if d == nil {
+			return
+		}
+		switch d.Name {
+		case Ignore:
+			for _, a := range d.Analyzers {
+				if strings.TrimSpace(a) == "" {
+					t.Fatalf("Parse(%q): empty analyzer name in %v", text, d.Analyzers)
+				}
+			}
+		case Hotpath, Coldpath:
+			if len(d.Args) != 0 {
+				t.Fatalf("Parse(%q): %s accepted arguments %v", text, d.Name, d.Args)
+			}
+		case Lockrank:
+			if !validHierarchy(d.Hierarchy) {
+				t.Fatalf("Parse(%q): invalid hierarchy %q accepted", text, d.Hierarchy)
+			}
+			if d.Level < 0 || d.Level > maxLevel {
+				t.Fatalf("Parse(%q): out-of-range level %d accepted", text, d.Level)
+			}
+		default:
+			t.Fatalf("Parse(%q): unknown directive name %q accepted", text, d.Name)
+		}
+	})
+}
+
+// fuzzSeeds are the hostile and well-formed inputs FuzzParse starts
+// from; TestFuzzCorpus mirrors them into testdata/fuzz so the plain
+// test run replays them even without -fuzz.
+func fuzzSeeds() []string {
+	return []string{
+		"//noisevet:ignore",
+		"//noisevet:ignore lockbalance,lockorder",
+		"//noisevet:ignore ,,,",
+		"//noisevet:hotpath",
+		"//noisevet:coldpath",
+		"//noisevet:lockrank trace 1",
+		"//noisevet:lockrank io-path 0",
+		"//noisevet:lockrank trace -1",
+		"//noisevet:lockrank trace 999999999999999999999",
+		"//noisevet:lockrank \t trace \t 3",
+		"//noisevet:lockrank tr\x00ce 2",
+		"//noisevet:",
+		"//noisevet:hotpah",
+		"//noisevet:lockrank",
+		"// not a directive",
+		"//noisevet:ignore \xff\xfe",
+		"//noisevet:lockrank a 1048577",
+		"//noisevet:hotpath // trailing remark",
+		"//noisevet://",
+	}
+}
+
+// TestFuzzCorpus keeps the checked-in corpus under testdata/fuzz in
+// sync with fuzzSeeds, following the trace package's convention. Run
+// with OSNOISE_REGEN_CORPUS=1 to rewrite the files after changing the
+// seeds.
+func TestFuzzCorpus(t *testing.T) {
+	regen := os.Getenv("OSNOISE_REGEN_CORPUS") != ""
+	dir := filepath.Join("testdata", "fuzz", "FuzzParse")
+	for i, in := range fuzzSeeds() {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		want := fmt.Sprintf("go test fuzz v1\nstring(%q)\n", in)
+		if regen {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with OSNOISE_REGEN_CORPUS=1)", path, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s out of sync with fuzzSeeds (regenerate with OSNOISE_REGEN_CORPUS=1)", path)
+		}
+	}
+}

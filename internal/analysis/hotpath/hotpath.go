@@ -40,27 +40,25 @@ package hotpath
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
-	"strings"
 
 	"osnoise/internal/analysis"
 	"osnoise/internal/analysis/callgraph"
+	"osnoise/internal/analysis/directive"
 )
 
-// directivePrefix introduces every noisevet source directive.
-const directivePrefix = "//noisevet:"
-
-// validDirectives are the recognized names after the prefix. ignore is
-// consumed by the checker's suppression layer; hotpath and coldpath
-// belong to this analyzer.
-var validDirectives = map[string]bool{
-	"ignore":   true,
-	"hotpath":  true,
-	"coldpath": true,
+// Config tunes the hotpath analyzer.
+type Config struct {
+	// StaleColdpath reports //noisevet:coldpath directives whose barrier
+	// was never reached from any //noisevet:hotpath root: the exemption
+	// no longer exempts anything, so it should be removed before a
+	// refactor quietly routes a new hot path through it.
+	StaleColdpath bool
 }
 
 // New returns the hotpath analyzer.
-func New() *analysis.Analyzer {
+func New(cfg Config) *analysis.Analyzer {
 	a := &analysis.Analyzer{
 		Name: "hotpath",
 		Doc: "hotpath: no allocation or reflection reachable from //noisevet:hotpath roots\n\n" +
@@ -70,21 +68,41 @@ func New() *analysis.Analyzer {
 			"closure allocations inside it. //noisevet:coldpath stops propagation;\n" +
 			"malformed directives are themselves findings.",
 	}
-	a.RunModule = run
+	a.RunModule = func(pass *analysis.ModulePass) error { return run(pass, cfg) }
 	return a
 }
 
-func run(pass *analysis.ModulePass) error {
+// coldBarrier is one //noisevet:coldpath annotation: the barrier node
+// and the directive comment's position, for stale reporting.
+type coldBarrier struct {
+	node *callgraph.Node
+	pos  token.Pos
+}
+
+func run(pass *analysis.ModulePass, cfg Config) error {
 	g := callgraph.Of(pass.Module)
 
-	roots, cold := collectDirectives(pass, g)
+	roots, barriers := collectDirectives(pass, g)
+	cold := make(map[*callgraph.Node]bool, len(barriers))
+	for _, b := range barriers {
+		cold[b.node] = true
+	}
 
 	// Reachability from the hot roots, stopping at coldpath barriers:
 	// a coldpath function may allocate, and nothing below it counts.
+	// A barrier an edge actually lands on is doing its job; one no
+	// traversal touches is stale.
 	hot := make(map[*callgraph.Node]bool)
+	hit := make(map[*callgraph.Node]bool)
 	var stack []*callgraph.Node
 	for _, r := range roots {
-		if !hot[r] && !cold[r] {
+		if cold[r] {
+			// hotpath and coldpath on the same function: the coldpath
+			// wins (the root is inert) and is clearly not stale.
+			hit[r] = true
+			continue
+		}
+		if !hot[r] {
 			hot[r] = true
 			stack = append(stack, r)
 		}
@@ -94,7 +112,11 @@ func run(pass *analysis.ModulePass) error {
 		stack = stack[:len(stack)-1]
 		for _, e := range n.Out {
 			m := e.Callee
-			if !hot[m] && !cold[m] {
+			if cold[m] {
+				hit[m] = true
+				continue
+			}
+			if !hot[m] {
 				hot[m] = true
 				stack = append(stack, m)
 			}
@@ -108,14 +130,23 @@ func run(pass *analysis.ModulePass) error {
 			checkNode(pass, n)
 		}
 	}
+
+	if cfg.StaleColdpath {
+		for _, b := range barriers {
+			if !hit[b.node] {
+				pass.Reportf(b.pos, "stale //noisevet:coldpath: %s is not reached from any //noisevet:hotpath root; remove the directive", b.node.Name)
+			}
+		}
+	}
 	return nil
 }
 
 // collectDirectives scans every target file for //noisevet: comments,
 // reports malformed ones, and returns the hotpath roots and coldpath
-// barriers as graph nodes.
-func collectDirectives(pass *analysis.ModulePass, g *callgraph.Graph) (roots []*callgraph.Node, cold map[*callgraph.Node]bool) {
-	cold = make(map[*callgraph.Node]bool)
+// barriers as graph nodes. ignore belongs to the checker's suppression
+// layer and lockrank to the lockorder analyzer; both are validated here
+// (one grammar, one reporter) but otherwise skipped.
+func collectDirectives(pass *analysis.ModulePass, g *callgraph.Graph) (roots []*callgraph.Node, barriers []coldBarrier) {
 	for _, pkg := range pass.Module.Pkgs {
 		if !pkg.Target {
 			continue
@@ -135,45 +166,39 @@ func collectDirectives(pass *analysis.ModulePass, g *callgraph.Graph) (roots []*
 			}
 			for _, group := range file.Comments {
 				for _, c := range group.List {
-					if !strings.HasPrefix(c.Text, directivePrefix) {
+					d, err := directive.Parse(c.Text)
+					if err != nil {
+						pass.Reportf(c.Slash, "%v", err)
 						continue
 					}
-					name := strings.TrimPrefix(c.Text, directivePrefix)
-					if i := strings.IndexAny(name, " \t"); i >= 0 {
-						name = name[:i]
+					if d == nil || d.Name == directive.Ignore || d.Name == directive.Lockrank {
+						continue
 					}
-					switch {
-					case !validDirectives[name]:
-						pass.Reportf(c.Slash, "unknown directive //noisevet:%s (valid: ignore, hotpath, coldpath)", name)
-					case name == "ignore":
-						// The checker's suppression layer owns it.
-					default:
-						fd := funcDoc[c]
-						if fd == nil {
-							pass.Reportf(c.Slash, "//noisevet:%s must be part of a function declaration's doc comment", name)
-							continue
+					fd := funcDoc[c]
+					if fd == nil {
+						pass.Reportf(c.Slash, "//noisevet:%s must be part of a function declaration's doc comment", d.Name)
+						continue
+					}
+					if fd.Body == nil {
+						if d.Name == directive.Hotpath {
+							pass.Reportf(c.Slash, "//noisevet:hotpath on a function without a body; the analyzer cannot trace an opaque root")
 						}
-						if fd.Body == nil {
-							if name == "hotpath" {
-								pass.Reportf(c.Slash, "//noisevet:hotpath on a function without a body; the analyzer cannot trace an opaque root")
-							}
-							continue
-						}
-						node := nodeOfDecl(g, pkg, fd)
-						if node == nil {
-							continue
-						}
-						if name == "hotpath" {
-							roots = append(roots, node)
-						} else {
-							cold[node] = true
-						}
+						continue
+					}
+					node := nodeOfDecl(g, pkg, fd)
+					if node == nil {
+						continue
+					}
+					if d.Name == directive.Hotpath {
+						roots = append(roots, node)
+					} else {
+						barriers = append(barriers, coldBarrier{node: node, pos: c.Slash})
 					}
 				}
 			}
 		}
 	}
-	return roots, cold
+	return roots, barriers
 }
 
 // nodeOfDecl resolves a function declaration to its graph node.

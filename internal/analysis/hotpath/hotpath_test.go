@@ -7,5 +7,5 @@ import (
 )
 
 func TestFixtures(t *testing.T) {
-	analysistest.RunModule(t, "testdata", New(), "hot", "hot/impl")
+	analysistest.RunModule(t, "testdata", New(Config{}), "hot", "hot/impl")
 }

@@ -1,0 +1,447 @@
+// Package lockorder implements the noisevet analyzer that proves the
+// module's lock acquisitions acyclic — the static deadlock check.
+//
+// lockbalance (per-function) guarantees every Lock has its Unlock;
+// what it cannot see is two functions acquiring the same two mutexes
+// in opposite orders, the classic ABBA deadlock that only fires under
+// concurrent load — precisely the load the paper's measurement
+// pipeline is built to generate. This analyzer consumes the
+// concurrency substrate's interprocedural lock facts and checks three
+// properties module-wide:
+//
+//   - Acyclicity: the lock-acquisition-order graph (an edge A → B for
+//     every point where B is acquired with A held, including through
+//     synchronous calls, interface dispatch, defers, and sync.Once
+//     callbacks) must have no cycle. A cycle is reported once, with
+//     both acquisition paths spelled out.
+//   - Self-acquisition: calling into code that reacquires a mutex the
+//     caller already holds deadlocks immediately; so does upgrading an
+//     RWMutex read hold to a write hold on the same goroutine.
+//   - Declared ranks: a //noisevet:lockrank <hierarchy> <level>
+//     directive on a mutex field or package-level variable declares
+//     its position in a named hierarchy; within one hierarchy locks
+//     must be acquired in strictly increasing level order, so an
+//     inversion is a finding even before a reverse path exists to
+//     close the cycle.
+//
+// Misplaced lockrank directives (on anything but a sync.Mutex /
+// RWMutex / Once field or package variable) are findings: an
+// annotation that binds to nothing enforces nothing.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/concurrency"
+	"osnoise/internal/analysis/directive"
+)
+
+// Config scopes the analyzer; the zero value checks every target
+// package.
+type Config struct{}
+
+// New returns the lockorder analyzer.
+func New(Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "lockorder",
+		Doc: "lockorder: no lock-order cycles, self-reacquisition, or declared-rank inversions\n\n" +
+			"Builds the module-wide lock-acquisition-order graph from interprocedural\n" +
+			"lockset summaries and reports cycles (potential ABBA deadlocks) with both\n" +
+			"acquisition paths, read-to-write RWMutex upgrades, calls that reacquire a\n" +
+			"held mutex, and violations of //noisevet:lockrank declared hierarchies.",
+	}
+	a.RunModule = run
+	return a
+}
+
+// rank is one declared hierarchy position.
+type rank struct {
+	hierarchy string
+	level     int
+	pos       token.Pos
+}
+
+// orderEdge is one observed acquisition order with its witness: to was
+// acquired with from held, in node, locally (via == nil) or through a
+// call into via.
+type orderEdge struct {
+	from, to *concurrency.Class
+	node     *analysis.Package // reporting package (for Target gating)
+	owner    string            // function display name
+	fromPos  token.Pos         // where from was acquired (may be NoPos)
+	toPos    token.Pos         // the acquire or the call that leads to it
+	viaPath  string            // "g → h" when the acquisition is downstream
+}
+
+func run(pass *analysis.ModulePass) error {
+	info := concurrency.Of(pass.Module)
+	ranks := collectRanks(pass, info)
+
+	// The acquisition-order graph: first witness per (from, to) pair.
+	type key struct{ from, to *concurrency.Class }
+	edges := make(map[key]orderEdge)
+	addEdge := func(e orderEdge) {
+		k := key{e.from, e.to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = e
+		}
+	}
+
+	for _, n := range info.Graph.Nodes {
+		if n.Pkg == nil || !n.Pkg.Target {
+			continue
+		}
+		fi := info.Funcs[n]
+		owner := concurrency.FuncDisplay(n)
+
+		// Local acquisitions under held locks.
+		for _, a := range fi.Acquires {
+			for _, h := range a.Held {
+				if h.Class == a.Class {
+					if h.Read && !a.Read {
+						pass.Reportf(a.Pos, "%s: upgrading %s from RLock to Lock on the same goroutine deadlocks (read-to-write upgrade)",
+							owner, a.Class.Name)
+					}
+					continue
+				}
+				addEdge(orderEdge{
+					from: h.Class, to: a.Class, node: n.Pkg, owner: owner,
+					fromPos: h.Pos, toPos: a.Pos,
+				})
+			}
+		}
+
+		// Acquisitions reached through synchronous calls.
+		for _, cs := range fi.Calls {
+			if cs.Go || len(cs.Held) == 0 {
+				continue
+			}
+			for _, callee := range cs.Callees {
+				for c, w := range info.TransAcquires(callee) {
+					path := info.PathString(callee, c)
+					for _, h := range cs.Held {
+						if h.Class == c {
+							if h.Read && w.Read {
+								continue // nested read holds: reentrant by lattice convention
+							}
+							pass.Reportf(cs.Pos, "%s: call with %s held reacquires it via %s (acquired at %s): self-deadlock",
+								owner, c.Name, path, info.Position(w.Pos))
+							continue
+						}
+						addEdge(orderEdge{
+							from: h.Class, to: c, node: n.Pkg, owner: owner,
+							fromPos: h.Pos, toPos: cs.Pos, viaPath: path,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Deterministic edge order for rank checks and cycle reports.
+	ordered := make([]orderEdge, 0, len(edges))
+	for _, e := range edges {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].from.Name != ordered[b].from.Name {
+			return ordered[a].from.Name < ordered[b].from.Name
+		}
+		return ordered[a].to.Name < ordered[b].to.Name
+	})
+
+	// Declared-rank inversions: within one hierarchy, levels must
+	// strictly increase along every edge.
+	for _, e := range ordered {
+		rf, okF := ranks[e.from]
+		rt, okT := ranks[e.to]
+		if !okF || !okT || rf.hierarchy != rt.hierarchy {
+			continue
+		}
+		if rf.level >= rt.level {
+			pass.Reportf(e.toPos, "%s: acquires %s (hierarchy %s level %d) while holding %s (level %d); declared lock ranks require strictly increasing levels%s",
+				e.owner, e.to.Name, rt.hierarchy, rt.level, e.from.Name, rf.level, viaSuffix(e))
+		}
+	}
+
+	reportCycles(pass, info, ordered)
+	return nil
+}
+
+// viaSuffix renders the interprocedural hop of an edge witness.
+func viaSuffix(e orderEdge) string {
+	if e.viaPath == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (via %s)", e.viaPath)
+}
+
+// reportCycles finds strongly connected components of the order graph
+// and reports each once, at the lexically first witness, with every
+// edge of the cycle spelled out.
+func reportCycles(pass *analysis.ModulePass, info *concurrency.Info, edges []orderEdge) {
+	// Adjacency over classes.
+	adj := make(map[*concurrency.Class][]*concurrency.Class)
+	classes := make(map[*concurrency.Class]bool)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		classes[e.from], classes[e.to] = true, true
+	}
+	ordered := make([]*concurrency.Class, 0, len(classes))
+	for c := range classes {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].Name < ordered[b].Name })
+
+	// Iterative Tarjan over the class graph.
+	index := make(map[*concurrency.Class]int)
+	low := make(map[*concurrency.Class]int)
+	onStack := make(map[*concurrency.Class]bool)
+	var stack []*concurrency.Class
+	var comps [][]*concurrency.Class
+	next := 0
+	var strong func(c *concurrency.Class)
+	strong = func(c *concurrency.Class) {
+		index[c] = next
+		low[c] = next
+		next++
+		stack = append(stack, c)
+		onStack[c] = true
+		for _, d := range adj[c] {
+			if _, seen := index[d]; !seen {
+				strong(d)
+				if low[d] < low[c] {
+					low[c] = low[d]
+				}
+			} else if onStack[d] && index[d] < low[c] {
+				low[c] = index[d]
+			}
+		}
+		if low[c] == index[c] {
+			var comp []*concurrency.Class
+			for {
+				d := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[d] = false
+				comp = append(comp, d)
+				if d == c {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, c := range ordered {
+		if _, seen := index[c]; !seen {
+			strong(c)
+		}
+	}
+
+	for _, comp := range comps {
+		if len(comp) < 2 {
+			continue // self-reacquisition is reported separately
+		}
+		inComp := make(map[*concurrency.Class]bool, len(comp))
+		for _, c := range comp {
+			inComp[c] = true
+		}
+		// Every edge internal to the component participates in the
+		// deadlock; spell each out with its witness. The report anchors
+		// on the first edge in the (name-sorted) edge order, which is
+		// deterministic across runs and load orders.
+		var parts []string
+		reportAt := token.NoPos
+		for _, e := range edges {
+			if !inComp[e.from] || !inComp[e.to] {
+				continue
+			}
+			part := fmt.Sprintf("%s then %s in %s at %s%s",
+				e.from.Name, e.to.Name, e.owner, info.Position(e.toPos), viaSuffix(e))
+			parts = append(parts, part)
+			if !reportAt.IsValid() {
+				reportAt = e.toPos
+			}
+		}
+		names := make([]string, len(comp))
+		for i, c := range comp {
+			names[i] = c.Name
+		}
+		sort.Strings(names)
+		pass.Reportf(reportAt, "lock-order cycle among %s: %s; concurrent goroutines taking these paths deadlock",
+			join(names, ", "), join(parts, "; "))
+	}
+}
+
+// join concatenates with the given separator; findings stay one line.
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}
+
+// collectRanks scans every target file for //noisevet:lockrank
+// directives, binds each to the lock variable it documents, and
+// reports the ones that bind to nothing.
+func collectRanks(pass *analysis.ModulePass, info *concurrency.Info) map[*concurrency.Class]rank {
+	ranks := make(map[*concurrency.Class]rank)
+	for _, pkg := range pass.Module.Pkgs {
+		if !pkg.Target {
+			continue
+		}
+		for _, file := range pkg.Files {
+			// Attachment points: struct field docs/line comments and
+			// package-level var docs/line comments.
+			attach := make(map[*ast.Comment][]*ast.Ident)
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				switch gd.Tok {
+				case token.VAR:
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, grp := range []*ast.CommentGroup{gd.Doc, vs.Doc, vs.Comment} {
+							if grp == nil {
+								continue
+							}
+							for _, c := range grp.List {
+								attach[c] = vs.Names
+							}
+						}
+					}
+				case token.TYPE:
+					for _, spec := range gd.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						st, ok := ts.Type.(*ast.StructType)
+						if !ok || st.Fields == nil {
+							continue
+						}
+						for _, field := range st.Fields.List {
+							for _, grp := range []*ast.CommentGroup{field.Doc, field.Comment} {
+								if grp == nil {
+									continue
+								}
+								for _, c := range grp.List {
+									attach[c] = field.Names
+								}
+							}
+						}
+					}
+				}
+			}
+
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					d, err := directive.Parse(c.Text)
+					if err != nil || d == nil || d.Name != directive.Lockrank {
+						continue // grammar errors are hotpath's findings
+					}
+					names := attach[c]
+					bound := false
+					for _, id := range names {
+						v, ok := pkg.Info.Defs[id].(*types.Var)
+						if !ok || !isLockType(v.Type()) {
+							continue
+						}
+						bound = true
+						cls := info.ClassByObj(v, classDisplay(pkg, file, v, id))
+						if prev, dup := ranks[cls]; dup {
+							pass.Reportf(c.Slash, "duplicate //noisevet:lockrank for %s (first declared at %s)",
+								cls.Name, info.Position(prev.pos))
+							continue
+						}
+						ranks[cls] = rank{hierarchy: d.Hierarchy, level: d.Level, pos: c.Slash}
+					}
+					if !bound {
+						pass.Reportf(c.Slash, "//noisevet:lockrank must document a sync.Mutex, sync.RWMutex, or sync.Once field or package-level variable")
+					}
+				}
+			}
+		}
+	}
+	return ranks
+}
+
+// isLockType reports whether t (possibly behind pointers, slices, or
+// arrays) is one of the sync lock types the analyzer tracks.
+func isLockType(t types.Type) bool {
+	for {
+		switch tt := t.Underlying().(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Slice:
+			t = tt.Elem()
+			continue
+		case *types.Array:
+			t = tt.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex", "Once":
+		return true
+	}
+	return false
+}
+
+// classDisplay renders the canonical display name of an annotated lock
+// at its declaration: "pkg.Type.field" for fields, "pkg.var" at
+// package scope — matching what use sites intern.
+func classDisplay(pkg *analysis.Package, file *ast.File, v *types.Var, id *ast.Ident) string {
+	short := pkg.PkgPath
+	if i := lastSlash(short); i >= 0 {
+		short = short[i+1:]
+	}
+	if !v.IsField() {
+		return short + "." + v.Name()
+	}
+	// Find the enclosing type declaration of the field.
+	var owner string
+	ast.Inspect(file, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || owner != "" {
+			return owner == ""
+		}
+		if ts.Pos() <= id.Pos() && id.Pos() < ts.End() {
+			owner = ts.Name.Name
+			return false
+		}
+		return true
+	})
+	if owner == "" {
+		return short + "." + v.Name()
+	}
+	return short + "." + owner + "." + v.Name()
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.RunModule(t, "testdata", New(Config{}), "lo", "lo/remote", "lo/iface")
+}

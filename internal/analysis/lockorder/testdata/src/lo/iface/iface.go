@@ -1,0 +1,27 @@
+// Package iface provides the interface implementation the lo package
+// dispatches into while holding its own lock: the acquisition below
+// the interface call must still participate in the order graph
+// (regression for cross-package interface resolution).
+package iface
+
+import "sync"
+
+// Sink is the dispatch interface lo calls through.
+type Sink interface {
+	Flush()
+}
+
+// FileSink guards its buffer with mu, level 1 of the "sinkh"
+// hierarchy.
+type FileSink struct {
+	//noisevet:lockrank sinkh 1
+	mu  sync.Mutex
+	buf []byte
+}
+
+// Flush acquires mu below the interface dispatch.
+func (f *FileSink) Flush() {
+	f.mu.Lock()
+	f.buf = f.buf[:0]
+	f.mu.Unlock()
+}

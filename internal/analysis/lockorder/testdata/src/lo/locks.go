@@ -1,0 +1,21 @@
+// Package lo exercises the lockorder analyzer: declared rank
+// hierarchies, acquisition-order cycles, read-to-write upgrades,
+// sync.Once-guarded init, and interprocedural self-reacquisition.
+package lo
+
+import "sync"
+
+// Store is the guarded structure under test. Its two mutexes form the
+// "core" hierarchy: mu (level 1) before idx (level 2).
+type Store struct {
+	//noisevet:lockrank core 1
+	mu sync.Mutex
+	//noisevet:lockrank core 2
+	idx sync.Mutex
+
+	rw   sync.RWMutex
+	once sync.Once
+
+	data  map[string]int
+	count int
+}

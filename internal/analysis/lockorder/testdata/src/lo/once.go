@@ -1,0 +1,25 @@
+package lo
+
+// Init is sync.Once-guarded lazy initialization: the callback acquires
+// mu with the once "lock" held, which orders once before mu but closes
+// no cycle — no finding.
+func (s *Store) Init() {
+	s.once.Do(s.setup)
+}
+
+func (s *Store) setup() {
+	s.mu.Lock()
+	s.data = make(map[string]int)
+	s.mu.Unlock()
+}
+
+// InitInline is the literal-callback form of the same idiom.
+func (s *Store) InitInline() {
+	s.once.Do(func() {
+		s.mu.Lock()
+		if s.data == nil {
+			s.data = make(map[string]int)
+		}
+		s.mu.Unlock()
+	})
+}

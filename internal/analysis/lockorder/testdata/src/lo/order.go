@@ -1,0 +1,48 @@
+package lo
+
+import "lo/remote"
+
+// Good acquires in declared order: mu (level 1) then idx (level 2).
+// Together with Bad's inversion this closes a cycle, reported once at
+// the name-sorted first edge's witness (Bad's inversion below).
+func (s *Store) Good() {
+	s.mu.Lock()
+	s.idx.Lock()
+	s.count++
+	s.idx.Unlock()
+	s.mu.Unlock()
+}
+
+// Bad inverts the declared order: idx (level 2) held while acquiring
+// mu (level 1). The same witness anchors the cycle report.
+func (s *Store) Bad() {
+	s.idx.Lock()
+	s.mu.Lock() // want `acquires lo.Store.mu \(hierarchy core level 1\) while holding lo.Store.idx \(level 2\)` `lock-order cycle among lo.Store.idx, lo.Store.mu`
+	s.count--
+	s.mu.Unlock()
+	s.idx.Unlock()
+}
+
+// Outer reacquires mu through a helper while already holding it: an
+// immediate self-deadlock the per-function lockbalance check cannot
+// see.
+func (s *Store) Outer() {
+	s.mu.Lock()
+	s.helperLocks() // want `call with lo.Store.mu held reacquires it via lo.Store.helperLocks`
+	s.mu.Unlock()
+}
+
+func (s *Store) helperLocks() {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+}
+
+// Invert acquires the cross-package "xpkg" hierarchy out of order:
+// remote.B (level 2) held while a call into remote acquires remote.A
+// (level 1).
+func Invert() {
+	remote.B.Lock()
+	remote.TakeA() // want `acquires remote.A \(hierarchy xpkg level 1\) while holding remote.B \(level 2\)`
+	remote.B.Unlock()
+}

@@ -1,0 +1,30 @@
+// Package remote declares the cross-package "xpkg" lock hierarchy the
+// lo package inverts: acquisition order is checked module-wide, not
+// file by file.
+package remote
+
+import "sync"
+
+var (
+	// A is the first lock of the hierarchy.
+	//noisevet:lockrank xpkg 1
+	A sync.Mutex
+	// B is acquired after A.
+	//noisevet:lockrank xpkg 2
+	B sync.Mutex
+)
+
+// Forward acquires in declared order; with lo.Invert's reverse path it
+// is one side of the reported cycle.
+func Forward() {
+	A.Lock()
+	B.Lock() // want `lock-order cycle among remote.A, remote.B`
+	B.Unlock()
+	A.Unlock()
+}
+
+// TakeA is the entry point lo.Invert calls with B held.
+func TakeA() {
+	A.Lock()
+	A.Unlock()
+}

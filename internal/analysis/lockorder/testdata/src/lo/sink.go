@@ -1,0 +1,32 @@
+package lo
+
+import (
+	"sync"
+
+	"lo/iface"
+)
+
+// holder ranks its own mutex level 2 of the "sinkh" hierarchy: the
+// sink's internal lock (level 1) must never be acquired below it.
+type holder struct {
+	//noisevet:lockrank sinkh 2
+	mu   sync.Mutex
+	sink iface.Sink
+}
+
+// flushLocked dispatches through the interface with mu held; the
+// implementation acquires its level-1 lock underneath — an inversion
+// the analyzer must see through the interface call.
+func (h *holder) flushLocked() {
+	h.mu.Lock()
+	h.sink.Flush() // want `acquires iface.FileSink.mu \(hierarchy sinkh level 1\) while holding lo.holder.mu \(level 2\)`
+	h.mu.Unlock()
+}
+
+// flushUnlocked releases before dispatching: the correct pattern, no
+// finding.
+func (h *holder) flushUnlocked() {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.sink.Flush()
+}

@@ -1,0 +1,28 @@
+package lo
+
+// Upgrade promotes a read hold to a write hold on the same goroutine:
+// the writer waits for all readers, including itself.
+func (s *Store) Upgrade(key string) int {
+	s.rw.RLock()
+	v, ok := s.data[key]
+	if !ok {
+		s.rw.Lock() // want `upgrading lo.Store.rw from RLock to Lock on the same goroutine deadlocks`
+		s.data[key] = 0
+		s.rw.Unlock()
+	}
+	s.rw.RUnlock()
+	return v
+}
+
+// ReadThenWrite drops the read hold before writing: the correct
+// pattern, no finding.
+func (s *Store) ReadThenWrite(key string) {
+	s.rw.RLock()
+	_, ok := s.data[key]
+	s.rw.RUnlock()
+	if !ok {
+		s.rw.Lock()
+		s.data[key] = 0
+		s.rw.Unlock()
+	}
+}

@@ -1,0 +1,460 @@
+// Package locksets is an Eraser-style static race check over the
+// module's spawned goroutines: a shared location written by two
+// distinct goroutine roots (or by every instance of one goroutine
+// spawned in a loop) must have a non-empty intersection of
+// write-mode locksets across all its writes.
+//
+// "Shared location" is deliberately narrow so the check stays
+// precise without alias analysis:
+//
+//   - a package-level variable, written directly or through a field
+//     selector rooted at it;
+//   - a local variable of a spawning function captured by a
+//     goroutine literal (the classic `go func() { total++ }()`
+//     race), or a field reached through such a capture.
+//
+// Writes whose base is a parameter or receiver are exempt — their
+// provenance is unknown, and the repo's worker pools deliberately
+// pass each goroutine a disjoint slice element (the partitioned-spawn
+// idiom detected by the concurrency layer). Writes through an index
+// or dereference are exempt for the same reason: element writes
+// partitioned by index are the design the measurement pipeline uses.
+//
+// Only code reachable from a `go` statement participates: writes on
+// the spawning side before the goroutines start are ordered by the
+// spawn's happens-before edge and are not races.
+//
+// The lockset of a write is the must-held set at the statement
+// (local acquisitions plus the context every caller provides, from
+// the concurrency layer's entry-context fixpoint), restricted to
+// write-mode holds — an RLock does not serialize two writers.
+// sync.Once counts: two writes in the same Once callback never run
+// concurrently. Fields of sync/atomic types never appear here at
+// all, because atomic updates are method calls, not assignments.
+package locksets
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"osnoise/internal/analysis"
+	"osnoise/internal/analysis/callgraph"
+	"osnoise/internal/analysis/concurrency"
+)
+
+// Config is reserved for future knobs (kept for symmetry with the
+// other module analyzers).
+type Config struct{}
+
+// New returns the locksets analyzer.
+func New(Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "locksets",
+		Doc: "static race check: shared locations written by two goroutine " +
+			"roots need a common write-mode lock",
+		RunModule: run,
+	}
+}
+
+// write records one counted write to a shared location.
+type write struct {
+	node   *callgraph.Node
+	pos    token.Pos // l-value position (report anchor)
+	base   *types.Var
+	held   map[*concurrency.Class]bool // write-mode locks held
+	sample string                      // display name of the location
+}
+
+// root is one goroutine origin: a single go statement. Two spawns of
+// the same function are two roots; one spawn inside a loop is two
+// instances by itself.
+type root struct {
+	spawn *concurrency.SpawnSite
+	reach map[*callgraph.Node]bool
+}
+
+func run(pass *analysis.ModulePass) error {
+	info := concurrency.Of(pass.Module)
+
+	roots := make([]*root, 0, len(info.Spawns))
+	for _, sp := range info.Spawns {
+		roots = append(roots, &root{spawn: sp, reach: reachFrom(info, sp.Callee)})
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Collect counted writes per shared location across every target
+	// function.
+	writes := make(map[*types.Var][]write)
+	var order []*types.Var
+	for _, n := range info.Graph.Nodes {
+		if n.Pkg == nil || !n.Pkg.Target || n.Body() == nil {
+			continue
+		}
+		fi := info.Funcs[n]
+		if fi == nil {
+			continue
+		}
+		entry := info.EntryHeld(n)
+		n.Walk(func(m ast.Node) bool {
+			var lhs []ast.Expr
+			var stmtPos token.Pos
+			switch s := m.(type) {
+			case *ast.AssignStmt:
+				lhs, stmtPos = s.Lhs, s.Pos()
+			case *ast.IncDecStmt:
+				lhs, stmtPos = []ast.Expr{s.X}, s.Pos()
+			default:
+				return true
+			}
+			for _, l := range lhs {
+				target, base, sample := classifyLValue(n, l)
+				if target == nil {
+					continue
+				}
+				if _, seen := writes[target]; !seen {
+					order = append(order, target)
+				}
+				writes[target] = append(writes[target], write{
+					node:   n,
+					pos:    l.Pos(),
+					base:   base,
+					held:   writeModeHeld(fi.HeldAt(stmtPos), entry),
+					sample: sample,
+				})
+			}
+			return true
+		})
+	}
+
+	for _, target := range order {
+		checkLocation(pass, info, roots, writes[target])
+	}
+	return nil
+}
+
+// checkLocation applies the Eraser rule to all writes of one location.
+func checkLocation(pass *analysis.ModulePass, info *concurrency.Info, roots []*root, ws []write) {
+	// Attribute each write to the goroutine roots that can execute it.
+	type attributed struct {
+		w     write
+		roots []*root
+	}
+	var (
+		atts      []attributed
+		rootSet   = make(map[*root]bool)
+		instances int
+	)
+	for _, w := range ws {
+		var owners []*root
+		for _, r := range roots {
+			if !r.reach[w.node] {
+				continue
+			}
+			if r.spawn.Partitioned[w.base] {
+				continue // each instance writes its own element
+			}
+			if !sharedAcrossInstances(w.base, r.spawn.Callee) {
+				continue // per-instance state, not visible at the spawn
+			}
+			owners = append(owners, r)
+		}
+		if len(owners) == 0 {
+			continue // spawning-side write: ordered before the goroutines
+		}
+		atts = append(atts, attributed{w: w, roots: owners})
+		for _, r := range owners {
+			if !rootSet[r] {
+				rootSet[r] = true
+				instances++
+				if r.spawn.InLoop {
+					instances++ // a loop spawn is several instances of itself
+				}
+			}
+		}
+	}
+	if len(atts) == 0 || instances < 2 {
+		return
+	}
+
+	// Intersect write-mode locksets across every attributed write.
+	common := make(map[*concurrency.Class]bool, len(atts[0].w.held))
+	for c := range atts[0].w.held {
+		common[c] = true
+	}
+	for _, a := range atts[1:] {
+		for c := range common {
+			if !a.w.held[c] {
+				delete(common, c)
+			}
+		}
+	}
+	if len(common) > 0 {
+		return // a lock serializes all writers
+	}
+
+	// Pick the two witnesses: prefer writes from two different roots.
+	w1 := atts[0]
+	w2 := atts[0]
+	for _, a := range atts[1:] {
+		if a.roots[0] != w1.roots[0] {
+			w2 = a
+			break
+		}
+	}
+	fset := pass.Module.Fset
+	if w1.w.pos == w2.w.pos {
+		if len(w1.roots) >= 2 {
+			pass.Reportf(w1.w.pos,
+				"%s is written with no common lock by the goroutines spawned at %s and at %s%s; the writes race",
+				w1.w.sample, position(fset, w1.roots[0].spawn.Pos),
+				position(fset, w1.roots[1].spawn.Pos), heldNote(w1.w.held))
+			return
+		}
+		pass.Reportf(w1.w.pos,
+			"%s is written by every instance of the goroutine spawned in a loop at %s with no lock held%s; instances race with each other",
+			w1.w.sample, position(fset, w1.roots[0].spawn.Pos), heldNote(w1.w.held))
+		return
+	}
+	pass.Reportf(w1.w.pos,
+		"%s is written with no common lock by %s (goroutine at %s%s) and by %s at %s (goroutine at %s%s); the writes race",
+		w1.w.sample,
+		concurrency.FuncDisplay(w1.w.node), position(fset, w1.roots[0].spawn.Pos), heldNote(w1.w.held),
+		concurrency.FuncDisplay(w2.w.node), position(fset, w2.w.pos), position(fset, w2.roots[0].spawn.Pos), heldNote(w2.w.held))
+}
+
+// heldNote renders the (insufficient) lockset of a witness write, or
+// nothing when it holds no lock at all.
+func heldNote(held map[*concurrency.Class]bool) string {
+	if len(held) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(held))
+	for c := range held {
+		names = append(names, c.Name)
+	}
+	sort.Strings(names)
+	return ", holding only " + strings.Join(names, ", ")
+}
+
+// classifyLValue decides whether an assignment destination is a
+// counted shared location. It returns the location's identity (a
+// package var, captured var, or field object), the base variable the
+// access is rooted at, and a display name — or nil when exempt.
+func classifyLValue(n *callgraph.Node, l ast.Expr) (target, base *types.Var, sample string) {
+	info := n.Pkg.Info
+	switch e := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		v, ok := identVar(info, e)
+		if !ok || !sharedBase(n, v) {
+			return nil, nil, ""
+		}
+		return v, v, varDisplay(v)
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if ok && sel.Kind() == types.FieldVal {
+			field, _ := sel.Obj().(*types.Var)
+			bv := chainBase(n, e.X)
+			if field == nil || bv == nil || !sharedBase(n, bv) {
+				return nil, nil, ""
+			}
+			return field, bv, fieldDisplay(info, e, field)
+		}
+		// No selection: a package-qualified variable (pkg.Var = x).
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && pkgLevel(v) {
+			return v, v, varDisplay(v)
+		}
+		return nil, nil, ""
+	default:
+		// Index and dereference writes are the partitioned idiom.
+		return nil, nil, ""
+	}
+}
+
+// chainBase unwraps a selector chain to its base identifier's
+// variable; an index or dereference anywhere in the chain exempts the
+// write (element- or pointee-partitioned access).
+func chainBase(n *callgraph.Node, x ast.Expr) *types.Var {
+	info := n.Pkg.Info
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			if v, ok := identVar(info, e); ok {
+				return v
+			}
+			// A package name: pkg.Var.Field — resolve in the caller.
+			return nil
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				x = e.X
+				continue
+			}
+			// pkg.Var as the base of a deeper selector.
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// sharedBase reports whether v can be shared between goroutine
+// instances without further aliasing: a package-level variable, or a
+// variable a function literal captured from an enclosing function.
+// Parameters, receivers, and the function's own locals are not.
+func sharedBase(n *callgraph.Node, v *types.Var) bool {
+	if pkgLevel(v) {
+		return true
+	}
+	if n.Lit == nil {
+		return false // declared functions own their locals and params
+	}
+	// Captured iff declared outside the literal's span.
+	return !within(v, n)
+}
+
+// sharedAcrossInstances reports whether v names the same storage in
+// every instance of the goroutine rooted at callee: a package-level
+// variable, or a local of the root's lexical ancestor chain (the
+// spawning function and its enclosers) declared outside the root
+// itself. A variable declared inside the root's body — or in some
+// unrelated callee frame — is a fresh allocation per instance (or per
+// invocation) and cannot race with itself.
+func sharedAcrossInstances(v *types.Var, callee *callgraph.Node) bool {
+	if pkgLevel(v) {
+		return true
+	}
+	if within(v, callee) {
+		return false // the root's own local: one per instance
+	}
+	for a := callee.Parent; a != nil; a = a.Parent {
+		if within(v, a) {
+			return true // a spawner-side local the root captured
+		}
+	}
+	return false
+}
+
+// within reports whether v is declared inside n's lexical span.
+func within(v *types.Var, n *callgraph.Node) bool {
+	var lo, hi token.Pos
+	switch {
+	case n.Lit != nil:
+		lo, hi = n.Lit.Pos(), n.Lit.End()
+	case n.Decl != nil:
+		lo, hi = n.Decl.Pos(), n.Decl.End()
+	default:
+		return false
+	}
+	return v.Pos() >= lo && v.Pos() < hi
+}
+
+func pkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// identVar resolves an identifier to the variable it uses or defines.
+func identVar(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+// writeModeHeld merges the local must-held snapshot with the entry
+// context, keeping write-mode mutex holds and Once guards.
+func writeModeHeld(local []concurrency.HeldLock, entry map[*concurrency.Class]concurrency.HeldLock) map[*concurrency.Class]bool {
+	held := make(map[*concurrency.Class]bool, len(local)+len(entry))
+	for _, h := range local {
+		if !h.Read {
+			held[h.Class] = true
+		}
+	}
+	for _, h := range entry {
+		if !h.Read {
+			held[h.Class] = true
+		}
+	}
+	return held
+}
+
+// reachFrom computes the nodes a goroutine executes synchronously:
+// the transitive closure over non-go call sites plus the literals the
+// visited functions define (a closure runs on the goroutine that
+// calls it, however it is invoked).
+func reachFrom(info *concurrency.Info, start *callgraph.Node) map[*callgraph.Node]bool {
+	reach := map[*callgraph.Node]bool{start: true}
+	stack := []*callgraph.Node{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fi := info.Funcs[n]; fi != nil {
+			for _, cs := range fi.Calls {
+				if cs.Go {
+					continue
+				}
+				for _, callee := range cs.Callees {
+					if !reach[callee] {
+						reach[callee] = true
+						stack = append(stack, callee)
+					}
+				}
+			}
+		}
+		for _, e := range n.Out {
+			if e.Callee.Parent == n && e.Callee.Lit != nil && !reach[e.Callee] {
+				reach[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return reach
+}
+
+func varDisplay(v *types.Var) string {
+	if pkgLevel(v) {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+func fieldDisplay(info *types.Info, sel *ast.SelectorExpr, field *types.Var) string {
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return field.Name()
+	}
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name() + "." + field.Name()
+		}
+		return obj.Name() + "." + field.Name()
+	}
+	return field.Name()
+}
+
+func position(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}

@@ -1,0 +1,11 @@
+package locksets
+
+import (
+	"testing"
+
+	"osnoise/internal/analysis/analysistest"
+)
+
+func TestLocksets(t *testing.T) {
+	analysistest.RunModule(t, "testdata", New(Config{}), "ls")
+}

@@ -5,8 +5,13 @@
 package noisevet
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"osnoise/internal/analysis"
 	"osnoise/internal/analysis/atomicfield"
+	"osnoise/internal/analysis/chanlive"
 	"osnoise/internal/analysis/ctxflow"
 	"osnoise/internal/analysis/determinism"
 	"osnoise/internal/analysis/doccomment"
@@ -15,6 +20,8 @@ import (
 	"osnoise/internal/analysis/goroleak"
 	"osnoise/internal/analysis/hotpath"
 	"osnoise/internal/analysis/lockbalance"
+	"osnoise/internal/analysis/lockorder"
+	"osnoise/internal/analysis/locksets"
 	"osnoise/internal/analysis/timeunits"
 	"osnoise/internal/analysis/writecheck"
 )
@@ -135,11 +142,48 @@ var CtxFlowConfig = ctxflow.Config{
 	},
 }
 
-// Analyzers returns the production suite in reporting order. The two
-// module-wide analyzers (hotpath, ctxflow) run last: they share one
-// cached repo-wide call graph, built after every package has been
+// ChanLiveConfig scopes channel-lifecycle checking to the packages
+// whose channels carry measurement data or shutdown signals: the
+// analyzer pipeline, the trace reader, and the cluster/MPI
+// simulation. Channels made elsewhere (tests, cmd helpers) follow
+// whatever local conventions suit them.
+var ChanLiveConfig = chanlive.Config{
+	Packages: []string{
+		"osnoise/internal/noise",
+		"osnoise/internal/trace",
+		"osnoise/internal/cluster",
+		"osnoise/internal/mpi",
+	},
+}
+
+// LockOrderConfig applies the module-wide lock-acquisition-order
+// check everywhere: a deadlock cycle is a bug no matter which
+// packages its edges span. Hierarchies are declared in source with
+// //noisevet:lockrank comments on the mutex declarations.
+var LockOrderConfig = lockorder.Config{}
+
+// LocksetsConfig applies the static race check everywhere goroutines
+// are spawned; its shared-location rules (package vars and captured
+// locals only) keep it precise without per-package scoping.
+var LocksetsConfig = locksets.Config{}
+
+// SuiteOptions selects cross-cutting suite behaviors the CLI exposes
+// as flags.
+type SuiteOptions struct {
+	// StaleIgnore makes the suite report suppression directives that
+	// suppress nothing: //noisevet:ignore comments matching no finding
+	// (via the checker) and //noisevet:coldpath barriers no hot path
+	// reaches (via the hotpath analyzer).
+	StaleIgnore bool
+}
+
+// Suite returns the production analyzers in reporting order,
+// configured per opts. The module-wide analyzers (hotpath, ctxflow,
+// lockorder, chanlive, locksets) run last: they share one cached
+// repo-wide call graph — and the three concurrency analyzers one
+// lockset substrate — built after every package has been
 // type-checked.
-func Analyzers() []*analysis.Analyzer {
+func Suite(opts SuiteOptions) []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.New(DeterminismConfig),
 		exhaustive.New(EnumTypes),
@@ -150,7 +194,56 @@ func Analyzers() []*analysis.Analyzer {
 		lockbalance.New(LockBalanceConfig),
 		goroleak.New(GoroleakConfig),
 		writecheck.New(WriteCheckConfig),
-		hotpath.New(),
+		hotpath.New(hotpath.Config{StaleColdpath: opts.StaleIgnore}),
 		ctxflow.New(CtxFlowConfig),
+		lockorder.New(LockOrderConfig),
+		chanlive.New(ChanLiveConfig),
+		locksets.New(LocksetsConfig),
 	}
+}
+
+// Analyzers returns the default production suite.
+func Analyzers() []*analysis.Analyzer {
+	return Suite(SuiteOptions{})
+}
+
+// Select filters analyzers to the comma-separated names in only (the
+// -only flag). An empty selector returns the list unchanged. Unknown
+// names produce an error whose message tabulates every valid name, so
+// a typo on the command line is self-correcting.
+func Select(analyzers []*analysis.Analyzer, only string) ([]*analysis.Analyzer, error) {
+	if strings.TrimSpace(only) == "" {
+		return analyzers, nil
+	}
+	keep := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name != "" {
+			keep[name] = true
+		}
+	}
+	var filtered []*analysis.Analyzer
+	for _, a := range analyzers {
+		if keep[a.Name] {
+			filtered = append(filtered, a)
+			delete(keep, a.Name)
+		}
+	}
+	if len(keep) > 0 {
+		unknown := make([]string, 0, len(keep))
+		for name := range keep {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		var table strings.Builder
+		for _, a := range analyzers {
+			fmt.Fprintf(&table, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return nil, fmt.Errorf("unknown analyzer(s) in -only: %s\nvalid analyzers:\n%s",
+			strings.Join(unknown, ", "), strings.TrimRight(table.String(), "\n"))
+	}
+	if len(filtered) == 0 {
+		return nil, fmt.Errorf("-only %q selects no analyzers", only)
+	}
+	return filtered, nil
 }

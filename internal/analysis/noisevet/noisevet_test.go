@@ -1,0 +1,82 @@
+package noisevet
+
+import (
+	"strings"
+	"testing"
+)
+
+// suiteNames is the frozen reporting order of the production suite.
+// Growing the suite means extending this list — consciously.
+var suiteNames = []string{
+	"determinism", "exhaustive", "atomicfield", "timeunits",
+	"eventpair", "doccomment", "lockbalance", "goroleak",
+	"writecheck", "hotpath", "ctxflow",
+	"lockorder", "chanlive", "locksets",
+}
+
+func TestSuiteRegistry(t *testing.T) {
+	suite := Suite(SuiteOptions{})
+	if len(suite) != len(suiteNames) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(suiteNames))
+	}
+	seen := make(map[string]bool)
+	for i, a := range suite {
+		if a.Name != suiteNames[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, a.Name, suiteNames[i])
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	suite := Analyzers()
+
+	t.Run("empty selector returns the full suite", func(t *testing.T) {
+		got, err := Select(suite, "  ")
+		if err != nil || len(got) != len(suite) {
+			t.Fatalf("Select(suite, \"  \") = %d analyzers, err %v; want full suite", len(got), err)
+		}
+	})
+
+	t.Run("names filter in suite order with spaces tolerated", func(t *testing.T) {
+		got, err := Select(suite, " chanlive , lockorder ")
+		if err != nil {
+			t.Fatalf("Select: %v", err)
+		}
+		if len(got) != 2 || got[0].Name != "lockorder" || got[1].Name != "chanlive" {
+			names := make([]string, len(got))
+			for i, a := range got {
+				names[i] = a.Name
+			}
+			t.Fatalf("Select = %v, want [lockorder chanlive] (suite order)", names)
+		}
+	})
+
+	t.Run("unknown name errors with the valid-analyzer table", func(t *testing.T) {
+		_, err := Select(suite, "locksets,chanliv")
+		if err == nil {
+			t.Fatal("Select accepted unknown analyzer \"chanliv\"")
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `unknown analyzer(s) in -only: chanliv`) {
+			t.Errorf("error does not name the unknown analyzer: %q", msg)
+		}
+		for _, name := range suiteNames {
+			if !strings.Contains(msg, name) {
+				t.Errorf("error table is missing valid analyzer %q:\n%s", name, msg)
+			}
+		}
+	})
+
+	t.Run("selector of only separators errors", func(t *testing.T) {
+		if _, err := Select(suite, " , ,"); err == nil {
+			t.Error("Select accepted a selector with no names")
+		}
+	})
+}

@@ -39,8 +39,8 @@ import (
 var ErrCancelled = errors.New("noise: analysis cancelled")
 
 // cancelErr builds the typed cancellation error for a done context.
-//
-//noisevet:coldpath
+// (It sits on the cancellation path of the Analyze* entry points,
+// none of which are hotpath roots, so it needs no coldpath barrier.)
 func cancelErr(ctx context.Context) error {
 	return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
 }

@@ -188,6 +188,9 @@ func (r *Ring) Snapshot(dst []Event) []Event {
 // lock-free-vs-mutex ablation benchmark. It has the same Write/Drain
 // semantics as a Discard-mode Ring.
 type MutexRing struct {
+	// mu is the innermost lock of the "trace" hierarchy (level 2):
+	// held only across one Write or Drain, with no other lock below.
+	//noisevet:lockrank trace 2
 	mu    sync.Mutex
 	buf   []Event
 	lost  uint64

@@ -70,6 +70,10 @@ type Session struct {
 	oorLost  atomic.Uint64 // events dropped for an out-of-range CPU
 	started  atomic.Bool
 
+	// procMu is the outer lock of the "trace" hierarchy (level 1):
+	// it is never acquired with a ring lock held, and ring locks may
+	// not be taken above it out of order.
+	//noisevet:lockrank trace 1
 	procMu sync.Mutex
 	procs  []ProcInfo
 }

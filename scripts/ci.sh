@@ -15,20 +15,25 @@ go vet ./...
 
 echo "== noisevet (internal/analysis suite)"
 # -stats prints a per-analyzer findings count to stderr so the CI log
-# shows each analyzer ran, even when the tree is clean.
-go run ./cmd/noisevet -stats ./...
+# shows each analyzer ran, even when the tree is clean. -staleignore
+# additionally fails the run on //noisevet:ignore or
+# //noisevet:coldpath directives that suppress nothing: a stale
+# exemption is a latent hole the next refactor falls through.
+go run ./cmd/noisevet -stats -staleignore ./...
 
 echo "== noisevet timing budget"
 # The suite must stay cheap enough to run on every push: the full
-# 11-analyzer run over ./... (load + type-check + analyses) has to
+# 14-analyzer run over ./... (load + type-check + analyses) has to
 # finish inside the budget. -timing prints the per-analyzer split to
-# stderr so a regression is attributable from the CI log alone. The
+# stderr so a regression is attributable from the CI log alone, and
+# -benchjson appends the dated per-analyzer entry to the suite's
+# timing history (extend-only; the file is a JSON array of runs). The
 # binary is prebuilt so compile time is not billed to the suite.
 vetdir="$(mktemp -d)"
 go build -o "$vetdir/noisevet" ./cmd/noisevet
 budget_ms=30000
 start_ns="$(date +%s%N)"
-"$vetdir/noisevet" -timing ./...
+"$vetdir/noisevet" -timing -benchjson results/BENCH_noisevet.json ./...
 elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
 rm -rf "$vetdir"
 echo "noisevet suite: ${elapsed_ms} ms (budget ${budget_ms} ms)"
@@ -59,6 +64,13 @@ echo "== corruption suite (trace fault injector, race-instrumented)"
 # -race suite above, but a dedicated step keeps the failure legible.
 go test -race -run 'TestCorruption|TestMutations|TestValidTrace|TestWrongMagic' \
     ./internal/trace/corrupt
+
+echo "== fuzz smoke: noisevet directive parser"
+# The //noisevet:* directive grammar is parsed from arbitrary source
+# comments; its checked-in corpus under
+# internal/analysis/directive/testdata/fuzz replays in the plain test
+# run, and a short live fuzz keeps the corpus honest.
+go test ./internal/analysis/directive -run='^$' -fuzz='^FuzzParse$' -fuzztime=10s
 
 echo "== fuzz smoke: trace codec + decoder surfaces"
 # -fuzz accepts a single target per invocation; smoke each codec fuzzer
