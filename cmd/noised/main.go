@@ -1,0 +1,130 @@
+// Command noised is the multi-tenant streaming ingest daemon: clients
+// POST traces over HTTP or stream them over the NOISED/1 native
+// protocol, each tenant's traces are analysed incrementally under that
+// tenant's own budget, and rolling per-tenant noise summaries fan out
+// to the configured sinks (Prometheus scrape page, line-protocol HTTP
+// push, file, stdout). docs/DAEMON.md is the operator guide.
+//
+// Usage:
+//
+//	noised -listen :9400
+//	noised -listen :9400 -native :9401 -sinks stdout,file=/var/log/noise.lp \
+//	       -flush 10s -window 6 -tenant-budget events=50000000
+//
+// Exit codes: 0 after a clean drain, 1 on configuration or runtime
+// errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"osnoise/internal/daemon"
+	"osnoise/internal/daemon/receiver"
+	"osnoise/internal/daemon/router"
+	"osnoise/internal/daemon/sink"
+	"osnoise/internal/tracetool"
+)
+
+// parseSinks builds the sink list from a comma-separated spec:
+// stdout | file=<path> | push=<url>. The Prometheus scrape sink is
+// always present (it backs /metrics).
+func parseSinks(spec string, prom *sink.Prom) ([]sink.Sink, error) {
+	sinks := []sink.Sink{prom}
+	if spec == "" {
+		return sinks, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "":
+		case part == "stdout":
+			sinks = append(sinks, sink.NewStdout())
+		case strings.HasPrefix(part, "file="):
+			f, err := sink.NewFile(strings.TrimPrefix(part, "file="))
+			if err != nil {
+				return nil, err
+			}
+			sinks = append(sinks, f)
+		case strings.HasPrefix(part, "push="):
+			sinks = append(sinks, sink.NewPush(strings.TrimPrefix(part, "push="), 0))
+		default:
+			log.Fatalf("unknown sink %q (want stdout, file=<path> or push=<url>)", part)
+		}
+	}
+	return sinks, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noised: ")
+	var (
+		listen       = flag.String("listen", ":9400", "HTTP listen address (ingest, /metrics, status); empty disables")
+		native       = flag.String("native", "", "NOISED/1 streaming listen address; empty disables")
+		sinksSpec    = flag.String("sinks", "", "extra sinks: stdout,file=<path>,push=<url> (comma-separated)")
+		flush        = flag.Duration("flush", 10*time.Second, "window flush/rotation interval")
+		window       = flag.Int("window", 6, "rolling window width in flush intervals")
+		tenantBudget = flag.String("tenant-budget", "", "per-tenant lifetime caps: events=N,bytes=N,interruptions=N")
+		maxStreams   = flag.Int("max-streams", 4*runtime.GOMAXPROCS(0), "concurrent analyses before new streams queue")
+		maxPending   = flag.Int("max-pending", 64, "queued streams before overload sampling kicks in (0 = never degrade)")
+		sampleEvents = flag.Uint64("sample-events", 65536, "event cap applied to overload-degraded streams")
+		shards       = flag.Int("shards", 1, "per-stream analysis shards")
+		drain        = flag.Duration("drain-timeout", 5*time.Second, "shutdown grace for in-flight streams")
+		idle         = flag.Duration("idle-timeout", 5*time.Minute, "native connection idle timeout")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		log.Fatal("usage: noised [flags] (no positional arguments)")
+	}
+
+	budget, err := tracetool.ParseBudget(*tenantBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prom := sink.NewProm()
+	sinks, err := parseSinks(*sinksSpec, prom)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d, err := daemon.New(daemon.Config{
+		HTTPAddr:   *listen,
+		NativeAddr: *native,
+		Router: router.Config{
+			TenantBudget:  budget,
+			Shards:        *shards,
+			WindowBuckets: *window,
+			MaxConcurrent: *maxStreams,
+			MaxPending:    *maxPending,
+			SampleEvents:  *sampleEvents,
+		},
+		Native:        receiver.NativeConfig{IdleTimeout: *idle},
+		Sinks:         sinks,
+		FlushInterval: *flush,
+		DrainTimeout:  *drain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if addr := d.HTTPAddr(); addr != "" {
+		log.Printf("http listening on %s", addr)
+	}
+	if addr := d.NativeAddr(); addr != "" {
+		log.Printf("native listening on %s", addr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := d.Run(ctx); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+	log.Print("drained cleanly")
+}

@@ -102,6 +102,7 @@ var DocCommentConfig = doccomment.Config{
 		"osnoise/internal/sim",
 		"osnoise/internal/stats",
 		"osnoise/internal/cluster",
+		"osnoise/internal/daemon",
 	},
 }
 
@@ -115,6 +116,7 @@ var GoroleakConfig = goroleak.Config{
 		"osnoise/internal/noise",
 		"osnoise/internal/trace",
 		"osnoise/internal/cluster",
+		"osnoise/internal/daemon",
 	},
 }
 
@@ -153,6 +155,7 @@ var ChanLiveConfig = chanlive.Config{
 		"osnoise/internal/trace",
 		"osnoise/internal/cluster",
 		"osnoise/internal/mpi",
+		"osnoise/internal/daemon",
 	},
 }
 

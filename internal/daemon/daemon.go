@@ -1,0 +1,217 @@
+// Package daemon assembles the noised collector: receivers feeding a
+// router of per-tenant analysis sessions, a flush loop cutting rolling
+// windows into sink batches, and a graceful drain path.
+//
+// Lifecycle: New binds the configured listeners (so the addresses are
+// known before anything runs), Run serves until its context is
+// cancelled, then drains — receivers stop accepting, in-flight streams
+// get DrainTimeout to finish, a final flush pushes the last window cut
+// to the sinks, and every goroutine the daemon started is joined
+// before Run returns. The lock hierarchy across the daemon packages is
+// the "daemon" lockrank: router registry (1) → tenant ingest (2) →
+// tenant state (3) → receiver conn registry (4) → sink internals (5).
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"osnoise/internal/daemon/receiver"
+	"osnoise/internal/daemon/router"
+	"osnoise/internal/daemon/sink"
+)
+
+// Config assembles a daemon.
+type Config struct {
+	// HTTPAddr is the HTTP listen address; empty disables HTTP.
+	HTTPAddr string
+	// NativeAddr is the NOISED/1 listen address; empty disables it.
+	NativeAddr string
+	// Router tunes the tenant router (budgets, shards, overload).
+	Router router.Config
+	// Native tunes the streaming receiver.
+	Native receiver.NativeConfig
+	// Sinks receive flush batches. A *sink.Prom among them is also
+	// mounted at /metrics on the HTTP receiver.
+	Sinks []sink.Sink
+	// FlushInterval is the window rotation period; values <= 0 become
+	// 10 seconds.
+	FlushInterval time.Duration
+	// DrainTimeout bounds the shutdown grace period; values <= 0
+	// become 5 seconds.
+	DrainTimeout time.Duration
+}
+
+// Daemon is an assembled noised instance.
+type Daemon struct {
+	cfg    Config
+	rt     *router.Router
+	http   *receiver.HTTP
+	native *receiver.Native
+}
+
+// New validates cfg, builds the router, and binds the configured
+// listeners. At least one receiver must be enabled.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.HTTPAddr == "" && cfg.NativeAddr == "" {
+		return nil, fmt.Errorf("daemon: no receivers configured")
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 10 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	d := &Daemon{cfg: cfg, rt: router.New(cfg.Router, cfg.Sinks...)}
+	if cfg.HTTPAddr != "" {
+		var metrics *sink.Prom
+		for _, s := range cfg.Sinks {
+			if p, ok := s.(*sink.Prom); ok {
+				metrics = p
+				break
+			}
+		}
+		var metricsHandler http.Handler
+		if metrics != nil {
+			metricsHandler = metrics
+		}
+		mux := receiver.NewMux(d.rt, metricsHandler, d.rt.Tenants)
+		h, err := receiver.NewHTTP(cfg.HTTPAddr, mux)
+		if err != nil {
+			return nil, err
+		}
+		d.http = h
+	}
+	if cfg.NativeAddr != "" {
+		n, err := receiver.NewNative(cfg.NativeAddr, d.rt, cfg.Native)
+		if err != nil {
+			d.closeListeners()
+			return nil, err
+		}
+		d.native = n
+	}
+	return d, nil
+}
+
+// Router exposes the daemon's router (tests and the status endpoint).
+func (d *Daemon) Router() *router.Router { return d.rt }
+
+// HTTPAddr returns the bound HTTP address, or "" when disabled.
+func (d *Daemon) HTTPAddr() string {
+	if d.http == nil {
+		return ""
+	}
+	return d.http.Addr()
+}
+
+// NativeAddr returns the bound native address, or "" when disabled.
+func (d *Daemon) NativeAddr() string {
+	if d.native == nil {
+		return ""
+	}
+	return d.native.Addr()
+}
+
+// closeListeners shuts any receiver bound so far (New error path).
+func (d *Daemon) closeListeners() {
+	if d.http != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = d.http.Shutdown(ctx)
+		cancel()
+	}
+}
+
+// Run serves until ctx is cancelled or a receiver fails, then drains:
+// stop accepting, give in-flight streams DrainTimeout, cut a final
+// flush, close the sinks. Every goroutine Run starts is joined before
+// it returns; a clean drain returns nil.
+func (d *Daemon) Run(ctx context.Context) error {
+	// Receivers' in-flight analyses run under their own context so a
+	// SIGTERM does not kill streams mid-trace; the drain deadline
+	// cancels it for stragglers.
+	ictx, icancel := context.WithCancel(context.Background())
+	defer icancel()
+
+	flushStop := make(chan struct{})
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	if d.http != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- d.http.Serve()
+		}()
+	}
+	if d.native != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- d.native.Serve(ictx)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d.flushLoop(ictx, flushStop)
+	}()
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+	case err := <-errs:
+		runErr = err
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
+	defer dcancel()
+	var drainErrs []error
+	if d.http != nil {
+		if err := d.http.Shutdown(dctx); err != nil {
+			drainErrs = append(drainErrs, err)
+		}
+	}
+	if d.native != nil {
+		if err := d.native.Shutdown(dctx); err != nil {
+			drainErrs = append(drainErrs, err)
+		}
+	}
+	close(flushStop)
+	icancel() // cut anything still running past the drain deadline
+	wg.Wait()
+
+	// Drain the receiver error slots so nothing is silently lost.
+	for {
+		select {
+		case err := <-errs:
+			if err != nil && runErr == nil {
+				runErr = err
+			}
+			continue
+		default:
+		}
+		break
+	}
+
+	fctx, fcancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
+	defer fcancel()
+	closeErr := d.rt.Close(fctx)
+	return errors.Join(runErr, errors.Join(drainErrs...), closeErr)
+}
+
+// flushLoop rotates the windows into the sinks once per interval.
+func (d *Daemon) flushLoop(ctx context.Context, stop <-chan struct{}) {
+	tick := time.NewTicker(d.cfg.FlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			_ = d.rt.Flush(ctx)
+		}
+	}
+}

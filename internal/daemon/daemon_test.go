@@ -1,0 +1,300 @@
+package daemon_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"osnoise/internal/daemon"
+	"osnoise/internal/daemon/daemontest"
+	"osnoise/internal/daemon/router"
+	"osnoise/internal/daemon/sink"
+)
+
+// waitGoroutines polls until the goroutine count returns to baseline.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d live, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDaemonEndToEnd boots a full daemon on loopback, ingests over both
+// transports, scrapes /metrics, then drains it and checks for a clean,
+// leak-free exit — the lifecycle the operator guide documents.
+func TestDaemonEndToEnd(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var out bytes.Buffer
+	prom := sink.NewProm()
+	d, err := daemon.New(daemon.Config{
+		HTTPAddr:   "127.0.0.1:0",
+		NativeAddr: "127.0.0.1:0",
+		Router:     router.Config{MaxConcurrent: 8, Now: func() int64 { return 7 }},
+		Sinks:      []sink.Sink{prom, sink.NewWriter("buffer", &out)},
+		// A short flush interval so the test sees rotations.
+		FlushInterval: 50 * time.Millisecond,
+		DrainTimeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runDone <- d.Run(ctx)
+	}()
+
+	raw := daemontest.Encode(daemontest.Trace(1))
+
+	// HTTP ingest.
+	resp, err := http.Post("http://"+d.HTTPAddr()+"/v1/ingest?tenant=web", "application/octet-stream",
+		bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("http ingest status %d", resp.StatusCode)
+	}
+
+	// Native ingest on the same daemon.
+	c, err := net.Dial("tcp", d.NativeAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(daemontest.Greeting("batch")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(daemontest.Frames(raw, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "OK ") {
+		t.Fatalf("native answer %q", line)
+	}
+	_ = c.Close()
+
+	// A flush lands both tenants in the scrape page.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get("http://" + d.HTTPAddr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body bytes.Buffer
+		_, _ = body.ReadFrom(resp.Body)
+		_ = resp.Body.Close()
+		if strings.Contains(body.String(), `noised_tenant_streams_total{tenant="web"} 1`) &&
+			strings.Contains(body.String(), `noised_tenant_streams_total{tenant="batch"} 1`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenants never reached /metrics:\n%s", body.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// SIGTERM-equivalent: cancel Run's context → graceful drain.
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run returned %v, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	wg.Wait()
+	waitGoroutines(t, baseline)
+
+	// The line sink saw the flushed tenants (final flush included).
+	text := out.String()
+	for _, tenant := range []string{"noise,tenant=web ", "noise,tenant=batch "} {
+		if !strings.Contains(text, tenant) {
+			t.Fatalf("line sink output lacks %q:\n%s", tenant, text)
+		}
+	}
+	if !strings.Contains(text, " 7\n") {
+		t.Fatalf("line sink rows missing the injected flush clock:\n%s", text)
+	}
+}
+
+// TestDaemonDrainWaitsForInFlight: a native stream still in progress
+// when shutdown starts completes and gets its OK before the daemon
+// exits.
+func TestDaemonDrainWaitsForInFlight(t *testing.T) {
+	d, err := daemon.New(daemon.Config{
+		NativeAddr:    "127.0.0.1:0",
+		Router:        router.Config{MaxConcurrent: 4},
+		FlushInterval: time.Hour, // keep flushes out of the picture
+		DrainTimeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.Run(ctx) }()
+
+	c, err := net.Dial("tcp", d.NativeAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if _, err := c.Write(daemontest.Greeting("slow")); err != nil {
+		t.Fatal(err)
+	}
+	// Send all frames but the end marker, trigger shutdown, then finish
+	// the trace: the drain must wait for the in-flight stream.
+	payload := daemontest.Frames(daemontest.Encode(daemontest.Trace(2)), 4096)
+	split := len(payload) - 4
+	if _, err := c.Write(payload[:split]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the frames reach the pump
+	cancel()
+	time.Sleep(50 * time.Millisecond) // let the drain begin
+	if _, err := c.Write(payload[split:]); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		t.Fatalf("in-flight stream answer lost during drain: %v", err)
+	}
+	if !strings.HasPrefix(line, "OK ") {
+		t.Fatalf("in-flight stream answer %q, want OK", line)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run returned %v, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+}
+
+// TestDaemonConfigErrors: a daemon with no receivers or a doomed bind
+// fails fast in New.
+func TestDaemonConfigErrors(t *testing.T) {
+	if _, err := daemon.New(daemon.Config{}); err == nil {
+		t.Fatal("New with no receivers succeeded")
+	}
+	if _, err := daemon.New(daemon.Config{HTTPAddr: "256.0.0.1:bad"}); err == nil {
+		t.Fatal("New with an unusable HTTP address succeeded")
+	}
+	if _, err := daemon.New(daemon.Config{NativeAddr: "256.0.0.1:bad"}); err == nil {
+		t.Fatal("New with an unusable native address succeeded")
+	}
+}
+
+// TestDaemonSoakMixedTransports: a small end-to-end soak with both
+// transports live at once; used by scripts/ci.sh as the daemon smoke.
+func TestDaemonSoakMixedTransports(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	d, err := daemon.New(daemon.Config{
+		HTTPAddr:      "127.0.0.1:0",
+		NativeAddr:    "127.0.0.1:0",
+		Router:        router.Config{MaxConcurrent: 8},
+		FlushInterval: 20 * time.Millisecond,
+		DrainTimeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.Run(ctx) }()
+
+	raw := daemontest.Encode(daemontest.Trace(3))
+	framed := daemontest.Frames(raw, 8192)
+	const workers = 8
+	var wg sync.WaitGroup
+	errC := make(chan error, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("mixed-%d", w)
+			if w%2 == 0 {
+				for k := 0; k < 2; k++ {
+					resp, err := http.Post("http://"+d.HTTPAddr()+"/v1/ingest?tenant="+id,
+						"application/octet-stream", bytes.NewReader(raw))
+					if err != nil {
+						errC <- err
+						return
+					}
+					_ = resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errC <- fmt.Errorf("%s: status %d", id, resp.StatusCode)
+					}
+				}
+				return
+			}
+			c, err := net.Dial("tcp", d.NativeAddr())
+			if err != nil {
+				errC <- err
+				return
+			}
+			defer func() { _ = c.Close() }()
+			if _, err := c.Write(daemontest.Greeting(id)); err != nil {
+				errC <- err
+				return
+			}
+			br := bufio.NewReader(c)
+			for k := 0; k < 2; k++ {
+				if _, err := c.Write(framed); err != nil {
+					errC <- err
+					return
+				}
+				line, err := br.ReadString('\n')
+				if err != nil {
+					errC <- err
+					return
+				}
+				if !strings.HasPrefix(line, "OK ") {
+					errC <- fmt.Errorf("%s: %s", id, line)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errC)
+	for err := range errC {
+		t.Fatal(err)
+	}
+	if got := d.Router().Streams(); got != workers*2 {
+		t.Fatalf("streams = %d, want %d", got, workers*2)
+	}
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Run did not return")
+	}
+	waitGoroutines(t, baseline)
+}

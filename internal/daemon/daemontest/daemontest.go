@@ -1,0 +1,60 @@
+// Package daemontest holds shared fixtures for the daemon test suites:
+// small deterministic workload traces, their encoded bytes, and
+// NOISED/1 frame builders. Test-only; no daemon package imports it
+// outside _test files.
+package daemontest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+	"osnoise/internal/workload"
+)
+
+// Trace synthesises a small deterministic trace: the AMG workload on
+// the simulated kernel for a tenth of a simulated second.
+func Trace(seed uint64) *trace.Trace {
+	return workload.New(workload.AMG(), workload.Options{
+		Duration: sim.Second / 10,
+		Seed:     seed,
+	}).Execute()
+}
+
+// Encode returns tr in the LTTNOISE wire format.
+func Encode(tr *trace.Trace) []byte {
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		panic(fmt.Sprintf("daemontest: encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Frames wraps payload into NOISED/1 frames of at most chunk bytes
+// each, terminated by the zero-length end frame.
+func Frames(payload []byte, chunk int) []byte {
+	if chunk < 1 {
+		chunk = 1
+	}
+	out := make([]byte, 0, len(payload)+8*(len(payload)/chunk+2))
+	var hdr [4]byte
+	for len(payload) > 0 {
+		n := chunk
+		if len(payload) < n {
+			n = len(payload)
+		}
+		binary.BigEndian.PutUint32(hdr[:], uint32(n))
+		out = append(out, hdr[:]...)
+		out = append(out, payload[:n]...)
+		payload = payload[n:]
+	}
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	return append(out, hdr[:]...)
+}
+
+// Greeting returns the NOISED/1 connection header line for a tenant.
+func Greeting(tenant string) []byte {
+	return []byte("NOISED/1 " + tenant + "\n")
+}

@@ -1,0 +1,185 @@
+package sink
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"osnoise/internal/noise"
+)
+
+// Prom is a pull sink: Emit retains the latest Record per tenant and
+// ServeHTTP renders them as a Prometheus text-format (version 0.0.4)
+// scrape page. Mount it at /metrics.
+type Prom struct {
+	//noisevet:lockrank daemon 5
+	// mu guards the retained records; scrapes and flushes never hold
+	// any other daemon lock while taking it.
+	mu      sync.Mutex
+	recs    map[string]Record
+	flushes uint64
+}
+
+// NewProm returns an empty Prometheus pull sink.
+func NewProm() *Prom {
+	return &Prom{recs: make(map[string]Record)}
+}
+
+// Name identifies the sink in logs and error messages.
+func (p *Prom) Name() string { return "prom" }
+
+// Emit replaces the retained snapshot for every tenant in the batch.
+func (p *Prom) Emit(_ context.Context, recs []Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushes++
+	for i := range recs {
+		p.recs[recs[i].Tenant] = recs[i]
+	}
+	return nil
+}
+
+// Close drops the retained records.
+func (p *Prom) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.recs = map[string]Record{}
+	return nil
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote,
+// newline per the exposition format).
+func escapeLabel(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '\\' || c == '"' || c == '\n' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	out := make([]byte, 0, len(s)+4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// promMetric is one metric family: name, HELP/TYPE header and a value
+// extractor applied per retained Record.
+type promMetric struct {
+	// name is the fully qualified metric name.
+	name string
+	// help is the HELP line text.
+	help string
+	// typ is the TYPE line value: "gauge" or "counter".
+	typ string
+	// value extracts the sample from a Record.
+	value func(*Record) float64
+}
+
+// tenantMetrics lists the per-tenant families in render order.
+var tenantMetrics = []promMetric{
+	{"noised_tenant_reports", "Reports folded into the tenant's rolling window.", "gauge",
+		func(r *Record) float64 { return float64(r.Window.Reports) }},
+	{"noised_tenant_incomplete_reports", "Window reports truncated by a budget or cancellation.", "gauge",
+		func(r *Record) float64 { return float64(r.Window.Incomplete) }},
+	{"noised_tenant_sampled_reports", "Window reports with sampled interruption detail.", "gauge",
+		func(r *Record) float64 { return float64(r.Window.Sampled) }},
+	{"noised_tenant_cpus", "Largest CPU count among window reports.", "gauge",
+		func(r *Record) float64 { return float64(r.Window.CPUs) }},
+	{"noised_tenant_window_seconds", "Analysed trace seconds in the rolling window.", "gauge",
+		func(r *Record) float64 { return r.Window.Seconds }},
+	{"noised_tenant_window_events", "Event records analysed in the rolling window.", "gauge",
+		func(r *Record) float64 { return float64(r.Window.EventsConsumed) }},
+	{"noised_tenant_window_interruptions", "Interruptions observed in the rolling window.", "gauge",
+		func(r *Record) float64 { return float64(r.Window.Interruptions) }},
+	{"noised_tenant_window_noise_ns", "Noise nanoseconds in the rolling window.", "gauge",
+		func(r *Record) float64 { return float64(r.Window.TotalNoiseNS) }},
+	{"noised_tenant_noise_fraction", "Noise as a fraction of windowed CPU time.", "gauge",
+		func(r *Record) float64 { return r.Window.NoiseFraction() }},
+	{"noised_tenant_streams_total", "Traces the tenant ingested over its lifetime.", "counter",
+		func(r *Record) float64 { return float64(r.Streams) }},
+	{"noised_tenant_stream_errors_total", "Failed ingests over the tenant's lifetime.", "counter",
+		func(r *Record) float64 { return float64(r.Errors) }},
+	{"noised_tenant_sampled_streams_total", "Ingests degraded to sampling by overload.", "counter",
+		func(r *Record) float64 { return float64(r.SampledStreams) }},
+	{"noised_tenant_evicted", "1 when the tenant exhausted its lifetime budget.", "gauge",
+		func(r *Record) float64 {
+			if r.Evicted {
+				return 1
+			}
+			return 0
+		}},
+}
+
+// ServeHTTP renders the scrape page: daemon-level counters, the
+// per-tenant families, and a per-category noise breakdown, tenants in
+// sorted order so scrapes are byte-stable between flushes.
+func (p *Prom) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	p.mu.Lock()
+	ids := make([]string, 0, len(p.recs))
+	for id := range p.recs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	recs := make([]Record, len(ids))
+	for i, id := range ids {
+		recs[i] = p.recs[id]
+	}
+	flushes := p.flushes
+	p.mu.Unlock()
+
+	buf := make([]byte, 0, 1024+1024*len(recs))
+	buf = append(buf, "# HELP noised_flushes_total Flush batches retained by the scrape sink.\n# TYPE noised_flushes_total counter\nnoised_flushes_total "...)
+	buf = strconv.AppendUint(buf, flushes, 10)
+	buf = append(buf, "\n# HELP noised_tenants Tenants with a retained snapshot.\n# TYPE noised_tenants gauge\nnoised_tenants "...)
+	buf = strconv.AppendInt(buf, int64(len(recs)), 10)
+	buf = append(buf, '\n')
+	for _, m := range tenantMetrics {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, m.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, m.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, m.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, m.typ...)
+		buf = append(buf, '\n')
+		for i := range recs {
+			buf = append(buf, m.name...)
+			buf = append(buf, `{tenant="`...)
+			buf = append(buf, escapeLabel(recs[i].Tenant)...)
+			buf = append(buf, `"} `...)
+			buf = strconv.AppendFloat(buf, m.value(&recs[i]), 'g', -1, 64)
+			buf = append(buf, '\n')
+		}
+	}
+	buf = append(buf, "# HELP noised_tenant_category_noise_ns Window noise nanoseconds by category.\n# TYPE noised_tenant_category_noise_ns gauge\n"...)
+	for i := range recs {
+		for c := noise.Category(0); c < noise.NumCategories; c++ {
+			buf = append(buf, `noised_tenant_category_noise_ns{tenant="`...)
+			buf = append(buf, escapeLabel(recs[i].Tenant)...)
+			buf = append(buf, `",category="`...)
+			buf = append(buf, CategoryLabel(c)...)
+			buf = append(buf, `"} `...)
+			buf = strconv.AppendInt(buf, recs[i].Window.Breakdown[c], 10)
+			buf = append(buf, '\n')
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf)
+}

@@ -1,0 +1,77 @@
+package sink
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Push ships each flush batch as one HTTP POST of line-protocol text —
+// the shape an influx-style collector ingests. A non-2xx response or
+// transport error fails the batch; the daemon logs it and moves on
+// (rolling windows still hold the data, so the next flush re-covers
+// the window).
+type Push struct {
+	name string
+	url  string
+	c    *http.Client
+	// buf is the reusable serialisation buffer; Emit is called from
+	// one goroutine at a time per the Sink contract.
+	buf []byte
+}
+
+// NewPush returns a sink POSTing line-protocol batches to url. A zero
+// timeout defaults to 10 seconds per batch.
+func NewPush(url string, timeout time.Duration) *Push {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Push{
+		name: "push:" + url,
+		url:  url,
+		c:    &http.Client{Timeout: timeout},
+	}
+}
+
+// Name identifies the sink in logs and error messages.
+func (s *Push) Name() string { return s.name }
+
+// Emit serialises the batch and POSTs it. Empty batches are skipped.
+func (s *Push) Emit(ctx context.Context, recs []Record) error {
+	buf := s.buf[:0]
+	for i := range recs {
+		buf = AppendLine(buf, &recs[i])
+		buf = append(buf, '\n')
+	}
+	s.buf = buf
+	if len(buf) == 0 {
+		return nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(buf))
+	if err != nil {
+		return fmt.Errorf("sink %s: %w", s.name, err)
+	}
+	req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	resp, err := s.c.Do(req)
+	if err != nil {
+		return fmt.Errorf("sink %s: %w", s.name, err)
+	}
+	// Drain so the transport can reuse the connection.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if err := resp.Body.Close(); err != nil {
+		return fmt.Errorf("sink %s: close response: %w", s.name, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("sink %s: status %s", s.name, resp.Status)
+	}
+	return nil
+}
+
+// Close shuts the transport's idle connections.
+func (s *Push) Close() error {
+	s.c.CloseIdleConnections()
+	return nil
+}

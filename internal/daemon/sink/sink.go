@@ -1,0 +1,165 @@
+// Package sink fans rolling noise summaries out of the noised daemon.
+//
+// The router snapshots every tenant once per flush interval and hands
+// the batch of Records to each configured Sink. Sinks are intentionally
+// dumb: they serialise and ship, they never aggregate (the rolling
+// windows in internal/noise already did that), so a slow or failing
+// sink can be dropped or retried without touching analysis state.
+//
+// Two wire shapes are provided. The line protocol (AppendLine) is an
+// influx-style `noise,tenant=<id> field=value,... <ts>` text row used
+// by the stdout, file and HTTP-push sinks; the Prom sink renders the
+// same numbers as a Prometheus text-format (version 0.0.4) scrape page
+// instead, keeping only the latest Record per tenant.
+package sink
+
+import (
+	"context"
+	"strconv"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/stats"
+)
+
+// Record is one tenant's flush-interval snapshot: the merged rolling
+// window plus the lifetime stream counters the router keeps.
+type Record struct {
+	// Tenant is the tenant identifier the snapshot belongs to.
+	Tenant string
+	// TimeNS is the flush wall-clock timestamp in Unix nanoseconds.
+	TimeNS int64
+	// Window is the tenant's rolling summary, merged over the live
+	// window buckets at flush time.
+	Window noise.WindowSummary
+	// StreamEvents summarises per-stream event counts over the same
+	// rolling window (how big the tenant's traces are).
+	StreamEvents stats.Summary
+	// Streams counts traces the tenant has ingested over its lifetime.
+	Streams uint64
+	// Errors counts the tenant's failed ingests over its lifetime.
+	Errors uint64
+	// SampledStreams counts ingests degraded to sampling by overload.
+	SampledStreams uint64
+	// Evicted reports whether the tenant has exhausted its lifetime
+	// budget and no longer accepts streams.
+	Evicted bool
+}
+
+// Sink ships a batch of per-tenant Records somewhere. Emit is called
+// once per flush interval with every tenant's snapshot and must be safe
+// for use from one goroutine at a time; Close flushes and releases the
+// transport, after which Emit is not called again.
+type Sink interface {
+	// Name identifies the sink in logs and error messages.
+	Name() string
+	// Emit ships one flush batch. An error marks the whole batch
+	// failed; the daemon logs and keeps running (sinks are lossy by
+	// design — the windows still hold the data for the next scrape).
+	Emit(ctx context.Context, recs []Record) error
+	// Close flushes buffered output and releases the transport.
+	Close() error
+}
+
+// categoryLabels maps noise categories to protocol-safe label values
+// (lowercase, no spaces or punctuation, stable across releases).
+var categoryLabels = [noise.NumCategories]string{
+	noise.CatPeriodic:   "periodic",
+	noise.CatPageFault:  "page_fault",
+	noise.CatScheduling: "scheduling",
+	noise.CatPreemption: "preemption",
+	noise.CatIO:         "io",
+	noise.CatService:    "service",
+	noise.CatOther:      "other",
+}
+
+// CategoryLabel returns the protocol-safe label for a noise category,
+// e.g. "page_fault" for noise.CatPageFault.
+func CategoryLabel(c noise.Category) string {
+	if c >= 0 && c < noise.NumCategories {
+		return categoryLabels[c]
+	}
+	return "unknown"
+}
+
+// escapeTag escapes a tag value for the line protocol: commas, spaces
+// and equals signs are backslash-escaped (the influx tag rules).
+func escapeTag(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == ' ' || c == '=' || c == '\\' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	out := make([]byte, 0, len(s)+4)
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == ' ' || c == '=' || c == '\\' {
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+// appendBool appends a line-protocol integer field holding 0 or 1.
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "1i"...)
+	}
+	return append(dst, "0i"...)
+}
+
+// AppendLine appends one Record as a line-protocol row (no trailing
+// newline) and returns the extended slice:
+//
+//	noise,tenant=<id> reports=2i,events=9000i,... 1712345678000000000
+//
+// Field order is fixed so output is byte-stable for a given Record.
+func AppendLine(dst []byte, rec *Record) []byte {
+	w := &rec.Window
+	dst = append(dst, "noise,tenant="...)
+	dst = append(dst, escapeTag(rec.Tenant)...)
+	dst = append(dst, " reports="...)
+	dst = strconv.AppendInt(dst, int64(w.Reports), 10)
+	dst = append(dst, "i,incomplete="...)
+	dst = strconv.AppendInt(dst, int64(w.Incomplete), 10)
+	dst = append(dst, "i,sampled="...)
+	dst = strconv.AppendInt(dst, int64(w.Sampled), 10)
+	dst = append(dst, "i,cpus="...)
+	dst = strconv.AppendInt(dst, int64(w.CPUs), 10)
+	dst = append(dst, "i,seconds="...)
+	dst = strconv.AppendFloat(dst, w.Seconds, 'g', -1, 64)
+	dst = append(dst, ",events="...)
+	dst = strconv.AppendUint(dst, w.EventsConsumed, 10)
+	dst = append(dst, "i,dropped="...)
+	dst = strconv.AppendInt(dst, int64(w.Dropped), 10)
+	dst = append(dst, "i,interruptions="...)
+	dst = strconv.AppendInt(dst, int64(w.Interruptions), 10)
+	dst = append(dst, "i,noise_ns="...)
+	dst = strconv.AppendInt(dst, w.TotalNoiseNS, 10)
+	dst = append(dst, "i,noise_fraction="...)
+	dst = strconv.AppendFloat(dst, w.NoiseFraction(), 'g', -1, 64)
+	for c := noise.Category(0); c < noise.NumCategories; c++ {
+		dst = append(dst, ',')
+		dst = append(dst, CategoryLabel(c)...)
+		dst = append(dst, "_ns="...)
+		dst = strconv.AppendInt(dst, w.Breakdown[c], 10)
+		dst = append(dst, 'i')
+	}
+	dst = append(dst, ",stream_events_mean="...)
+	dst = strconv.AppendFloat(dst, rec.StreamEvents.Mean(), 'g', -1, 64)
+	dst = append(dst, ",streams="...)
+	dst = strconv.AppendUint(dst, rec.Streams, 10)
+	dst = append(dst, "i,errors="...)
+	dst = strconv.AppendUint(dst, rec.Errors, 10)
+	dst = append(dst, "i,sampled_streams="...)
+	dst = strconv.AppendUint(dst, rec.SampledStreams, 10)
+	dst = append(dst, "i,evicted="...)
+	dst = appendBool(dst, rec.Evicted)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, rec.TimeNS, 10)
+	return dst
+}

@@ -1,0 +1,179 @@
+package sink_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"osnoise/internal/daemon/daemontest"
+	"osnoise/internal/daemon/sink"
+	"osnoise/internal/noise"
+)
+
+// record builds a Record from a real analysis so the serialisers see
+// realistic numbers.
+func record(t *testing.T, tenant string, seed uint64) sink.Record {
+	t.Helper()
+	rep := noise.Analyze(daemontest.Trace(seed), noise.DefaultOptions())
+	var w noise.WindowSummary
+	w.AddReport(rep)
+	rec := sink.Record{Tenant: tenant, TimeNS: 1712345678000000000, Window: w, Streams: 1}
+	rec.StreamEvents.Add(int64(rep.EventsConsumed))
+	return rec
+}
+
+// TestAppendLineShape: the line protocol row has the measurement, the
+// tenant tag, every category field and the timestamp.
+func TestAppendLineShape(t *testing.T) {
+	rec := record(t, "acme", 1)
+	line := string(sink.AppendLine(nil, &rec))
+	if !strings.HasPrefix(line, "noise,tenant=acme ") {
+		t.Fatalf("line prefix: %q", line)
+	}
+	if !strings.HasSuffix(line, " 1712345678000000000") {
+		t.Fatalf("line timestamp suffix: %q", line)
+	}
+	for c := noise.Category(0); c < noise.NumCategories; c++ {
+		want := "," + sink.CategoryLabel(c) + "_ns="
+		if !strings.Contains(line, want) {
+			t.Fatalf("line lacks %q: %q", want, line)
+		}
+	}
+	for _, field := range []string{"reports=1i", "streams=1i", "noise_fraction=", "evicted=0i"} {
+		if !strings.Contains(line, field) {
+			t.Fatalf("line lacks %q: %q", field, line)
+		}
+	}
+	// Byte-stable: the same Record serialises identically.
+	if again := string(sink.AppendLine(nil, &rec)); again != line {
+		t.Fatalf("unstable serialisation:\n%q\n%q", line, again)
+	}
+}
+
+// TestAppendLineEscapesTenant: line-protocol tag characters in tenant
+// IDs are escaped, not emitted raw.
+func TestAppendLineEscapesTenant(t *testing.T) {
+	rec := sink.Record{Tenant: "a b,c=d"}
+	line := string(sink.AppendLine(nil, &rec))
+	if !strings.HasPrefix(line, `noise,tenant=a\ b\,c\=d `) {
+		t.Fatalf("tenant not escaped: %q", line)
+	}
+}
+
+// TestWriterAndFileSinks: both text sinks write one row per record per
+// flush, and the file sink appends across batches.
+func TestWriterAndFileSinks(t *testing.T) {
+	recs := []sink.Record{record(t, "a", 1), record(t, "b", 2)}
+
+	var buf bytes.Buffer
+	w := sink.NewWriter("test", &buf)
+	if err := w.Emit(context.Background(), recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("writer emitted %d rows, want 2:\n%s", got, buf.String())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Emit(context.Background(), recs); err == nil {
+		t.Fatal("Emit after Close succeeded")
+	}
+
+	path := filepath.Join(t.TempDir(), "noise.lp")
+	f, err := sink.NewFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := f.Emit(context.Background(), recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 4 {
+		t.Fatalf("file holds %d rows, want 4", got)
+	}
+}
+
+// TestPushSink: each batch arrives as one POST; a non-2xx answer fails
+// the batch.
+func TestPushSink(t *testing.T) {
+	var bodies []string
+	fail := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(r.Body)
+		bodies = append(bodies, b.String())
+		if fail {
+			http.Error(w, "nope", http.StatusBadGateway)
+		}
+	}))
+	defer srv.Close()
+
+	p := sink.NewPush(srv.URL, 0)
+	recs := []sink.Record{record(t, "a", 1)}
+	if err := p.Emit(context.Background(), recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(bodies) != 1 || !strings.HasPrefix(bodies[0], "noise,tenant=a ") {
+		t.Fatalf("push bodies: %q", bodies)
+	}
+	fail = true
+	if err := p.Emit(context.Background(), recs); err == nil {
+		t.Fatal("non-2xx answer did not fail the batch")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromRender: the scrape page carries the daemon counters, every
+// per-tenant family, and the category breakdown, tenants sorted.
+func TestPromRender(t *testing.T) {
+	p := sink.NewProm()
+	recs := []sink.Record{record(t, "zeta", 1), record(t, "alpha", 2)}
+	if err := p.Emit(context.Background(), recs); err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	p.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rr.Body.String()
+
+	for _, want := range []string{
+		"noised_flushes_total 1",
+		"noised_tenants 2",
+		`noised_tenant_streams_total{tenant="alpha"} 1`,
+		`noised_tenant_reports{tenant="zeta"} 1`,
+		`noised_tenant_category_noise_ns{tenant="alpha",category="periodic"}`,
+		"# TYPE noised_tenant_noise_fraction gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape lacks %q:\n%s", want, body)
+		}
+	}
+	if strings.Index(body, `{tenant="alpha"}`) > strings.LastIndex(body, `{tenant="zeta"}`) {
+		t.Fatal("tenants not sorted in scrape output")
+	}
+	// Latest snapshot wins on re-emit.
+	recs[1].Streams = 9
+	if err := p.Emit(context.Background(), recs[1:2]); err != nil {
+		t.Fatal(err)
+	}
+	rr = httptest.NewRecorder()
+	p.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), `noised_tenant_streams_total{tenant="alpha"} 9`) {
+		t.Fatal("re-emit did not replace the retained snapshot")
+	}
+}

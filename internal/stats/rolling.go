@@ -1,0 +1,61 @@
+package stats
+
+// Rolling is a fixed-width rolling window of Summary buckets: values
+// accumulate into the current bucket, Rotate advances the window one
+// bucket (discarding the oldest once the ring is full), and Merged
+// folds the live buckets — oldest first, via Summary.Merge — into one
+// aggregate covering the whole window. It is the windowed-merge
+// primitive behind the daemon's rolling noise summaries: each flush
+// interval is one bucket, so a summary "over the last N intervals"
+// is a single Merged call, with per-bucket accumulation exact and the
+// merge order fixed (oldest to newest) for reproducibility.
+//
+// A Rolling is not safe for concurrent use; callers serialise access
+// (the daemon's tenant sessions hold their own locks).
+type Rolling struct {
+	buckets []Summary
+	head    int // index of the current (newest) bucket
+	filled  int // buckets that have been current at least once
+}
+
+// NewRolling returns a rolling window of n buckets (n < 1 is treated
+// as 1, a plain resettable Summary).
+func NewRolling(n int) *Rolling {
+	if n < 1 {
+		n = 1
+	}
+	return &Rolling{buckets: make([]Summary, n), filled: 1}
+}
+
+// Add accumulates one observation into the current bucket.
+func (r *Rolling) Add(v int64) { r.buckets[r.head].Add(v) }
+
+// Current returns the bucket new observations accumulate into. The
+// pointer stays valid until the next Rotate resets that slot.
+func (r *Rolling) Current() *Summary { return &r.buckets[r.head] }
+
+// Rotate advances the window: the current bucket is frozen, the
+// oldest bucket (once the ring is full) is discarded, and a zeroed
+// bucket becomes current.
+func (r *Rolling) Rotate() {
+	r.head = (r.head + 1) % len(r.buckets)
+	r.buckets[r.head] = Summary{}
+	if r.filled < len(r.buckets) {
+		r.filled++
+	}
+}
+
+// Buckets returns the window width in buckets.
+func (r *Rolling) Buckets() int { return len(r.buckets) }
+
+// Merged folds every live bucket into one Summary, merging oldest to
+// newest so the combination order — and therefore the floating-point
+// moment accumulation — is deterministic.
+func (r *Rolling) Merged() Summary {
+	var out Summary
+	n := len(r.buckets)
+	for i := r.filled - 1; i >= 0; i-- {
+		out.Merge(&r.buckets[(r.head-i+n*2)%n])
+	}
+	return out
+}

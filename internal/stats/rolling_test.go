@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRollingSingleBucketMatchesSummary locks the bit-identity base
+// case: a window that never rotated is exactly its one bucket.
+func TestRollingSingleBucketMatchesSummary(t *testing.T) {
+	r := NewRolling(4)
+	var want Summary
+	for i := int64(1); i <= 100; i++ {
+		r.Add(i * 7)
+		want.Add(i * 7)
+	}
+	got := r.Merged()
+	if got != want {
+		t.Fatalf("merged %+v, want %+v", got, want)
+	}
+	if math.Float64bits(got.Mean()) != math.Float64bits(want.Mean()) ||
+		math.Float64bits(got.StdDev()) != math.Float64bits(want.StdDev()) {
+		t.Fatalf("moments drift: got mean=%v sd=%v want mean=%v sd=%v",
+			got.Mean(), got.StdDev(), want.Mean(), want.StdDev())
+	}
+}
+
+// TestRollingMergeOrder checks Merged combines oldest→newest: it must
+// equal a sequential Merge of the same per-bucket summaries.
+func TestRollingMergeOrder(t *testing.T) {
+	r := NewRolling(3)
+	var parts []Summary
+	for b := 0; b < 3; b++ {
+		var s Summary
+		for i := int64(0); i < 10; i++ {
+			v := int64(b*100) + i*3 + 1
+			r.Add(v)
+			s.Add(v)
+		}
+		parts = append(parts, s)
+		if b < 2 {
+			r.Rotate()
+		}
+	}
+	var want Summary
+	for i := range parts {
+		want.Merge(&parts[i])
+	}
+	if got := r.Merged(); got != want {
+		t.Fatalf("merged %+v, want %+v", got, want)
+	}
+}
+
+// TestRollingEviction: rotating past the width drops the oldest
+// bucket's contribution.
+func TestRollingEviction(t *testing.T) {
+	r := NewRolling(2)
+	r.Add(1000) // bucket A — will be evicted
+	r.Rotate()
+	r.Add(10)  // bucket B
+	r.Rotate() // evicts A
+	r.Add(20)  // bucket C
+	got := r.Merged()
+	if got.Count != 2 || got.Sum != 30 || got.Max != 20 || got.Min != 10 {
+		t.Fatalf("after eviction got %+v, want count=2 sum=30 min=10 max=20", got)
+	}
+	if r.Buckets() != 2 {
+		t.Fatalf("Buckets() = %d, want 2", r.Buckets())
+	}
+}
+
+// TestRollingCurrent: Current exposes the bucket Add feeds.
+func TestRollingCurrent(t *testing.T) {
+	r := NewRolling(1) // degenerate width: Rotate resets everything
+	r.Add(5)
+	if r.Current().Count != 1 {
+		t.Fatalf("current count = %d, want 1", r.Current().Count)
+	}
+	r.Rotate()
+	if got := r.Merged(); got.Count != 0 {
+		t.Fatalf("width-1 window kept %+v after Rotate", got)
+	}
+}

@@ -169,6 +169,40 @@ func newDecoder(br *bufio.Reader, limit int64) (*Decoder, error) {
 	}, nil
 }
 
+// Reset re-arms the decoder to read a new trace from r, reusing the
+// buffered reader and the batch staging buffer of the previous stream.
+// It is the streaming-session-reuse primitive for long-lived
+// connections that carry many traces back to back (the noised native
+// protocol): header validation is identical to NewDecoder's, and on a
+// validation error the decoder is left unusable until a Reset
+// succeeds. If r is itself a *bufio.Reader it is adopted directly;
+// otherwise the previous buffer is rebound to r, so a connection's
+// worth of traces costs one buffer allocation total.
+func (d *Decoder) Reset(r io.Reader) error {
+	limit := sizeHint(r)
+	br, ok := r.(*bufio.Reader)
+	switch {
+	case ok:
+		// Adopt the caller's buffer (it may hold sniffed bytes).
+	case d.br != nil:
+		br = d.br
+		br.Reset(r)
+	default:
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	buf := d.buf
+	nd, err := newDecoder(br, limit)
+	if err != nil {
+		// The stream position is undefined now; the decoder keeps its
+		// previous (exhausted) state, so further reads surface typed
+		// errors rather than mixing two traces.
+		return err
+	}
+	*d = *nd
+	d.buf = buf
+	return nil
+}
+
 // CPUs returns the CPU count recorded in the trace header.
 func (d *Decoder) CPUs() int { return d.cpus }
 

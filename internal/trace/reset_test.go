@@ -1,0 +1,137 @@
+package trace
+
+// Decoder.Reset tests: streaming-session reuse across back-to-back
+// traces on one connection-like reader.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// drainDecoder pulls every event out of d and returns them with the
+// process table.
+func drainDecoder(t *testing.T, d *Decoder) ([]Event, []ProcInfo) {
+	t.Helper()
+	var evs []Event
+	batch := make([]Event, 64)
+	for {
+		n, err := d.Next(batch)
+		evs = append(evs, batch[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	procs, err := d.Procs()
+	if err != nil {
+		t.Fatalf("Procs: %v", err)
+	}
+	return evs, procs
+}
+
+// TestDecoderResetBackToBackTraces streams two different traces
+// through one Decoder over a single unsized reader, as the daemon's
+// native protocol does per connection.
+func TestDecoderResetBackToBackTraces(t *testing.T) {
+	trA, trB := testTrace(500), testTrace(37)
+	trB.CPUs = 2
+	for i := range trB.Events {
+		trB.Events[i].CPU %= 2
+	}
+	var bufA, bufB bytes.Buffer
+	if err := Write(&bufA, trA); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bufB, trB); err != nil {
+		t.Fatal(err)
+	}
+
+	// An io.MultiReader hides Len/Seek, so both headers decode as
+	// unsized streams — the connection shape.
+	stream := io.MultiReader(bytes.NewReader(bufA.Bytes()), bytes.NewReader(bufB.Bytes()))
+	d, err := NewDecoder(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Sized() {
+		t.Fatal("multi-reader stream decoded as sized")
+	}
+	evsA, procsA := drainDecoder(t, d)
+	if len(evsA) != len(trA.Events) || len(procsA) != len(trA.Procs) {
+		t.Fatalf("trace A: %d events %d procs, want %d/%d",
+			len(evsA), len(procsA), len(trA.Events), len(trA.Procs))
+	}
+
+	// Reset re-arms the same decoder for the next trace on the stream.
+	if err := d.Reset(stream); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if d.CPUs() != trB.CPUs {
+		t.Fatalf("after Reset CPUs = %d, want %d", d.CPUs(), trB.CPUs)
+	}
+	if d.EventCount() != uint64(len(trB.Events)) {
+		t.Fatalf("after Reset EventCount = %d, want %d", d.EventCount(), len(trB.Events))
+	}
+	evsB, _ := drainDecoder(t, d)
+	if len(evsB) != len(trB.Events) {
+		t.Fatalf("trace B: %d events, want %d", len(evsB), len(trB.Events))
+	}
+	for i := range evsB {
+		if evsB[i] != trB.Events[i] {
+			t.Fatalf("trace B event %d = %+v, want %+v", i, evsB[i], trB.Events[i])
+		}
+	}
+}
+
+// TestDecoderResetBadHeader: a Reset onto garbage reports the typed
+// corruption error and does not mix streams.
+func TestDecoderResetBadHeader(t *testing.T) {
+	tr := testTrace(10)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainDecoder(t, d)
+
+	err = d.Reset(bytes.NewReader([]byte("definitely not a trace header....")))
+	if err == nil {
+		t.Fatal("Reset on garbage succeeded")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Reset error %v is not ErrCorrupt", err)
+	}
+}
+
+// TestDecoderResetReusesBuffer: the staging buffer survives Reset, so
+// per-trace allocation on a long-lived connection stays flat.
+func TestDecoderResetReusesBuffer(t *testing.T) {
+	tr := testTrace(600) // > nextBatchEvents so Next allocates the staging buffer
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainDecoder(t, d)
+	if d.buf == nil {
+		t.Skip("decoder did not allocate a staging buffer")
+	}
+	before := &d.buf[0]
+	if err := d.Reset(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	drainDecoder(t, d)
+	if d.buf == nil || &d.buf[0] != before {
+		t.Fatal("Reset dropped the staging buffer")
+	}
+}

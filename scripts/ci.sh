@@ -48,6 +48,13 @@ echo "== escape-analysis baseline (//noisevet:hotpath files)"
 # catches what only the compiler's escape analysis can see).
 scripts/escape_baseline.sh
 
+echo "== doc cross-links (files + section anchors)"
+# Markdown links must resolve and ARCHITECTURE/DESIGN §-references
+# must name sections that still exist — inserting a section and
+# renumbering the rest is exactly the edit that silently strands
+# references in README, DESIGN, and package godoc.
+scripts/doclink.sh
+
 echo "== doc lint (noisevet doccomment analyzer)"
 # Redundant with the full suite above, but a dedicated step keeps the
 # failure mode legible: this one is "an exported identifier in the
@@ -97,6 +104,17 @@ echo "== cancellation suite (goroutine-leak regression, race-instrumented)"
 # leave runtime.NumGoroutine() at its baseline.
 go test -race -run 'TestCancel|TestRunCancelled|TestReadParallelCancelled' \
     ./internal/noise ./internal/trace ./internal/cluster/... ./internal/mpi
+
+echo "== daemon soak (multi-tenant streaming ingest, race-instrumented)"
+# The noised daemon's concurrency contract: 1000 concurrent tenant
+# streams through the router with per-tenant windows bit-identical to
+# the batch analyzer, plus an end-to-end soak with both transports
+# (HTTP + NOISED/1) live at once and a graceful drain. Both tests
+# assert runtime.NumGoroutine() back to baseline — the dynamic half of
+# the zero-leak guarantee (goroleak is the static half). Part of the
+# -race suite above; the dedicated step keeps the failure legible.
+go test -race -run 'TestRouterSoak|TestDaemonSoakMixedTransports' \
+    ./internal/daemon/...
 
 echo "== cancellation smoke: -timeout exits with the documented code"
 # A 1 ms deadline against a multi-second analysis must exit 3 — cleanly

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Documentation cross-link checker.
+#
+# Two failure modes have bitten this repo's docs: a markdown link to a
+# file that moved, and a "docs/ARCHITECTURE.md §6"-style section
+# reference that went stale when a new section was inserted and the
+# rest renumbered. Both are mechanical, so CI checks both:
+#
+#   1. every relative markdown link target in a tracked .md file must
+#      exist on disk (http/https/mailto and pure-anchor links are
+#      skipped; a trailing #anchor is stripped before the check);
+#   2. every "ARCHITECTURE.md §<N>" / "DESIGN.md §<N>" reference in
+#      .md and .go files must name a section that exists as a "## N."
+#      heading in that file. (Only those two docs carry the numbered
+#      section contract; "PAPER.md §3" means the source paper's own
+#      section and is not checked.)
+#
+#   scripts/doclink.sh        # exit 1 with a per-reference report
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Markdown sources: the tracked docs, not vendored or generated trees.
+mdfiles="$(git ls-files '*.md' 2>/dev/null || find . -name '*.md' -not -path './.git/*')"
+
+# --- 1. relative link targets exist -------------------------------
+for f in $mdfiles; do
+    dir="$(dirname "$f")"
+    # Extract the (target) of every [text](target) on the file, one
+    # per line; tolerate multiple links per line.
+    while IFS= read -r target; do
+        case "$target" in
+        http://*|https://*|mailto:*|'#'*|'') continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "doclink: $f: broken link ($target)" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" 2>/dev/null \
+        | sed -E 's/^\]\(//; s/\)$//' || true)
+done
+
+# --- 2. §-references name real sections ---------------------------
+# References look like "docs/ARCHITECTURE.md §7" or "DESIGN.md §7";
+# the target file must contain a "## 7." heading.
+refs="$(grep -rnoE --include='*.md' --include='*.go' \
+    '[A-Za-z0-9_/.-]*(ARCHITECTURE|DESIGN)\.md §[0-9]+' . 2>/dev/null \
+    | grep -v '^\./\.git/' || true)"
+while IFS= read -r ref; do
+    [ -z "$ref" ] && continue
+    src="${ref%%:*}"
+    rest="${ref#*:}"
+    line="${rest%%:*}"
+    match="${rest#*:}"
+    target="${match% §*}"
+    sec="${match##*§}"
+    # Resolve the target relative to the referencing file, then the
+    # repo root (prose usually spells the root-relative path).
+    file=""
+    for cand in "$(dirname "$src")/$target" "$target"; do
+        if [ -f "$cand" ]; then file="$cand"; break; fi
+    done
+    if [ -z "$file" ]; then
+        echo "doclink: $src:$line: §-reference to missing file ($match)" >&2
+        fail=1
+        continue
+    fi
+    if ! grep -qE "^## ${sec}\." "$file"; then
+        echo "doclink: $src:$line: $target has no section ${sec} ($match)" >&2
+        fail=1
+    fi
+done <<<"$refs"
+
+if [ "$fail" -ne 0 ]; then
+    echo "doclink: FAILED" >&2
+    exit 1
+fi
+echo "doclink: OK"

@@ -20,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline=results/escape_baseline.txt
-pkgs=(./internal/noise ./internal/trace)
+pkgs=(./internal/noise ./internal/trace ./internal/daemon/receiver)
 
 current="$(mktemp)"
 trap 'rm -f "$current"' EXIT
@@ -36,7 +36,8 @@ fi
 # Files under the gate: exactly those declaring a //noisevet:hotpath
 # root or reachable-by-annotation hot code in the built packages.
 hotfiles="$(grep -rl --include='*.go' '^//noisevet:hotpath$' \
-    internal/noise internal/trace | grep -v '/testdata/' | sort || true)"
+    internal/noise internal/trace internal/daemon/receiver \
+    | grep -v '/testdata/' | sort || true)"
 if [ -z "$hotfiles" ]; then
     echo "escape_baseline: no //noisevet:hotpath files found; nothing to gate" >&2
     exit 1
