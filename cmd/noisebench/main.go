@@ -127,9 +127,13 @@ func runExperiments(c *experiments.Context, exps string) (results []*experiments
 	return results, nil
 }
 
-// runPipeline executes the analysis-pipeline benchmark and optionally
-// writes the machine-readable result.
-func runPipeline(events int, shardList string, seed uint64, reps int, jsonPath string) {
+// runPipeline executes the analysis-pipeline benchmark. The result can
+// be written as a standalone JSON snapshot (jsonPath), appended to the
+// recorded performance trajectory (appendPath), and gated against that
+// trajectory's last comparable entry (gatePath/gatePct) — the gate runs
+// before the append, so a regressing run never records itself as the
+// new baseline.
+func runPipeline(events int, shardList string, seed uint64, reps, epochs int, jsonPath, appendPath, gatePath string, gatePct float64) {
 	var shards []int
 	for _, s := range strings.Split(shardList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -138,22 +142,25 @@ func runPipeline(events int, shardList string, seed uint64, reps int, jsonPath s
 		}
 		shards = append(shards, n)
 	}
-	b := experiments.RunPipelineBench(events, shards, seed, reps)
+	b := experiments.RunPipelineBench(events, shards, seed, reps, epochs)
 	fmt.Print(b.Render())
 	if !b.Identical {
 		log.Fatal("parallel analysis diverged from the sequential baseline")
 	}
-	if jsonPath != "" {
-		if dir := filepath.Dir(jsonPath); dir != "." {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				log.Fatal(err)
-			}
-		}
-		data, err := json.MarshalIndent(b, "", "  ")
-		if err != nil {
+	if gatePath != "" {
+		if err := experiments.GatePipelineRegression(gatePath, b, gatePct); err != nil {
 			log.Fatal(err)
 		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Printf("pipeline gate passed (within %.0f%% of last entry in %s)\n", gatePct, gatePath)
+	}
+	if appendPath != "" {
+		if err := experiments.AppendPipelineTrajectory(appendPath, b); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pipeline benchmark appended to %s\n", appendPath)
+	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, b); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("pipeline benchmark written to %s\n", jsonPath)
@@ -175,6 +182,10 @@ func main() {
 		pipeEvents = flag.Int("pipeline-events", 1_000_000, "minimum trace size for -pipeline, in events")
 		pipeShards = flag.String("pipeline-shards", "1,2,4,8", "comma-separated shard counts for -pipeline")
 		pipeReps   = flag.Int("pipeline-reps", 3, "repetitions per -pipeline configuration (best wall kept)")
+		pipeEpochs = flag.Int("pipeline-epochs", 0, "replay epoch count for -pipeline (0 = auto, 1 = sequential replay)")
+		pipeAppend = flag.String("pipeline-append", "", "append the -pipeline result to this trajectory file (e.g. results/BENCH_pipeline.json)")
+		pipeGate   = flag.String("pipeline-gate", "", "fail if the -pipeline result regresses vs the last comparable entry in this trajectory file")
+		pipeGateP  = flag.Float64("pipeline-gate-pct", 10, "regression budget for -pipeline-gate, in percent")
 		faults     = flag.Bool("faults", false, "benchmark fault recovery vs checkpoint interval instead of the paper experiments")
 		faultIvals = flag.String("fault-intervals", "", "comma-separated checkpoint intervals for -faults (default 0,5,10,25,50,100)")
 		jsonOut    = flag.String("json", "", "write the -pipeline/-faults result as JSON here (e.g. results/BENCH_faults.json)")
@@ -220,7 +231,7 @@ func main() {
 
 	runCtx := mkctx(*timeout)
 	if *pipeline {
-		runPipeline(*pipeEvents, *pipeShards, *seed, *pipeReps, *jsonOut)
+		runPipeline(*pipeEvents, *pipeShards, *seed, *pipeReps, *pipeEpochs, *jsonOut, *pipeAppend, *pipeGate, *pipeGateP)
 		return
 	}
 	if *faults {

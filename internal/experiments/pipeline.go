@@ -35,10 +35,12 @@ type PipelineShard struct {
 // baseline versus the sharded pipeline at each shard count, on the same
 // in-memory trace bytes.
 type PipelineBench struct {
+	Date       string          `json:"date,omitempty"` // RFC 3339 UTC, stamped when appended to a trajectory
 	Events     int             `json:"events"`
 	CPUs       int             `json:"cpus"`
 	TraceBytes int             `json:"trace_bytes"`
 	GoMaxProcs int             `json:"gomaxprocs"`
+	Epochs     int             `json:"epochs,omitempty"` // replay epoch setting (0 = auto)
 	Reps       int             `json:"reps"`
 	Identical  bool            `json:"reports_identical"` // parallel Report == sequential Report
 	Sequential PipelinePhase   `json:"sequential"`
@@ -87,9 +89,11 @@ func timed(reps int, fn func()) (best time.Duration, alloc uint64) {
 // RunPipelineBench measures the offline analysis pipeline — decode from
 // trace bytes plus full noise analysis — sequentially and sharded at
 // each requested shard count, on a tiled workload trace of at least
-// targetEvents events. Reports from every configuration are checked for
-// bit-identity with the sequential baseline.
-func RunPipelineBench(targetEvents int, shardCounts []int, seed uint64, reps int) *PipelineBench {
+// targetEvents events. epochs sets the replay's epoch split (0 = auto,
+// 1 = sequential replay pass; see noise.Options.Epochs). Reports from
+// every configuration are checked for bit-identity with the sequential
+// baseline.
+func RunPipelineBench(targetEvents int, shardCounts []int, seed uint64, reps, epochs int) *PipelineBench {
 	if reps < 1 {
 		reps = 1
 	}
@@ -104,12 +108,14 @@ func RunPipelineBench(targetEvents int, shardCounts []int, seed uint64, reps int
 	}
 	raw := buf.Bytes()
 	opts := noise.DefaultOptions()
+	opts.Epochs = epochs
 
 	b := &PipelineBench{
 		Events:     len(tr.Events),
 		CPUs:       tr.CPUs,
 		TraceBytes: len(raw),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Epochs:     epochs,
 		Reps:       reps,
 		Identical:  true,
 	}
@@ -156,8 +162,12 @@ func RunPipelineBench(targetEvents int, shardCounts []int, seed uint64, reps int
 // Render formats the benchmark as the text table noisebench prints.
 func (b *PipelineBench) Render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "analysis pipeline: %d events, %d CPUs, %.1f MiB trace, GOMAXPROCS=%d, best of %d\n",
-		b.Events, b.CPUs, float64(b.TraceBytes)/(1<<20), b.GoMaxProcs, b.Reps)
+	epochs := "auto"
+	if b.Epochs > 0 {
+		epochs = fmt.Sprint(b.Epochs)
+	}
+	fmt.Fprintf(&sb, "analysis pipeline: %d events, %d CPUs, %.1f MiB trace, GOMAXPROCS=%d, epochs=%s, best of %d\n",
+		b.Events, b.CPUs, float64(b.TraceBytes)/(1<<20), b.GoMaxProcs, epochs, b.Reps)
 	fmt.Fprintf(&sb, "  %-12s %10s %14s %12s %8s\n", "config", "wall", "events/sec", "alloc", "speedup")
 	fmt.Fprintf(&sb, "  %-12s %10s %14.0f %12d %8s\n", "sequential",
 		time.Duration(b.Sequential.WallNS), b.Sequential.EventsPerSec, b.Sequential.AllocBytes, "1.00x")

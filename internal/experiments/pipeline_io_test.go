@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry(gmp, events int, bestWall int64) *PipelineBench {
+	return &PipelineBench{
+		Events:     events,
+		GoMaxProcs: gmp,
+		Identical:  true,
+		Sequential: PipelinePhase{WallNS: bestWall * 3},
+		Parallel: []PipelineShard{
+			{Shards: 4, PipelinePhase: PipelinePhase{WallNS: bestWall * 2}},
+			{Shards: 8, PipelinePhase: PipelinePhase{WallNS: bestWall}},
+		},
+	}
+}
+
+func TestPipelineTrajectoryAppendAndLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+
+	// Missing file: empty history, no error.
+	hist, err := LoadPipelineTrajectory(path)
+	if err != nil || hist != nil {
+		t.Fatalf("missing file: got %v entries, err %v", len(hist), err)
+	}
+
+	if err := AppendPipelineTrajectory(path, entry(1, 1000, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendPipelineTrajectory(path, entry(1, 1000, 400)); err != nil {
+		t.Fatal(err)
+	}
+	hist, err = LoadPipelineTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("got %d entries, want 2", len(hist))
+	}
+	if hist[0].Date == "" || hist[1].Date == "" {
+		t.Error("appended entries must be date-stamped")
+	}
+	if hist[1].bestShard().WallNS != 400 {
+		t.Errorf("best shard wall = %d, want 400", hist[1].bestShard().WallNS)
+	}
+}
+
+// TestPipelineTrajectoryLegacyMigration: a pre-trajectory file holding
+// one bare object must load as a one-entry history and convert to the
+// array form on the first append.
+func TestPipelineTrajectoryLegacyMigration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	legacy := `{"events": 1000, "gomaxprocs": 1, "reports_identical": true,
+		"sequential": {"wall_ns": 900}, "parallel": [{"shards": 8, "wall_ns": 300}]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := LoadPipelineTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0].bestShard().WallNS != 300 {
+		t.Fatalf("legacy load: got %d entries, best %v", len(hist), hist[0].bestShard())
+	}
+	if err := AppendPipelineTrajectory(path, entry(1, 1000, 250)); err != nil {
+		t.Fatal(err)
+	}
+	hist, err = LoadPipelineTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("after migrating append: got %d entries, want 2", len(hist))
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.HasPrefix(strings.TrimSpace(string(data)), "[") {
+		t.Error("file did not convert to array form")
+	}
+}
+
+func TestGatePipelineRegression(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+
+	// Empty history gates nothing.
+	if err := GatePipelineRegression(path, entry(1, 1000, 999), 10); err != nil {
+		t.Fatalf("empty history: %v", err)
+	}
+
+	if err := AppendPipelineTrajectory(path, entry(1, 1000, 500)); err != nil {
+		t.Fatal(err)
+	}
+	// Within budget: 10% over 500 is 550.
+	if err := GatePipelineRegression(path, entry(1, 1000, 549), 10); err != nil {
+		t.Errorf("within budget: %v", err)
+	}
+	// Over budget fails.
+	if err := GatePipelineRegression(path, entry(1, 1000, 551), 10); err == nil {
+		t.Error("regression not caught")
+	}
+	// Incomparable machine shape (different GOMAXPROCS or event count)
+	// is skipped, not compared.
+	if err := GatePipelineRegression(path, entry(8, 1000, 5000), 10); err != nil {
+		t.Errorf("different gomaxprocs should skip: %v", err)
+	}
+	if err := GatePipelineRegression(path, entry(1, 2000, 5000), 10); err != nil {
+		t.Errorf("different event count should skip: %v", err)
+	}
+	// The gate compares against the LAST comparable entry.
+	if err := AppendPipelineTrajectory(path, entry(1, 1000, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := GatePipelineRegression(path, entry(1, 1000, 340), 10); err == nil {
+		t.Error("regression vs newest entry not caught")
+	}
+}

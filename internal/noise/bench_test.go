@@ -1,0 +1,69 @@
+package noise_test
+
+// Pipeline micro-benchmarks: the same sequential-vs-raw comparison the
+// noisebench -pipeline harness runs, exposed as go benchmarks so the
+// phases can be profiled (`go test -bench AnalyzeRaw -cpuprofile ...`).
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"osnoise/internal/noise"
+	"osnoise/internal/sim"
+	"osnoise/internal/trace"
+	"osnoise/internal/workload"
+)
+
+// benchRaw builds a ~1M-event encoded AMG trace by tiling a 1-second
+// base capture, mirroring the noisebench pipeline harness.
+func benchRaw(tb testing.TB) []byte {
+	tb.Helper()
+	base := workload.New(workload.AMG(), workload.Options{
+		Duration: sim.Second,
+		Seed:     42,
+	}).Execute()
+	target := 1_000_000
+	first, last := base.Span()
+	period := last - first + int64(sim.Millisecond)
+	tiled := &trace.Trace{CPUs: base.CPUs, Lost: base.Lost, Procs: base.Procs}
+	tiled.Events = make([]trace.Event, 0, target+len(base.Events))
+	for shift := int64(0); len(tiled.Events) < target; shift += period {
+		for _, ev := range base.Events {
+			ev.TS += shift
+			tiled.Events = append(tiled.Events, ev)
+		}
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tiled); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkAnalyzeSequential(b *testing.B) {
+	raw := benchRaw(b)
+	opts := noise.DefaultOptions()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Read(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		noise.Analyze(tr, opts)
+	}
+}
+
+func BenchmarkAnalyzeRaw8(b *testing.B) {
+	raw := benchRaw(b)
+	opts := noise.DefaultOptions()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := noise.AnalyzeRaw(context.Background(), trace.BytesReaderAt(raw), int64(len(raw)), opts, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

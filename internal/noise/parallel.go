@@ -8,31 +8,41 @@
 // tracepoints with exact nested-time attribution — shards across CPUs
 // with no approximation. What does NOT shard is the scheduler state:
 // preemption windows follow a task when it migrates between CPUs, so
-// owner/window tracking is replayed in a cheap sequential pass over the
-// scheduler events alone.
+// owner/window tracking is replayed over the scheduler events alone —
+// sequentially, or split into time-epochs stitched at their boundaries
+// (epoch.go).
 //
-// The pipeline therefore runs in three phases:
+// The pipeline runs in three phases:
 //
 //  1. partition (parallel): a counting sort of the event stream into
-//     per-CPU entry/exit sub-streams (as int32 indices, ten times
-//     cheaper to materialise than event copies) plus one global,
+//     per-CPU entry/exit sub-streams — compact 16-byte records carrying
+//     exactly what span reconstruction needs — plus one global,
 //     order-preserving control stream;
 //  2. walk (parallel): one worker per CPU stream reconstructs spans —
-//     stack nesting, wall/own attribution — independently;
-//  3. replay (sequential): the control stream is walked once, applying
-//     the scheduler/owner/preemption-window state machine and feeding
-//     every finished span through Report.record in exactly the order
-//     the sequential analyzer would have.
+//     stack nesting, wall/own attribution — independently. On the raw
+//     path the walkers start while the partition is still scanning:
+//     chunks are handed off through rawHandoff as each one completes,
+//     so the two phases overlap instead of running back to back;
+//  3. replay: the control stream is walked, applying the
+//     scheduler/owner/preemption-window state machine and feeding every
+//     finished span through Report.record in exactly the order the
+//     sequential analyzer would have — in one pass, or epoch-split with
+//     boundary stitching (epoch.go) when opts.Epochs allows.
 //
 // Because phase 3 performs the same accumulator calls in the same order
 // as Analyze, the resulting Report is bit-identical to the sequential
 // one — including the order-sensitive floating-point summary fields.
-// TestParallelMatchesSequential locks this invariant.
+// TestParallelMatchesSequential and TestEpochsMatchSequential lock this
+// invariant.
 //
 // The walkers also pre-count spans per key, so the replay appends into
 // exactly-sized slices — the sequential analyzer cannot know those
 // counts without a second pass, which is how the pipeline stays ahead
-// even before any shard runs concurrently.
+// even before any shard runs concurrently. The raw path additionally
+// recycles its large scratch buffers (per-chunk sub-streams, decode
+// arenas, walker span lists) through sync.Pools, so a steady-state
+// consumer — the noised daemon, the pipeline benchmark's repetitions —
+// stops paying allocation and page-zeroing costs after the first run.
 //
 // Every entry point takes a context.Context and checks it at batch and
 // shard boundaries (see resilience.go): each phase joins its workers
@@ -59,15 +69,110 @@ import (
 // within microseconds.
 const cancelStride = 8192
 
+// cev is one routed entry or exit record in a per-CPU sub-stream: the
+// 16 bytes of a 40-byte trace.Event that span reconstruction actually
+// consumes. For an entry, id is the expected exit tracepoint and key
+// the span's pre-classified activity Key (both computed during the
+// parallel partition, off the walkers' critical path); for an exit, id
+// is the exit tracepoint itself and key is cevExit.
+type cev struct {
+	ts  int64
+	id  uint16
+	key uint16
+}
+
+// cevExit marks a cev as an exit record. Activity keys are small
+// (< NumKeys), so the all-ones pattern can never collide with one.
+const cevExit = ^uint16(0)
+
+// Event classes for partition routing, precomputed per tracepoint ID so
+// the per-record work is one table load and one switch instead of a
+// chain of multi-case comparisons.
+const (
+	clIgnore uint8 = iota
+	clEntry
+	clExit
+	clSwitch
+	clMigrate
+	clProcExit
+)
+
+// evClass maps every tracepoint ID to its partition routing class.
+var evClass = buildEvClass()
+
+// buildEvClass derives the routing table from the ID predicates the
+// sequential analyzer switches on, so the two can never disagree.
+func buildEvClass() (t [trace.NumIDs]uint8) {
+	for id := trace.ID(0); int(id) < trace.NumIDs; id++ {
+		switch {
+		case id.IsEntry():
+			t[id] = clEntry
+		case id.IsExit():
+			t[id] = clExit
+		case id == trace.EvSchedSwitch:
+			t[id] = clSwitch
+		case id == trace.EvSchedMigrate:
+			t[id] = clMigrate
+		case id == trace.EvProcessExit:
+			t[id] = clProcExit
+		}
+	}
+	return t
+}
+
+// classOf routes one tracepoint ID, tolerating IDs beyond the table (a
+// corrupt or newer-format record classifies as ignored, exactly as the
+// sequential analyzer's predicate chain would).
+func classOf(id trace.ID) uint8 {
+	if int(id) < len(evClass) {
+		return evClass[id]
+	}
+	return clIgnore
+}
+
+// Scratch-buffer pools for the raw pipeline. A steady-state consumer
+// (the daemon's per-window analyses, benchmark repetitions) reuses the
+// previous run's buffers instead of re-allocating — and re-zeroing —
+// tens of megabytes per run; see getSlice/putSlice.
+var (
+	cevPool   sync.Pool // *[]cev: per-chunk per-CPU sub-streams
+	exitPool  sync.Pool // *[]int32: per-chunk exit-CPU lists
+	spanPool  sync.Pool // *[]spanRec: per-CPU walker span lists
+	arenaPool sync.Pool // *[]trace.Event: per-worker decode arenas
+	schedPool sync.Pool // *[]schedRec: per-chunk control-stream pieces
+)
+
+// getSlice returns an empty slice with at least the requested capacity,
+// reusing a pooled buffer when one is big enough.
+func getSlice[T any](p *sync.Pool, capacity int) []T {
+	if v := p.Get(); v != nil {
+		if s := *(v.(*[]T)); cap(s) >= capacity {
+			return s[:0]
+		}
+	}
+	return make([]T, 0, capacity)
+}
+
+// putSlice recycles a buffer for a later getSlice. The caller must be
+// the last referent — nothing reachable from a returned Report may
+// alias it.
+func putSlice[T any](p *sync.Pool, s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	p.Put(&s)
+}
+
 // spanRec is one reconstructed kernel-activity span before scheduler
 // attribution (owner pid and noise classification are replay-phase
-// concerns).
+// concerns). 32 bytes: the replay streams millions of these.
 type spanRec struct {
-	closeOrd int // ordinal of the closing exit within this CPU's exits
-	key      Key
 	start    int64
 	wall     int64
 	own      int64
+	closeOrd int32 // ordinal of the closing exit within this CPU's exits
+	key      uint16
 	topLevel bool // span closed with an empty stack below it
 }
 
@@ -83,51 +188,55 @@ type cpuWalker struct {
 	dropped          int
 }
 
-// step feeds one entry or exit event through the walker. Events that
-// are neither are ignored (the partition phase never routes them here).
+// step feeds one routed sub-stream record through the walker.
 //
 //noisevet:hotpath
-func (w *cpuWalker) step(ev trace.Event) {
-	switch {
-	case ev.ID.IsEntry():
+func (w *cpuWalker) step(e cev) {
+	if e.key != cevExit {
 		w.stack = append(w.stack, openSpan{
-			key:    keyOfSpan(ev.ID, ev.Arg1),
-			start:  ev.TS,
-			exitID: ev.ID.ExitFor(),
+			key:    Key(e.key),
+			start:  e.ts,
+			exitID: trace.ID(e.id),
 		})
-
-	case ev.ID.IsExit():
-		ord := w.exits
-		w.exits++
-		if len(w.stack) == 0 {
-			w.dropped++ // span began before tracing started
-			return
-		}
-		top := w.stack[len(w.stack)-1]
-		if top.exitID != ev.ID {
-			// Corrupt nesting; drop the whole stack for this CPU.
-			w.dropped += len(w.stack)
-			w.stack = w.stack[:0]
-			return
-		}
-		w.stack = w.stack[:len(w.stack)-1]
-		wall := ev.TS - top.start
-		own := wall
-		if w.attributeNesting {
-			own = wall - top.childWall
-			if own < 0 {
-				own = 0
-			}
-		}
-		if len(w.stack) > 0 {
-			w.stack[len(w.stack)-1].childWall += wall
-		}
-		w.perKey[top.key]++
-		w.spans = append(w.spans, spanRec{
-			closeOrd: ord, key: top.key, start: top.start,
-			wall: wall, own: own, topLevel: len(w.stack) == 0,
-		})
+		return
 	}
+	ord := w.exits
+	w.exits++
+	if len(w.stack) == 0 {
+		w.dropped++ // span began before tracing started
+		return
+	}
+	top := w.stack[len(w.stack)-1]
+	if top.exitID != trace.ID(e.id) {
+		// Corrupt nesting; drop the whole stack for this CPU.
+		w.dropped += len(w.stack)
+		w.stack = w.stack[:0]
+		return
+	}
+	w.stack = w.stack[:len(w.stack)-1]
+	wall := e.ts - top.start
+	own := wall
+	if w.attributeNesting {
+		own = wall - top.childWall
+		if own < 0 {
+			own = 0
+		}
+	}
+	if len(w.stack) > 0 {
+		w.stack[len(w.stack)-1].childWall += wall
+	}
+	w.perKey[top.key]++
+	w.spans = append(w.spans, spanRec{
+		closeOrd: int32(ord), key: uint16(top.key), start: top.start,
+		wall: wall, own: own, topLevel: len(w.stack) == 0,
+	})
+}
+
+// entryCev builds the routed record of an entry event, pre-resolving
+// the expected exit ID and the activity key so the walker never touches
+// them again.
+func entryCev(ts int64, id trace.ID, vec int64) cev {
+	return cev{ts: ts, id: uint16(id.ExitFor()), key: uint16(keyOfSpan(id, vec))}
 }
 
 // ctlKind tags one scheduler record in the control stream.
@@ -152,10 +261,10 @@ type schedRec struct {
 }
 
 // ctlStream is the global-order projection of the event stream that the
-// sequential replay consumes: exits are compressed to just their CPU (4
-// bytes each — they carry no other replay-relevant state, the walkers
-// hold the span data), while the rare scheduler events keep their
-// arguments and record their interleaving position.
+// replay consumes: exits are compressed to just their CPU (4 bytes each
+// — they carry no other replay-relevant state, the walkers hold the
+// span data), while the rare scheduler events keep their arguments and
+// record their interleaving position.
 type ctlStream struct {
 	exitCPU  []int32
 	sched    []schedRec
@@ -173,16 +282,16 @@ func (o *Options) inWindow(ts int64) bool {
 
 // partition routes the event stream into per-CPU entry/exit sub-streams
 // and the control stream, via a chunk-parallel counting sort that
-// preserves order everywhere. The sub-streams are compacted copies so
-// the walkers scan contiguous memory instead of striding through the
-// full interleaved stream. dropped counts events outside the CPU range
-// (mirroring Analyze's Dropped accounting for them).
+// preserves order everywhere. The sub-streams are compacted cev records
+// so the walkers scan 16 bytes per event instead of striding through
+// the full interleaved 40-byte stream. dropped counts events outside
+// the CPU range (mirroring Analyze's Dropped accounting for them).
 //
 // Both passes check ctx every cancelStride records; on cancellation the
 // chunk workers stop where they are, the pass still joins every worker,
 // and the context's error is returned. prog.events counts records
 // scanned by the first (counting) pass, at chunk-stride granularity.
-func partition(ctx context.Context, events []trace.Event, opts Options, ncpu, workers int, prog *progress) (perCPU [][]trace.Event, ctl ctlStream, dropped int, err error) {
+func partition(ctx context.Context, events []trace.Event, opts Options, ncpu, workers int, prog *progress) (perCPU [][]cev, ctl ctlStream, dropped int, err error) {
 	nchunk := workers
 	if nchunk < 1 {
 		nchunk = 1
@@ -223,16 +332,16 @@ func partition(ctx context.Context, events []trace.Event, opts Options, ncpu, wo
 						drops[ci]++
 						continue
 					}
-					switch {
-					case ev.ID.IsEntry():
+					switch classOf(ev.ID) {
+					case clEntry:
 						cnt[ev.CPU]++
-					case ev.ID.IsExit():
+					case clExit:
 						cnt[ev.CPU]++
 						exitCounts[ci]++
-					case ev.ID == trace.EvSchedSwitch:
+					case clSwitch:
 						schedCounts[ci]++
 						switchCounts[ci]++
-					case ev.ID == trace.EvSchedMigrate, ev.ID == trace.EvProcessExit:
+					case clMigrate, clProcExit:
 						schedCounts[ci]++
 					}
 				}
@@ -267,9 +376,9 @@ func partition(ctx context.Context, events []trace.Event, opts Options, ncpu, wo
 		dropped += drops[ci]
 		ctl.switches += switchCounts[ci]
 	}
-	perCPU = make([][]trace.Event, ncpu)
+	perCPU = make([][]cev, ncpu)
 	for c := 0; c < ncpu; c++ {
-		perCPU[c] = make([]trace.Event, totals[c])
+		perCPU[c] = make([]cev, totals[c])
 	}
 	ctl.exitCPU = make([]int32, exitTotal)
 	ctl.sched = make([]schedRec, schedTotal)
@@ -297,20 +406,21 @@ func partition(ctx context.Context, events []trace.Event, opts Options, ncpu, wo
 					if ev.CPU < 0 || int(ev.CPU) >= ncpu {
 						continue
 					}
-					switch {
-					case ev.ID.IsEntry():
-						perCPU[ev.CPU][pos[ev.CPU]] = ev
+					switch classOf(ev.ID) {
+					case clEntry:
+						perCPU[ev.CPU][pos[ev.CPU]] = entryCev(ev.TS, ev.ID, ev.Arg1)
 						pos[ev.CPU]++
-					case ev.ID.IsExit():
-						perCPU[ev.CPU][pos[ev.CPU]] = ev
+					case clExit:
+						perCPU[ev.CPU][pos[ev.CPU]] = cev{ts: ev.TS, id: uint16(ev.ID), key: cevExit}
 						pos[ev.CPU]++
 						ctl.exitCPU[exitPos] = ev.CPU
 						exitPos++
-					case ev.ID == trace.EvSchedSwitch, ev.ID == trace.EvSchedMigrate, ev.ID == trace.EvProcessExit:
+					case clSwitch, clMigrate, clProcExit:
 						kind := ctlSwitch
-						if ev.ID == trace.EvSchedMigrate {
+						switch classOf(ev.ID) {
+						case clMigrate:
 							kind = ctlMigrate
-						} else if ev.ID == trace.EvProcessExit {
+						case clProcExit:
 							kind = ctlProcExit
 						}
 						ctl.sched[schedPos] = schedRec{
@@ -331,28 +441,45 @@ func partition(ctx context.Context, events []trace.Event, opts Options, ncpu, wo
 	return perCPU, ctl, dropped, nil
 }
 
-// partitionRaw is partition operating directly on the undecoded event
-// section of a fixed-format trace: each chunk worker scans the raw
-// bytes in a single pass, peeking only at the fields that decide a
-// record's routing, and decodes just the entry/exit and scheduler
-// records — events the analysis ignores are never materialised at all.
-// This is what lets AnalyzeRaw skip the whole []Event allocation a
-// Read-then-Analyze pipeline pays for.
-//
-// Each chunk keeps its routed events in chunk-local buffers; the
-// walkers consume the per-CPU segments chunk by chunk (segs[chunk][cpu])
-// so nothing is ever concatenated. Only the small control stream is
-// stitched, offsetting each chunk's exitsBefore by the exits that came
-// before it.
-// count is the number of records to partition — the full event count,
-// or less when an event/byte budget truncates ingestion to a prefix.
-// The scan workers check ctx once per scanned block and count progress
-// into prog.events; on cancellation every worker is still joined and
-// the context's error is returned.
-//
-//noisevet:hotpath
-func partitionRaw(ctx context.Context, rt *trace.RawTrace, opts Options, workers int, count uint64, prog *progress) (segs [][][]trace.Event, ctl ctlStream, dropped int, err error) {
-	ncpu := rt.CPUs()
+// chunkOut is one scan chunk's routed output: per-CPU sub-stream
+// segments plus the chunk-local control-stream pieces awaiting
+// stitching.
+type chunkOut struct {
+	perCPU   [][]cev
+	exitCPU  []int32
+	sched    []schedRec
+	switches int
+	dropped  int
+}
+
+// rawHandoff is the bounded hand-off between the raw partition and the
+// walkers: one slot and one readiness signal per scan chunk (the chunk
+// count bounds it). Scan workers fill outs[ci] and close done[ci];
+// walkers block on done[ci] before reading outs[ci], consuming chunks
+// strictly in order so each CPU sees its global event order. Every
+// done channel is closed exactly once even when a chunk is skipped on
+// cancellation, so a consumer can never hang.
+type rawHandoff struct {
+	outs []chunkOut
+	done []chan struct{}
+}
+
+// newRawHandoff sizes a hand-off for nchunk scan chunks.
+func newRawHandoff(nchunk int) *rawHandoff {
+	h := &rawHandoff{
+		outs: make([]chunkOut, nchunk),
+		done: make([]chan struct{}, nchunk),
+	}
+	for i := range h.done {
+		h.done[i] = make(chan struct{})
+	}
+	return h
+}
+
+// rawChunkCount is the scan-chunk count for a raw partition: one chunk
+// per worker, capped so tiny traces are not shredded into sub-4096
+// record fragments.
+func rawChunkCount(count uint64, workers int) int {
 	nchunk := workers
 	if nchunk < 1 {
 		nchunk = 1
@@ -360,95 +487,163 @@ func partitionRaw(ctx context.Context, rt *trace.RawTrace, opts Options, workers
 	if nchunk > int(count/4096)+1 {
 		nchunk = int(count/4096) + 1
 	}
+	return nchunk
+}
+
+// rawBatch is how many events one DecodeBatch call materialises into a
+// scan worker's arena: big enough to amortise the call and hoist the
+// per-event branches, small enough to stay L1-resident (20 KB).
+const rawBatch = 512
+
+// scanChunk routes one chunk's raw records into out: DecodeBatch
+// decodes rawBatch events at a time into the worker's reused arena, and
+// the routing loop classifies each via the evClass table. The analysis
+// window check is hoisted out entirely when no window is configured.
+//
+//noisevet:hotpath
+func scanChunk(ctx context.Context, rt *trace.RawTrace, opts *Options, ncpu int, lo, hi uint64, arena []trace.Event, out *chunkOut, prog *progress) error {
+	nrec := int(hi - lo)
+	// Size the chunk-local buffers as if every record were an entry/exit
+	// spread uniformly across CPUs: a slight overshoot that makes append
+	// growth (and its copies) the rare case instead of the common one.
+	capPer := nrec/ncpu + 64
+	out.perCPU = make([][]cev, ncpu)
+	for c := range out.perCPU {
+		out.perCPU[c] = getSlice[cev](&cevPool, capPer)
+	}
+	out.exitCPU = getSlice[int32](&exitPool, nrec/2+64)
+	// Scheduler records run ~10% of realistic traces; size for that so
+	// the control stream almost never regrows mid-scan.
+	out.sched = getSlice[schedRec](&schedPool, nrec/8+64)
+	checkWin := opts.FromNS != 0 || opts.ToNS != 0
+	return rt.Scan(lo, hi, func(_ uint64, b []byte) error {
+		for len(b) > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			n := trace.DecodeBatch(b, arena)
+			if n == 0 {
+				return nil
+			}
+			b = b[n*trace.EventSize:]
+			prog.events.Add(uint64(n))
+			for i := range arena[:n] {
+				ev := &arena[i]
+				if checkWin && !opts.inWindow(ev.TS) {
+					continue
+				}
+				cpu := ev.CPU
+				if uint32(cpu) >= uint32(ncpu) {
+					out.dropped++
+					continue
+				}
+				switch classOf(ev.ID) {
+				case clEntry:
+					out.perCPU[cpu] = append(out.perCPU[cpu], entryCev(ev.TS, ev.ID, ev.Arg1))
+				case clExit:
+					out.perCPU[cpu] = append(out.perCPU[cpu], cev{ts: ev.TS, id: uint16(ev.ID), key: cevExit})
+					out.exitCPU = append(out.exitCPU, cpu)
+				case clSwitch:
+					out.switches++
+					out.sched = append(out.sched, schedRec{
+						kind: ctlSwitch, cpu: cpu, ts: ev.TS,
+						a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
+						exitsBefore: int32(len(out.exitCPU)),
+					})
+				case clMigrate:
+					out.sched = append(out.sched, schedRec{
+						kind: ctlMigrate, cpu: cpu, ts: ev.TS,
+						a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
+						exitsBefore: int32(len(out.exitCPU)),
+					})
+				case clProcExit:
+					out.sched = append(out.sched, schedRec{
+						kind: ctlProcExit, cpu: cpu, ts: ev.TS,
+						a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
+						exitsBefore: int32(len(out.exitCPU)),
+					})
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// partitionRaw is partition operating directly on the undecoded event
+// section of a fixed-format trace: scan workers claim chunks, bulk-
+// decode them with trace.DecodeBatch into reused arenas, and route the
+// records into chunk-local cev buffers — handing each finished chunk to
+// the concurrently running walkers through hand (see rawHandoff), so
+// span reconstruction overlaps the scan instead of waiting for it.
+// This is what lets AnalyzeRaw skip the whole []Event allocation a
+// Read-then-Analyze pipeline pays for.
+//
+// Only the small control stream is stitched after the scan, offsetting
+// each chunk's exitsBefore by the exits that came before it. count is
+// the number of records to partition — the full event count, or less
+// when an event/byte budget truncates ingestion to a prefix. dropped
+// (out-of-range CPU records) is summed over chunks exactly as the
+// sequential analyzer counts them; the equivalence suite asserts the
+// resulting Report.Dropped against Analyze's.
+//
+// The scan workers check ctx once per decode batch and count progress
+// into prog.events; on cancellation every worker is still joined, every
+// hand-off slot is still signalled, and the context's error is
+// returned.
+//
+//noisevet:hotpath
+func partitionRaw(ctx context.Context, rt *trace.RawTrace, opts Options, workers int, count uint64, prog *progress, hand *rawHandoff) (ctl ctlStream, dropped int, err error) {
+	ncpu := rt.CPUs()
+	nchunk := len(hand.outs)
 	bounds := make([]uint64, nchunk+1)
 	for i := 0; i <= nchunk; i++ {
 		bounds[i] = uint64(i) * count / uint64(nchunk)
 	}
-
-	type chunkOut struct {
-		perCPU   [][]trace.Event
-		exitCPU  []int32
-		sched    []schedRec
-		switches int
-		dropped  int
+	nworker := workers
+	if nworker > nchunk {
+		nworker = nchunk
 	}
-	outs := make([]chunkOut, nchunk)
+	if nworker < 1 {
+		nworker = 1
+	}
+
 	errs := make([]error, nchunk)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for ci := 0; ci < nchunk; ci++ {
+	for w := 0; w < nworker; w++ {
 		wg.Add(1)
-		go func(ci int) {
+		go func() {
 			defer wg.Done()
-			out := &outs[ci]
-			out.perCPU = make([][]trace.Event, ncpu)
-			// Size the chunk-local buffers as if every record were an
-			// entry/exit spread uniformly across CPUs: a slight
-			// overshoot that makes append growth (and its copies) the
-			// rare case instead of the common one.
-			nrec := int(bounds[ci+1] - bounds[ci])
-			capPer := nrec/ncpu + 64
-			for c := range out.perCPU {
-				out.perCPU[c] = make([]trace.Event, 0, capPer)
+			arena := getSlice[trace.Event](&arenaPool, rawBatch)[:rawBatch]
+			defer putSlice(&arenaPool, arena)
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunk {
+					return
+				}
+				if ctx.Err() == nil {
+					errs[ci] = scanChunk(ctx, rt, &opts, ncpu,
+						bounds[ci], bounds[ci+1], arena, &hand.outs[ci], prog)
+				}
+				// Signal even skipped/failed chunks: walkers waiting on
+				// this slot must unblock (they observe ctx themselves).
+				close(hand.done[ci])
 			}
-			out.exitCPU = make([]int32, 0, nrec/2+64)
-			errs[ci] = rt.Scan(bounds[ci], bounds[ci+1], func(_ uint64, b []byte) error {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-				prog.events.Add(uint64(len(b) / trace.EventSize))
-				for o := 0; o < len(b); o += trace.EventSize {
-					rec := b[o:]
-					if !opts.inWindow(trace.PeekTS(rec)) {
-						continue
-					}
-					cpu := trace.PeekCPU(rec)
-					if cpu < 0 || int(cpu) >= ncpu {
-						out.dropped++
-						continue
-					}
-					id := trace.PeekID(rec)
-					switch {
-					case id.IsEntry(), id.IsExit():
-						out.perCPU[cpu] = append(out.perCPU[cpu], trace.DecodeEvent(rec))
-						if id.IsExit() {
-							out.exitCPU = append(out.exitCPU, cpu)
-						}
-					case id == trace.EvSchedSwitch, id == trace.EvSchedMigrate, id == trace.EvProcessExit:
-						ev := trace.DecodeEvent(rec)
-						kind := ctlSwitch
-						if id == trace.EvSchedMigrate {
-							kind = ctlMigrate
-						} else if id == trace.EvProcessExit {
-							kind = ctlProcExit
-						}
-						if kind == ctlSwitch {
-							out.switches++
-						}
-						out.sched = append(out.sched, schedRec{
-							kind: kind, cpu: ev.CPU, ts: ev.TS,
-							a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
-							exitsBefore: int32(len(out.exitCPU)),
-						})
-					}
-				}
-				return nil
-			})
-		}(ci)
+		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, ctl, 0, err
+		return ctl, 0, err
 	}
 	for _, e := range errs {
 		if e != nil {
-			return nil, ctl, 0, e
+			return ctl, 0, e
 		}
 	}
 
-	segs = make([][][]trace.Event, nchunk)
+	outs := hand.outs
 	exitTotal, schedTotal := 0, 0
 	for ci := range outs {
-		segs[ci] = outs[ci].perCPU
 		exitTotal += len(outs[ci].exitCPU)
 		schedTotal += len(outs[ci].sched)
 		ctl.switches += outs[ci].switches
@@ -464,17 +659,46 @@ func partitionRaw(ctx context.Context, rt *trace.RawTrace, opts Options, workers
 			ctl.sched = append(ctl.sched, sr)
 		}
 	}
-	return segs, ctl, dropped, nil
+	// The chunk exit and sched lists are fully stitched now; recycle
+	// them. The cev buffers are still being walked — AnalyzeRaw recycles
+	// those once the run completes.
+	for ci := range outs {
+		putSlice(&exitPool, outs[ci].exitCPU)
+		outs[ci].exitCPU = nil
+		putSlice(&schedPool, outs[ci].sched)
+		outs[ci].sched = nil
+	}
+	return ctl, dropped, nil
 }
 
-// runWalkersSegs is runWalkers over chunk-segmented sub-streams: each
-// CPU\'s walker steps through its segment of every chunk in chunk order,
-// which is exactly the CPU\'s global event order. Workers check ctx at
-// every CPU claim and every cancelStride steps within a CPU; finished
-// walkers are counted into prog.cpus.
+// recycleRaw returns a finished run's large scratch buffers — the
+// chunk-local cev sub-streams and the walkers' span lists — to their
+// pools. Only called after the replay and interruption build are done:
+// the Report copies everything it keeps, so nothing reachable from it
+// aliases these buffers.
+func recycleRaw(hand *rawHandoff, walkers []cpuWalker) {
+	for ci := range hand.outs {
+		for c := range hand.outs[ci].perCPU {
+			putSlice(&cevPool, hand.outs[ci].perCPU[c])
+		}
+		hand.outs[ci].perCPU = nil
+	}
+	for i := range walkers {
+		putSlice(&spanPool, walkers[i].spans)
+		walkers[i].spans = nil
+	}
+}
+
+// runWalkersSegs reconstructs spans for every CPU, consuming the raw
+// partition's chunks through hand as they become ready: each CPU's
+// walker steps through its segment of every chunk in chunk order —
+// exactly the CPU's global event order — blocking on a chunk's hand-off
+// signal only when the scan has not produced it yet. Workers check ctx
+// at every CPU claim, every chunk boundary, and every cancelStride
+// steps within a chunk; finished walkers are counted into prog.cpus.
 //
 //noisevet:hotpath
-func runWalkersSegs(ctx context.Context, segs [][][]trace.Event, ncpu int, attributeNesting bool, workers int, prog *progress) ([]cpuWalker, error) {
+func runWalkersSegs(ctx context.Context, hand *rawHandoff, ncpu int, attributeNesting bool, workers int, prog *progress) ([]cpuWalker, error) {
 	walkers := make([]cpuWalker, ncpu)
 	if workers > ncpu {
 		workers = ncpu
@@ -496,19 +720,27 @@ func runWalkersSegs(ctx context.Context, segs [][][]trace.Event, ncpu int, attri
 				if c >= ncpu {
 					return
 				}
-				total := 0
-				for ci := range segs {
-					total += len(segs[ci][c])
-				}
 				wk := &walkers[c]
 				wk.attributeNesting = attributeNesting
-				// Roughly half the sub-stream is exits, each closing at
-				// most one span.
-				wk.spans = make([]spanRec, 0, total/2+1)
 				stepped := 0
-				for ci := range segs {
-					for _, ev := range segs[ci][c] {
-						wk.step(ev)
+				for ci := range hand.outs {
+					<-hand.done[ci]
+					if ctx.Err() != nil {
+						return
+					}
+					out := &hand.outs[ci]
+					if len(out.perCPU) <= c {
+						continue // chunk skipped on cancellation
+					}
+					seg := out.perCPU[c]
+					if wk.spans == nil {
+						// Size from the first chunk: chunks are uniform
+						// record ranges, and roughly half a sub-stream is
+						// exits, each closing at most one span.
+						wk.spans = getSlice[spanRec](&spanPool, (len(seg)*len(hand.outs))/2+16)
+					}
+					for i := range seg {
+						wk.step(seg[i])
 						if stepped++; stepped >= cancelStride {
 							stepped = 0
 							if ctx.Err() != nil {
@@ -534,7 +766,7 @@ func runWalkersSegs(ctx context.Context, segs [][][]trace.Event, ncpu int, attri
 // into prog.cpus.
 //
 //noisevet:hotpath
-func runWalkers(ctx context.Context, perCPU [][]trace.Event, attributeNesting bool, workers int, prog *progress) ([]cpuWalker, error) {
+func runWalkers(ctx context.Context, perCPU [][]cev, attributeNesting bool, workers int, prog *progress) ([]cpuWalker, error) {
 	walkers := make([]cpuWalker, len(perCPU))
 	if workers > len(perCPU) {
 		workers = len(perCPU)
@@ -585,147 +817,6 @@ func runWalkers(ctx context.Context, perCPU [][]trace.Event, attributeNesting bo
 	return walkers, nil
 }
 
-// replay is the sequential phase: it walks the control stream once,
-// applying the scheduler/owner/preemption-window state machine of
-// Analyze and recording every span — reconstructed ones as their exits
-// come up, preemption spans at the switch that closes their window — in
-// exactly the sequential analyzer's order. It returns the preemption
-// windows still open at the end of the trace (dropped, like unclosed
-// spans) and, per CPU, the indices of the noise spans in r.Spans —
-// collected on the fly so interruption grouping needs no re-scan.
-//
-// The replay checks ctx every cancelStride exits and every few thousand
-// scheduler records; on cancellation it returns immediately with the
-// state it has (the caller detects ctx.Err() and marks the report).
-func (r *Report) replay(ctx context.Context, ctl ctlStream, walkers []cpuWalker, opts Options, isApp func(int64) bool) (map[int64]*window, [][]int32) {
-	ncpu := len(walkers)
-	cpus := make([]cpuState, ncpu)
-	windows := make(map[int64]*window)
-	lastRunner := make([]int64, ncpu)
-	nextSpan := make([]int, ncpu)
-	exitSeen := make([]int, ncpu)
-	noiseIdx := make([][]int32, ncpu)
-	for c := range noiseIdx {
-		if n := len(walkers[c].spans); n > 0 {
-			noiseIdx[c] = make([]int32, 0, n)
-		}
-	}
-
-	doExit := func(cpu int32) {
-		ord := exitSeen[cpu]
-		exitSeen[cpu]++
-		spans := walkers[cpu].spans
-		j := nextSpan[cpu]
-		if j >= len(spans) || spans[j].closeOrd != ord {
-			return // this exit matched no span (walker dropped it)
-		}
-		nextSpan[cpu]++
-		rec := spans[j]
-		cs := &cpus[cpu]
-		cat := CategoryOf(rec.key)
-		isNoise := cat.IsNoise()
-		if opts.RunnableFilter && cs.owner == 0 {
-			isNoise = false
-		}
-		r.record(Span{
-			Key: rec.key, CPU: cpu, Start: rec.start,
-			Wall: rec.wall, Own: rec.own, PID: cs.owner, Noise: isNoise,
-		}, opts.KeepDurations)
-		if isNoise {
-			noiseIdx[cpu] = append(noiseIdx[cpu], int32(len(r.Spans)-1))
-		}
-		// Top-level kernel time inside a preemption window is charged to
-		// its own key; subtract it from the window so the wait is not
-		// double counted.
-		if rec.topLevel && cs.owner != 0 && cs.current != cs.owner {
-			if w := windows[cs.owner]; w != nil && w.cpu == cpu {
-				w.kernelWall += rec.wall
-			}
-		}
-	}
-
-	pos := 0
-	for i := range ctl.sched {
-		sr := &ctl.sched[i]
-		if i&4095 == 0 && ctx.Err() != nil {
-			return windows, noiseIdx
-		}
-		for pos < int(sr.exitsBefore) {
-			if pos&(cancelStride-1) == 0 && ctx.Err() != nil {
-				return windows, noiseIdx
-			}
-			doExit(ctl.exitCPU[pos])
-			pos++
-		}
-		switch sr.kind {
-		case ctlSwitch:
-			cs := &cpus[sr.cpu]
-			prev, next, prevState := sr.a1, sr.a2, sr.a3
-			if prev != 0 && isApp(prev) {
-				if prevState == trace.TaskStateRunning {
-					// Preempted while runnable: open a window.
-					windows[prev] = &window{start: sr.ts, cpu: sr.cpu}
-					if cs.owner == 0 {
-						cs.owner = prev
-					}
-				} else {
-					// Voluntary block: no victim remains.
-					delete(windows, prev)
-					if cs.owner == prev {
-						cs.owner = 0
-					}
-				}
-			}
-			if next != 0 && isApp(next) {
-				if w := windows[next]; w != nil {
-					preempt := (sr.ts - w.start) - w.kernelWall
-					if preempt > 0 {
-						culprit := lastRunner[w.cpu]
-						if culprit == next {
-							culprit = 0
-						}
-						r.record(Span{
-							Key: KeyPreemption, CPU: w.cpu, Start: w.start,
-							Wall: preempt, Own: preempt, PID: next,
-							Culprit: culprit, Noise: true,
-						}, opts.KeepDurations)
-						noiseIdx[w.cpu] = append(noiseIdx[w.cpu], int32(len(r.Spans)-1))
-					}
-					delete(windows, next)
-				}
-				cs.owner = next
-			}
-			cs.current = next
-			if next != 0 {
-				lastRunner[sr.cpu] = next
-			}
-
-		case ctlMigrate:
-			pid, from, to := sr.a1, sr.a2, sr.a3
-			if w := windows[pid]; w != nil {
-				w.cpu = int32(to)
-			}
-			if int(from) < ncpu && cpus[from].owner == pid {
-				cpus[from].owner = 0
-			}
-			if int(to) < ncpu && cpus[to].owner == 0 && isApp(pid) {
-				cpus[to].owner = pid
-			}
-
-		case ctlProcExit:
-			delete(windows, sr.a1)
-		}
-	}
-	for pos < len(ctl.exitCPU) {
-		if pos&(cancelStride-1) == 0 && ctx.Err() != nil {
-			return windows, noiseIdx
-		}
-		doExit(ctl.exitCPU[pos])
-		pos++
-	}
-	return windows, noiseIdx
-}
-
 // prealloc right-sizes the report's append targets before the replay:
 // the walkers know exactly how many spans of each key they produced, and
 // the partition bounds the preemption spans by the switch count, so the
@@ -755,19 +846,25 @@ func (r *Report) prealloc(walkers []cpuWalker, switches int, keep bool) {
 	}
 }
 
-// ispanKey is the sort key of one noise span during interruption
-// grouping: the comparator fields plus the span's index in r.Spans.
-// Sorting these 24-byte records applies the exact permutation that
-// sorting the 56-byte spans themselves would — pdqsort's decisions
-// depend only on comparator outcomes, and the keys reproduce them —
-// while moving less than half the bytes per swap.
+// ispanKey is one noise span's record in the per-CPU interruption
+// index: the sort-comparator fields plus everything the gap merge
+// consumes (own, key). The replay sink writes these as it emits noise
+// spans, so the whole interruption build — sort, count, fill — runs
+// over these compact contiguous records without ever loading the
+// multi-megabyte Report.Spans array again (a cache miss per span,
+// measured as the dominant cost of the old index-only scheme).
 type ispanKey struct {
 	start, end int64
-	idx        int32
+	own        int64 // the span's own-time contribution (Span.Own)
+	key        Key   // the span's classification (Span.Key)
+	idx        int32 // record index in Report.Spans: the stable tie-break
 }
 
 // keyCmp is the interruption sort order on keys: start ascending, then
-// end descending — exactly interruptionsForCPU's comparator.
+// end descending — exactly interruptionsForCPU's comparator. Ties (two
+// spans with identical start and end, common at same-timestamp
+// boundaries) compare equal here; use keyCmpTotal where a deterministic
+// order is required.
 func keyCmp(a, b ispanKey) int {
 	if a.start != b.start {
 		if a.start < b.start {
@@ -784,6 +881,24 @@ func keyCmp(a, b ispanKey) int {
 	return 1
 }
 
+// keyCmpTotal extends keyCmp into a total order by breaking ties on the
+// span's record index, ascending. Keys are built in record order, so
+// sorting by keyCmpTotal from ANY permutation yields exactly the order
+// sort.SliceStable with keyCmp would give the original sequence — the
+// tie-handling contract the sequential interruptionsForCPU provides.
+func keyCmpTotal(a, b ispanKey) int {
+	if c := keyCmp(a, b); c != 0 {
+		return c
+	}
+	if a.idx != b.idx {
+		if a.idx < b.idx {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // sortKeysNearSorted sorts keys in near-linear time, exploiting that
 // the replay emits noise spans in per-CPU exit order: ascending except
 // where a parent span closes after its children, so out-of-place
@@ -791,9 +906,10 @@ func keyCmp(a, b ispanKey) int {
 // rear-merged into the ascending remainder.
 //
 // When every key is distinct the sorted order is unique, so this equals
-// what slices.SortFunc would produce. Duplicate keys make the order of
+// what any correct sort would produce. Duplicate keys make the order of
 // the tied elements algorithm-dependent; the function detects them and
-// reports false, and the caller must fall back to the canonical sort.
+// reports false, and the caller must fall back to the total-order sort
+// (keyCmpTotal), whose tie-break reproduces the stable order.
 func sortKeysNearSorted(keys []ispanKey) bool {
 	w := 0
 	var outliers []ispanKey
@@ -806,7 +922,7 @@ func sortKeysNearSorted(keys []ispanKey) bool {
 		w++
 	}
 	if len(outliers) > 0 {
-		slices.SortFunc(outliers, keyCmp)
+		slices.SortFunc(outliers, keyCmpTotal)
 		// Rear merge: fill keys from the back; t never catches up to i.
 		i, t := w-1, len(keys)-1
 		for j := len(outliers) - 1; j >= 0; t-- {
@@ -827,28 +943,20 @@ func sortKeysNearSorted(keys []ispanKey) bool {
 	return true
 }
 
-// interruptionKeys builds and sorts the interruption keys of one CPU's
-// noise spans: same comparator and — for distinct keys — provably the
-// same order as interruptionsForCPU's sort.Slice (for tied keys the
-// near-sorted pass reports failure and slices.SortFunc, which shares
-// sort.Slice's pdqsort, lands even ties identically). Sorting these
-// compact records applies the exact permutation sorting the spans
-// themselves would, while moving less than half the bytes per swap.
-func (r *Report) interruptionKeys(idx []int32) []ispanKey {
-	buildKeys := func() []ispanKey {
-		keys := make([]ispanKey, len(idx))
-		for j, si := range idx {
-			s := &r.Spans[si]
-			keys[j] = ispanKey{start: s.Start, end: s.Start + s.Wall, idx: si}
-		}
-		return keys
-	}
-	keys := buildKeys()
+// sortInterruptionKeys sorts one CPU's interruption keys in place:
+// same comparator and provably the same order as interruptionsForCPU's
+// stable sort. The near-sorted fast path is exact for distinct keys
+// (the sorted order is unique); when it detects ties it reports failure
+// and the total-order sort lands them by ascending record index — which
+// IS the stable order, because the replay sink wrote the keys in record
+// order. Sorting these compact records applies the exact permutation
+// sorting the spans themselves would.
+func sortInterruptionKeys(keys []ispanKey) {
 	if !sortKeysNearSorted(keys) {
-		keys = buildKeys()
-		slices.SortFunc(keys, keyCmp)
+		// keyCmpTotal is a total order: re-sorting the permuted keys
+		// still yields the unique sorted sequence, no rebuild needed.
+		slices.SortFunc(keys, keyCmpTotal)
 	}
-	return keys
 }
 
 // countInterruptions dry-runs the gap merge over sorted keys and
@@ -872,15 +980,14 @@ func countInterruptions(keys []ispanKey, gap int64) int {
 // Component slice is carved from comps with its capacity pinned, so the
 // result compares equal to the sequential builder's append-grown slices
 // (reflect.DeepEqual ignores capacity).
-func (r *Report) fillInterruptions(cpu int32, keys []ispanKey, gap int64, out []Interruption, comps []Component) {
+func fillInterruptions(cpu int32, keys []ispanKey, gap int64, out []Interruption, comps []Component) {
 	ci, curStart, n := 0, 0, 0
 	var cur Interruption
 	for _, k := range keys {
-		s := &r.Spans[k.idx]
 		if ci > 0 && k.start-cur.End <= gap {
-			comps[ci] = Component{Key: s.Key, Start: k.start, Own: s.Own}
+			comps[ci] = Component{Key: k.key, Start: k.start, Own: k.own}
 			ci++
-			cur.Total += s.Own
+			cur.Total += k.own
 			if k.end > cur.End {
 				cur.End = k.end
 			}
@@ -892,9 +999,9 @@ func (r *Report) fillInterruptions(cpu int32, keys []ispanKey, gap int64, out []
 			n++
 		}
 		curStart = ci
-		comps[ci] = Component{Key: s.Key, Start: k.start, Own: s.Own}
+		comps[ci] = Component{Key: k.key, Start: k.start, Own: k.own}
 		ci++
-		cur = Interruption{CPU: cpu, Start: k.start, End: k.end, Total: s.Own}
+		cur = Interruption{CPU: cpu, Start: k.start, End: k.end, Total: k.own}
 	}
 	cur.Components = comps[curStart:ci:ci]
 	out[n] = cur
@@ -912,7 +1019,7 @@ func (r *Report) fillInterruptions(cpu int32, keys []ispanKey, gap int64, out []
 //
 // Workers check ctx at every CPU claim; on cancellation both pools are
 // still joined and the context's error is returned.
-func (r *Report) buildInterruptionsParallel(ctx context.Context, noiseIdx [][]int32, gap int64, workers int) error {
+func (r *Report) buildInterruptionsParallel(ctx context.Context, noiseIdx [][]ispanKey, gap int64, workers int) error {
 	var cpuIDs []int32
 	for c := range noiseIdx {
 		if len(noiseIdx[c]) > 0 {
@@ -945,7 +1052,10 @@ func (r *Report) buildInterruptionsParallel(ctx context.Context, noiseIdx [][]in
 				if i >= len(cpuIDs) {
 					return
 				}
-				keysPer[i] = r.interruptionKeys(noiseIdx[cpuIDs[i]])
+				// The index was written in record order; sort it in place
+				// (nothing else reads it after this phase).
+				keysPer[i] = noiseIdx[cpuIDs[i]]
+				sortInterruptionKeys(keysPer[i])
 				counts[i] = countInterruptions(keysPer[i], gap)
 			}
 		}()
@@ -979,7 +1089,7 @@ func (r *Report) buildInterruptionsParallel(ctx context.Context, noiseIdx [][]in
 				if i >= len(cpuIDs) {
 					return
 				}
-				r.fillInterruptions(cpuIDs[i], keysPer[i], gap,
+				fillInterruptions(cpuIDs[i], keysPer[i], gap,
 					r.Interruptions[intOffs[i]:intOffs[i+1]],
 					comps[keyOffs[i]:keyOffs[i+1]])
 			}
@@ -1006,7 +1116,7 @@ func appMatcher(appPIDs map[int64]bool) func(int64) bool {
 // finish shares the tail of the parallel paths: boundary-drop
 // accounting, interruption grouping, and the interruption budget. A
 // non-nil error is the context's own (the caller wraps it).
-func (r *Report) finish(ctx context.Context, walkers []cpuWalker, windows map[int64]*window, noiseIdx [][]int32, opts Options, shards int) error {
+func (r *Report) finish(ctx context.Context, walkers []cpuWalker, windows map[int64]*window, noiseIdx [][]ispanKey, opts Options, shards int) error {
 	for i := range walkers {
 		r.Dropped += walkers[i].dropped + len(walkers[i].stack)
 	}
@@ -1023,7 +1133,8 @@ func (r *Report) finish(ctx context.Context, walkers []cpuWalker, windows map[in
 // The report it produces is bit-identical to Analyze's on the same
 // trace and options — budgets included: per-CPU span reconstruction is
 // exact (nesting never crosses a CPU) and the final accumulation
-// replays in sequential order.
+// replays in sequential order (epoch-split when opts.Epochs allows; see
+// epoch.go — the result is bit-identical either way).
 //
 // Cancelling ctx stops the run at the next batch boundary with no
 // leaked goroutines; the partial Report (marked Incomplete, with
@@ -1070,7 +1181,7 @@ func AnalyzeParallel(ctx context.Context, tr *trace.Trace, opts Options, shards 
 		return r.markCancelled(&prog), cancelErr(ctx)
 	}
 	r.prealloc(walkers, ctl.switches, opts.KeepDurations)
-	windows, noiseIdx := r.replay(ctx, ctl, walkers, opts, appMatcher(appPIDs))
+	windows, noiseIdx := r.replay(ctx, ctl, walkers, opts, appMatcher(appPIDs), shards)
 	if ctx.Err() != nil {
 		return r.markCancelled(&prog), cancelErr(ctx)
 	}
@@ -1084,11 +1195,11 @@ func AnalyzeParallel(ctx context.Context, tr *trace.Trace, opts Options, shards 
 // AnalyzeRaw runs the sharded analysis directly over the undecoded
 // bytes of a fixed-format trace in a random-access source (a file or a
 // bytes.Reader), using up to `shards` workers (≤ 0 means GOMAXPROCS).
-// It never materialises the full []Event: the partition phase scans the
-// raw records, decoding only the entry/exit and scheduler events into
-// compact per-CPU sub-streams — records the analysis ignores are
-// skipped undecoded. The report is bit-identical to
-// Analyze(trace.Read(...)) on the same bytes.
+// It never materialises the full []Event: the partition phase bulk-
+// decodes the raw records through reused arenas into compact per-CPU
+// sub-streams, handing finished chunks to the concurrently running
+// walkers (partition and walk overlap; see rawHandoff). The report is
+// bit-identical to Analyze(trace.Read(...)) on the same bytes.
 //
 // This is the fastest path from trace bytes to a Report and the one the
 // noisebench pipeline benchmark exercises.
@@ -1152,20 +1263,33 @@ func AnalyzeRaw(ctx context.Context, ra io.ReaderAt, size int64, opts Options, s
 		appPIDs = (&trace.Trace{Procs: procs}).AppPIDs()
 	}
 
-	segs, ctl, dropped, err := partitionRaw(ctx, rt, opts, shards, count, &prog)
+	// Overlapped partition + walk: the walkers start first, blocked on
+	// the hand-off, and consume each chunk as the scan finishes it.
+	hand := newRawHandoff(rawChunkCount(count, shards))
+	var (
+		walkers []cpuWalker
+		werr    error
+		wwg     sync.WaitGroup
+	)
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		walkers, werr = runWalkersSegs(ctx, hand, rt.CPUs(), opts.AttributeNesting, shards, &prog)
+	}()
+	ctl, dropped, err := partitionRaw(ctx, rt, opts, shards, count, &prog, hand)
+	wwg.Wait()
 	if err != nil {
 		if ctx.Err() != nil {
 			return r.markCancelled(&prog), cancelErr(ctx)
 		}
 		return nil, err
 	}
-	r.Dropped += dropped
-	walkers, err := runWalkersSegs(ctx, segs, rt.CPUs(), opts.AttributeNesting, shards, &prog)
-	if err != nil {
+	if werr != nil {
 		return r.markCancelled(&prog), cancelErr(ctx)
 	}
+	r.Dropped += dropped
 	r.prealloc(walkers, ctl.switches, opts.KeepDurations)
-	windows, noiseIdx := r.replay(ctx, ctl, walkers, opts, appMatcher(appPIDs))
+	windows, noiseIdx := r.replay(ctx, ctl, walkers, opts, appMatcher(appPIDs), shards)
 	if ctx.Err() != nil {
 		return r.markCancelled(&prog), cancelErr(ctx)
 	}
@@ -1173,21 +1297,22 @@ func AnalyzeRaw(ctx context.Context, ra io.ReaderAt, size int64, opts Options, s
 		return r.markCancelled(&prog), cancelErr(ctx)
 	}
 	r.EventsConsumed = count
+	recycleRaw(hand, walkers)
 	return r, nil
 }
 
 // streamBatch is one routed slice of a CPU's entry/exit sub-stream.
 type streamBatch struct {
 	cpu int32
-	evs []trace.Event
+	evs []cev
 }
 
 // AnalyzeStream runs the sharded analysis over a streaming decoder
 // without materialising the whole event section: events are decoded in
 // batches, routed to per-CPU walker goroutines as they arrive (decode
 // overlaps with span reconstruction), and only the control stream and
-// the reconstructed spans are retained for the sequential replay. The
-// report is bit-identical to Analyze/AnalyzeParallel on the same trace.
+// the reconstructed spans are retained for the replay. The report is
+// bit-identical to Analyze/AnalyzeParallel on the same trace.
 //
 // If opts.AppPIDs is nil the application set is taken from the trace's
 // process table, which the decoder reads after the last event.
@@ -1249,7 +1374,7 @@ func AnalyzeStream(ctx context.Context, d *trace.Decoder, opts Options, shards i
 		eventCap  = opts.Budget.eventCap()
 		truncated bool
 		ctl       ctlStream
-		pending   = make([][]trace.Event, ncpu)
+		pending   = make([][]cev, ncpu)
 		batch     = make([]trace.Event, batchLen)
 		firstTS   int64
 		lastTS    int64
@@ -1287,32 +1412,32 @@ func AnalyzeStream(ctx context.Context, d *trace.Decoder, opts Options, shards i
 				dropped++
 				continue
 			}
-			switch {
-			case ev.ID.IsEntry():
-				pending[ev.CPU] = append(pending[ev.CPU], ev)
+			switch classOf(ev.ID) {
+			case clEntry:
+				pending[ev.CPU] = append(pending[ev.CPU], entryCev(ev.TS, ev.ID, ev.Arg1))
 				if len(pending[ev.CPU]) >= batchLen {
 					flush(ev.CPU)
 				}
-			case ev.ID.IsExit():
-				pending[ev.CPU] = append(pending[ev.CPU], ev)
+			case clExit:
+				pending[ev.CPU] = append(pending[ev.CPU], cev{ts: ev.TS, id: uint16(ev.ID), key: cevExit})
 				ctl.exitCPU = append(ctl.exitCPU, ev.CPU)
 				if len(pending[ev.CPU]) >= batchLen {
 					flush(ev.CPU)
 				}
-			case ev.ID == trace.EvSchedSwitch:
+			case clSwitch:
 				ctl.switches++
 				ctl.sched = append(ctl.sched, schedRec{
 					kind: ctlSwitch, cpu: ev.CPU, ts: ev.TS,
 					a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
 					exitsBefore: int32(len(ctl.exitCPU)),
 				})
-			case ev.ID == trace.EvSchedMigrate:
+			case clMigrate:
 				ctl.sched = append(ctl.sched, schedRec{
 					kind: ctlMigrate, cpu: ev.CPU,
 					a1: ev.Arg1, a2: ev.Arg2, a3: ev.Arg3,
 					exitsBefore: int32(len(ctl.exitCPU)),
 				})
-			case ev.ID == trace.EvProcessExit:
+			case clProcExit:
 				ctl.sched = append(ctl.sched, schedRec{
 					kind: ctlProcExit, a1: ev.Arg1,
 					exitsBefore: int32(len(ctl.exitCPU)),
@@ -1361,7 +1486,7 @@ func AnalyzeStream(ctx context.Context, d *trace.Decoder, opts Options, shards i
 
 	r.Dropped += dropped
 	r.prealloc(walkers, ctl.switches, opts.KeepDurations)
-	windows, noiseIdx := r.replay(ctx, ctl, walkers, opts, appMatcher(appPIDs))
+	windows, noiseIdx := r.replay(ctx, ctl, walkers, opts, appMatcher(appPIDs), shards)
 	if ctx.Err() != nil {
 		return r.markCancelled(&prog), cancelErr(ctx)
 	}

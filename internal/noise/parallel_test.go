@@ -26,6 +26,13 @@ func compareReports(t *testing.T, want, got *noise.Report) {
 	if want.Dropped != got.Dropped {
 		t.Errorf("dropped: want %d, got %d", want.Dropped, got.Dropped)
 	}
+	// Accounting invariant: every ingested record is either consumed or
+	// (for routing rejects) counted in Dropped — the parallel paths must
+	// agree with the sequential analyzer on both tallies, which the
+	// out-of-range-CPU events in the handmade trace exercise.
+	if want.EventsConsumed != got.EventsConsumed {
+		t.Errorf("events consumed: want %d, got %d", want.EventsConsumed, got.EventsConsumed)
+	}
 	if want.TotalNoiseNS != got.TotalNoiseNS {
 		t.Errorf("total noise: want %d, got %d", want.TotalNoiseNS, got.TotalNoiseNS)
 	}

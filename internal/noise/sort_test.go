@@ -1,0 +1,125 @@
+package noise
+
+// Property tests for the interruption-key sort: sortInterruptionKeys
+// (near-sorted fast path + total-order fallback) must reproduce, from
+// keys laid down in record order, exactly the sequence a stable sort
+// under the interruption comparator produces — the tie-handling
+// contract the sequential interruptionsForCPU provides via
+// sort.SliceStable. The oracle here IS sort.SliceStable with keyCmp.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// oracleSort is the reference order: stable sort of the record-order
+// keys under the bare (non-total) interruption comparator.
+func oracleSort(keys []ispanKey) []ispanKey {
+	out := append([]ispanKey(nil), keys...)
+	sort.SliceStable(out, func(i, j int) bool { return keyCmp(out[i], out[j]) < 0 })
+	return out
+}
+
+// checkAgainstOracle runs sortInterruptionKeys on a copy of keys and
+// fails the test on the first divergence from the stable-sort oracle.
+func checkAgainstOracle(t *testing.T, keys []ispanKey) {
+	t.Helper()
+	want := oracleSort(keys)
+	got := append([]ispanKey(nil), keys...)
+	sortInterruptionKeys(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divergence at %d: want %+v, got %+v (input len %d)", i, want[i], got[i], len(keys))
+		}
+	}
+}
+
+// randomKeys draws n keys from a small value domain so duplicate
+// (start,end) pairs — the tie cases — are common, with idx ascending
+// exactly as the replay sink writes them.
+func randomKeys(rng *rand.Rand, n, domain int) []ispanKey {
+	keys := make([]ispanKey, n)
+	for i := range keys {
+		start := int64(rng.Intn(domain))
+		keys[i] = ispanKey{
+			start: start,
+			end:   start + int64(rng.Intn(domain/4+1)),
+			own:   int64(i) * 10,
+			key:   Key(i % int(NumKeys)),
+			idx:   int32(i),
+		}
+	}
+	return keys
+}
+
+func TestSortInterruptionKeysMatchesStableOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		// Tight domains force many exact ties; wide ones exercise the
+		// distinct-key fast path.
+		domain := []int{4, 16, 1 << 20}[trial%3]
+		checkAgainstOracle(t, randomKeys(rng, n, domain))
+	}
+}
+
+// TestSortInterruptionKeysNearSorted drives the shape the replay
+// actually produces: ascending starts except where a parent span closes
+// after its children, so a few elements are out of place.
+func TestSortInterruptionKeysNearSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 200 + rng.Intn(200)
+		keys := make([]ispanKey, n)
+		ts := int64(0)
+		for i := range keys {
+			ts += int64(rng.Intn(50))
+			keys[i] = ispanKey{start: ts, end: ts + int64(rng.Intn(100)), idx: int32(i)}
+		}
+		// Displace a handful of parents: give them an earlier start than
+		// their predecessors, mimicking a parent emitted after its
+		// children.
+		for d := 0; d < 5; d++ {
+			i := 1 + rng.Intn(n-1)
+			keys[i].start = keys[i-1].start - int64(rng.Intn(30))
+			keys[i].end = keys[i].start + int64(rng.Intn(200))
+		}
+		checkAgainstOracle(t, keys)
+	}
+}
+
+// TestKeyCmpTotalIsTotalOrder pins the property the fallback relies on:
+// keyCmpTotal admits no ties between distinct elements, so sorting ANY
+// permutation yields one unique sequence — the stable order, because
+// its tie-break (idx) is the record order.
+func TestKeyCmpTotalIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	keys := randomKeys(rng, 150, 8) // heavy ties on (start,end)
+	want := oracleSort(keys)
+	for trial := 0; trial < 50; trial++ {
+		perm := append([]ispanKey(nil), keys...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		sortInterruptionKeys(perm)
+		for i := range want {
+			if perm[i] != want[i] {
+				t.Fatalf("trial %d: permuted input diverged at %d: want %+v, got %+v",
+					trial, i, want[i], perm[i])
+			}
+		}
+	}
+	for i := range keys {
+		for j := range keys {
+			c := keyCmpTotal(keys[i], keys[j])
+			if i == j && c != 0 {
+				t.Fatalf("key %d not equal to itself", i)
+			}
+			if i != j && c == 0 {
+				t.Fatalf("distinct keys %d and %d compare equal under keyCmpTotal", i, j)
+			}
+			if c != -keyCmpTotal(keys[j], keys[i]) {
+				t.Fatalf("keyCmpTotal not antisymmetric on %d,%d", i, j)
+			}
+		}
+	}
+}

@@ -118,6 +118,7 @@ type Decoder struct {
 	buf     []byte // reused batch-read staging buffer (Next)
 	procs   []ProcInfo
 	gotProc bool
+	broken  error // set when a failed Reset left the stream position undefined
 }
 
 // nextBatchEvents is how many wire records Next stages per bulk read:
@@ -193,9 +194,14 @@ func (d *Decoder) Reset(r io.Reader) error {
 	buf := d.buf
 	nd, err := newDecoder(br, limit)
 	if err != nil {
-		// The stream position is undefined now; the decoder keeps its
-		// previous (exhausted) state, so further reads surface typed
-		// errors rather than mixing two traces.
+		// The buffered reader has already been rebound to r and some of
+		// its bytes consumed, so the previous header state no longer
+		// describes what the next read would return. A decoder that kept
+		// an unfinished previous trace's counts here would decode the
+		// NEW stream's bytes as the OLD trace's events — poison it
+		// instead, so every read until a successful Reset reports the
+		// failure rather than mixing two streams.
+		d.broken = fmt.Errorf("trace: decoder unusable after failed Reset: %w", err)
 		return err
 	}
 	*d = *nd
@@ -232,6 +238,9 @@ func (d *Decoder) Remaining() uint64 { return d.count - d.read }
 //
 //noisevet:hotpath
 func (d *Decoder) Next(dst []Event) (int, error) {
+	if d.broken != nil {
+		return 0, d.broken
+	}
 	if d.read >= d.count {
 		return 0, io.EOF
 	}
@@ -248,10 +257,7 @@ func (d *Decoder) Next(dst []Event) (int, error) {
 			b = nextBatchEvents
 		}
 		m, err := io.ReadFull(d.br, d.buf[:b*EventSize])
-		full := uint64(m) / EventSize
-		for j := uint64(0); j < full; j++ {
-			dst[filled+j] = DecodeEvent(d.buf[j*EventSize:])
-		}
+		full := uint64(DecodeBatch(d.buf[:m], dst[filled:]))
 		if err != nil {
 			// Equivalent to the per-record loop: the failing record is
 			// the first incomplete one, and a stream ending exactly on a
@@ -275,6 +281,9 @@ func (d *Decoder) Next(dst []Event) (int, error) {
 // ingest; the records stream through a fixed buffer, so skipping costs
 // I/O but no memory. A no-op when the event section is exhausted.
 func (d *Decoder) Skip() error {
+	if d.broken != nil {
+		return d.broken
+	}
 	rem := d.count - d.read
 	if rem == 0 {
 		return nil
@@ -291,6 +300,9 @@ func (d *Decoder) Skip() error {
 // be called only after Next has returned io.EOF or Skip has discarded
 // the remainder; version-1 traces carry no table and yield nil.
 func (d *Decoder) Procs() ([]ProcInfo, error) {
+	if d.broken != nil {
+		return nil, d.broken
+	}
 	if d.read < d.count {
 		return nil, fmt.Errorf("trace: process table read with %d events still pending", d.count-d.read)
 	}
@@ -324,6 +336,46 @@ func DecodeEvent(b []byte) Event {
 		Arg2: int64(binary.LittleEndian.Uint64(b[24:])),
 		Arg3: int64(binary.LittleEndian.Uint64(b[32:])),
 	}
+}
+
+// DecodeBatch bulk-decodes wire records from the head of b into dst and
+// returns how many it filled: min(len(b)/EventSize, len(dst)). Trailing
+// bytes short of a full record are ignored — the caller decides whether
+// they are a truncation error or the next read's prefix. One call
+// replaces a per-record DecodeEvent loop; the bounds checks and the
+// slice-header arithmetic are hoisted out of the per-event work, which
+// is what lets the streaming and parallel readers decode at memory
+// speed (ROADMAP item 2).
+//
+//noisevet:hotpath
+func DecodeBatch(b []byte, dst []Event) int {
+	n := len(b) / EventSize
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n == 0 {
+		return 0
+	}
+	b = b[:n*EventSize]
+	dst = dst[:n]
+	if eventRawCompatible {
+		// One memmove: the wire layout IS the in-memory layout here
+		// (verified at init; see decode_fast.go).
+		decodeBatchRaw(b, dst, n)
+		return n
+	}
+	for i := range dst {
+		r := b[i*EventSize : i*EventSize+EventSize : i*EventSize+EventSize]
+		dst[i] = Event{
+			TS:   int64(binary.LittleEndian.Uint64(r[0:])),
+			CPU:  int32(binary.LittleEndian.Uint32(r[8:])),
+			ID:   ID(binary.LittleEndian.Uint16(r[12:])),
+			Arg1: int64(binary.LittleEndian.Uint64(r[16:])),
+			Arg2: int64(binary.LittleEndian.Uint64(r[24:])),
+			Arg3: int64(binary.LittleEndian.Uint64(r[32:])),
+		}
+	}
+	return n
 }
 
 // PeekTS reads just the timestamp of the wire record at the head of b.
@@ -521,9 +573,7 @@ func ReadParallel(ctx context.Context, ra io.ReaderAt, size int64, workers int) 
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				for j := uint64(0); j*EventSize < uint64(len(b)); j++ {
-					tr.Events[start+j] = DecodeEvent(b[j*EventSize:])
-				}
+				DecodeBatch(b, tr.Events[start:])
 				return nil
 			})
 		}(w, lo, hi)

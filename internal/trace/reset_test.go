@@ -110,6 +110,111 @@ func TestDecoderResetBadHeader(t *testing.T) {
 	}
 }
 
+// TestDecoderResetAfterMidBatchTruncation interleaves a corrupt
+// (truncated mid-record) stream and a valid stream on one decoder: the
+// reused batch staging buffer and the proc-table state must not leak
+// events from the broken stream into the valid one, in either order.
+func TestDecoderResetAfterMidBatchTruncation(t *testing.T) {
+	trA, trB := testTrace(700), testTrace(41) // A > nextBatchEvents
+	var bufA, bufB bytes.Buffer
+	if err := Write(&bufA, trA); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bufB, trB); err != nil {
+		t.Fatal(err)
+	}
+	// Cut stream A mid-record inside the second staging batch. The
+	// reader is wrapped so it reports no size: a sized reader would be
+	// rejected at header validation, but a connection-shaped stream
+	// only discovers the truncation mid-batch.
+	cut := headerSize + (nextBatchEvents+13)*EventSize + EventSize/2
+	truncated := bufA.Bytes()[:cut]
+
+	d, err := NewDecoder(io.MultiReader(bytes.NewReader(truncated)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Event, len(trA.Events))
+	n, err := d.Next(batch)
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Next on truncated stream: n=%d err=%v, want ErrCorrupt", n, err)
+	}
+
+	// Reset mid-batch onto the valid stream: exactly B's events must
+	// come out, none of A's staged leftovers.
+	if err := d.Reset(bytes.NewReader(bufB.Bytes())); err != nil {
+		t.Fatalf("Reset onto valid stream: %v", err)
+	}
+	evsB, procsB := drainDecoder(t, d)
+	if len(evsB) != len(trB.Events) {
+		t.Fatalf("after reset: %d events, want %d", len(evsB), len(trB.Events))
+	}
+	for i := range evsB {
+		if evsB[i] != trB.Events[i] {
+			t.Fatalf("after reset event %d = %+v, want %+v (stale staging data?)",
+				i, evsB[i], trB.Events[i])
+		}
+	}
+	if len(procsB) != len(trB.Procs) {
+		t.Fatalf("after reset: %d procs, want %d (stale proc table?)", len(procsB), len(trB.Procs))
+	}
+}
+
+// TestDecoderResetFailurePoisons: when Reset itself fails (garbage
+// header) while the PREVIOUS trace was only half-read, the decoder must
+// not keep serving the old header's counts against the new reader —
+// that would decode the new stream's bytes as the old trace's events.
+// Every read after a failed Reset reports the failure until a Reset
+// succeeds.
+func TestDecoderResetFailurePoisons(t *testing.T) {
+	trA, trB := testTrace(200), testTrace(33)
+	var bufA, bufB bytes.Buffer
+	if err := Write(&bufA, trA); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bufB, trB); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(bufA.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read only part of A, leaving d.read < d.count.
+	partial := make([]Event, 50)
+	if _, err := d.Next(partial); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failed reset (bad magic) must poison the decoder...
+	garbage := append([]byte("XXXXXXXX"), make([]byte, 64)...)
+	if err := d.Reset(bytes.NewReader(garbage)); err == nil {
+		t.Fatal("Reset on garbage succeeded")
+	}
+	if n, err := d.Next(partial); err == nil || n != 0 {
+		t.Fatalf("Next after failed Reset: n=%d err=%v, want 0 and an error", n, err)
+	}
+	if err := d.Skip(); err == nil {
+		t.Fatal("Skip after failed Reset succeeded")
+	}
+	if _, err := d.Procs(); err == nil {
+		t.Fatal("Procs after failed Reset succeeded")
+	}
+
+	// ...and a successful Reset re-arms it completely.
+	if err := d.Reset(bytes.NewReader(bufB.Bytes())); err != nil {
+		t.Fatalf("Reset onto valid stream: %v", err)
+	}
+	evsB, _ := drainDecoder(t, d)
+	if len(evsB) != len(trB.Events) {
+		t.Fatalf("after recovery: %d events, want %d", len(evsB), len(trB.Events))
+	}
+	for i := range evsB {
+		if evsB[i] != trB.Events[i] {
+			t.Fatalf("after recovery event %d mixed streams: %+v want %+v", i, evsB[i], trB.Events[i])
+		}
+	}
+}
+
 // TestDecoderResetReusesBuffer: the staging buffer survives Reset, so
 // per-trace allocation on a long-lived connection stays flat.
 func TestDecoderResetReusesBuffer(t *testing.T) {

@@ -142,11 +142,22 @@ rm -rf "$smokedir"
 
 echo "== pipeline benchmark smoke"
 # A small-trace run of the analysis-pipeline benchmark: exercises the
-# sequential baseline, the sharded raw path at each shard count, and
-# the bit-identity check (the run aborts if any report diverges). The
-# JSON lands in a scratch file — committed baselines in results/ are
-# regenerated deliberately, not by CI.
+# sequential baseline, the sharded raw path at each shard count, the
+# epoch-split replay, and the bit-identity check (the run aborts if any
+# report diverges). The JSON lands in a scratch file — committed
+# baselines in results/ are regenerated deliberately, not by CI.
 go run ./cmd/noisebench -pipeline -pipeline-events 100000 -pipeline-reps 1 \
-    -json "$(mktemp -d)/BENCH_pipeline.json"
+    -pipeline-epochs 4 -json "$(mktemp -d)/BENCH_pipeline.json"
+
+echo "== pipeline regression gate (1M events)"
+# Full-size run gated against the recorded performance trajectory: the
+# best parallel wall time may not regress more than 10% relative to the
+# last comparable entry (same GOMAXPROCS and event count) appended to
+# results/BENCH_pipeline.json. Incomparable histories gate nothing, so
+# a new machine shape passes and records its own baseline later. CI
+# never appends — the trajectory grows only by a deliberate
+# `noisebench -pipeline -pipeline-append results/BENCH_pipeline.json`.
+go run ./cmd/noisebench -pipeline -pipeline-events 1000000 -pipeline-reps 3 \
+    -pipeline-gate results/BENCH_pipeline.json -pipeline-gate-pct 10
 
 echo "CI OK"
